@@ -1,0 +1,148 @@
+//! Minimal ASCII line charts, so the figure binaries can show the *shape*
+//! of each series the way the paper's plots do — crossings, orderings and
+//! asymptotes are visible at a glance in a terminal.
+
+/// A named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSeries {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, assumed sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders one or more series into a `width × height` character grid with a
+/// legend and axis ranges. Each series is drawn with its own glyph
+/// (`*`, `o`, `+`, `x`, `#`, `@`, …); later series overwrite earlier ones on
+/// collisions.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_analysis::chart::{render_chart, ChartSeries};
+///
+/// let s = ChartSeries {
+///     label: "linear".into(),
+///     points: (0..10).map(|i| (i as f64, i as f64)).collect(),
+/// };
+/// let art = render_chart(&[s], 40, 10);
+/// assert!(art.contains("linear"));
+/// assert!(art.contains('*'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width < 8`, `height < 3`, or no series has any points.
+pub fn render_chart(series: &[ChartSeries], width: usize, height: usize) -> String {
+    assert!(width >= 8, "chart width must be at least 8");
+    assert!(height >= 3, "chart height must be at least 3");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "chart needs at least one point");
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            // Row 0 is the top of the chart.
+            grid[height - 1 - cy][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("y: {y_min:.4} .. {y_max:.4}\n"));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(" x: {x_min:.0} .. {x_max:.0}\n"));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", glyphs[si % glyphs.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(label: &str, f: impl Fn(f64) -> f64) -> ChartSeries {
+        ChartSeries {
+            label: label.into(),
+            points: (1..=20).map(|i| (i as f64, f(i as f64))).collect(),
+        }
+    }
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let art = render_chart(&[line("inv", |x| 1.0 / x)], 40, 8);
+        assert!(art.starts_with("y: "));
+        assert!(art.contains("x: 1 .. 20"));
+        assert!(art.contains("* inv"));
+        assert_eq!(art.lines().filter(|l| l.starts_with('|')).count(), 8);
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let art = render_chart(
+            &[line("a", |x| x), line("b", |x| 20.0 - x)],
+            40,
+            10,
+        );
+        assert!(art.contains('*'));
+        assert!(art.contains('o'));
+        assert!(art.contains("  * a"));
+        assert!(art.contains("  o b"));
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        let art = render_chart(&[line("up", |x| x)], 20, 20);
+        // The '*' in the top row must be to the right of the one in the
+        // bottom row.
+        let rows: Vec<&str> = art.lines().filter(|l| l.starts_with('|')).collect();
+        let top = rows.first().unwrap().find('*').unwrap();
+        let bottom = rows.last().unwrap().find('*').unwrap();
+        assert!(top > bottom);
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let art = render_chart(&[line("flat", |_| 5.0)], 20, 5);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_series_rejected() {
+        let s = ChartSeries { label: "e".into(), points: vec![] };
+        let _ = render_chart(&[s], 20, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn tiny_width_rejected() {
+        let _ = render_chart(&[line("a", |x| x)], 4, 5);
+    }
+}

@@ -1,0 +1,220 @@
+//! The six comparison configurations of §4, constructible at any feasible
+//! replica count.
+
+use arbitree_baselines::{unmodified, Hqc, TreeQuorum};
+use arbitree_core::builder::{balanced, mostly_read, mostly_write};
+use arbitree_core::{ArbitraryProtocol, ArbitraryTree};
+use arbitree_quorum::ReplicaControl;
+use std::fmt;
+
+/// One of the paper's §4 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Configuration {
+    /// The Agrawal–El Abbadi tree quorum protocol on a complete binary tree.
+    Binary,
+    /// The arbitrary protocol's operations on an unmodified fully-physical
+    /// binary tree.
+    Unmodified,
+    /// The arbitrary protocol on an Algorithm-1 tree.
+    Arbitrary,
+    /// Kumar's hierarchical quorum consensus on a ternary hierarchy.
+    Hqc,
+    /// One physical level holding every replica (ROWA-like).
+    MostlyRead,
+    /// `⌊n/2⌋` physical levels of two replicas (three on the last for odd
+    /// `n`).
+    MostlyWrite,
+}
+
+impl Configuration {
+    /// All six configurations, in the paper's presentation order.
+    pub const ALL: [Configuration; 6] = [
+        Configuration::Binary,
+        Configuration::Unmodified,
+        Configuration::Arbitrary,
+        Configuration::Hqc,
+        Configuration::MostlyRead,
+        Configuration::MostlyWrite,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Configuration::Binary => "BINARY",
+            Configuration::Unmodified => "UNMODIFIED",
+            Configuration::Arbitrary => "ARBITRARY",
+            Configuration::Hqc => "HQC",
+            Configuration::MostlyRead => "MOSTLY-READ",
+            Configuration::MostlyWrite => "MOSTLY-WRITE",
+        }
+    }
+
+    /// Smallest replica count at which the configuration is well-defined
+    /// (and, for `ARBITRARY`, inside Algorithm 1's stated domain).
+    pub fn min_size(self) -> usize {
+        match self {
+            Configuration::Binary | Configuration::Unmodified => 3, // h = 1
+            Configuration::Arbitrary => 2,
+            Configuration::Hqc => 3, // h = 1
+            Configuration::MostlyRead => 1,
+            Configuration::MostlyWrite => 2,
+        }
+    }
+
+    /// The feasible replica counts of this configuration up to `max_n`
+    /// (structured protocols exist only at `2^(h+1)−1` or `3^h`).
+    pub fn feasible_sizes(self, max_n: usize) -> Vec<usize> {
+        match self {
+            Configuration::Binary | Configuration::Unmodified => {
+                let mut v = Vec::new();
+                let mut h = 1usize;
+                while (1usize << (h + 1)) - 1 <= max_n {
+                    v.push((1 << (h + 1)) - 1);
+                    h += 1;
+                }
+                v
+            }
+            Configuration::Hqc => {
+                let mut v = Vec::new();
+                let mut n = 3usize;
+                while n <= max_n {
+                    v.push(n);
+                    n *= 3;
+                }
+                v
+            }
+            Configuration::Arbitrary
+            | Configuration::MostlyRead
+            | Configuration::MostlyWrite => (self.min_size()..=max_n).collect(),
+        }
+    }
+
+    /// The feasible size nearest to `n` (used when a sweep requests a size a
+    /// structured protocol cannot hit exactly).
+    pub fn nearest_size(self, n: usize) -> usize {
+        let n = n.max(self.min_size());
+        match self {
+            Configuration::Binary | Configuration::Unmodified => {
+                // n* = 2^(h+1) − 1 with h = round(log2(n+1)) − 1, h ≥ 1.
+                let h = ((n as f64 + 1.0).log2().round() as usize).max(2) - 1;
+                (1 << (h + 1)) - 1
+            }
+            Configuration::Hqc => {
+                let h = ((n as f64).ln() / 3f64.ln()).round().max(1.0) as u32;
+                3usize.pow(h)
+            }
+            _ => n,
+        }
+    }
+
+    /// Builds the configuration's protocol at the feasible size nearest to
+    /// `n`. The returned protocol's [`ReplicaControl::universe`] reports the
+    /// actual size used.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal construction errors (all nearest sizes are
+    /// valid by construction).
+    pub fn build(self, n: usize) -> Box<dyn ReplicaControl + Send + Sync> {
+        let n = self.nearest_size(n);
+        match self {
+            Configuration::Binary => {
+                let h = ((n + 1).ilog2() - 1) as usize;
+                Box::new(TreeQuorum::new(h))
+            }
+            Configuration::Unmodified => {
+                let h = ((n + 1).ilog2() - 1) as usize;
+                Box::new(unmodified(h).expect("valid height"))
+            }
+            Configuration::Arbitrary => {
+                let spec = balanced(n).expect("n >= 2");
+                let tree = ArbitraryTree::from_spec(&spec).expect("algorithm 1 output is valid");
+                Box::new(ArbitraryProtocol::new(tree))
+            }
+            Configuration::Hqc => {
+                let h = ((n as f64).ln() / 3f64.ln()).round() as usize;
+                Box::new(Hqc::new(h))
+            }
+            Configuration::MostlyRead => {
+                let spec = mostly_read(n).expect("n >= 1");
+                let tree = ArbitraryTree::from_spec(&spec).expect("valid");
+                Box::new(ArbitraryProtocol::new(tree).with_name("MOSTLY-READ"))
+            }
+            Configuration::MostlyWrite => {
+                let spec = mostly_write(n).expect("n >= 2");
+                let tree = ArbitraryTree::from_spec(&spec).expect("valid");
+                Box::new(ArbitraryProtocol::new(tree).with_name("MOSTLY-WRITE"))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Configuration::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec!["BINARY", "UNMODIFIED", "ARBITRARY", "HQC", "MOSTLY-READ", "MOSTLY-WRITE"]
+        );
+    }
+
+    #[test]
+    fn feasible_sizes_are_correct_shapes() {
+        assert_eq!(
+            Configuration::Binary.feasible_sizes(100),
+            vec![3, 7, 15, 31, 63]
+        );
+        assert_eq!(Configuration::Hqc.feasible_sizes(100), vec![3, 9, 27, 81]);
+        assert_eq!(
+            Configuration::MostlyRead.feasible_sizes(5),
+            vec![1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn nearest_size_rounds_sensibly() {
+        assert_eq!(Configuration::Binary.nearest_size(7), 7);
+        assert_eq!(Configuration::Binary.nearest_size(10), 7);
+        assert_eq!(Configuration::Binary.nearest_size(12), 15);
+        assert_eq!(Configuration::Hqc.nearest_size(9), 9);
+        assert_eq!(Configuration::Hqc.nearest_size(20), 27);
+        assert_eq!(Configuration::Arbitrary.nearest_size(50), 50);
+        // Floors at the minimum.
+        assert_eq!(Configuration::Binary.nearest_size(1), 3);
+        assert_eq!(Configuration::MostlyWrite.nearest_size(1), 2);
+    }
+
+    #[test]
+    fn build_produces_requested_universe() {
+        for cfg in Configuration::ALL {
+            let p = cfg.build(27);
+            let actual = p.universe().len();
+            assert_eq!(actual, cfg.nearest_size(27), "{cfg}");
+            assert_eq!(p.name(), cfg.name(), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn mostly_read_build_is_rowa_like() {
+        let p = Configuration::MostlyRead.build(10);
+        assert_eq!(p.read_cost().avg, 1.0);
+        assert_eq!(p.write_cost().avg, 10.0);
+    }
+
+    #[test]
+    fn arbitrary_build_matches_algorithm1() {
+        let p = Configuration::Arbitrary.build(100);
+        assert!((p.write_load() - 0.1).abs() < 1e-12);
+        assert!((p.read_load() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Crossover analysis: where one configuration overtakes another on a
+//! metric — e.g. the paper's claim that `UNMODIFIED` write costs are
+//! comparable to `ARBITRARY` for `n < 200` and to `HQC` beyond.
+
+use crate::config::Configuration;
+use crate::figures::point;
+
+/// A metric selector over a configuration at size `n` and availability `p`.
+pub type Metric = fn(&crate::figures::SeriesPoint) -> f64;
+
+/// Standard metric selectors.
+pub mod metrics {
+    use crate::figures::SeriesPoint;
+
+    /// Average read communication cost.
+    pub fn read_cost(p: &SeriesPoint) -> f64 {
+        p.read_cost
+    }
+
+    /// Average write communication cost.
+    pub fn write_cost(p: &SeriesPoint) -> f64 {
+        p.write_cost
+    }
+
+    /// Optimal read load.
+    pub fn read_load(p: &SeriesPoint) -> f64 {
+        p.read_load
+    }
+
+    /// Optimal write load.
+    pub fn write_load(p: &SeriesPoint) -> f64 {
+        p.write_load
+    }
+
+    /// Expected read load (equation 3.2).
+    pub fn expected_read_load(p: &SeriesPoint) -> f64 {
+        p.expected_read_load
+    }
+
+    /// Expected write load (equation 3.2).
+    pub fn expected_write_load(p: &SeriesPoint) -> f64 {
+        p.expected_write_load
+    }
+}
+
+/// Finds the smallest `n` in `range` at which `metric(a) > metric(b)` —
+/// i.e. where `a` stops being the cheaper/lighter configuration. Both
+/// configurations are built at their nearest feasible size to each probed
+/// `n`. Returns `None` if no crossover occurs in the range.
+pub fn crossover(
+    a: Configuration,
+    b: Configuration,
+    metric: Metric,
+    range: std::ops::Range<usize>,
+    p: f64,
+) -> Option<usize> {
+    for n in range {
+        if n < a.min_size() || n < b.min_size() {
+            continue;
+        }
+        let pa = point(a, n, p);
+        let pb = point(b, n, p);
+        if metric(&pa) > metric(&pb) {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mostly_read_write_cost_overtakes_arbitrary_immediately() {
+        // MOSTLY-READ write cost (n) exceeds ARBITRARY's (√n) from the start.
+        let x = crossover(
+            Configuration::MostlyRead,
+            Configuration::Arbitrary,
+            metrics::write_cost,
+            2..50,
+            0.8,
+        );
+        assert!(x.is_some());
+        assert!(x.unwrap() <= 10);
+    }
+
+    #[test]
+    fn unmodified_write_cost_eventually_exceeds_hqc() {
+        // n/log(n+1) grows faster than n^0.63: UNMODIFIED eventually loses.
+        let x = crossover(
+            Configuration::Unmodified,
+            Configuration::Hqc,
+            metrics::write_cost,
+            3..600,
+            0.8,
+        );
+        assert!(x.is_some(), "expected a crossover below 600");
+    }
+
+    #[test]
+    fn arbitrary_write_load_never_exceeds_binary() {
+        // 1/√n < 2/(log2(n+1)+1) on the probed range: no crossover.
+        let x = crossover(
+            Configuration::Arbitrary,
+            Configuration::Binary,
+            metrics::write_load,
+            65..400,
+            0.8,
+        );
+        assert_eq!(x, None);
+    }
+
+    #[test]
+    fn no_crossover_on_empty_range() {
+        assert_eq!(
+            crossover(
+                Configuration::MostlyRead,
+                Configuration::MostlyWrite,
+                metrics::read_cost,
+                10..10,
+                0.8
+            ),
+            None
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text table rendering for the figure/table binaries.
+
+use crate::figures::SeriesPoint;
+
+/// Renders rows of cells as an aligned plain-text table with a header.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_analysis::report::render_table;
+///
+/// let t = render_table(
+///     &["n", "cost"],
+///     &[vec!["3".into(), "1.5".into()], vec!["7".into(), "2.25".into()]],
+/// );
+/// assert!(t.contains("n"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float for table display: fixed 4 decimals, trimmed.
+pub fn fmt_f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Renders a figure's series grouped by configuration, one block per
+/// configuration, projecting each point through `columns`.
+pub fn render_series(
+    points: &[SeriesPoint],
+    headers: &[&str],
+    project: impl Fn(&SeriesPoint) -> Vec<String>,
+) -> String {
+    let mut out = String::new();
+    let mut configs: Vec<&'static str> = points.iter().map(|p| p.config).collect();
+    configs.dedup();
+    for config in configs {
+        out.push_str(&format!("== {config} ==\n"));
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.config == config)
+            .map(&project)
+            .collect();
+        out.push_str(&render_table(headers, &rows));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a figure's series as CSV (`config,n,<columns...>`), for piping
+/// into external plotting tools.
+pub fn render_csv(
+    points: &[SeriesPoint],
+    headers: &[&str],
+    project: impl Fn(&SeriesPoint) -> Vec<String>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("config,n,");
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for p in points {
+        out.push_str(p.config);
+        out.push(',');
+        out.push_str(&p.n.to_string());
+        for cell in project(p) {
+            out.push(',');
+            out.push_str(&cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::figures::point;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines share the header's width.
+        assert!(lines[2].len() == lines[0].len());
+    }
+
+    #[test]
+    fn fmt_f_fixed_decimals() {
+        assert_eq!(fmt_f(0.5), "0.5000");
+        assert_eq!(fmt_f(12.34567), "12.3457");
+    }
+
+    #[test]
+    fn series_groups_by_config() {
+        let pts = vec![
+            point(Configuration::MostlyRead, 5, 0.7),
+            point(Configuration::MostlyRead, 9, 0.7),
+            point(Configuration::MostlyWrite, 9, 0.7),
+        ];
+        let s = render_series(&pts, &["n", "rc"], |p| {
+            vec![p.n.to_string(), fmt_f(p.read_cost)]
+        });
+        assert!(s.contains("== MOSTLY-READ =="));
+        assert!(s.contains("== MOSTLY-WRITE =="));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let pts = vec![point(Configuration::MostlyRead, 5, 0.7)];
+        let csv = render_csv(&pts, &["read_cost"], |p| vec![fmt_f(p.read_cost)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "config,n,read_cost");
+        assert_eq!(lines[1], "MOSTLY-READ,5,1.0000");
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        let t = render_table(&["x"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Small summary statistics for repeated measurements (multiple simulation
+//! seeds, Monte-Carlo batches): mean, standard deviation, and a normal
+//! 95% confidence interval.
+
+use std::fmt;
+
+/// Summary of a sample of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub stddev: f64,
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// (`1.96 · stddev / √n`); zero for a single sample.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Whether `value` lies within the 95% confidence interval of the mean.
+    pub fn covers(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+/// Summarizes a sample.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_analysis::stats::summarize;
+///
+/// let s = summarize(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert!((s.stddev - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let stddev = if n < 2 {
+        0.0
+    } else {
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        var.sqrt()
+    };
+    let ci95 = if n < 2 { 0.0 } else { 1.96 * stddev / (n as f64).sqrt() };
+    Summary { n, mean, stddev, ci95 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Bessel-corrected stddev of this classic sample is ~2.138.
+        assert!((s.stddev - 2.138).abs() < 1e-3);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = summarize(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert!(s.covers(3.5));
+        assert!(!s.covers(3.6));
+    }
+
+    #[test]
+    fn covers_interval() {
+        let s = summarize(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        assert!(s.covers(1.0));
+        assert!(!s.covers(2.0));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = summarize(&[1.0, 2.0]);
+        assert!(s.to_string().contains("n=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_rejected() {
+        let _ = summarize(&[]);
+    }
+}

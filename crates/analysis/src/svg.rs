@@ -1,0 +1,215 @@
+//! Minimal dependency-free SVG line charts, so the figure binaries can emit
+//! actual plot files (`fig2.svg`, …) alongside their text tables.
+
+use crate::chart::ChartSeries;
+use std::fmt::Write as _;
+
+/// Palette for up to eight series (repeats afterwards).
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+];
+
+/// Renders series as a standalone SVG document of the given pixel size,
+/// with axes, tick labels and a legend.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_analysis::chart::ChartSeries;
+/// use arbitree_analysis::svg::render_svg;
+///
+/// let s = ChartSeries {
+///     label: "load".into(),
+///     points: (1..20).map(|i| (i as f64, 1.0 / i as f64)).collect(),
+/// };
+/// let svg = render_svg(&[s], "write load vs n", 640, 400);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if no series has any points or the canvas is smaller than
+/// 100×100.
+pub fn render_svg(series: &[ChartSeries], title: &str, width: u32, height: u32) -> String {
+    assert!(width >= 100 && height >= 100, "canvas too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "chart needs at least one point");
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    // Plot area margins: left for y labels, bottom for x labels, top for
+    // the title, right for the legend.
+    let (ml, mr, mt, mb) = (60.0, 150.0, 30.0, 40.0);
+    let pw = f64::from(width) - ml - mr;
+    let ph = f64::from(height) - mt - mb;
+    let sx = |x: f64| ml + (x - x_min) / (x_max - x_min) * pw;
+    let sy = |y: f64| mt + ph - (y - y_min) / (y_max - y_min) * ph;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"#,
+        ml + pw / 2.0,
+        escape(title)
+    );
+    // Axes.
+    let _ = write!(
+        out,
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        mt + ph,
+        ml + pw,
+        mt + ph
+    );
+    let _ = write!(out, r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#, mt + ph);
+    // Ticks: 5 along each axis.
+    for i in 0..=4 {
+        let fx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
+        let fy = y_min + (y_max - y_min) * f64::from(i) / 4.0;
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="middle">{:.4}</text>"#,
+            sx(fx),
+            mt + ph + 16.0,
+            fx
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="end">{:.4}</text>"#,
+            ml - 6.0,
+            sy(fy) + 3.0,
+            fy
+        );
+        let _ = write!(
+            out,
+            r##"<line x1="{ml}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#dddddd"/>"##,
+            sy(fy),
+            ml + pw,
+            sy(fy)
+        );
+    }
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let mut pts = String::new();
+        for &(x, y) in &s.points {
+            let _ = write!(pts, "{:.1},{:.1} ", sx(x), sy(y));
+        }
+        let _ = write!(
+            out,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+            pts.trim_end()
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                out,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let ly = mt + 14.0 * i as f64;
+        let _ = write!(
+            out,
+            r#"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="{color}"/>"#,
+            ml + pw + 10.0,
+            ly
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+            ml + pw + 24.0,
+            ly + 9.0,
+            escape(&s.label)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, f: impl Fn(f64) -> f64) -> ChartSeries {
+        ChartSeries {
+            label: label.into(),
+            points: (1..=10).map(|i| (i as f64, f(i as f64))).collect(),
+        }
+    }
+
+    #[test]
+    fn well_formed_document() {
+        let svg = render_svg(&[series("a", |x| x)], "t", 640, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 10);
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_colors() {
+        let svg = render_svg(
+            &[series("a", |x| x), series("b", |x| 2.0 * x)],
+            "t",
+            640,
+            400,
+        );
+        assert!(svg.contains(COLORS[0]));
+        assert!(svg.contains(COLORS[1]));
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn title_and_labels_escaped() {
+        let svg = render_svg(&[series("a<b&c", |x| x)], "x < y", 640, 400);
+        assert!(svg.contains("x &lt; y"));
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+
+    #[test]
+    fn constant_series_ok() {
+        let svg = render_svg(&[series("flat", |_| 1.0)], "t", 640, 400);
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        let _ = render_svg(&[series("a", |x| x)], "t", 50, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_rejected() {
+        let s = ChartSeries { label: "e".into(), points: vec![] };
+        let _ = render_svg(&[s], "t", 640, 400);
+    }
+}

@@ -1,0 +1,84 @@
+//! The `UNMODIFIED` configuration (§4): the arbitrary protocol's read/write
+//! rules applied, without any structural change, to a **fully physical**
+//! complete binary tree (every node a replica, as in the Agrawal–El Abbadi
+//! structure).
+//!
+//! Per §3.3 this yields write load `1/log₂(n+1)` — the paper's new lower
+//! bound for the binary structure, improving on Naor–Wool's
+//! `2/(log₂(n+1)+1)` — at the price of read load 1 (the root is in every
+//! read quorum).
+
+use arbitree_core::builder::complete_binary;
+use arbitree_core::{ArbitraryProtocol, TreeError};
+
+/// Builds the `UNMODIFIED` configuration for a complete binary tree of the
+/// given height (`n = 2^(height+1) − 1` replicas).
+///
+/// # Errors
+///
+/// Returns a [`TreeError`] if the height is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_baselines::unmodified;
+/// use arbitree_quorum::ReplicaControl;
+///
+/// let u = unmodified(3)?; // n = 15
+/// assert_eq!(u.name(), "UNMODIFIED");
+/// assert_eq!(u.read_load(), 1.0);                  // root in every read quorum
+/// assert!((u.write_load() - 0.25).abs() < 1e-12);  // 1/log2(16)
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn unmodified(height: usize) -> Result<ArbitraryProtocol, TreeError> {
+    let spec = complete_binary(height)?;
+    Ok(ArbitraryProtocol::new(arbitree_core::ArbitraryTree::from_spec(&spec)?)
+        .with_name("UNMODIFIED"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitree_quorum::ReplicaControl;
+
+    #[test]
+    fn write_load_beats_naor_wool_bound() {
+        // §3.3: 1/log2(n+1) < 2/(log2(n+1)+1) for log2(n+1) > 1.
+        for h in 1..10usize {
+            let u = unmodified(h).unwrap();
+            let n = u.universe().len() as f64;
+            let ours = u.write_load();
+            let naor_wool = 2.0 / ((n + 1.0).log2() + 1.0);
+            assert!(
+                ours < naor_wool,
+                "h={h}: {ours} should be below {naor_wool}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_cost_is_log_and_load_is_one() {
+        let u = unmodified(4).unwrap(); // n = 31
+        assert_eq!(u.read_cost().avg, 5.0); // log2(32)
+        assert_eq!(u.read_load(), 1.0);
+        // Write cost = n / log2(n+1).
+        assert!((u.write_cost().avg - 31.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_ordering_of_paper() {
+        // §3.3: writes are highly available (> p), reads poorly (< p).
+        let u = unmodified(3).unwrap();
+        for &p in &[0.6, 0.75, 0.9] {
+            assert!(u.write_availability(p) > p, "p={p}");
+            assert!(u.read_availability(p) < p, "p={p}");
+        }
+    }
+
+    #[test]
+    fn quorum_counts() {
+        let u = unmodified(2).unwrap(); // levels 1,2,4
+        assert_eq!(u.read_quorums().count(), 8); // 1·2·4
+        assert_eq!(u.write_quorums().count(), 3);
+    }
+}

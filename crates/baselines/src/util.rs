@@ -1,0 +1,123 @@
+//! Small combinatorial helpers shared by the baseline protocols.
+
+use arbitree_quorum::QuorumSet;
+
+/// Lazy iterator over all `k`-combinations of `0..n` (as [`QuorumSet`]s), in
+/// lexicographic order. Used by threshold systems such as Majority.
+#[derive(Debug, Clone)]
+pub struct Combinations {
+    n: u32,
+    k: usize,
+    /// Current combination (ascending); `None` when exhausted.
+    cur: Option<Vec<u32>>,
+}
+
+impl Combinations {
+    /// Creates the iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n` or `k == 0`.
+    pub fn new(n: u32, k: usize) -> Self {
+        assert!(k >= 1, "combination size must be positive");
+        assert!(k <= n as usize, "combination size exceeds universe");
+        Combinations {
+            n,
+            k,
+            cur: Some((0..k as u32).collect()),
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = QuorumSet;
+
+    fn next(&mut self) -> Option<QuorumSet> {
+        let cur = self.cur.as_mut()?;
+        let result = QuorumSet::from_indices(cur.iter().copied());
+        // Advance: find rightmost index that can grow.
+        let k = self.k;
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.cur = None;
+                break;
+            }
+            i -= 1;
+            if cur[i] < self.n - (k - i) as u32 {
+                cur[i] += 1;
+                for j in (i + 1)..k {
+                    cur[j] = cur[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(result)
+    }
+}
+
+/// `n choose k` as `u128`, or `None` on overflow.
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinations_enumerate_all() {
+        let all: Vec<_> = Combinations::new(4, 2).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], QuorumSet::from_indices([0, 1]));
+        assert_eq!(all[5], QuorumSet::from_indices([2, 3]));
+        // All distinct and of size 2.
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        assert!(all.iter().all(|q| q.len() == 2));
+    }
+
+    #[test]
+    fn combinations_full_and_single() {
+        assert_eq!(Combinations::new(3, 3).count(), 1);
+        assert_eq!(Combinations::new(5, 1).count(), 5);
+    }
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        for n in 1..=8u32 {
+            for k in 1..=n as usize {
+                assert_eq!(
+                    Combinations::new(n, k).count() as u128,
+                    binomial(n as u64, k as u64).unwrap(),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversize_rejected() {
+        let _ = Combinations::new(3, 4);
+    }
+
+    #[test]
+    fn binomial_edges() {
+        assert_eq!(binomial(10, 0), Some(1));
+        assert_eq!(binomial(10, 10), Some(1));
+        assert_eq!(binomial(10, 11), Some(0));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+    }
+}

@@ -1,0 +1,115 @@
+//! Criterion benches: quorum picking and enumeration throughput for every
+//! §4 configuration — the operational counterpart of Figure 2 (how much
+//! work a coordinator does per operation as `n` grows).
+
+use arbitree_analysis::Configuration;
+use arbitree_quorum::{AliveSet, ReplicaControl};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fast-but-meaningful defaults so the full suite finishes in minutes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+fn bench_pick_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pick_read_quorum");
+    for config in Configuration::ALL {
+        let mut seen = std::collections::HashSet::new();
+        for n in [15usize, 63, 127] {
+            let proto = config.build(n);
+            if !seen.insert(proto.universe().len()) {
+                continue; // nearest feasible size collided with a previous one
+            }
+            let alive = AliveSet::full(proto.universe().len());
+            let mut rng = StdRng::seed_from_u64(1);
+            group.bench_with_input(
+                BenchmarkId::new(config.name(), proto.universe().len()),
+                &proto,
+                |b, proto| {
+                    b.iter(|| black_box(proto.pick_read_quorum(alive, &mut rng)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pick_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pick_write_quorum");
+    for config in Configuration::ALL {
+        let proto = config.build(63);
+        let alive = AliveSet::full(proto.universe().len());
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(
+            BenchmarkId::new(config.name(), proto.universe().len()),
+            &proto,
+            |b, proto| {
+                b.iter(|| black_box(proto.pick_write_quorum(alive, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pick_read_degraded(c: &mut Criterion) {
+    // Picking under failures exercises the failure-handling paths (e.g. the
+    // tree-quorum recursive descent).
+    let mut group = c.benchmark_group("pick_read_quorum_degraded");
+    for config in Configuration::ALL {
+        let proto = config.build(63);
+        let n = proto.universe().len();
+        let mut alive = AliveSet::full(n);
+        // Kill every fourth site.
+        for i in (0..n).step_by(4) {
+            alive.remove(arbitree_quorum::SiteId::new(i as u32));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_with_input(
+            BenchmarkId::new(config.name(), n),
+            &proto,
+            |b, proto| {
+                b.iter(|| black_box(proto.pick_read_quorum(alive, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_read_quorums");
+    for config in [
+        Configuration::Arbitrary,
+        Configuration::Binary,
+        Configuration::Hqc,
+        Configuration::MostlyWrite,
+    ] {
+        let proto = config.build(15);
+        group.bench_with_input(
+            BenchmarkId::new(config.name(), proto.universe().len()),
+            &proto,
+            |b, proto| {
+                b.iter(|| black_box(proto.read_quorums().count()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets =
+      bench_pick_read,
+      bench_pick_write,
+      bench_pick_read_degraded,
+      bench_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Criterion benches: end-to-end simulator throughput — events processed
+//! for a fixed workload under each configuration, failure-free and with
+//! churn. Also measures the static experiment harness.
+
+use arbitree_analysis::Configuration;
+use arbitree_core::ArbitraryProtocol;
+use arbitree_sim::{
+    empirical_availability, run_simulation, FailureSchedule, SimConfig, SimDuration,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fast-but-meaningful defaults so the full suite finishes in minutes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        clients: 4,
+        objects: 4,
+        duration: SimDuration::from_millis(50),
+        ..SimConfig::default()
+    }
+}
+
+fn bench_failure_free_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_failure_free");
+    group.sample_size(20);
+    for spec in ["1-3-5", "1-4-4-4-4", "1-16"] {
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, spec| {
+            b.iter(|| {
+                let proto = ArbitraryProtocol::parse(spec).expect("valid");
+                black_box(run_simulation(config(1), proto, &FailureSchedule::none()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_with_churn");
+    group.sample_size(20);
+    for spec in ["1-3-5", "1-4-4-4-4"] {
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, spec| {
+            b.iter(|| {
+                let proto = ArbitraryProtocol::parse(spec).expect("valid");
+                let n = proto.tree().replica_count();
+                let schedule = FailureSchedule::random(
+                    n,
+                    SimDuration::from_millis(50),
+                    SimDuration::from_millis(15),
+                    SimDuration::from_millis(5),
+                    7,
+                );
+                black_box(run_simulation(config(2), proto, &schedule))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_availability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_availability_10k_trials");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for cfg in [Configuration::Arbitrary, Configuration::Binary, Configuration::Hqc] {
+        let proto = cfg.build(63);
+        group.bench_with_input(
+            BenchmarkId::new(cfg.name(), proto.universe().len()),
+            &proto,
+            |b, proto| {
+                b.iter(|| black_box(empirical_availability(proto.as_ref(), 0.75, 10_000, 1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_read_repair_overhead(c: &mut Criterion) {
+    // Ablation: simulation cost with and without read-repair under churn.
+    let mut group = c.benchmark_group("ablation_read_repair");
+    group.sample_size(20);
+    for repair in [false, true] {
+        let label = if repair { "on" } else { "off" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &repair, |b, &repair| {
+            b.iter(|| {
+                let proto = ArbitraryProtocol::parse("1-3-5").expect("valid");
+                let mut cfg = config(3);
+                cfg.read_repair = repair;
+                let schedule = FailureSchedule::random(
+                    8,
+                    SimDuration::from_millis(50),
+                    SimDuration::from_millis(15),
+                    SimDuration::from_millis(5),
+                    9,
+                );
+                black_box(run_simulation(cfg, proto, &schedule))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconfiguration(c: &mut Criterion) {
+    use arbitree_sim::{SimTime, Simulation};
+    let mut group = c.benchmark_group("reconfiguration");
+    group.sample_size(20);
+    group.bench_function("swap_1-9_to_1-2-3-4", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                config(4),
+                ArbitraryProtocol::parse("1-9").expect("valid"),
+            );
+            sim.schedule_reconfigure(
+                SimTime::from_millis(20),
+                ArbitraryProtocol::parse("1-2-3-4").expect("valid"),
+            );
+            black_box(sim.run())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets =
+      bench_failure_free_run,
+      bench_churn_run,
+      bench_static_availability,
+      bench_read_repair_overhead,
+      bench_reconfiguration
+}
+criterion_main!(benches);

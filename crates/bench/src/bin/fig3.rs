@@ -1,0 +1,83 @@
+//! Regenerates **Figure 3**: the system loads and expected system loads of
+//! read operations for the six §4 configurations.
+//!
+//! Usage: `fig3 [--n <max_n>] [--p <availability>]` (defaults 520, 0.7).
+
+use arbitree_analysis::figures::figure3;
+use arbitree_analysis::report::{fmt_f, render_series};
+use arbitree_bench::arg_value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_n = arg_value(&args, "--n").unwrap_or(520.0) as usize;
+    let p = arg_value(&args, "--p").unwrap_or(0.7);
+
+    println!("Figure 3 — (expected) system loads of read operations (n up to {max_n}, p = {p})\n");
+    let data = figure3(max_n, p);
+    if args.iter().any(|a| a == "--csv") {
+        print!(
+            "{}",
+            arbitree_analysis::report::render_csv(&data, &["read_load", "expected_read_load", "read_availability"], |p| {
+                vec![fmt_f(p.read_load), fmt_f(p.expected_read_load), fmt_f(p.read_availability)]
+            })
+        );
+        return;
+    }
+    print!(
+        "{}",
+        render_series(
+            &data,
+            &["n", "read_load", "E[read_load]", "read_avail"],
+            |pt| {
+                vec![
+                    pt.n.to_string(),
+                    fmt_f(pt.read_load),
+                    fmt_f(pt.expected_read_load),
+                    fmt_f(pt.read_availability),
+                ]
+            }
+        )
+    );
+    if let Some(i) = args.iter().position(|a| a == "--svg") {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| ".".into());
+        let mut series = Vec::new();
+        let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
+        configs.dedup();
+        for config in configs {
+            series.push(arbitree_analysis::chart::ChartSeries {
+                label: config.to_string(),
+                points: data
+                    .iter()
+                    .filter(|p| p.config == config)
+                    .map(|p| (p.n as f64, p.expected_read_load))
+                    .collect(),
+            });
+        }
+        let svg = arbitree_analysis::svg::render_svg(&series, "Figure 3: expected read load vs n (p as given)", 860, 480);
+        let path = std::path::Path::new(&dir).join("fig3_read_load.svg");
+        std::fs::write(&path, svg).expect("write svg");
+        println!("wrote {}", path.display());
+    }
+    // Shape-at-a-glance chart of E[read load] per configuration.
+    {
+        use arbitree_analysis::chart::{render_chart, ChartSeries};
+        let mut series = Vec::new();
+        let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
+        configs.dedup();
+        for config in configs {
+            let points: Vec<(f64, f64)> = data
+                .iter()
+                .filter(|p| p.config == config)
+                .map(|p| (p.n as f64, p.expected_read_load))
+                .collect();
+            series.push(ChartSeries { label: config.to_string(), points });
+        }
+        println!("E[read load] vs n:");
+        println!("{}", render_chart(&series, 72, 18));
+    }
+    println!("Paper shape checks:");
+    println!("  MOSTLY-READ: lowest (1/n, stable); MOSTLY-WRITE: 1/2, unstable");
+    println!("  UNMODIFIED: highest, 1 (root in every read quorum)");
+    println!("  HQC: least of the first four (n^-0.37); ARBITRARY: 1/4 for n > 32");
+    println!("  BINARY: 2/(log2(n+1)+1)");
+}

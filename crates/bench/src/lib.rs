@@ -1,0 +1,48 @@
+//! # arbitree-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper's
+//! evaluation. Each artifact has a dedicated binary:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — node bookkeeping of the Figure 1 tree |
+//! | `example_3_4` | §3.4 — the running example's metrics |
+//! | `fig2` | Figure 2 — communication costs of the six configurations |
+//! | `fig3` | Figure 3 — (expected) read loads |
+//! | `fig4` | Figure 4 — (expected) write loads + the §3.3 lower-bound table |
+//! | `availability` | §3.3 — asymptotic availability limits |
+//! | `sim_validate` | simulator-measured availability/load/cost vs closed forms |
+//!
+//! Run any of them with `cargo run -p arbitree-bench --bin <name> --release`.
+//!
+//! Criterion microbenchmarks live in `benches/`: quorum enumeration and
+//! picking, LP-solver scaling, simulator throughput, and the ablations
+//! DESIGN.md calls out.
+
+/// Shared command-line helper: parse `--n <max_n>` and `--p <prob>` style
+/// arguments with defaults, ignoring anything else.
+pub fn arg_value(args: &[String], key: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["prog", "--n", "200", "--p", "0.8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--n"), Some(200.0));
+        assert_eq!(arg_value(&args, "--p"), Some(0.8));
+        assert_eq!(arg_value(&args, "--x"), None);
+        // Malformed value → None.
+        let bad: Vec<String> = ["prog", "--n"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&bad, "--n"), None);
+    }
+}

@@ -1,0 +1,343 @@
+//! Tree-shape constructors (§3.3 and §4): the `MOSTLY-READ`, `MOSTLY-WRITE`
+//! and Algorithm-1 (`ARBITRARY`) configurations, plus generic even-split and
+//! complete-binary shapes.
+
+use crate::error::TreeError;
+use crate::spec::TreeSpec;
+
+/// Integer square root by rounding (`round(√n)`), used by Algorithm 1's
+/// `|K_phy| = √n`.
+fn rounded_sqrt(n: usize) -> usize {
+    (n as f64).sqrt().round() as usize
+}
+
+/// The `MOSTLY-READ` configuration (§4): a logical root and **one** physical
+/// level holding all `n` replicas. Behaves like ROWA: read cost 1, write
+/// cost `n`.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] for `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::builder::mostly_read;
+///
+/// assert_eq!(mostly_read(8)?.to_string(), "1-8");
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn mostly_read(n: usize) -> Result<TreeSpec, TreeError> {
+    if n == 0 {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n,
+            reason: "need at least one replica",
+        });
+    }
+    let spec = TreeSpec::logical_root([n]);
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// The `MOSTLY-WRITE` configuration (§4): a logical root over
+/// `⌊(n−1)/2⌋` physical levels of two replicas each for odd `n` (the last
+/// level takes three to absorb the odd replica), or `n/2` levels of two for
+/// even `n`. Write cost is 2 (3 worst case), read cost `|K_phy|`.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] for `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::builder::mostly_write;
+///
+/// assert_eq!(mostly_write(9)?.to_string(), "1-2-2-2-3");
+/// assert_eq!(mostly_write(8)?.to_string(), "1-2-2-2-2");
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn mostly_write(n: usize) -> Result<TreeSpec, TreeError> {
+    if n < 2 {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n,
+            reason: "mostly-write needs at least two replicas",
+        });
+    }
+    let spec = if n.is_multiple_of(2) {
+        TreeSpec::logical_root(std::iter::repeat_n(2, n / 2))
+    } else {
+        let levels = (n - 1) / 2;
+        let mut counts = vec![2; levels];
+        *counts.last_mut().expect("levels >= 1") = 3;
+        TreeSpec::logical_root(counts)
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Distributes `n` replicas over exactly `k` physical levels (logical root),
+/// as evenly as possible with the larger levels last — the most general
+/// "spectrum knob" between [`mostly_read`] (`k = 1`) and [`mostly_write`]
+/// (`k ≈ n/2`).
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] if `k == 0` or `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::builder::even_levels;
+///
+/// assert_eq!(even_levels(8, 3)?.to_string(), "1-2-3-3");
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn even_levels(n: usize, k: usize) -> Result<TreeSpec, TreeError> {
+    if k == 0 || k > n {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n,
+            reason: "level count must satisfy 1 <= k <= n",
+        });
+    }
+    let base = n / k;
+    let rem = n % k;
+    let counts = (0..k).map(|i| if i < k - rem { base } else { base + 1 });
+    let spec = TreeSpec::logical_root(counts);
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Algorithm 1 (§3.3): the balanced `ARBITRARY` configuration.
+///
+/// For `n > 64` (the algorithm's stated domain): `|K_phy| = round(√n)`
+/// physical levels under a logical root; the first seven levels hold four
+/// replicas each and the remaining `n − 28` replicas are spread evenly over
+/// the other `√n − 7` levels (larger levels last, preserving assumption
+/// 3.1). This yields write load `1/√n`, read cost `√n`, read load `1/4`.
+///
+/// For `32 < n ≤ 64` the paper's §3.3 guidance is applied: seven levels of
+/// four plus one level holding the remaining `n − 28`.
+///
+/// For `n ≤ 32` (outside the paper's stated domain) we fall back to
+/// [`even_levels`] with `k = round(√n)` so the function is total for
+/// `n ≥ 1`; this fallback is documented in DESIGN.md.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] for `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::builder::balanced;
+///
+/// let spec = balanced(100)?;
+/// assert_eq!(spec.to_string(), "1-4-4-4-4-4-4-4-24-24-24");
+/// assert_eq!(spec.replica_count(), 100);
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn balanced(n: usize) -> Result<TreeSpec, TreeError> {
+    if n == 0 {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n,
+            reason: "need at least one replica",
+        });
+    }
+    if n <= 32 {
+        return even_levels(n, rounded_sqrt(n).max(1));
+    }
+    if n <= 64 {
+        let mut counts = vec![4; 7];
+        counts.push(n - 28);
+        let spec = TreeSpec::logical_root(counts);
+        spec.validate()?;
+        return Ok(spec);
+    }
+    let k = rounded_sqrt(n);
+    debug_assert!(k > 7, "n > 64 implies round(sqrt(n)) >= 8");
+    let rest_levels = k - 7;
+    let rest = n - 28;
+    let base = rest / rest_levels;
+    let rem = rest % rest_levels;
+    let mut counts = vec![4; 7];
+    counts.extend((0..rest_levels).map(|i| if i < rest_levels - rem { base } else { base + 1 }));
+    let spec = TreeSpec::logical_root(counts);
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// A fully physical complete binary tree of the given height: levels
+/// `1, 2, 4, …, 2^h`, every node a replica (`n = 2^(h+1) − 1`). This is the
+/// substrate of the `UNMODIFIED` configuration (§4) and of the
+/// Agrawal–El Abbadi baseline.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] if the height would
+/// overflow (`height ≥ 63`).
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::builder::complete_binary;
+///
+/// let spec = complete_binary(2)?;
+/// assert_eq!(spec.to_string(), "p:1-2-4");
+/// assert_eq!(spec.replica_count(), 7);
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn complete_binary(height: usize) -> Result<TreeSpec, TreeError> {
+    if height >= 63 {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n: usize::MAX,
+            reason: "binary tree height must be < 63",
+        });
+    }
+    let spec = TreeSpec::physical_root((0..=height).map(|k| 1usize << k));
+    spec.validate()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TreeMetrics;
+    use crate::tree::ArbitraryTree;
+
+    #[test]
+    fn mostly_read_shape() {
+        let s = mostly_read(12).unwrap();
+        assert_eq!(s.physical_levels(), vec![1]);
+        assert_eq!(s.replica_count(), 12);
+        assert!(mostly_read(0).is_err());
+    }
+
+    #[test]
+    fn mostly_write_even_and_odd() {
+        let odd = mostly_write(9).unwrap();
+        assert_eq!(odd.physical_counts(), vec![2, 2, 2, 3]);
+        assert_eq!(odd.replica_count(), 9);
+        let even = mostly_write(10).unwrap();
+        assert_eq!(even.physical_counts(), vec![2; 5]);
+        assert!(mostly_write(1).is_err());
+        // n=3 → single level of 3.
+        assert_eq!(mostly_write(3).unwrap().physical_counts(), vec![3]);
+        // n=2 → single level of 2.
+        assert_eq!(mostly_write(2).unwrap().physical_counts(), vec![2]);
+    }
+
+    #[test]
+    fn mostly_write_write_load_matches_paper() {
+        // Paper: MOSTLY-WRITE write load = 2/(n-1) for odd n.
+        for n in [9usize, 15, 25, 101] {
+            let t = ArbitraryTree::from_spec(&mostly_write(n).unwrap()).unwrap();
+            let m = TreeMetrics::new(&t);
+            let expect = 2.0 / (n as f64 - 1.0);
+            assert!(
+                (m.write_load() - expect).abs() < 1e-12,
+                "n={n}: {} vs {expect}",
+                m.write_load()
+            );
+            // And read load = 1/2.
+            assert_eq!(m.read_load(), 0.5);
+        }
+    }
+
+    #[test]
+    fn even_levels_distributes_non_decreasing() {
+        let s = even_levels(10, 4).unwrap();
+        assert_eq!(s.physical_counts(), vec![2, 2, 3, 3]);
+        assert_eq!(s.replica_count(), 10);
+        assert!(even_levels(3, 5).is_err());
+        assert!(even_levels(3, 0).is_err());
+        // k = n → all levels of one.
+        assert_eq!(even_levels(3, 3).unwrap().physical_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn balanced_algorithm1_domain() {
+        // n = 100: k = 10, 7×4 + 3×24.
+        let s = balanced(100).unwrap();
+        assert_eq!(s.physical_counts(), vec![4, 4, 4, 4, 4, 4, 4, 24, 24, 24]);
+        assert_eq!(s.replica_count(), 100);
+        // Write load = 1/|K_phy| = 1/10 = 1/sqrt(100).
+        let t = ArbitraryTree::from_spec(&s).unwrap();
+        let m = TreeMetrics::new(&t);
+        assert!((m.write_load() - 0.1).abs() < 1e-12);
+        assert!((m.read_load() - 0.25).abs() < 1e-12);
+        assert_eq!(m.read_cost().avg, 10.0);
+        assert!((m.write_cost().avg - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_handles_remainders() {
+        // n = 107: k = round(10.34) = 10, rest 79 over 3 levels: 26,26,27... but
+        // 79 = 3*26 + 1 → 26,26,27.
+        let s = balanced(107).unwrap();
+        assert_eq!(s.physical_counts(), vec![4, 4, 4, 4, 4, 4, 4, 26, 26, 27]);
+        assert_eq!(s.replica_count(), 107);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn balanced_mid_range() {
+        // 32 < n <= 64: 7×4 + (n-28).
+        let s = balanced(50).unwrap();
+        assert_eq!(s.physical_counts(), vec![4, 4, 4, 4, 4, 4, 4, 22]);
+        assert_eq!(s.replica_count(), 50);
+        // Boundary n = 33: last level holds 5.
+        let s = balanced(33).unwrap();
+        assert_eq!(s.physical_counts(), vec![4, 4, 4, 4, 4, 4, 4, 5]);
+    }
+
+    #[test]
+    fn balanced_small_fallback_is_valid() {
+        for n in 1..=32 {
+            let s = balanced(n).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(s.replica_count(), n, "n={n}");
+            s.validate().unwrap();
+        }
+        assert!(balanced(0).is_err());
+    }
+
+    #[test]
+    fn balanced_valid_for_large_range() {
+        for n in 65..400 {
+            let s = balanced(n).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(s.replica_count(), n, "n={n}");
+            s.validate().unwrap();
+            // Read load is always 1/4 on the algorithm's domain.
+            let t = ArbitraryTree::from_spec(&s).unwrap();
+            assert!((TreeMetrics::new(&t).read_load() - 0.25).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn complete_binary_shapes() {
+        let s = complete_binary(3).unwrap();
+        assert_eq!(s.physical_counts(), vec![1, 2, 4, 8]);
+        assert_eq!(s.replica_count(), 15);
+        assert!(complete_binary(63).is_err());
+        // height 0 → a single replica.
+        assert_eq!(complete_binary(0).unwrap().replica_count(), 1);
+    }
+
+    #[test]
+    fn unmodified_write_load_is_inverse_log() {
+        // §3.3: applied to a fully physical tree, write load = 1/log2(n+1).
+        for h in [2usize, 3, 4, 6] {
+            let t = ArbitraryTree::from_spec(&complete_binary(h).unwrap()).unwrap();
+            let n = t.replica_count() as f64;
+            let m = TreeMetrics::new(&t);
+            let expect = 1.0 / (n + 1.0).log2();
+            assert!(
+                (m.write_load() - expect).abs() < 1e-12,
+                "h={h}: {} vs {expect}",
+                m.write_load()
+            );
+            // Read load = 1/d = 1 (root level has a single replica).
+            assert_eq!(m.read_load(), 1.0);
+        }
+    }
+}

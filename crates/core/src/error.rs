@@ -1,0 +1,91 @@
+//! Errors for arbitrary-tree construction and validation.
+
+use std::fmt;
+
+/// Errors raised when building or validating an arbitrary tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The spec describes no levels at all.
+    NoLevels,
+    /// Level 0 must contain exactly one node (the root).
+    BadRoot {
+        /// Total number of nodes the spec placed at level 0.
+        nodes_at_root: usize,
+    },
+    /// A level has no nodes, leaving deeper levels unattached.
+    EmptyLevel {
+        /// The offending level number.
+        level: usize,
+    },
+    /// The tree contains no physical node anywhere, so no replica exists.
+    NoPhysicalNodes,
+    /// Assumption 3.1 is violated: the physical-node counts of the physical
+    /// levels must satisfy `m_phy(first) < m_phy(second) ≤ … ≤ m_phy(last)`
+    /// when read top-down (with a strict increase after the root level only
+    /// if the root is physical).
+    AssumptionViolated {
+        /// The level whose count breaks the chain.
+        level: usize,
+        /// Physical count at the previous physical level.
+        previous: usize,
+        /// Physical count at `level`.
+        current: usize,
+    },
+    /// A spec string could not be parsed.
+    ParseError {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The requested replica count is not supported by this constructor.
+    UnsupportedReplicaCount {
+        /// The requested `n`.
+        n: usize,
+        /// Constructor-specific explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::NoLevels => write!(f, "tree spec has no levels"),
+            TreeError::BadRoot { nodes_at_root } => {
+                write!(f, "level 0 must hold exactly one node, found {nodes_at_root}")
+            }
+            TreeError::EmptyLevel { level } => {
+                write!(f, "level {level} has no nodes")
+            }
+            TreeError::NoPhysicalNodes => write!(f, "tree has no physical nodes"),
+            TreeError::AssumptionViolated { level, previous, current } => write!(
+                f,
+                "assumption 3.1 violated at level {level}: {current} physical nodes after {previous}"
+            ),
+            TreeError::ParseError { reason } => write!(f, "invalid tree spec: {reason}"),
+            TreeError::UnsupportedReplicaCount { n, reason } => {
+                write!(f, "unsupported replica count {n}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(TreeError::NoLevels.to_string().contains("no levels"));
+        assert!(TreeError::BadRoot { nodes_at_root: 2 }.to_string().contains("2"));
+        assert!(TreeError::EmptyLevel { level: 3 }.to_string().contains("3"));
+        assert!(TreeError::NoPhysicalNodes.to_string().contains("physical"));
+        let e = TreeError::AssumptionViolated { level: 2, previous: 5, current: 3 };
+        assert!(e.to_string().contains("assumption 3.1"));
+        assert!(e.to_string().contains("level 2"));
+        let p = TreeError::ParseError { reason: "empty component".into() };
+        assert!(p.to_string().contains("empty component"));
+        let u = TreeError::UnsupportedReplicaCount { n: 5, reason: "needs n > 64" };
+        assert!(u.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Closed-form metrics of the arbitrary protocol (§3.2.1–§3.2.3): costs,
+//! availability, optimal system loads, and the paper's expected loads.
+
+use crate::tree::ArbitraryTree;
+use arbitree_quorum::{expected_read_load, expected_write_load, CostProfile};
+
+/// The analytic metrics of an arbitrary tree, computed from its shape alone.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::{ArbitraryTree, TreeMetrics};
+///
+/// // The paper's §3.4 example (Figure 1 / spec 1-3-5).
+/// let tree = ArbitraryTree::parse("1-3-5")?;
+/// let m = TreeMetrics::new(&tree);
+/// assert_eq!(m.read_cost().avg, 2.0);
+/// assert!((m.read_availability(0.7) - 0.97).abs() < 5e-3);
+/// assert!((m.read_load() - 1.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(m.write_cost().avg, 4.0);
+/// assert!((m.write_availability(0.7) - 0.45).abs() < 5e-3);
+/// assert!((m.write_load() - 0.5).abs() < 1e-12);
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TreeMetrics<'a> {
+    tree: &'a ArbitraryTree,
+}
+
+impl<'a> TreeMetrics<'a> {
+    /// Wraps a tree for metric computation.
+    pub fn new(tree: &'a ArbitraryTree) -> Self {
+        TreeMetrics { tree }
+    }
+
+    /// Read communication cost `RD_cost = 1 + h − |K_log| = |K_phy|`
+    /// (§3.2.1): one replica per physical level, always.
+    pub fn read_cost(&self) -> CostProfile {
+        CostProfile::flat(self.tree.physical_level_count() as f64)
+    }
+
+    /// Write communication cost (§3.2.2): minimum `d`, maximum `e`, and the
+    /// uniform-strategy average `n / |K_phy|`.
+    pub fn write_cost(&self) -> CostProfile {
+        CostProfile {
+            min: self.tree.min_level_width() as f64,
+            max: self.tree.max_level_width() as f64,
+            avg: self.tree.replica_count() as f64 / self.tree.physical_level_count() as f64,
+        }
+    }
+
+    /// Read availability `∏_{k ∈ K_phy} (1 − (1−p)^{m_phy_k})` (§3.2.1):
+    /// every physical level must have at least one live replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn read_availability(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.tree
+            .physical_levels()
+            .iter()
+            .map(|&k| 1.0 - (1.0 - p).powi(self.tree.level_physical(k) as i32))
+            .product()
+    }
+
+    /// Write failure probability `WR_fail = ∏_{k ∈ K_phy} (1 − p^{m_phy_k})`
+    /// (§3.2.2): a write fails iff *every* physical level has at least one
+    /// dead replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn write_failure(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.tree
+            .physical_levels()
+            .iter()
+            .map(|&k| 1.0 - p.powi(self.tree.level_physical(k) as i32))
+            .product()
+    }
+
+    /// Write availability `1 − WR_fail(p)` (§3.2.2).
+    pub fn write_availability(&self, p: f64) -> f64 {
+        1.0 - self.write_failure(p)
+    }
+
+    /// Optimal read load `L_RD = 1/d` (proved in appendix 6.1).
+    pub fn read_load(&self) -> f64 {
+        1.0 / self.tree.min_level_width() as f64
+    }
+
+    /// Optimal write load `L_WR = 1/(1 + h − |K_log|) = 1/|K_phy|`
+    /// (proved in appendix 6.2).
+    pub fn write_load(&self) -> f64 {
+        1.0 / self.tree.physical_level_count() as f64
+    }
+
+    /// Expected read load at availability `p` (equation 3.2).
+    pub fn expected_read_load(&self, p: f64) -> f64 {
+        expected_read_load(self.read_availability(p), self.read_load())
+    }
+
+    /// Expected write load at availability `p` (equation 3.2).
+    pub fn expected_write_load(&self, p: f64) -> f64 {
+        expected_write_load(self.write_availability(p), self.write_load())
+    }
+}
+
+/// Asymptotic write availability of an Algorithm-1 tree as `n → ∞` (§3.3):
+/// `1 − (1 − p⁴)⁷`.
+pub fn algorithm1_write_availability_limit(p: f64) -> f64 {
+    1.0 - (1.0 - p.powi(4)).powi(7)
+}
+
+/// Asymptotic read availability of an Algorithm-1 tree as `n → ∞` (§3.3):
+/// `(1 − (1−p)⁴)⁷`.
+pub fn algorithm1_read_availability_limit(p: f64) -> f64 {
+    (1.0 - (1.0 - p).powi(4)).powi(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_135() -> (ArbitraryTree, f64) {
+        (ArbitraryTree::parse("1-3-5").unwrap(), 0.7)
+    }
+
+    #[test]
+    fn paper_example_read_metrics() {
+        let (t, p) = metrics_135();
+        let m = TreeMetrics::new(&t);
+        assert_eq!(m.read_cost().avg, 2.0);
+        // RDavail(0.7) = (1-0.3^3)(1-0.3^5) = 0.973*0.99757 ≈ 0.9706
+        let a = m.read_availability(p);
+        assert!((a - 0.9706).abs() < 1e-3, "got {a}");
+        assert!((m.read_load() - 1.0 / 3.0).abs() < 1e-12);
+        // E[L_RD] = a*(1/3 - 1) + 1 ≈ 0.353
+        assert!((m.expected_read_load(p) - 0.353).abs() < 2e-3);
+    }
+
+    #[test]
+    fn paper_example_write_metrics() {
+        let (t, p) = metrics_135();
+        let m = TreeMetrics::new(&t);
+        let c = m.write_cost();
+        assert_eq!(c.min, 3.0);
+        assert_eq!(c.max, 5.0);
+        assert_eq!(c.avg, 4.0);
+        // WRavail(0.7) = 1 - (1-0.7^3)(1-0.7^5) = 1 - 0.657*0.83193 ≈ 0.4534
+        let a = m.write_availability(p);
+        assert!((a - 0.4534).abs() < 1e-3, "got {a}");
+        assert!((m.write_load() - 0.5).abs() < 1e-12);
+        // E[L_WR] = a*0.5 + (1-a)*1 ≈ 0.7733 (paper rounds to 0.775)
+        assert!((m.expected_write_load(p) - 0.7733).abs() < 2e-3);
+    }
+
+    #[test]
+    fn mostly_read_behaves_like_rowa() {
+        let t = ArbitraryTree::parse("1-10").unwrap();
+        let m = TreeMetrics::new(&t);
+        assert_eq!(m.read_cost().avg, 1.0);
+        assert_eq!(m.write_cost().avg, 10.0);
+        assert!((m.read_load() - 0.1).abs() < 1e-12);
+        assert_eq!(m.write_load(), 1.0);
+        let p = 0.8;
+        assert!((m.read_availability(p) - (1.0 - 0.2f64.powi(10))).abs() < 1e-12);
+        assert!((m.write_availability(p) - 0.8f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mostly_write_metrics() {
+        // n = 9 → spec 1-2-2-2-3: 4 physical levels.
+        let t = ArbitraryTree::parse("1-2-2-2-3").unwrap();
+        let m = TreeMetrics::new(&t);
+        assert_eq!(m.write_cost().min, 2.0);
+        assert_eq!(m.write_cost().max, 3.0);
+        assert!((m.write_load() - 0.25).abs() < 1e-12);
+        assert_eq!(m.read_cost().avg, 4.0);
+        assert!((m.read_load() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_bounds() {
+        let (t, _) = metrics_135();
+        let m = TreeMetrics::new(&t);
+        assert_eq!(m.read_availability(1.0), 1.0);
+        assert_eq!(m.read_availability(0.0), 0.0);
+        assert_eq!(m.write_availability(1.0), 1.0);
+        assert_eq!(m.write_availability(0.0), 0.0);
+        assert_eq!(m.write_failure(1.0), 0.0);
+    }
+
+    #[test]
+    fn more_levels_lower_write_load_higher_read_cost() {
+        let shallow = ArbitraryTree::parse("1-8").unwrap();
+        let deep = ArbitraryTree::parse("1-2-2-2-2").unwrap();
+        let ms = TreeMetrics::new(&shallow);
+        let md = TreeMetrics::new(&deep);
+        assert!(md.write_load() < ms.write_load());
+        assert!(md.read_cost().avg > ms.read_cost().avg);
+        // Write availability improves with more levels.
+        assert!(md.write_availability(0.8) > ms.write_availability(0.8));
+        // Read availability deteriorates.
+        assert!(md.read_availability(0.8) < ms.read_availability(0.8));
+    }
+
+    #[test]
+    fn limits_formulae() {
+        // §3.3: for p > 0.8 both limits are ≈ 1.
+        for &p in &[0.85, 0.9, 0.95] {
+            assert!(algorithm1_write_availability_limit(p) > 0.97, "p={p}");
+            assert!(algorithm1_read_availability_limit(p) > 0.98, "p={p}");
+        }
+        // And they are proper probabilities over the whole range.
+        for i in 0..=10 {
+            let p = f64::from(i) / 10.0;
+            let w = algorithm1_write_availability_limit(p);
+            let r = algorithm1_read_availability_limit(p);
+            assert!((0.0..=1.0).contains(&w));
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_p_rejected() {
+        let (t, _) = metrics_135();
+        let _ = TreeMetrics::new(&t).read_availability(1.2);
+    }
+}

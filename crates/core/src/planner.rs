@@ -1,0 +1,614 @@
+//! Frequency-driven configuration planning and live reconfiguration.
+//!
+//! §3.3 of the paper: *"the tree structure must be configured in such a way
+//! that it takes into account the frequencies of read and write operations"*,
+//! and shifting between configurations requires *"just modifying the
+//! structure of the tree"* — no new protocol. [`plan`] searches the spectrum
+//! of level counts for the shape minimizing the workload-weighted expected
+//! load; [`pareto_frontier`] enumerates the whole read/write trade-off;
+//! [`reconfigure`] computes the replica moves between two shapes.
+
+use crate::builder::even_levels;
+use crate::error::TreeError;
+use crate::metrics::TreeMetrics;
+use crate::spec::TreeSpec;
+use crate::tree::ArbitraryTree;
+use arbitree_quorum::SiteId;
+use std::fmt;
+
+/// A workload description: how often reads happen relative to writes, and
+/// how reliable individual replicas are.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Per-replica availability probability `p` (§3.2: assumed `> 1/2`).
+    pub availability: f64,
+}
+
+impl Workload {
+    /// Creates a workload profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is outside `[0, 1]`.
+    pub fn new(read_fraction: f64, availability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read_fraction must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&availability),
+            "availability must be in [0,1]"
+        );
+        Workload { read_fraction, availability }
+    }
+
+    /// A read-heavy workload (95% reads) at the given availability.
+    pub fn read_heavy(availability: f64) -> Self {
+        Self::new(0.95, availability)
+    }
+
+    /// A write-heavy workload (95% writes).
+    pub fn write_heavy(availability: f64) -> Self {
+        Self::new(0.05, availability)
+    }
+
+    /// A balanced workload (50/50).
+    pub fn balanced(availability: f64) -> Self {
+        Self::new(0.5, availability)
+    }
+}
+
+/// Outcome of [`plan`]: the chosen shape and its objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The chosen tree shape.
+    pub spec: TreeSpec,
+    /// Number of physical levels the shape uses.
+    pub physical_levels: usize,
+    /// The workload-weighted expected system load of the shape.
+    pub objective: f64,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} physical levels, objective {:.4})",
+            self.spec, self.physical_levels, self.objective
+        )
+    }
+}
+
+/// The planning objective for a given shape: the workload-weighted expected
+/// system load `f_r · E[L_RD] + (1 − f_r) · E[L_WR]` (equation 3.2 expectations).
+pub fn objective(spec: &TreeSpec, workload: Workload) -> Result<f64, TreeError> {
+    let tree = ArbitraryTree::from_spec(spec)?;
+    let m = TreeMetrics::new(&tree);
+    let p = workload.availability;
+    Ok(workload.read_fraction * m.expected_read_load(p)
+        + (1.0 - workload.read_fraction) * m.expected_write_load(p))
+}
+
+/// Searches every even-split shape with `1 ≤ |K_phy| ≤ ⌊n/2⌋` levels (each
+/// level holding at least two replicas, matching the paper's
+/// `MOSTLY-WRITE` extreme) and returns the shape minimizing [`objective`].
+///
+/// The endpoints of the search are exactly the paper's named configurations:
+/// one level is `MOSTLY-READ`, `⌊n/2⌋` levels is `MOSTLY-WRITE`.
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::planner::{plan, Workload};
+///
+/// // A 95%-read workload collapses to one physical level (ROWA-like) …
+/// let read_heavy = plan(20, Workload::read_heavy(0.9))?;
+/// assert_eq!(read_heavy.physical_levels, 1);
+///
+/// // … while a 95%-write workload maximizes the level count.
+/// let write_heavy = plan(20, Workload::write_heavy(0.9))?;
+/// assert!(write_heavy.physical_levels > 5);
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn plan(n: usize, workload: Workload) -> Result<Plan, TreeError> {
+    if n < 2 {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n,
+            reason: "planning needs at least two replicas",
+        });
+    }
+    let mut best: Option<Plan> = None;
+    for k in 1..=(n / 2) {
+        let spec = even_levels(n, k)?;
+        let obj = objective(&spec, workload)?;
+        let better = match &best {
+            None => true,
+            Some(b) => obj < b.objective - 1e-12,
+        };
+        if better {
+            best = Some(Plan {
+                spec,
+                physical_levels: k,
+                objective: obj,
+            });
+        }
+    }
+    Ok(best.expect("n >= 2 yields at least the k=1 candidate"))
+}
+
+/// One point of the read/write trade-off frontier: a shape together with
+/// its expected read and write loads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The shape.
+    pub spec: TreeSpec,
+    /// Number of physical levels.
+    pub physical_levels: usize,
+    /// Expected read load at the probed availability.
+    pub expected_read_load: f64,
+    /// Expected write load at the probed availability.
+    pub expected_write_load: f64,
+}
+
+/// Enumerates the Pareto frontier of even-split shapes for `n` replicas at
+/// per-replica availability `p`: the shapes for which no other shape is
+/// simultaneously better on *both* expected read load and expected write
+/// load. The frontier is the paper's "spectrum" made concrete — every
+/// point on it is the optimal answer for *some* read/write mix.
+///
+/// Points are returned in increasing level count (decreasing read
+/// performance, increasing write performance).
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::planner::pareto_frontier;
+///
+/// let frontier = pareto_frontier(20, 0.9)?;
+/// // The extremes are always on the frontier.
+/// assert_eq!(frontier.first().unwrap().physical_levels, 1);
+/// assert_eq!(frontier.last().unwrap().physical_levels, 10);
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn pareto_frontier(n: usize, p: f64) -> Result<Vec<FrontierPoint>, TreeError> {
+    if n < 2 {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n,
+            reason: "frontier needs at least two replicas",
+        });
+    }
+    let mut candidates = Vec::new();
+    for k in 1..=(n / 2) {
+        let spec = even_levels(n, k)?;
+        let tree = ArbitraryTree::from_spec(&spec)?;
+        let m = TreeMetrics::new(&tree);
+        candidates.push(FrontierPoint {
+            spec,
+            physical_levels: k,
+            expected_read_load: m.expected_read_load(p),
+            expected_write_load: m.expected_write_load(p),
+        });
+    }
+    let frontier: Vec<FrontierPoint> = candidates
+        .iter()
+        .filter(|c| {
+            !candidates.iter().any(|other| {
+                other.expected_read_load < c.expected_read_load - 1e-12
+                    && other.expected_write_load < c.expected_write_load - 1e-12
+            })
+        })
+        .cloned()
+        .collect();
+    Ok(frontier)
+}
+
+/// One replica's move in a reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteMove {
+    /// The replica that changes level.
+    pub site: SiteId,
+    /// Its level in the old shape.
+    pub from_level: usize,
+    /// Its level in the new shape.
+    pub to_level: usize,
+}
+
+/// A migration between two shapes of the *same* replica set: which replicas
+/// change tree level. Data never moves — only the logical organization —
+/// which is the paper's headline operational property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    moves: Vec<SiteMove>,
+    unchanged: usize,
+}
+
+impl MigrationPlan {
+    /// The replicas that change level.
+    pub fn moves(&self) -> &[SiteMove] {
+        &self.moves
+    }
+
+    /// Number of replicas that keep their level.
+    pub fn unchanged(&self) -> usize {
+        self.unchanged
+    }
+
+    /// Total replicas involved.
+    pub fn total(&self) -> usize {
+        self.moves.len() + self.unchanged
+    }
+}
+
+impl fmt::Display for MigrationPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "migration: {} moved, {} unchanged",
+            self.moves.len(),
+            self.unchanged
+        )
+    }
+}
+
+/// Computes the level moves needed to shift the replica set from shape
+/// `from` to shape `to` (site identifiers are positional: top-down,
+/// left-to-right in both shapes).
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] if the shapes host
+/// different replica counts, or any validation error of either spec.
+pub fn reconfigure(from: &TreeSpec, to: &TreeSpec) -> Result<MigrationPlan, TreeError> {
+    let from_tree = ArbitraryTree::from_spec(from)?;
+    let to_tree = ArbitraryTree::from_spec(to)?;
+    if from_tree.replica_count() != to_tree.replica_count() {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n: to_tree.replica_count(),
+            reason: "reconfiguration requires equal replica counts",
+        });
+    }
+    let mut moves = Vec::new();
+    let mut unchanged = 0;
+    for site in from_tree.universe().sites() {
+        let a = from_tree.site_level(site);
+        let b = to_tree.site_level(site);
+        if a == b {
+            unchanged += 1;
+        } else {
+            moves.push(SiteMove { site, from_level: a, to_level: b });
+        }
+    }
+    Ok(MigrationPlan { moves, unchanged })
+}
+
+/// Computes a *gradual* migration from shape `from` to shape `to`: a chain
+/// of valid intermediate shapes in which each step moves at most
+/// `max_moves` replicas between levels. Chaining live reconfigurations over
+/// these steps bounds the per-step disruption (each step's migration writes
+/// touch only slightly different quorums).
+///
+/// Levels are matched by width multisets: because level numbering is purely
+/// logical, any non-decreasing arrangement of widths is a valid shape, so
+/// the planner simply transfers replicas one at a time from shrinking
+/// levels to growing ones (dropping a level when it empties, adding one
+/// when needed) and re-sorts.
+///
+/// The returned vector starts with the first *changed* shape and ends with
+/// a shape whose level-width multiset equals `to`'s (an empty vector means
+/// the shapes already agree).
+///
+/// # Errors
+///
+/// Returns [`TreeError::UnsupportedReplicaCount`] if the shapes have
+/// different replica counts or `max_moves == 0`, or any validation error of
+/// either spec.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::planner::gradual_migration;
+///
+/// let from = "1-16".parse()?;
+/// let to = "1-2-6-8".parse()?;
+/// let steps = gradual_migration(&from, &to, 4)?;
+/// // Every step is a valid shape; the last one matches the target widths.
+/// assert_eq!(steps.last().unwrap().physical_counts(), vec![2, 6, 8]);
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn gradual_migration(
+    from: &TreeSpec,
+    to: &TreeSpec,
+    max_moves: usize,
+) -> Result<Vec<TreeSpec>, TreeError> {
+    from.validate()?;
+    to.validate()?;
+    if from.replica_count() != to.replica_count() {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n: to.replica_count(),
+            reason: "gradual migration requires equal replica counts",
+        });
+    }
+    if max_moves == 0 {
+        return Err(TreeError::UnsupportedReplicaCount {
+            n: 0,
+            reason: "max_moves must be positive",
+        });
+    }
+
+    // Work on sorted width multisets; pad the shorter with zeros (a zero
+    // entry is a level to be created/destroyed, never materialized as such).
+    let mut cur = from.physical_counts();
+    let mut target = to.physical_counts();
+    cur.sort_unstable();
+    target.sort_unstable();
+    // Align by padding at the front (smallest side) so big levels match big
+    // levels, minimizing total moves.
+    while cur.len() < target.len() {
+        cur.insert(0, 0);
+    }
+    while target.len() < cur.len() {
+        target.insert(0, 0);
+    }
+
+    let mut steps = Vec::new();
+    while cur != target {
+        let mut budget = max_moves;
+        while budget > 0 {
+            // Move one replica from the entry with the largest surplus to
+            // the one with the largest deficit.
+            let donor = (0..cur.len())
+                .filter(|&i| cur[i] > target[i])
+                .max_by_key(|&i| cur[i] - target[i]);
+            let recipient = (0..cur.len())
+                .filter(|&i| cur[i] < target[i])
+                .max_by_key(|&i| target[i] - cur[i]);
+            match (donor, recipient) {
+                (Some(d), Some(r)) => {
+                    cur[d] -= 1;
+                    cur[r] += 1;
+                    budget -= 1;
+                }
+                _ => break,
+            }
+        }
+        let mut widths: Vec<usize> = cur.iter().copied().filter(|&w| w > 0).collect();
+        widths.sort_unstable();
+        let spec = TreeSpec::logical_root(widths);
+        spec.validate()?;
+        steps.push(spec);
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{mostly_read, mostly_write};
+
+    #[test]
+    fn read_heavy_plans_one_level() {
+        let p = plan(30, Workload::read_heavy(0.95)).unwrap();
+        assert_eq!(p.physical_levels, 1);
+        assert_eq!(p.spec, mostly_read(30).unwrap());
+    }
+
+    #[test]
+    fn write_heavy_plans_many_levels() {
+        let p = plan(30, Workload::write_heavy(0.95)).unwrap();
+        assert!(p.physical_levels >= 10, "got {}", p.physical_levels);
+    }
+
+    #[test]
+    fn balanced_plans_intermediate() {
+        let p = plan(64, Workload::balanced(0.95)).unwrap();
+        assert!(
+            p.physical_levels > 1 && p.physical_levels < 32,
+            "got {}",
+            p.physical_levels
+        );
+    }
+
+    #[test]
+    fn objective_decreases_with_matching_shape() {
+        // For a pure-read workload, mostly_read beats mostly_write.
+        let w = Workload::new(1.0, 0.9);
+        let r = objective(&mostly_read(20).unwrap(), w).unwrap();
+        let wr = objective(&mostly_write(20).unwrap(), w).unwrap();
+        assert!(r < wr);
+        // And vice versa.
+        let w = Workload::new(0.0, 0.9);
+        let r = objective(&mostly_read(20).unwrap(), w).unwrap();
+        let wr = objective(&mostly_write(20).unwrap(), w).unwrap();
+        assert!(wr < r);
+    }
+
+    #[test]
+    fn plan_objective_is_minimal_over_search_space() {
+        let n = 24;
+        let w = Workload::balanced(0.85);
+        let best = plan(n, w).unwrap();
+        for k in 1..=n / 2 {
+            let obj = objective(&even_levels(n, k).unwrap(), w).unwrap();
+            assert!(best.objective <= obj + 1e-12, "k={k} beats the plan");
+        }
+    }
+
+    #[test]
+    fn plan_rejects_tiny_systems() {
+        assert!(plan(1, Workload::balanced(0.9)).is_err());
+    }
+
+    #[test]
+    fn reconfigure_counts_moves() {
+        let from = mostly_read(9).unwrap(); // all at level 1
+        let to = mostly_write(9).unwrap(); // levels 1..=4
+        let m = reconfigure(&from, &to).unwrap();
+        assert_eq!(m.total(), 9);
+        // Sites 0,1 stay at level 1; the rest move deeper.
+        assert_eq!(m.unchanged(), 2);
+        assert_eq!(m.moves().len(), 7);
+        for mv in m.moves() {
+            assert_eq!(mv.from_level, 1);
+            assert!(mv.to_level > 1);
+        }
+    }
+
+    #[test]
+    fn reconfigure_identity_is_empty() {
+        let s = mostly_write(10).unwrap();
+        let m = reconfigure(&s, &s).unwrap();
+        assert!(m.moves().is_empty());
+        assert_eq!(m.unchanged(), 10);
+    }
+
+    #[test]
+    fn reconfigure_rejects_mismatched_n() {
+        let a = mostly_read(8).unwrap();
+        let b = mostly_read(9).unwrap();
+        assert!(reconfigure(&a, &b).is_err());
+    }
+
+    #[test]
+    fn frontier_contains_extremes_and_is_nondominated() {
+        let frontier = pareto_frontier(24, 0.9).unwrap();
+        assert!(frontier.len() >= 2);
+        // Sorted by level count, read load non-decreasing along it.
+        for w in frontier.windows(2) {
+            assert!(w[0].physical_levels < w[1].physical_levels);
+            assert!(w[0].expected_read_load <= w[1].expected_read_load + 1e-12);
+            assert!(w[0].expected_write_load >= w[1].expected_write_load - 1e-12);
+        }
+        // No point dominates another.
+        for a in &frontier {
+            for b in &frontier {
+                if a != b {
+                    let dominates = a.expected_read_load < b.expected_read_load - 1e-12
+                        && a.expected_write_load < b.expected_write_load - 1e-12;
+                    assert!(!dominates);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_plan_lands_on_the_frontier() {
+        let n = 18;
+        let p = 0.9;
+        let frontier = pareto_frontier(n, p).unwrap();
+        for read_fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let best = plan(n, Workload::new(read_fraction, p)).unwrap();
+            assert!(
+                frontier.iter().any(|f| f.spec == best.spec),
+                "plan for {read_fraction} not on frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_rejects_tiny_systems() {
+        assert!(pareto_frontier(1, 0.9).is_err());
+    }
+
+    #[test]
+    fn gradual_migration_reaches_target_in_bounded_steps() {
+        let from: TreeSpec = "1-16".parse().unwrap();
+        let to: TreeSpec = "1-2-6-8".parse().unwrap();
+        let steps = gradual_migration(&from, &to, 3).unwrap();
+        assert!(!steps.is_empty());
+        for s in &steps {
+            s.validate().unwrap();
+            assert_eq!(s.replica_count(), 16);
+        }
+        assert_eq!(steps.last().unwrap().physical_counts(), vec![2, 6, 8]);
+        // Total moved replicas = 8 (16→8 donates 8), at ≤3 per step → ≥3 steps.
+        assert!(steps.len() >= 3, "{} steps", steps.len());
+    }
+
+    #[test]
+    fn gradual_migration_step_budget_respected() {
+        let from: TreeSpec = "1-20".parse().unwrap();
+        let to: TreeSpec = "1-2-2-2-2-2-10".parse().unwrap();
+        let steps = gradual_migration(&from, &to, 2).unwrap();
+        // Width multisets of consecutive steps differ by at most 2 moves.
+        let mut prev = {
+            let mut v = from.physical_counts();
+            v.sort_unstable();
+            v
+        };
+        for s in &steps {
+            let mut cur = s.physical_counts();
+            cur.sort_unstable();
+            // Count surplus against the previous multiset.
+            let moved: usize = multiset_diff(&prev, &cur);
+            assert!(moved <= 2, "{prev:?} -> {cur:?} moved {moved}");
+            prev = cur;
+        }
+    }
+
+    fn multiset_diff(a: &[usize], b: &[usize]) -> usize {
+        // Replicas moved between two shapes: align the sorted width vectors
+        // (pad the shorter at the front with empty levels) and take half
+        // the L1 distance.
+        let mut a: Vec<usize> = a.to_vec();
+        let mut b: Vec<usize> = b.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        while a.len() < b.len() {
+            a.insert(0, 0);
+        }
+        while b.len() < a.len() {
+            b.insert(0, 0);
+        }
+        a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum::<usize>() / 2
+    }
+
+    #[test]
+    fn gradual_migration_identity_is_empty() {
+        let s: TreeSpec = "1-3-5".parse().unwrap();
+        assert!(gradual_migration(&s, &s, 4).unwrap().is_empty());
+        // Same multiset, different order of equal widths → also empty.
+        let a: TreeSpec = "1-3-5".parse().unwrap();
+        let b: TreeSpec = "1-3-5".parse().unwrap();
+        assert!(gradual_migration(&a, &b, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gradual_migration_rejects_bad_inputs() {
+        let a: TreeSpec = "1-8".parse().unwrap();
+        let b: TreeSpec = "1-9".parse().unwrap();
+        assert!(gradual_migration(&a, &b, 2).is_err());
+        let c: TreeSpec = "1-4-4".parse().unwrap();
+        assert!(gradual_migration(&a, &c, 0).is_err());
+    }
+
+    #[test]
+    fn workload_constructors_validate() {
+        assert_eq!(Workload::read_heavy(0.9).read_fraction, 0.95);
+        assert_eq!(Workload::write_heavy(0.9).read_fraction, 0.05);
+        assert_eq!(Workload::balanced(0.9).read_fraction, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "read_fraction")]
+    fn workload_rejects_bad_fraction() {
+        let _ = Workload::new(1.5, 0.9);
+    }
+
+    #[test]
+    fn display_impls() {
+        let p = plan(10, Workload::balanced(0.9)).unwrap();
+        assert!(p.to_string().contains("objective"));
+        let m = reconfigure(&mostly_read(9).unwrap(), &mostly_write(9).unwrap()).unwrap();
+        assert!(m.to_string().contains("moved"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Read- and write-quorum construction for the arbitrary protocol (§3.2).
+//!
+//! * A **read quorum** takes *any one* physical node from *every* physical
+//!   level (§3.2.1); there are `m(R) = ∏_k m_phy_k` of them (fact 3.2.1).
+//! * A **write quorum** takes *all* physical nodes of *any one* physical
+//!   level (§3.2.2); there are `m(W) = 1 + h − |K_log| = |K_phy|` of them
+//!   (fact 3.2.2).
+
+use crate::tree::ArbitraryTree;
+use arbitree_quorum::QuorumSet;
+
+/// Number of read quorums `m(R) = ∏_{k ∈ K_phy} m_phy_k` (fact 3.2.1),
+/// or `None` on `u128` overflow (astronomically large systems).
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::{read_quorum_count, ArbitraryTree};
+///
+/// let tree = ArbitraryTree::parse("1-3-5")?;
+/// assert_eq!(read_quorum_count(&tree), Some(15));
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn read_quorum_count(tree: &ArbitraryTree) -> Option<u128> {
+    tree.physical_levels()
+        .iter()
+        .try_fold(1u128, |acc, &k| acc.checked_mul(tree.level_physical(k) as u128))
+}
+
+/// Number of write quorums `m(W) = |K_phy|` (fact 3.2.2).
+pub fn write_quorum_count(tree: &ArbitraryTree) -> usize {
+    tree.physical_level_count()
+}
+
+/// Iterator over every read quorum of the tree, in mixed-radix order
+/// (the first physical level varies slowest).
+///
+/// The total count is [`read_quorum_count`], which is exponential in the
+/// number of physical levels — consume lazily on large trees.
+#[derive(Debug, Clone)]
+pub struct ReadQuorums<'a> {
+    tree: &'a ArbitraryTree,
+    /// Current index into each physical level's site list; `None` once done.
+    cursor: Option<Vec<usize>>,
+}
+
+impl<'a> ReadQuorums<'a> {
+    pub(crate) fn new(tree: &'a ArbitraryTree) -> Self {
+        ReadQuorums {
+            tree,
+            cursor: Some(vec![0; tree.physical_level_count()]),
+        }
+    }
+}
+
+impl Iterator for ReadQuorums<'_> {
+    type Item = QuorumSet;
+
+    fn next(&mut self) -> Option<QuorumSet> {
+        let cursor = self.cursor.as_mut()?;
+        let levels = self.tree.physical_levels();
+        let quorum = QuorumSet::from_sites(
+            levels
+                .iter()
+                .zip(cursor.iter())
+                .map(|(&k, &i)| self.tree.level_sites(k)[i]),
+        );
+        // Advance the mixed-radix counter (last level fastest).
+        let mut pos = levels.len();
+        loop {
+            if pos == 0 {
+                self.cursor = None;
+                break;
+            }
+            pos -= 1;
+            cursor[pos] += 1;
+            if cursor[pos] < self.tree.level_physical(levels[pos]) {
+                break;
+            }
+            cursor[pos] = 0;
+        }
+        Some(quorum)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match (&self.cursor, read_quorum_count(self.tree)) {
+            (None, _) => (0, Some(0)),
+            (Some(_), Some(total)) if total <= usize::MAX as u128 => {
+                // Remaining = total - consumed; recompute consumed from cursor.
+                let levels = self.tree.physical_levels();
+                let mut consumed: u128 = 0;
+                for (i, &k) in levels.iter().enumerate() {
+                    consumed = consumed * self.tree.level_physical(k) as u128
+                        + self.cursor.as_ref().expect("checked Some")[i] as u128;
+                }
+                let rem = (total - consumed) as usize;
+                (rem, Some(rem))
+            }
+            _ => (usize::MAX, None),
+        }
+    }
+}
+
+/// Iterator over the write quorums of the tree: one per physical level,
+/// top level first.
+#[derive(Debug, Clone)]
+pub struct WriteQuorums<'a> {
+    tree: &'a ArbitraryTree,
+    next_index: usize,
+}
+
+impl<'a> WriteQuorums<'a> {
+    pub(crate) fn new(tree: &'a ArbitraryTree) -> Self {
+        WriteQuorums { tree, next_index: 0 }
+    }
+}
+
+impl Iterator for WriteQuorums<'_> {
+    type Item = QuorumSet;
+
+    fn next(&mut self) -> Option<QuorumSet> {
+        let &level = self.tree.physical_levels().get(self.next_index)?;
+        self.next_index += 1;
+        Some(QuorumSet::from_sites(
+            self.tree.level_sites(level).iter().copied(),
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.tree.physical_level_count() - self.next_index;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for WriteQuorums<'_> {}
+
+/// Enumerates the read quorums of `tree`.
+pub fn read_quorums(tree: &ArbitraryTree) -> ReadQuorums<'_> {
+    ReadQuorums::new(tree)
+}
+
+/// Enumerates the write quorums of `tree`.
+pub fn write_quorums(tree: &ArbitraryTree) -> WriteQuorums<'_> {
+    WriteQuorums::new(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitree_quorum::SiteId;
+
+    fn tree_135() -> ArbitraryTree {
+        ArbitraryTree::parse("1-3-5").unwrap()
+    }
+
+    #[test]
+    fn counts_match_paper_example() {
+        // §3.4: m(R) = 3·5 = 15, m(W) = 2.
+        let t = tree_135();
+        assert_eq!(read_quorum_count(&t), Some(15));
+        assert_eq!(write_quorum_count(&t), 2);
+    }
+
+    #[test]
+    fn read_quorums_enumerate_exactly_m_r() {
+        let t = tree_135();
+        let all: Vec<QuorumSet> = read_quorums(&t).collect();
+        assert_eq!(all.len(), 15);
+        // Each takes one site from level 1 (sites 0..3) and one from level 2
+        // (sites 3..8).
+        for q in &all {
+            assert_eq!(q.len(), 2);
+            let v: Vec<usize> = q.iter().map(SiteId::index).collect();
+            assert!(v[0] < 3, "{v:?}");
+            assert!((3..8).contains(&v[1]), "{v:?}");
+        }
+        // All distinct.
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+    }
+
+    #[test]
+    fn write_quorums_are_whole_levels() {
+        let t = tree_135();
+        let all: Vec<QuorumSet> = write_quorums(&t).collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], QuorumSet::from_indices(0..3));
+        assert_eq!(all[1], QuorumSet::from_indices(3..8));
+    }
+
+    #[test]
+    fn every_read_intersects_every_write() {
+        // Bicoterie property (§3.2.3) checked by brute force.
+        let t = tree_135();
+        for r in read_quorums(&t) {
+            for w in write_quorums(&t) {
+                assert!(r.intersects(&w), "{r} misses {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_tree_behaves_like_rowa() {
+        let t = ArbitraryTree::parse("1-4").unwrap();
+        let reads: Vec<_> = read_quorums(&t).collect();
+        assert_eq!(reads.len(), 4);
+        assert!(reads.iter().all(|q| q.len() == 1));
+        let writes: Vec<_> = write_quorums(&t).collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].len(), 4);
+    }
+
+    #[test]
+    fn size_hints_are_exact() {
+        let t = tree_135();
+        let mut it = read_quorums(&t);
+        assert_eq!(it.size_hint(), (15, Some(15)));
+        it.next();
+        assert_eq!(it.size_hint(), (14, Some(14)));
+        let mut w = write_quorums(&t);
+        assert_eq!(w.len(), 2);
+        w.next();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn mixed_radix_order_varies_last_level_fastest() {
+        let t = ArbitraryTree::parse("1-2-2").unwrap();
+        let got: Vec<Vec<usize>> = read_quorums(&t)
+            .map(|q| q.iter().map(SiteId::index).collect())
+            .collect();
+        assert_eq!(got, vec![vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn deep_tree_counts() {
+        let t = ArbitraryTree::parse("1-2-2-2-3").unwrap();
+        assert_eq!(read_quorum_count(&t), Some(24));
+        assert_eq!(write_quorum_count(&t), 4);
+        assert_eq!(read_quorums(&t).count(), 24);
+    }
+}

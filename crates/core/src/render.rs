@@ -1,0 +1,113 @@
+//! ASCII rendering of arbitrary trees, in the style of the paper's
+//! Figure 1: physical nodes shown as `(sN)` (their replica), logical nodes
+//! as `[ ]`.
+
+use crate::tree::{ArbitraryTree, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the tree level by level, with per-level annotations
+/// (`m_k`, `m_phy_k`, `m_log_k`) matching Table 1's columns.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::{render_tree, ArbitraryTree};
+///
+/// let tree = ArbitraryTree::parse("1-3-5")?;
+/// let art = render_tree(&tree);
+/// assert!(art.contains("level 0"));
+/// assert!(art.contains("(s0)"));
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+pub fn render_tree(tree: &ArbitraryTree) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "tree {} (n = {})", tree.spec(), tree.replica_count());
+    for k in 0..=tree.height() {
+        let mut cells: Vec<String> = Vec::with_capacity(tree.level_total(k));
+        for &id in tree.level_nodes(k) {
+            let node = tree.node(id);
+            match node.kind() {
+                NodeKind::Physical => {
+                    let site = node.site().expect("physical node hosts a site");
+                    cells.push(format!("({site})"));
+                }
+                NodeKind::Logical => cells.push("[ ]".to_owned()),
+            }
+        }
+        let tag = if tree.level_physical(k) > 0 { "phy" } else { "log" };
+        let _ = writeln!(
+            out,
+            "level {k} [{tag}]  {}   (m={}, phy={}, log={})",
+            cells.join(" "),
+            tree.level_total(k),
+            tree.level_physical(k),
+            tree.level_logical(k),
+        );
+    }
+    out
+}
+
+/// Renders the parent/child structure as an indented outline (one node per
+/// line, children indented under their parent).
+pub fn render_outline(tree: &ArbitraryTree) -> String {
+    let mut out = String::new();
+    render_node(tree, tree.root().id(), 0, &mut out);
+    out
+}
+
+fn render_node(tree: &ArbitraryTree, id: crate::tree::NodeId, depth: usize, out: &mut String) {
+    let node = tree.node(id);
+    let label = match node.site() {
+        Some(site) => format!("({site})"),
+        None => "[logical]".to_owned(),
+    };
+    let _ = writeln!(out, "{}{label}", "  ".repeat(depth));
+    for &child in node.children() {
+        render_node(tree, child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_style_rendering() {
+        let tree = ArbitraryTree::parse("1-3-5").unwrap();
+        let art = render_tree(&tree);
+        assert!(art.contains("tree 1-3-5 (n = 8)"));
+        assert!(art.contains("level 0 [log]  [ ]"));
+        assert!(art.contains("level 1 [phy]  (s0) (s1) (s2)"));
+        assert!(art.contains("(m=5, phy=5, log=0)"));
+    }
+
+    #[test]
+    fn outline_contains_every_node_once() {
+        let tree = ArbitraryTree::parse("1-2-4").unwrap();
+        let outline = render_outline(&tree);
+        assert_eq!(outline.lines().count(), tree.nodes().len());
+        for site in 0..tree.replica_count() {
+            assert!(outline.contains(&format!("(s{site})")));
+        }
+    }
+
+    #[test]
+    fn outline_indents_by_level() {
+        let tree = ArbitraryTree::parse("p:1-2").unwrap();
+        let outline = render_outline(&tree);
+        let lines: Vec<&str> = outline.lines().collect();
+        assert_eq!(lines[0], "(s0)");
+        assert!(lines[1].starts_with("  (s"));
+    }
+
+    #[test]
+    fn logical_filler_rendered() {
+        let tree = ArbitraryTree::from_spec(&crate::TreeSpec::new(vec![
+            crate::LevelSpec::logical(1),
+            crate::LevelSpec { physical: 2, logical: 1 },
+        ]))
+        .unwrap();
+        let art = render_tree(&tree);
+        assert!(art.contains("(s0) (s1) [ ]"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Tree specifications: the per-level shape of an arbitrary tree, with the
+//! paper's `1-3-5` notation (§3.4), parsing, validation, and serde support.
+
+use crate::error::TreeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Shape of one tree level: how many physical (replica) and logical
+/// (placeholder) nodes it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LevelSpec {
+    /// Number of physical nodes (replicas) at this level — `m_phy_k`.
+    pub physical: usize,
+    /// Number of logical nodes at this level — `m_log_k`.
+    pub logical: usize,
+}
+
+impl LevelSpec {
+    /// A level with `physical` replicas and no logical filler.
+    pub const fn physical(physical: usize) -> Self {
+        LevelSpec { physical, logical: 0 }
+    }
+
+    /// A level holding only logical nodes.
+    pub const fn logical(logical: usize) -> Self {
+        LevelSpec { physical: 0, logical }
+    }
+
+    /// Total node count `m_k` at this level.
+    pub const fn total(self) -> usize {
+        self.physical + self.logical
+    }
+
+    /// Whether this is a *physical level* (at least one physical node).
+    pub const fn is_physical(self) -> bool {
+        self.physical > 0
+    }
+}
+
+/// The complete per-level shape of an arbitrary tree.
+///
+/// Level 0 is the root level and must hold exactly one node. A spec is the
+/// declarative form of a tree: [`crate::ArbitraryTree::from_spec`] turns it
+/// into a concrete node structure.
+///
+/// # Notation
+///
+/// The paper writes a logical-root tree as `1-3-5`: the leading `1` *is* the
+/// logical root, the remaining components are the physical-node counts of
+/// each deeper level. We additionally accept a `p:` prefix for trees whose
+/// root is physical (e.g. `p:1-2-4`, a fully physical binary tree), where
+/// every component is a physical count starting at level 0.
+///
+/// Logical *filler* nodes on otherwise-physical levels (like the four
+/// logical nodes on level 2 of the paper's Figure 1) do not appear in the
+/// notation; set them explicitly via [`LevelSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::TreeSpec;
+///
+/// let spec: TreeSpec = "1-3-5".parse()?;
+/// assert_eq!(spec.replica_count(), 8);
+/// assert_eq!(spec.height(), 2);
+/// assert_eq!(spec.to_string(), "1-3-5");
+/// spec.validate()?;
+/// # Ok::<(), arbitree_core::TreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TreeSpec {
+    levels: Vec<LevelSpec>,
+}
+
+impl TreeSpec {
+    /// Creates a spec from explicit levels (level 0 first).
+    pub fn new(levels: Vec<LevelSpec>) -> Self {
+        TreeSpec { levels }
+    }
+
+    /// A logical-root spec from the physical counts of levels `1..=h`
+    /// (the paper's canonical shape: all logical filler counts zero).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use arbitree_core::TreeSpec;
+    ///
+    /// let spec = TreeSpec::logical_root([3, 5]);
+    /// assert_eq!(spec.to_string(), "1-3-5");
+    /// ```
+    pub fn logical_root<I: IntoIterator<Item = usize>>(physical_counts: I) -> Self {
+        let mut levels = vec![LevelSpec::logical(1)];
+        levels.extend(physical_counts.into_iter().map(LevelSpec::physical));
+        TreeSpec { levels }
+    }
+
+    /// A physical-root spec from the physical counts of levels `0..=h`
+    /// (the first count must be 1 for the spec to validate).
+    pub fn physical_root<I: IntoIterator<Item = usize>>(physical_counts: I) -> Self {
+        TreeSpec {
+            levels: physical_counts.into_iter().map(LevelSpec::physical).collect(),
+        }
+    }
+
+    /// The levels, root level first.
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// Tree height `h` (level count minus one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no levels; validate first.
+    pub fn height(&self) -> usize {
+        assert!(!self.levels.is_empty(), "spec has no levels");
+        self.levels.len() - 1
+    }
+
+    /// Total number of replicas `n = Σ_k m_phy_k`.
+    pub fn replica_count(&self) -> usize {
+        self.levels.iter().map(|l| l.physical).sum()
+    }
+
+    /// Indices of the physical levels, ascending (`K_phy`).
+    pub fn physical_levels(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_physical())
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Indices of the logical levels, ascending (`K_log`).
+    pub fn logical_levels(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_physical())
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Physical-node counts of the physical levels, in level order.
+    pub fn physical_counts(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .filter(|l| l.is_physical())
+            .map(|l| l.physical)
+            .collect()
+    }
+
+    /// Checks structural well-formedness **and** assumption 3.1.
+    ///
+    /// Structural rules: at least one level; exactly one node at level 0; no
+    /// empty level; at least one physical node overall. Assumption 3.1
+    /// (taken literally over the per-level physical counts, logical levels
+    /// counting as zero): `m_phy_0 < m_phy_1 ≤ m_phy_2 ≤ … ≤ m_phy_h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule as a [`TreeError`].
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.levels.is_empty() {
+            return Err(TreeError::NoLevels);
+        }
+        if self.levels[0].total() != 1 {
+            return Err(TreeError::BadRoot {
+                nodes_at_root: self.levels[0].total(),
+            });
+        }
+        for (k, l) in self.levels.iter().enumerate() {
+            if l.total() == 0 {
+                return Err(TreeError::EmptyLevel { level: k });
+            }
+        }
+        if self.replica_count() == 0 {
+            return Err(TreeError::NoPhysicalNodes);
+        }
+        // Assumption 3.1.
+        if self.levels.len() >= 2 {
+            let c0 = self.levels[0].physical;
+            let c1 = self.levels[1].physical;
+            if c0 >= c1 {
+                return Err(TreeError::AssumptionViolated {
+                    level: 1,
+                    previous: c0,
+                    current: c1,
+                });
+            }
+            for k in 2..self.levels.len() {
+                let prev = self.levels[k - 1].physical;
+                let cur = self.levels[k].physical;
+                if cur < prev {
+                    return Err(TreeError::AssumptionViolated {
+                        level: k,
+                        previous: prev,
+                        current: cur,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TreeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.levels.is_empty() {
+            return write!(f, "<empty>");
+        }
+        let logical_root = !self.levels[0].is_physical();
+        if logical_root {
+            write!(f, "1")?;
+        } else {
+            write!(f, "p:{}", self.levels[0].physical)?;
+        }
+        for l in &self.levels[1..] {
+            write!(f, "-{}", l.physical)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TreeSpec {
+    type Err = TreeError;
+
+    fn from_str(s: &str) -> Result<Self, TreeError> {
+        let parse_err = |reason: String| TreeError::ParseError { reason };
+        let (physical_root, body) = match s.strip_prefix("p:") {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        if body.is_empty() {
+            return Err(parse_err("empty spec".into()));
+        }
+        let mut counts = Vec::new();
+        for comp in body.split('-') {
+            if comp.is_empty() {
+                return Err(parse_err("empty component".into()));
+            }
+            let v: usize = comp
+                .parse()
+                .map_err(|e| parse_err(format!("component {comp:?}: {e}")))?;
+            counts.push(v);
+        }
+        if physical_root {
+            Ok(TreeSpec::physical_root(counts))
+        } else {
+            if counts[0] != 1 {
+                return Err(parse_err(format!(
+                    "logical-root spec must start with 1 (the root), got {}",
+                    counts[0]
+                )));
+            }
+            Ok(TreeSpec::logical_root(counts.into_iter().skip(1)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_1_3_5() {
+        let spec: TreeSpec = "1-3-5".parse().unwrap();
+        assert_eq!(spec.height(), 2);
+        assert_eq!(spec.replica_count(), 8);
+        assert_eq!(spec.physical_levels(), vec![1, 2]);
+        assert_eq!(spec.logical_levels(), vec![0]);
+        assert_eq!(spec.physical_counts(), vec![3, 5]);
+        spec.validate().unwrap();
+        assert_eq!(spec.to_string(), "1-3-5");
+    }
+
+    #[test]
+    fn physical_root_spec_roundtrip() {
+        let spec: TreeSpec = "p:1-2-4".parse().unwrap();
+        assert_eq!(spec.replica_count(), 7);
+        assert_eq!(spec.physical_levels(), vec![0, 1, 2]);
+        assert!(spec.logical_levels().is_empty());
+        spec.validate().unwrap();
+        assert_eq!(spec.to_string(), "p:1-2-4");
+    }
+
+    #[test]
+    fn figure_one_with_logical_filler() {
+        // Level 2 of Figure 1 has 5 physical + 4 logical nodes.
+        let spec = TreeSpec::new(vec![
+            LevelSpec::logical(1),
+            LevelSpec::physical(3),
+            LevelSpec { physical: 5, logical: 4 },
+        ]);
+        spec.validate().unwrap();
+        assert_eq!(spec.replica_count(), 8);
+        assert_eq!(spec.levels()[2].total(), 9);
+        // Notation drops logical filler.
+        assert_eq!(spec.to_string(), "1-3-5");
+    }
+
+    #[test]
+    fn validation_catches_bad_root() {
+        let spec = TreeSpec::new(vec![LevelSpec::physical(2)]);
+        assert_eq!(spec.validate(), Err(TreeError::BadRoot { nodes_at_root: 2 }));
+    }
+
+    #[test]
+    fn validation_catches_empty_level() {
+        let spec = TreeSpec::new(vec![
+            LevelSpec::logical(1),
+            LevelSpec { physical: 0, logical: 0 },
+        ]);
+        assert_eq!(spec.validate(), Err(TreeError::EmptyLevel { level: 1 }));
+    }
+
+    #[test]
+    fn validation_catches_no_physical() {
+        let spec = TreeSpec::new(vec![LevelSpec::logical(1), LevelSpec::logical(2)]);
+        assert_eq!(spec.validate(), Err(TreeError::NoPhysicalNodes));
+    }
+
+    #[test]
+    fn validation_catches_assumption_violation() {
+        // Decreasing physical counts: 5 then 3.
+        let spec = TreeSpec::logical_root([5, 3]);
+        assert_eq!(
+            spec.validate(),
+            Err(TreeError::AssumptionViolated { level: 2, previous: 5, current: 3 })
+        );
+        // Physical root of 1 followed by level with 1 is not a strict increase.
+        let spec = TreeSpec::physical_root([1, 1]);
+        assert_eq!(
+            spec.validate(),
+            Err(TreeError::AssumptionViolated { level: 1, previous: 1, current: 1 })
+        );
+    }
+
+    #[test]
+    fn interior_logical_level_violates_assumption() {
+        let spec = TreeSpec::new(vec![
+            LevelSpec::logical(1),
+            LevelSpec::physical(2),
+            LevelSpec::logical(3),
+            LevelSpec::physical(4),
+        ]);
+        assert!(matches!(
+            spec.validate(),
+            Err(TreeError::AssumptionViolated { level: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn single_physical_root_is_valid() {
+        let spec = TreeSpec::physical_root([1]);
+        spec.validate().unwrap();
+        assert_eq!(spec.replica_count(), 1);
+        assert_eq!(spec.height(), 0);
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        assert_eq!(TreeSpec::new(vec![]).validate(), Err(TreeError::NoLevels));
+        assert!(matches!("".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!("1--3".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
+        assert!(matches!("1-x".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
+        assert!(matches!("3-4".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
+        assert!(matches!("p:".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["1-3-5", "1-4-4-4", "p:1-2-4-8", "1-2"] {
+            let spec: TreeSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn mostly_read_and_write_shapes_validate() {
+        TreeSpec::logical_root([9]).validate().unwrap(); // mostly-read, n=9
+        TreeSpec::logical_root([2, 2, 2, 3]).validate().unwrap(); // mostly-write, n=9
+    }
+}

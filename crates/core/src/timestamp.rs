@@ -1,0 +1,147 @@
+//! Timestamps: `(version number, SID)` pairs ordering replica values.
+//!
+//! §2.2 of the paper: *"we consider timestamps that consist of a version
+//! number and an SID which are used for read and write operations"*, and
+//! §3.2.1: a read *"retrieves the value of data whose timestamp has the
+//! highest version number and the lowest site identifier"*.
+
+use arbitree_quorum::SiteId;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A replica-value timestamp.
+///
+/// Ordering follows the paper's read rule: a timestamp is *greater* (more
+/// recent, i.e. the one a read returns) when its version number is higher,
+/// or — on equal versions — when its site identifier is **lower**.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_core::Timestamp;
+/// use arbitree_quorum::SiteId;
+///
+/// let a = Timestamp::new(3, SiteId::new(5));
+/// let b = Timestamp::new(3, SiteId::new(2));
+/// let c = Timestamp::new(4, SiteId::new(9));
+/// assert!(b > a); // same version, lower SID wins
+/// assert!(c > b); // higher version wins
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Timestamp {
+    version: u64,
+    sid: SiteId,
+}
+
+impl Timestamp {
+    /// The timestamp of a freshly-initialized, never-written replica.
+    pub const ZERO: Timestamp = Timestamp {
+        version: 0,
+        sid: SiteId::new(0),
+    };
+
+    /// Creates a timestamp from a version number and the writing site's SID.
+    pub const fn new(version: u64, sid: SiteId) -> Self {
+        Timestamp { version, sid }
+    }
+
+    /// The version number.
+    pub const fn version(self) -> u64 {
+        self.version
+    }
+
+    /// The SID of the site that issued the write.
+    pub const fn sid(self) -> SiteId {
+        self.sid
+    }
+
+    /// The timestamp a write issued by `sid` produces after observing this
+    /// one: version incremented by one (§3.2.2).
+    pub fn next(self, sid: SiteId) -> Timestamp {
+        Timestamp {
+            version: self.version + 1,
+            sid,
+        }
+    }
+}
+
+impl Default for Timestamp {
+    fn default() -> Self {
+        Timestamp::ZERO
+    }
+}
+
+impl PartialOrd for Timestamp {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Timestamp {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Higher version first; on ties the LOWER SID is the greater
+        // (preferred) timestamp, per §3.2.1.
+        self.version
+            .cmp(&other.version)
+            .then_with(|| other.sid.cmp(&self.sid))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}@{}", self.version, self.sid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_minimal() {
+        let any = Timestamp::new(1, SiteId::new(3));
+        assert!(Timestamp::ZERO < any);
+        assert_eq!(Timestamp::default(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn higher_version_wins() {
+        let old = Timestamp::new(2, SiteId::new(0));
+        let new = Timestamp::new(3, SiteId::new(9));
+        assert!(new > old);
+    }
+
+    #[test]
+    fn lower_sid_wins_on_equal_version() {
+        let a = Timestamp::new(5, SiteId::new(1));
+        let b = Timestamp::new(5, SiteId::new(2));
+        assert!(a > b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn next_increments_version_and_stamps_sid() {
+        let t = Timestamp::new(7, SiteId::new(4));
+        let n = t.next(SiteId::new(2));
+        assert_eq!(n.version(), 8);
+        assert_eq!(n.sid(), SiteId::new(2));
+        assert!(n > t);
+    }
+
+    #[test]
+    fn max_of_collection_is_read_result() {
+        // A read gathers timestamps from a quorum and returns the max.
+        let ts = [
+            Timestamp::new(4, SiteId::new(7)),
+            Timestamp::new(4, SiteId::new(3)),
+            Timestamp::new(2, SiteId::new(0)),
+        ];
+        let winner = ts.iter().max().unwrap();
+        assert_eq!(*winner, Timestamp::new(4, SiteId::new(3)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp::new(3, SiteId::new(1)).to_string(), "v3@s1");
+    }
+}

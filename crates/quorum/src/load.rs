@@ -1,0 +1,253 @@
+//! System load: exact optimal load via linear programming, and optimality
+//! certificates per proposition 2.1 of the paper (Naor–Wool duality).
+
+use crate::lp::{LinearProgram, LpOutcome, Relation};
+use crate::strategy::Strategy;
+use crate::system::SetSystem;
+
+/// Tolerance used when checking certificates and comparing loads.
+pub const LOAD_TOLERANCE: f64 = 1e-7;
+
+/// The exact optimal system load `L(S) = min_w L_w(S)` (definition 2.5),
+/// computed by solving the load LP:
+///
+/// ```text
+/// minimize L
+/// subject to  Σ_j w_j = 1
+///             Σ_{j : i ∈ S_j} w_j ≤ L   for every site i
+///             w ≥ 0
+/// ```
+///
+/// Also returns the optimal strategy.
+///
+/// This is exponential-free but scales with `m × n`, so use it on systems with
+/// explicitly enumerated quorums (the paper's examples and our tests), not on
+/// the combinatorially large read systems of big trees — those have closed
+/// forms in `arbitree-core`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::{optimal_load, QuorumSet, SetSystem, Universe};
+///
+/// let majority = SetSystem::new(
+///     Universe::new(3),
+///     vec![
+///         QuorumSet::from_indices([0, 1]),
+///         QuorumSet::from_indices([0, 2]),
+///         QuorumSet::from_indices([1, 2]),
+///     ],
+/// )?;
+/// let (load, _strategy) = optimal_load(&majority);
+/// assert!((load - 2.0 / 3.0).abs() < 1e-7);
+/// # Ok::<(), arbitree_quorum::QuorumError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if the LP solver reports the load program infeasible or unbounded,
+/// which cannot happen for a valid [`SetSystem`] (the uniform strategy is
+/// always feasible and `L ≥ 0`).
+pub fn optimal_load(system: &SetSystem) -> (f64, Strategy) {
+    let m = system.len();
+    let n = system.universe().len();
+    // Variables: w_0..w_{m-1}, then L.
+    let mut objective = vec![0.0; m + 1];
+    objective[m] = 1.0;
+    let mut lp = LinearProgram::minimize(objective);
+
+    let mut norm = vec![0.0; m + 1];
+    norm[..m].fill(1.0);
+    lp.add_constraint(norm, Relation::Eq, 1.0);
+
+    for i in 0..n {
+        let mut row = vec![0.0; m + 1];
+        for (j, s) in system.sets().iter().enumerate() {
+            if s.contains(crate::SiteId::new(i as u32)) {
+                row[j] = 1.0;
+            }
+        }
+        row[m] = -1.0;
+        lp.add_constraint(row, Relation::Le, 0.0);
+    }
+
+    match lp.solve() {
+        LpOutcome::Optimal { objective, mut solution } => {
+            solution.truncate(m);
+            // Clamp tiny numerical noise so Strategy validation passes.
+            for w in &mut solution {
+                *w = w.clamp(0.0, 1.0);
+            }
+            let sum: f64 = solution.iter().sum();
+            if sum > 0.0 {
+                for w in &mut solution {
+                    *w /= sum;
+                }
+            }
+            let strategy = Strategy::new(system, solution)
+                .expect("LP solution is a valid probability distribution");
+            (objective, strategy)
+        }
+        other => panic!("load LP must be feasible and bounded, got {other}"),
+    }
+}
+
+/// Verifies an optimality *certificate* per proposition 2.1: a vector
+/// `y ∈ [0,1]^n` with `y(U) = 1` and `y(S) ≥ L` for all `S ∈ S` proves that
+/// no strategy can achieve load below `L`.
+///
+/// Returns `true` if `y` certifies the lower bound `L`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::{certifies_lower_bound, QuorumSet, SetSystem, Universe};
+///
+/// let majority = SetSystem::new(
+///     Universe::new(3),
+///     vec![
+///         QuorumSet::from_indices([0, 1]),
+///         QuorumSet::from_indices([0, 2]),
+///         QuorumSet::from_indices([1, 2]),
+///     ],
+/// )?;
+/// // Uniform y certifies L = 2/3 for the majority system.
+/// let y = vec![1.0 / 3.0; 3];
+/// assert!(certifies_lower_bound(&majority, &y, 2.0 / 3.0));
+/// # Ok::<(), arbitree_quorum::QuorumError>(())
+/// ```
+pub fn certifies_lower_bound(system: &SetSystem, y: &[f64], load: f64) -> bool {
+    if y.len() != system.universe().len() {
+        return false;
+    }
+    if y.iter().any(|&v| !(0.0..=1.0).contains(&v) || v.is_nan()) {
+        return false;
+    }
+    let total: f64 = y.iter().sum();
+    if (total - 1.0).abs() > LOAD_TOLERANCE {
+        return false;
+    }
+    system.sets().iter().all(|s| {
+        let ys: f64 = s.iter().map(|site| y[site.index()]).sum();
+        ys >= load - LOAD_TOLERANCE
+    })
+}
+
+/// Convenience: the load induced by the **uniform** strategy, the strategy
+/// the paper analyses for both operations.
+pub fn uniform_load(system: &SetSystem) -> f64 {
+    Strategy::uniform(system).system_load(system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum_set::QuorumSet;
+    use crate::site::Universe;
+
+    fn majority(n: usize) -> SetSystem {
+        let k = n / 2 + 1;
+        let mut sets = Vec::new();
+        // All k-subsets of 0..n (n small in tests).
+        fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<u32>, out: &mut Vec<QuorumSet>) {
+            if cur.len() == k {
+                out.push(QuorumSet::from_indices(cur.iter().copied()));
+                return;
+            }
+            for i in start..n {
+                cur.push(i as u32);
+                rec(i + 1, n, k, cur, out);
+                cur.pop();
+            }
+        }
+        rec(0, n, k, &mut Vec::new(), &mut sets);
+        SetSystem::new(Universe::new(n), sets).unwrap()
+    }
+
+    #[test]
+    fn majority_load_matches_theory() {
+        // L(majority on n) = ceil((n+1)/2)/n for odd n.
+        for n in [3usize, 5, 7] {
+            let s = majority(n);
+            let (load, strategy) = optimal_load(&s);
+            let expect = n.div_ceil(2) as f64 / n as f64;
+            assert!(
+                (load - expect).abs() < 1e-6,
+                "n={n}: load {load} != {expect}"
+            );
+            assert!(strategy.system_load(&s) >= load - 1e-6);
+        }
+    }
+
+    #[test]
+    fn singleton_system_load_is_one() {
+        let s = SetSystem::new(Universe::new(1), vec![QuorumSet::from_indices([0])]).unwrap();
+        let (load, _) = optimal_load(&s);
+        assert!((load - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rowa_reads_load_is_one_over_n() {
+        let n = 6;
+        let s = SetSystem::new(
+            Universe::new(n),
+            (0..n as u32).map(|i| QuorumSet::from_indices([i])).collect(),
+        )
+        .unwrap();
+        let (load, _) = optimal_load(&s);
+        assert!((load - 1.0 / n as f64).abs() < 1e-7);
+    }
+
+    #[test]
+    fn star_system_load_is_one() {
+        // Every quorum contains site 0 → its load is 1 under any strategy.
+        let s = SetSystem::new(
+            Universe::new(4),
+            (1..4u32).map(|i| QuorumSet::from_indices([0, i])).collect(),
+        )
+        .unwrap();
+        let (load, _) = optimal_load(&s);
+        assert!((load - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn uniform_load_upper_bounds_optimal() {
+        let s = majority(5);
+        let (opt, _) = optimal_load(&s);
+        assert!(uniform_load(&s) >= opt - 1e-9);
+        // For the symmetric majority system, uniform IS optimal.
+        assert!((uniform_load(&s) - opt).abs() < 1e-7);
+    }
+
+    #[test]
+    fn certificate_accepts_valid_and_rejects_invalid() {
+        let s = majority(3);
+        let y = vec![1.0 / 3.0; 3];
+        assert!(certifies_lower_bound(&s, &y, 2.0 / 3.0));
+        // Cannot certify a larger lower bound with this y.
+        assert!(!certifies_lower_bound(&s, &y, 0.7));
+        // Wrong length.
+        assert!(!certifies_lower_bound(&s, &[0.5, 0.5], 0.5));
+        // Not a distribution.
+        assert!(!certifies_lower_bound(&s, &[0.9, 0.9, 0.9], 0.5));
+        // Negative entry.
+        assert!(!certifies_lower_bound(&s, &[-0.5, 0.75, 0.75], 0.5));
+    }
+
+    #[test]
+    fn certificate_matches_lp_optimum() {
+        // LP optimum of majority-5 should be certifiable by the uniform y.
+        let s = majority(5);
+        let (load, _) = optimal_load(&s);
+        let y = vec![1.0 / 5.0; 5];
+        assert!(certifies_lower_bound(&s, &y, load));
+    }
+
+    #[test]
+    fn optimal_strategy_achieves_reported_load() {
+        let s = majority(5);
+        let (load, strategy) = optimal_load(&s);
+        let achieved = strategy.system_load(&s);
+        assert!((achieved - load).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,463 @@
+//! A small, dense, two-phase simplex solver.
+//!
+//! The optimal load of a quorum system (definition 2.5) is the value of a
+//! linear program: minimize `L` subject to `Σ_j w_j = 1`,
+//! `Σ_{j: i ∈ S_j} w_j ≤ L` for every site `i`, and `w ≥ 0`. This module
+//! provides the generic solver; [`crate::load`] builds that particular LP.
+//!
+//! The implementation is a classic tableau simplex with Bland's anti-cycling
+//! rule, adequate for the small dense programs produced by quorum analysis
+//! (tens of variables). It is not intended for large sparse LPs.
+
+use std::fmt;
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// A linear program `min c·x  s.t.  Ax (≤,=,≥) b, x ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::lp::{LinearProgram, LpOutcome, Relation};
+///
+/// // min x0 + x1  s.t.  x0 + 2 x1 >= 4,  x0 >= 1
+/// let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+/// lp.add_constraint(vec![1.0, 2.0], Relation::Ge, 4.0);
+/// lp.add_constraint(vec![1.0, 0.0], Relation::Ge, 1.0);
+/// match lp.solve() {
+///     LpOutcome::Optimal { objective, .. } => assert!((objective - 2.5).abs() < 1e-9),
+///     other => panic!("unexpected outcome {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+/// Result of solving a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal objective value.
+        objective: f64,
+        /// The optimal assignment of the structural variables.
+        solution: Vec<f64>,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+impl fmt::Display for LpOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpOutcome::Optimal { objective, .. } => write!(f, "optimal({objective})"),
+            LpOutcome::Infeasible => write!(f, "infeasible"),
+            LpOutcome::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// Feasibility tolerance for the phase-1 objective and reduced costs.
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Starts a minimization program with the given objective coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        assert!(!objective.is_empty(), "objective must have at least one variable");
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Starts a maximization program (internally negated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        Self::minimize(objective.into_iter().map(|c| -c).collect())
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds a constraint `coeffs · x (rel) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the number of variables.
+    pub fn add_constraint(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.objective.len(),
+            "constraint arity must match objective arity"
+        );
+        self.constraints.push((coeffs, rel, rhs));
+        self
+    }
+
+    /// Solves the program with a two-phase tableau simplex.
+    ///
+    /// Bland's rule is used throughout, so the algorithm always terminates.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve(&self.objective)
+    }
+}
+
+/// Dense simplex tableau in canonical form.
+struct Tableau {
+    /// `rows[r]` holds the coefficients of every variable followed by the rhs.
+    rows: Vec<Vec<f64>>,
+    /// Index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of variables (structural + slack + artificial).
+    total_vars: usize,
+    /// Number of structural variables.
+    n_struct: usize,
+    /// Column indices of the artificial variables.
+    artificials: Vec<usize>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let n_struct = lp.num_vars();
+        let m = lp.constraints.len();
+
+        // Normalize rows so that rhs >= 0, flipping relations as needed.
+        let mut normd: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
+        for (coeffs, rel, rhs) in &lp.constraints {
+            if *rhs < 0.0 {
+                let flipped = match rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                normd.push((coeffs.iter().map(|c| -c).collect(), flipped, -rhs));
+            } else {
+                normd.push((coeffs.clone(), *rel, *rhs));
+            }
+        }
+
+        let n_slack = normd
+            .iter()
+            .filter(|(_, rel, _)| *rel != Relation::Eq)
+            .count();
+        let n_art = normd
+            .iter()
+            .filter(|(_, rel, _)| *rel != Relation::Le)
+            .count();
+        let total_vars = n_struct + n_slack + n_art;
+
+        let mut rows = vec![vec![0.0; total_vars + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut artificials = Vec::with_capacity(n_art);
+        let mut next_slack = n_struct;
+        let mut next_art = n_struct + n_slack;
+
+        for (r, (coeffs, rel, rhs)) in normd.iter().enumerate() {
+            rows[r][..n_struct].copy_from_slice(coeffs);
+            *rows[r].last_mut().expect("row has rhs column") = *rhs;
+            match rel {
+                Relation::Le => {
+                    rows[r][next_slack] = 1.0;
+                    basis[r] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    rows[r][next_slack] = -1.0; // surplus
+                    next_slack += 1;
+                    rows[r][next_art] = 1.0;
+                    basis[r] = next_art;
+                    artificials.push(next_art);
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    rows[r][next_art] = 1.0;
+                    basis[r] = next_art;
+                    artificials.push(next_art);
+                    next_art += 1;
+                }
+            }
+        }
+
+        Tableau {
+            rows,
+            basis,
+            total_vars,
+            n_struct,
+            artificials,
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > EPS, "pivot on (near-)zero element");
+        for v in &mut self.rows[row] {
+            *v /= pivot_val;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (r, current) in self.rows.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = current[col];
+            if factor != 0.0 {
+                for (v, pv) in current.iter_mut().zip(&pivot_row) {
+                    *v -= factor * pv;
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations on the given objective (reduced-cost form is
+    /// recomputed from scratch each iteration; fine at this scale). Returns
+    /// `false` if the objective is unbounded.
+    fn optimize(&mut self, cost: &[f64]) -> bool {
+        loop {
+            // Reduced costs: z_j - c_j where z_j = c_B · column_j.
+            let mut entering = None;
+            for col in 0..self.total_vars {
+                if self.basis.contains(&col) {
+                    continue;
+                }
+                let z: f64 = self
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .map(|(r, row)| cost[self.basis[r]] * row[col])
+                    .sum();
+                let reduced = cost[col] - z;
+                if reduced < -EPS {
+                    entering = Some(col); // Bland: first (lowest) index
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                return true; // optimal
+            };
+
+            // Ratio test with Bland's tie-break (lowest basic variable index).
+            let mut leaving: Option<(usize, f64)> = None;
+            for (r, row) in self.rows.iter().enumerate() {
+                let a = row[col];
+                if a > EPS {
+                    let ratio = row[self.total_vars] / a;
+                    match leaving {
+                        None => leaving = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - EPS
+                                || ((ratio - lratio).abs() <= EPS
+                                    && self.basis[r] < self.basis[lr])
+                            {
+                                leaving = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leaving else {
+                return false; // unbounded
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    fn objective_value(&self, cost: &[f64]) -> f64 {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(r, row)| cost[self.basis[r]] * row[self.total_vars])
+            .sum()
+    }
+
+    fn solve(mut self, structural_cost: &[f64]) -> LpOutcome {
+        // Phase 1: minimize the sum of artificial variables.
+        if !self.artificials.is_empty() {
+            let mut phase1 = vec![0.0; self.total_vars];
+            for &a in &self.artificials {
+                phase1[a] = 1.0;
+            }
+            let bounded = self.optimize(&phase1);
+            debug_assert!(bounded, "phase-1 objective is bounded below by zero");
+            if self.objective_value(&phase1) > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any artificial still in the basis out (degenerate rows).
+            for r in 0..self.rows.len() {
+                if self.artificials.contains(&self.basis[r]) {
+                    let candidate = (0..self.n_struct + (self.total_vars - self.n_struct))
+                        .filter(|c| !self.artificials.contains(c))
+                        .find(|&c| self.rows[r][c].abs() > EPS);
+                    if let Some(c) = candidate {
+                        self.pivot(r, c);
+                    }
+                    // If no candidate, the row is all-zero: redundant, harmless.
+                }
+            }
+            // Freeze artificials at zero by forbidding them from re-entering:
+            // zero their columns so reduced costs never favour them.
+            for &a in &self.artificials {
+                for row in &mut self.rows {
+                    row[a] = 0.0;
+                }
+            }
+        }
+
+        // Phase 2: minimize the real objective.
+        let mut phase2 = vec![0.0; self.total_vars];
+        phase2[..self.n_struct].copy_from_slice(structural_cost);
+        if !self.optimize(&phase2) {
+            return LpOutcome::Unbounded;
+        }
+
+        let mut solution = vec![0.0; self.n_struct];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < self.n_struct {
+                solution[b] = self.rows[r][self.total_vars];
+            }
+        }
+        LpOutcome::Optimal {
+            objective: self.objective_value(&phase2),
+            solution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(outcome: LpOutcome, expect_obj: f64) -> Vec<f64> {
+        match outcome {
+            LpOutcome::Optimal { objective, solution } => {
+                assert!(
+                    (objective - expect_obj).abs() < 1e-7,
+                    "objective {objective} != {expect_obj}"
+                );
+                solution
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_le_program() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2 → x=2, y=2, obj=10.
+        let mut lp = LinearProgram::maximize(vec![3.0, 2.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Le, 4.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 2.0);
+        let sol = assert_optimal(lp.solve(), -10.0);
+        assert!((sol[0] - 2.0).abs() < 1e-7);
+        assert!((sol[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Ge, 10.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::Ge, 2.0);
+        // min at x=10,y=0 → 20
+        assert_optimal(lp.solve(), 20.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + y = 5, x - y = 1 → x=3, y=2, obj 5.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Eq, 5.0);
+        lp.add_constraint(vec![1.0, -1.0], Relation::Eq, 1.0);
+        let sol = assert_optimal(lp.solve(), 5.0);
+        assert!((sol[0] - 3.0).abs() < 1e-7);
+        assert!((sol[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Le, 1.0);
+        lp.add_constraint(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x >= 0 (no upper bound).
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.add_constraint(vec![1.0], Relation::Ge, 0.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x >= 3 written as -x <= -3.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.add_constraint(vec![-1.0], Relation::Le, -3.0);
+        let sol = assert_optimal(lp.solve(), 3.0);
+        assert!((sol[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // Multiple constraints active at the optimum; Bland's rule must not cycle.
+        let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        lp.add_constraint(vec![0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0);
+        lp.add_constraint(vec![0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        // Beale's classic cycling example: optimum is -0.05.
+        assert_optimal(lp.solve(), -0.05);
+    }
+
+    #[test]
+    fn quorum_load_lp_majority_of_three() {
+        // Variables: w0,w1,w2 (quorums {01},{02},{12}) and L.
+        // min L; w0+w1+w2 = 1; per-site load <= L.
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0, 0.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0, 1.0, 0.0], Relation::Eq, 1.0);
+        lp.add_constraint(vec![1.0, 1.0, 0.0, -1.0], Relation::Le, 0.0); // site 0
+        lp.add_constraint(vec![1.0, 0.0, 1.0, -1.0], Relation::Le, 0.0); // site 1
+        lp.add_constraint(vec![0.0, 1.0, 1.0, -1.0], Relation::Le, 0.0); // site 2
+        assert_optimal(lp.solve(), 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_constraint_arity_panics() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.add_constraint(vec![1.0], Relation::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_objective_panics() {
+        let _ = LinearProgram::minimize(vec![]);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(LpOutcome::Infeasible.to_string(), "infeasible");
+        assert_eq!(LpOutcome::Unbounded.to_string(), "unbounded");
+        let o = LpOutcome::Optimal { objective: 1.5, solution: vec![] };
+        assert_eq!(o.to_string(), "optimal(1.5)");
+    }
+}

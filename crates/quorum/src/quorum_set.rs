@@ -1,0 +1,388 @@
+//! Quorums as sorted site sets, plus a bitset form for fast set algebra.
+
+use crate::site::{SiteId, Universe};
+use std::fmt;
+
+/// A quorum: a subset `S ⊆ U` of the universe, stored sorted and deduplicated.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::{QuorumSet, SiteId};
+///
+/// let q = QuorumSet::from_indices([2, 0, 2, 1]);
+/// assert_eq!(q.len(), 3);
+/// assert!(q.contains(SiteId::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QuorumSet {
+    sites: Vec<SiteId>,
+}
+
+impl QuorumSet {
+    /// Creates an empty quorum set.
+    pub const fn new() -> Self {
+        QuorumSet { sites: Vec::new() }
+    }
+
+    /// Builds a quorum from any iterator of sites; duplicates are removed.
+    pub fn from_sites<I: IntoIterator<Item = SiteId>>(sites: I) -> Self {
+        let mut v: Vec<SiteId> = sites.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        QuorumSet { sites: v }
+    }
+
+    /// Builds a quorum from raw `u32` indices; duplicates are removed.
+    pub fn from_indices<I: IntoIterator<Item = u32>>(indices: I) -> Self {
+        Self::from_sites(indices.into_iter().map(SiteId::new))
+    }
+
+    /// Number of sites in the quorum (its *size*, i.e. communication cost
+    /// of contacting all its members).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns `true` if the quorum has no members.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.sites.binary_search(&site).is_ok()
+    }
+
+    /// Iterates over the member sites in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.sites.iter().copied()
+    }
+
+    /// Returns the members as a sorted slice.
+    pub fn as_slice(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    /// Returns `true` if `self ∩ other ≠ ∅` (the intersection property of
+    /// definition 2.1). Runs in `O(|self| + |other|)` by merging.
+    pub fn intersects(&self, other: &QuorumSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.sites.len() && j < other.sites.len() {
+            match self.sites[i].cmp(&other.sites[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if every member of `self` is also a member of `other`.
+    pub fn is_subset_of(&self, other: &QuorumSet) -> bool {
+        if self.sites.len() > other.sites.len() {
+            return false;
+        }
+        self.sites.iter().all(|s| other.contains(*s))
+    }
+
+    /// Returns `true` if `self ⊂ other` (proper subset).
+    pub fn is_proper_subset_of(&self, other: &QuorumSet) -> bool {
+        self.sites.len() < other.sites.len() && self.is_subset_of(other)
+    }
+
+    /// Returns `true` if every member lies inside `universe`.
+    pub fn is_within(&self, universe: Universe) -> bool {
+        self.sites.iter().all(|s| universe.contains(*s))
+    }
+
+    /// Converts to the bitset form. See [`AliveSet`] for the representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member index is `>= 128`.
+    pub fn to_alive_set(&self) -> AliveSet {
+        let mut a = AliveSet::empty();
+        for s in &self.sites {
+            a.insert(*s);
+        }
+        a
+    }
+}
+
+impl FromIterator<SiteId> for QuorumSet {
+    fn from_iter<I: IntoIterator<Item = SiteId>>(iter: I) -> Self {
+        Self::from_sites(iter)
+    }
+}
+
+impl Extend<SiteId> for QuorumSet {
+    fn extend<I: IntoIterator<Item = SiteId>>(&mut self, iter: I) {
+        self.sites.extend(iter);
+        self.sites.sort_unstable();
+        self.sites.dedup();
+    }
+}
+
+impl<'a> IntoIterator for &'a QuorumSet {
+    type Item = SiteId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, SiteId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.sites.iter().copied()
+    }
+}
+
+impl fmt::Display for QuorumSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.sites.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A subset of a (≤128-site) universe represented as a `u128` bitmask.
+///
+/// Used on hot paths: the simulator's alive-site tracking, exact availability
+/// enumeration and quorum feasibility checks. Site `i` is present iff bit `i`
+/// is set.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::{AliveSet, SiteId};
+///
+/// let mut alive = AliveSet::full(4);
+/// alive.remove(SiteId::new(2));
+/// assert!(alive.contains(SiteId::new(0)));
+/// assert!(!alive.contains(SiteId::new(2)));
+/// assert_eq!(alive.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AliveSet(u128);
+
+impl AliveSet {
+    /// Maximum universe size representable.
+    pub const MAX_SITES: usize = 128;
+
+    /// The empty set.
+    pub const fn empty() -> Self {
+        AliveSet(0)
+    }
+
+    /// The set `{0, …, n-1}` — every site alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    pub fn full(n: usize) -> Self {
+        assert!(n <= Self::MAX_SITES, "AliveSet supports at most 128 sites");
+        if n == 128 {
+            AliveSet(u128::MAX)
+        } else {
+            AliveSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Builds a set directly from a raw bitmask.
+    pub const fn from_bits(bits: u128) -> Self {
+        AliveSet(bits)
+    }
+
+    /// Returns the raw bitmask.
+    pub const fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Inserts a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site index is `>= 128`.
+    pub fn insert(&mut self, site: SiteId) {
+        assert!(site.index() < Self::MAX_SITES);
+        self.0 |= 1u128 << site.index();
+    }
+
+    /// Removes a site (no-op if absent or out of range).
+    pub fn remove(&mut self, site: SiteId) {
+        if site.index() < Self::MAX_SITES {
+            self.0 &= !(1u128 << site.index());
+        }
+    }
+
+    /// Membership test; out-of-range sites are never members.
+    pub fn contains(self, site: SiteId) -> bool {
+        site.index() < Self::MAX_SITES && self.0 & (1u128 << site.index()) != 0
+    }
+
+    /// Number of members.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if no site is a member.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set intersection.
+    pub const fn intersection(self, other: AliveSet) -> AliveSet {
+        AliveSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub const fn union(self, other: AliveSet) -> AliveSet {
+        AliveSet(self.0 | other.0)
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    pub const fn is_subset_of(self, other: AliveSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over member sites in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = SiteId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(SiteId::new(i))
+            }
+        })
+    }
+
+    /// Converts back to a sorted [`QuorumSet`].
+    pub fn to_quorum_set(self) -> QuorumSet {
+        QuorumSet::from_sites(self.iter())
+    }
+}
+
+impl fmt::Display for AliveSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_quorum_set())
+    }
+}
+
+impl FromIterator<SiteId> for AliveSet {
+    fn from_iter<I: IntoIterator<Item = SiteId>>(iter: I) -> Self {
+        let mut a = AliveSet::empty();
+        for s in iter {
+            a.insert(s);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_set_sorts_and_dedups() {
+        let q = QuorumSet::from_indices([5, 1, 3, 1, 5]);
+        let got: Vec<usize> = q.iter().map(SiteId::index).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn intersects_detects_common_member() {
+        let a = QuorumSet::from_indices([0, 2, 4]);
+        let b = QuorumSet::from_indices([1, 3, 4]);
+        let c = QuorumSet::from_indices([1, 3, 5]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+    }
+
+    #[test]
+    fn empty_quorum_never_intersects() {
+        let e = QuorumSet::new();
+        let a = QuorumSet::from_indices([0]);
+        assert!(!e.intersects(&a));
+        assert!(!a.intersects(&e));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small = QuorumSet::from_indices([1, 2]);
+        let big = QuorumSet::from_indices([0, 1, 2, 3]);
+        assert!(small.is_subset_of(&big));
+        assert!(small.is_proper_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+        assert!(!small.is_proper_subset_of(&small));
+    }
+
+    #[test]
+    fn is_within_checks_universe_bounds() {
+        let q = QuorumSet::from_indices([0, 7]);
+        assert!(q.is_within(Universe::new(8)));
+        assert!(!q.is_within(Universe::new(7)));
+    }
+
+    #[test]
+    fn display_formats_member_list() {
+        let q = QuorumSet::from_indices([2, 0]);
+        assert_eq!(q.to_string(), "{s0,s2}");
+    }
+
+    #[test]
+    fn alive_set_basics() {
+        let mut a = AliveSet::full(5);
+        assert_eq!(a.len(), 5);
+        a.remove(SiteId::new(3));
+        assert_eq!(a.len(), 4);
+        assert!(!a.contains(SiteId::new(3)));
+        a.insert(SiteId::new(3));
+        assert_eq!(a, AliveSet::full(5));
+    }
+
+    #[test]
+    fn alive_set_full_128() {
+        let a = AliveSet::full(128);
+        assert_eq!(a.len(), 128);
+        assert!(a.contains(SiteId::new(127)));
+    }
+
+    #[test]
+    fn alive_set_subset_and_ops() {
+        let a = AliveSet::from_bits(0b1010);
+        let b = AliveSet::from_bits(0b1110);
+        assert!(a.is_subset_of(b));
+        assert!(!b.is_subset_of(a));
+        assert_eq!(a.union(b).bits(), 0b1110);
+        assert_eq!(a.intersection(b).bits(), 0b1010);
+    }
+
+    #[test]
+    fn quorum_alive_roundtrip() {
+        let q = QuorumSet::from_indices([0, 9, 100]);
+        assert_eq!(q.to_alive_set().to_quorum_set(), q);
+    }
+
+    #[test]
+    fn alive_set_iter_ascending() {
+        let a = AliveSet::from_bits(0b100101);
+        let got: Vec<usize> = a.iter().map(SiteId::index).collect();
+        assert_eq!(got, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn extend_keeps_invariants() {
+        let mut q = QuorumSet::from_indices([4, 2]);
+        q.extend([SiteId::new(3), SiteId::new(2)]);
+        let got: Vec<usize> = q.iter().map(SiteId::index).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Site identifiers and the universe of replicas.
+
+use std::fmt;
+
+/// Identifier of a site (replica) in the distributed system.
+///
+/// The paper's system model (§2.2) gives every site a unique `SID`; SIDs are
+/// also the tie-breaker inside [timestamps](crate#timestamps). Sites are
+/// numbered densely from `0` so that a [`Universe`] of size `n` contains
+/// exactly the sites `SiteId(0)..SiteId(n-1)`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::SiteId;
+///
+/// let a = SiteId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert!(a < SiteId::new(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteId(u32);
+
+impl SiteId {
+    /// Creates a site identifier from its dense index.
+    pub const fn new(index: u32) -> Self {
+        SiteId(index)
+    }
+
+    /// Returns the dense index of this site.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(v: u32) -> Self {
+        SiteId(v)
+    }
+}
+
+impl From<SiteId> for u32 {
+    fn from(v: SiteId) -> Self {
+        v.0
+    }
+}
+
+/// The finite universe `U` of definition 2.1: the set of all replicas,
+/// represented densely as `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::Universe;
+///
+/// let u = Universe::new(5);
+/// assert_eq!(u.len(), 5);
+/// assert_eq!(u.sites().count(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Universe {
+    n: usize,
+}
+
+impl Universe {
+    /// Creates a universe of `n` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`; a replicated system needs at least one replica.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "universe must contain at least one site");
+        Universe { n }
+    }
+
+    /// Number of sites in the universe.
+    #[allow(clippy::len_without_is_empty)] // a universe is never empty
+    pub const fn len(self) -> usize {
+        self.n
+    }
+
+    /// Iterates over every site of the universe in `SiteId` order.
+    pub fn sites(self) -> impl Iterator<Item = SiteId> {
+        (0..self.n as u32).map(SiteId::new)
+    }
+
+    /// Returns `true` if `site` belongs to this universe.
+    pub fn contains(self, site: SiteId) -> bool {
+        site.index() < self.n
+    }
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U(n={})", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_id_roundtrip() {
+        let s = SiteId::new(7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(s.as_u32(), 7);
+        assert_eq!(u32::from(s), 7);
+        assert_eq!(SiteId::from(7u32), s);
+    }
+
+    #[test]
+    fn site_id_ordering_follows_index() {
+        assert!(SiteId::new(0) < SiteId::new(1));
+        assert!(SiteId::new(10) > SiteId::new(9));
+    }
+
+    #[test]
+    fn site_id_display() {
+        assert_eq!(SiteId::new(4).to_string(), "s4");
+    }
+
+    #[test]
+    fn universe_contains_exactly_its_sites() {
+        let u = Universe::new(3);
+        assert!(u.contains(SiteId::new(0)));
+        assert!(u.contains(SiteId::new(2)));
+        assert!(!u.contains(SiteId::new(3)));
+    }
+
+    #[test]
+    fn universe_sites_enumerates_in_order() {
+        let u = Universe::new(4);
+        let ids: Vec<_> = u.sites().map(SiteId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_universe_rejected() {
+        Universe::new(0);
+    }
+
+    #[test]
+    fn universe_display() {
+        assert_eq!(Universe::new(8).to_string(), "U(n=8)");
+    }
+}

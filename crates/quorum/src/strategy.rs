@@ -1,0 +1,307 @@
+//! Strategies — probability distributions over the sets of a system
+//! (definition 2.4) — and the loads they induce (definition 2.5).
+
+use crate::site::SiteId;
+use crate::system::SetSystem;
+use rand::Rng;
+use std::fmt;
+
+/// Numerical tolerance used when validating that probabilities sum to one.
+pub const PROBABILITY_TOLERANCE: f64 = 1e-9;
+
+/// Errors arising when constructing a [`Strategy`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyError {
+    /// The weight vector length differs from the number of sets.
+    LengthMismatch {
+        /// Number of sets in the system.
+        expected: usize,
+        /// Number of weights supplied.
+        got: usize,
+    },
+    /// A weight is negative, NaN, or greater than one.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The weights do not sum to one (within [`PROBABILITY_TOLERANCE`]).
+    NotNormalized {
+        /// The actual sum.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyError::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} weights, got {got}")
+            }
+            StrategyError::InvalidWeight { index, value } => {
+                write!(f, "weight #{index} = {value} is not a probability")
+            }
+            StrategyError::NotNormalized { sum } => {
+                write!(f, "weights sum to {sum}, expected 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// A strategy `w ∈ [0,1]^m` for a set system: a probability distribution over
+/// its sets (definition 2.4).
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::{QuorumSet, SetSystem, Strategy, Universe};
+///
+/// let s = SetSystem::new(
+///     Universe::new(3),
+///     vec![
+///         QuorumSet::from_indices([0, 1]),
+///         QuorumSet::from_indices([0, 2]),
+///         QuorumSet::from_indices([1, 2]),
+///     ],
+/// )?;
+/// let w = Strategy::uniform(&s);
+/// // Each site appears in 2 of the 3 quorums, so its load is 2/3.
+/// assert!((w.system_load(&s) - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strategy {
+    weights: Vec<f64>,
+}
+
+impl Strategy {
+    /// Creates a strategy from explicit weights for `system`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StrategyError`] if the length mismatches the system, any
+    /// weight is outside `[0,1]` (or NaN), or the weights do not sum to one.
+    pub fn new(system: &SetSystem, weights: Vec<f64>) -> Result<Self, StrategyError> {
+        if weights.len() != system.len() {
+            return Err(StrategyError::LengthMismatch {
+                expected: system.len(),
+                got: weights.len(),
+            });
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if !(0.0..=1.0).contains(&w) || w.is_nan() {
+                return Err(StrategyError::InvalidWeight { index: i, value: w });
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        if (sum - 1.0).abs() > PROBABILITY_TOLERANCE {
+            return Err(StrategyError::NotNormalized { sum });
+        }
+        Ok(Strategy { weights })
+    }
+
+    /// The uniform strategy `w_j = 1/m`, the strategy the paper uses for both
+    /// its read and write quorum analyses (§3.2.1, §3.2.2).
+    pub fn uniform(system: &SetSystem) -> Self {
+        let m = system.len();
+        Strategy {
+            weights: vec![1.0 / m as f64; m],
+        }
+    }
+
+    /// A degenerate strategy that always picks set `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `system`.
+    pub fn singleton(system: &SetSystem, index: usize) -> Self {
+        assert!(index < system.len(), "set index out of range");
+        let mut weights = vec![0.0; system.len()];
+        weights[index] = 1.0;
+        Strategy { weights }
+    }
+
+    /// The probability assigned to set `j`, or `None` if out of range.
+    pub fn weight(&self, j: usize) -> Option<f64> {
+        self.weights.get(j).copied()
+    }
+
+    /// All weights, indexed like the system's sets.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The load `l_w(i) = Σ_{i ∈ S_j} w_j` induced on a single site
+    /// (definition 2.5): the fraction of picks that touch `site`.
+    pub fn site_load(&self, system: &SetSystem, site: SiteId) -> f64 {
+        system
+            .sets()
+            .iter()
+            .zip(&self.weights)
+            .filter(|(s, _)| s.contains(site))
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// The load `L_w(S) = max_i l_w(i)` induced on the system
+    /// (definition 2.5): the busiest site's load under this strategy.
+    pub fn system_load(&self, system: &SetSystem) -> f64 {
+        system
+            .universe()
+            .sites()
+            .map(|i| self.site_load(system, i))
+            .fold(0.0, f64::max)
+    }
+
+    /// The expected quorum size (mean communication cost) under this
+    /// strategy: `Σ_j w_j · |S_j|`.
+    pub fn expected_cost(&self, system: &SetSystem) -> f64 {
+        system
+            .sets()
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| s.len() as f64 * w)
+            .sum()
+    }
+
+    /// Samples a set index according to the strategy's distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (j, w) in self.weights.iter().enumerate() {
+            acc += w;
+            if x < acc {
+                return j;
+            }
+        }
+        // Floating-point slack: fall back to the last positively-weighted set.
+        self.weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .unwrap_or(self.weights.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum_set::QuorumSet;
+    use crate::site::Universe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn majority3() -> SetSystem {
+        SetSystem::new(
+            Universe::new(3),
+            vec![
+                QuorumSet::from_indices([0, 1]),
+                QuorumSet::from_indices([0, 2]),
+                QuorumSet::from_indices([1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_strategy_is_normalized() {
+        let s = majority3();
+        let w = Strategy::uniform(&s);
+        let sum: f64 = w.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(w.weight(0), Some(1.0 / 3.0));
+        assert_eq!(w.weight(3), None);
+    }
+
+    #[test]
+    fn majority_uniform_load_is_two_thirds() {
+        let s = majority3();
+        let w = Strategy::uniform(&s);
+        for i in s.universe().sites() {
+            assert!((w.site_load(&s, i) - 2.0 / 3.0).abs() < 1e-12);
+        }
+        assert!((w.system_load(&s) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w.expected_cost(&s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_strategy_loads_only_its_members() {
+        let s = majority3();
+        let w = Strategy::singleton(&s, 0); // {0,1}
+        assert_eq!(w.site_load(&s, SiteId::new(0)), 1.0);
+        assert_eq!(w.site_load(&s, SiteId::new(1)), 1.0);
+        assert_eq!(w.site_load(&s, SiteId::new(2)), 0.0);
+        assert_eq!(w.system_load(&s), 1.0);
+    }
+
+    #[test]
+    fn new_rejects_bad_lengths_weights_and_sums() {
+        let s = majority3();
+        assert_eq!(
+            Strategy::new(&s, vec![1.0]),
+            Err(StrategyError::LengthMismatch { expected: 3, got: 1 })
+        );
+        assert!(matches!(
+            Strategy::new(&s, vec![-0.1, 0.6, 0.5]),
+            Err(StrategyError::InvalidWeight { index: 0, .. })
+        ));
+        assert!(matches!(
+            Strategy::new(&s, vec![0.2, 0.2, 0.2]),
+            Err(StrategyError::NotNormalized { .. })
+        ));
+        assert!(Strategy::new(&s, vec![0.5, 0.25, 0.25]).is_ok());
+    }
+
+    #[test]
+    fn nan_weight_rejected() {
+        let s = majority3();
+        assert!(matches!(
+            Strategy::new(&s, vec![f64::NAN, 0.5, 0.5]),
+            Err(StrategyError::InvalidWeight { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn sample_respects_distribution() {
+        let s = majority3();
+        let w = Strategy::new(&s, vec![0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(w.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sample_uniform_hits_all_sets() {
+        let s = majority3();
+        let w = Strategy::uniform(&s);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[w.sample(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn singleton_out_of_range_panics() {
+        let s = majority3();
+        let _ = Strategy::singleton(&s, 5);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StrategyError::LengthMismatch { expected: 2, got: 3 }
+            .to_string()
+            .contains("expected 2"));
+        assert!(StrategyError::InvalidWeight { index: 1, value: -1.0 }
+            .to_string()
+            .contains("#1"));
+        assert!(StrategyError::NotNormalized { sum: 0.5 }
+            .to_string()
+            .contains("0.5"));
+    }
+}

@@ -1,0 +1,388 @@
+//! Set systems, quorum systems, coteries and bicoteries (definitions 2.1–2.3).
+
+use crate::quorum_set::QuorumSet;
+use crate::site::Universe;
+use std::fmt;
+
+/// Errors reported when validating quorum structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuorumError {
+    /// A set contains a site outside the universe.
+    SiteOutOfUniverse {
+        /// Index of the offending set within the system.
+        set_index: usize,
+    },
+    /// Two sets of a claimed quorum system fail to intersect.
+    EmptyIntersection {
+        /// Index of the first set.
+        first: usize,
+        /// Index of the second set.
+        second: usize,
+    },
+    /// A claimed coterie violates minimality: one set contains another.
+    NotMinimal {
+        /// Index of the contained (smaller) set.
+        subset: usize,
+        /// Index of the containing (larger) set.
+        superset: usize,
+    },
+    /// A system was given no sets at all.
+    Empty,
+    /// A set of the system is the empty set.
+    EmptySet {
+        /// Index of the empty set within the system.
+        set_index: usize,
+    },
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::SiteOutOfUniverse { set_index } => {
+                write!(f, "set #{set_index} contains a site outside the universe")
+            }
+            QuorumError::EmptyIntersection { first, second } => {
+                write!(f, "sets #{first} and #{second} do not intersect")
+            }
+            QuorumError::NotMinimal { subset, superset } => {
+                write!(f, "set #{subset} is a proper subset of set #{superset}")
+            }
+            QuorumError::Empty => write!(f, "system contains no sets"),
+            QuorumError::EmptySet { set_index } => {
+                write!(f, "set #{set_index} is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+/// A set system `S = {S₁, …, S_m}` over a finite universe (definition 2.1).
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::{QuorumSet, SetSystem, Universe};
+///
+/// let majority = SetSystem::new(
+///     Universe::new(3),
+///     vec![
+///         QuorumSet::from_indices([0, 1]),
+///         QuorumSet::from_indices([0, 2]),
+///         QuorumSet::from_indices([1, 2]),
+///     ],
+/// )?;
+/// assert!(majority.is_quorum_system());
+/// assert!(majority.is_coterie());
+/// # Ok::<(), arbitree_quorum::QuorumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetSystem {
+    universe: Universe,
+    sets: Vec<QuorumSet>,
+}
+
+impl SetSystem {
+    /// Creates a set system, validating that every set is non-empty and lies
+    /// within `universe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::Empty`] for an empty collection,
+    /// [`QuorumError::EmptySet`] if any set has no members, and
+    /// [`QuorumError::SiteOutOfUniverse`] if a member lies outside the
+    /// universe.
+    pub fn new(universe: Universe, sets: Vec<QuorumSet>) -> Result<Self, QuorumError> {
+        if sets.is_empty() {
+            return Err(QuorumError::Empty);
+        }
+        for (i, s) in sets.iter().enumerate() {
+            if s.is_empty() {
+                return Err(QuorumError::EmptySet { set_index: i });
+            }
+            if !s.is_within(universe) {
+                return Err(QuorumError::SiteOutOfUniverse { set_index: i });
+            }
+        }
+        Ok(SetSystem { universe, sets })
+    }
+
+    /// The universe over which the system is defined.
+    pub fn universe(&self) -> Universe {
+        self.universe
+    }
+
+    /// The sets of the system, in construction order.
+    pub fn sets(&self) -> &[QuorumSet] {
+        &self.sets
+    }
+
+    /// `m`, the number of sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Returns `true` if the system has no sets. Construction forbids this,
+    /// so this is always `false`; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Checks the intersection property of definition 2.1: every pair of sets
+    /// intersects. `O(m²·|S|)`.
+    pub fn is_quorum_system(&self) -> bool {
+        self.check_quorum_system().is_ok()
+    }
+
+    /// Like [`is_quorum_system`](Self::is_quorum_system) but reports the
+    /// first offending pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::EmptyIntersection`] naming the first pair of
+    /// sets with an empty intersection.
+    pub fn check_quorum_system(&self) -> Result<(), QuorumError> {
+        for i in 0..self.sets.len() {
+            for j in (i + 1)..self.sets.len() {
+                if !self.sets[i].intersects(&self.sets[j]) {
+                    return Err(QuorumError::EmptyIntersection { first: i, second: j });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks definition 2.2: the system is a quorum system and no set
+    /// contains another (minimality).
+    pub fn is_coterie(&self) -> bool {
+        self.check_coterie().is_ok()
+    }
+
+    /// Like [`is_coterie`](Self::is_coterie) but reports the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::EmptyIntersection`] or
+    /// [`QuorumError::NotMinimal`] for the first violated property.
+    pub fn check_coterie(&self) -> Result<(), QuorumError> {
+        self.check_quorum_system()?;
+        for i in 0..self.sets.len() {
+            for j in 0..self.sets.len() {
+                if i != j && self.sets[i].is_proper_subset_of(&self.sets[j]) {
+                    return Err(QuorumError::NotMinimal { subset: i, superset: j });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Size of the smallest set — the best-case communication cost, and (per
+    /// Naor–Wool) a lower-bound driver for the system load.
+    pub fn min_quorum_size(&self) -> usize {
+        self.sets.iter().map(QuorumSet::len).min().unwrap_or(0)
+    }
+
+    /// Size of the largest set — the worst-case communication cost.
+    pub fn max_quorum_size(&self) -> usize {
+        self.sets.iter().map(QuorumSet::len).max().unwrap_or(0)
+    }
+
+    /// Mean set size.
+    pub fn avg_quorum_size(&self) -> f64 {
+        if self.sets.is_empty() {
+            return 0.0;
+        }
+        self.sets.iter().map(QuorumSet::len).sum::<usize>() as f64 / self.sets.len() as f64
+    }
+}
+
+/// A bicoterie (definition 2.3): separate read and write quorum sets such
+/// that every read quorum intersects every write quorum.
+///
+/// Note that read quorums need not intersect each other, and likewise for
+/// write quorums — only the cross intersection is required (this is what
+/// one-copy equivalence needs: a read must see the latest write).
+///
+/// # Examples
+///
+/// ```
+/// use arbitree_quorum::{Bicoterie, QuorumSet, SetSystem, Universe};
+///
+/// // ROWA on 3 sites: read = any single site, write = all sites.
+/// let u = Universe::new(3);
+/// let reads = SetSystem::new(u, (0..3).map(|i| QuorumSet::from_indices([i])).collect())?;
+/// let writes = SetSystem::new(u, vec![QuorumSet::from_indices([0, 1, 2])])?;
+/// let rowa = Bicoterie::new(reads, writes)?;
+/// assert_eq!(rowa.read_quorums().min_quorum_size(), 1);
+/// # Ok::<(), arbitree_quorum::QuorumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bicoterie {
+    reads: SetSystem,
+    writes: SetSystem,
+}
+
+impl Bicoterie {
+    /// Creates a bicoterie, validating the cross-intersection property.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::EmptyIntersection`] (with `first` indexing into
+    /// the read system and `second` into the write system) if some read
+    /// quorum misses some write quorum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two systems are defined over different universes.
+    pub fn new(reads: SetSystem, writes: SetSystem) -> Result<Self, QuorumError> {
+        assert_eq!(
+            reads.universe(),
+            writes.universe(),
+            "read and write systems must share a universe"
+        );
+        for (i, r) in reads.sets().iter().enumerate() {
+            for (j, w) in writes.sets().iter().enumerate() {
+                if !r.intersects(w) {
+                    return Err(QuorumError::EmptyIntersection { first: i, second: j });
+                }
+            }
+        }
+        Ok(Bicoterie { reads, writes })
+    }
+
+    /// The universe over which both systems are defined.
+    pub fn universe(&self) -> Universe {
+        self.reads.universe()
+    }
+
+    /// The read quorum system `R`.
+    pub fn read_quorums(&self) -> &SetSystem {
+        &self.reads
+    }
+
+    /// The write quorum system `W`.
+    pub fn write_quorums(&self) -> &SetSystem {
+        &self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn majority3() -> SetSystem {
+        SetSystem::new(
+            Universe::new(3),
+            vec![
+                QuorumSet::from_indices([0, 1]),
+                QuorumSet::from_indices([0, 2]),
+                QuorumSet::from_indices([1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn majority_is_coterie() {
+        let s = majority3();
+        assert!(s.is_quorum_system());
+        assert!(s.is_coterie());
+        assert_eq!(s.min_quorum_size(), 2);
+        assert_eq!(s.max_quorum_size(), 2);
+        assert!((s.avg_quorum_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_fail_quorum_property() {
+        let s = SetSystem::new(
+            Universe::new(4),
+            vec![QuorumSet::from_indices([0, 1]), QuorumSet::from_indices([2, 3])],
+        )
+        .unwrap();
+        assert_eq!(
+            s.check_quorum_system(),
+            Err(QuorumError::EmptyIntersection { first: 0, second: 1 })
+        );
+        assert!(!s.is_coterie());
+    }
+
+    #[test]
+    fn dominated_set_fails_minimality() {
+        let s = SetSystem::new(
+            Universe::new(3),
+            vec![QuorumSet::from_indices([0]), QuorumSet::from_indices([0, 1])],
+        )
+        .unwrap();
+        assert!(s.is_quorum_system());
+        assert_eq!(
+            s.check_coterie(),
+            Err(QuorumError::NotMinimal { subset: 0, superset: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_universe_rejected() {
+        let err = SetSystem::new(Universe::new(2), vec![QuorumSet::from_indices([0, 5])]);
+        assert_eq!(err, Err(QuorumError::SiteOutOfUniverse { set_index: 0 }));
+    }
+
+    #[test]
+    fn empty_collection_and_empty_set_rejected() {
+        assert_eq!(
+            SetSystem::new(Universe::new(2), vec![]),
+            Err(QuorumError::Empty)
+        );
+        assert_eq!(
+            SetSystem::new(Universe::new(2), vec![QuorumSet::new()]),
+            Err(QuorumError::EmptySet { set_index: 0 })
+        );
+    }
+
+    #[test]
+    fn rowa_bicoterie_valid() {
+        let u = Universe::new(4);
+        let reads =
+            SetSystem::new(u, (0..4).map(|i| QuorumSet::from_indices([i])).collect()).unwrap();
+        let writes = SetSystem::new(u, vec![QuorumSet::from_indices(0..4)]).unwrap();
+        let b = Bicoterie::new(reads, writes).unwrap();
+        assert_eq!(b.universe().len(), 4);
+        assert_eq!(b.read_quorums().len(), 4);
+        assert_eq!(b.write_quorums().len(), 1);
+    }
+
+    #[test]
+    fn bicoterie_detects_missing_cross_intersection() {
+        let u = Universe::new(4);
+        let reads = SetSystem::new(u, vec![QuorumSet::from_indices([0, 1])]).unwrap();
+        let writes = SetSystem::new(u, vec![QuorumSet::from_indices([2, 3])]).unwrap();
+        assert_eq!(
+            Bicoterie::new(reads, writes),
+            Err(QuorumError::EmptyIntersection { first: 0, second: 0 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a universe")]
+    fn bicoterie_rejects_mismatched_universes() {
+        let reads =
+            SetSystem::new(Universe::new(2), vec![QuorumSet::from_indices([0, 1])]).unwrap();
+        let writes =
+            SetSystem::new(Universe::new(3), vec![QuorumSet::from_indices([0, 1, 2])]).unwrap();
+        let _ = Bicoterie::new(reads, writes);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = QuorumError::EmptyIntersection { first: 1, second: 2 };
+        assert!(e.to_string().contains("#1"));
+        assert!(e.to_string().contains("#2"));
+        assert!(!QuorumError::Empty.to_string().is_empty());
+        assert!(QuorumError::EmptySet { set_index: 3 }.to_string().contains("#3"));
+        assert!(QuorumError::SiteOutOfUniverse { set_index: 0 }
+            .to_string()
+            .contains("#0"));
+        assert!(QuorumError::NotMinimal { subset: 0, superset: 1 }
+            .to_string()
+            .contains("subset"));
+    }
+}

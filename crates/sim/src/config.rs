@@ -1,0 +1,158 @@
+//! Simulation configuration.
+
+use crate::time::SimDuration;
+use crate::workload::{ArrivalPattern, ObjectDistribution};
+
+/// Network behaviour parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Minimum one-way message latency.
+    pub min_latency: SimDuration,
+    /// Maximum one-way message latency (uniformly distributed).
+    pub max_latency: SimDuration,
+    /// Probability that a message is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            min_latency: SimDuration::from_micros(100),
+            max_latency: SimDuration::from_micros(500),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// RNG seed: two runs with equal configs and seeds are identical.
+    pub seed: u64,
+    /// Number of client coordinators.
+    pub clients: usize,
+    /// Number of replicated objects.
+    pub objects: usize,
+    /// Fraction of operations that are reads.
+    pub read_fraction: f64,
+    /// Mean think time between a client's operations.
+    pub think_time: SimDuration,
+    /// Coordinator phase timeout (should exceed two max latencies).
+    pub op_timeout: SimDuration,
+    /// Maximum quorum-assembly attempts before an operation fails.
+    pub max_attempts: u32,
+    /// Enable read-repair: after a read, refresh quorum members that
+    /// returned a timestamp older than the winner.
+    pub read_repair: bool,
+    /// Record a full operation [`crate::History`] for offline
+    /// linearizability checking (memory grows with the run).
+    pub record_history: bool,
+    /// Whether clients generate the random workload. Disable to drive the
+    /// simulation purely with scripted transactions
+    /// ([`crate::Simulation::schedule_transaction`]).
+    pub auto_workload: bool,
+    /// Maximum operations per transaction. 1 (the default) gives
+    /// single-object transactions; larger values make clients issue
+    /// multi-object transactions (1..=max ops on distinct objects, each
+    /// independently a read or a write per `read_fraction`), executed with
+    /// ordered strict-2PL locking and a single 2PC across every written
+    /// object (§2.2's transaction model).
+    pub max_txn_ops: usize,
+    /// How clients pick objects.
+    pub object_distribution: ObjectDistribution,
+    /// How clients pace operations.
+    pub arrival_pattern: ArrivalPattern,
+    /// Network behaviour.
+    pub network: NetworkConfig,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            clients: 4,
+            objects: 4,
+            read_fraction: 0.7,
+            think_time: SimDuration::from_millis(2),
+            op_timeout: SimDuration::from_millis(3),
+            max_attempts: 4,
+            read_repair: false,
+            record_history: false,
+            auto_workload: true,
+            max_txn_ops: 1,
+            object_distribution: ObjectDistribution::Uniform,
+            arrival_pattern: ArrivalPattern::Steady,
+            network: NetworkConfig::default(),
+            duration: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is out of range, no clients/objects exist,
+    /// or the timeout does not exceed a round trip at maximum latency (which
+    /// would make every in-flight exchange a false suspicion).
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction),
+            "read_fraction must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.network.drop_probability),
+            "drop_probability must be a probability"
+        );
+        assert!(self.clients > 0, "need at least one client");
+        assert!(self.objects > 0, "need at least one object");
+        assert!(self.max_attempts > 0, "need at least one attempt");
+        assert!(self.max_txn_ops > 0, "transactions need at least one operation");
+        assert!(
+            self.network.min_latency <= self.network.max_latency,
+            "min latency must not exceed max latency"
+        );
+        assert!(
+            self.op_timeout.as_micros() > 2 * self.network.max_latency.as_micros(),
+            "op_timeout must exceed a full round trip"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "round trip")]
+    fn tight_timeout_rejected() {
+        let c = SimConfig { op_timeout: SimDuration::from_micros(10), ..SimConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "read_fraction")]
+    fn bad_fraction_rejected() {
+        let c = SimConfig { read_fraction: 1.5, ..SimConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min latency")]
+    fn inverted_latency_rejected() {
+        let network = NetworkConfig {
+            min_latency: SimDuration::from_millis(10),
+            ..NetworkConfig::default()
+        };
+        let c = SimConfig { network, ..SimConfig::default() };
+        c.validate();
+    }
+}

@@ -1,0 +1,153 @@
+//! The discrete-event core: a deterministic time-ordered event queue.
+//!
+//! Events at equal timestamps are ordered by insertion sequence number, so a
+//! simulation is a pure function of its configuration and RNG seed.
+
+use crate::message::{ClientId, Message, OpId};
+use crate::time::SimTime;
+use arbitree_quorum::SiteId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A message arrives at its destination.
+    Deliver(Message),
+    /// A site fail-stops.
+    Crash(SiteId),
+    /// A crashed site recovers (storage intact — failures are transient).
+    Recover(SiteId),
+    /// A client wakes up to issue its next operation.
+    ClientTick(ClientId),
+    /// A scheduled live reconfiguration begins (the simulation holds the
+    /// queue of target protocols; this event just pops the next one).
+    Reconfigure,
+    /// An operation-phase timeout fires at its coordinator.
+    OpTimeout {
+        /// The client coordinating the operation.
+        client: ClientId,
+        /// The operation.
+        op: OpId,
+        /// Phase-attempt counter the timeout was armed for (stale timeouts
+        /// with an old counter are ignored).
+        attempt: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), Event::Crash(SiteId::new(0)));
+        q.schedule(SimTime::from_micros(10), Event::Crash(SiteId::new(1)));
+        q.schedule(SimTime::from_micros(20), Event::Crash(SiteId::new(2)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_micros())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10u32 {
+            q.schedule(t, Event::Crash(SiteId::new(i)));
+        }
+        let ids: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Crash(s) => s.as_u32(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_micros(9), Event::ClientTick(ClientId(0)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

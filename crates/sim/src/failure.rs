@@ -1,0 +1,174 @@
+//! Failure injection: random crash/recovery schedules with configurable
+//! mean time to failure (MTTF) and mean time to repair (MTTR).
+
+use crate::sim::Simulation;
+use crate::time::{SimDuration, SimTime};
+use arbitree_quorum::{ReplicaControl, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A crash/recovery schedule for one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailureSchedule {
+    events: Vec<(SimTime, SiteId, bool)>, // true = crash, false = recover
+}
+
+impl FailureSchedule {
+    /// An empty (failure-free) schedule.
+    pub fn none() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// Adds a crash.
+    pub fn crash(&mut self, at: SimTime, site: SiteId) -> &mut Self {
+        self.events.push((at, site, true));
+        self
+    }
+
+    /// Adds a recovery.
+    pub fn recover(&mut self, at: SimTime, site: SiteId) -> &mut Self {
+        self.events.push((at, site, false));
+        self
+    }
+
+    /// Generates alternating crash/recover events per site: exponential-ish
+    /// up-times with mean `mttf` and down-times with mean `mttr`, over
+    /// `horizon`. Deterministic for a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mttf` or `mttr` is zero.
+    pub fn random(
+        n_sites: usize,
+        horizon: SimDuration,
+        mttf: SimDuration,
+        mttr: SimDuration,
+        seed: u64,
+    ) -> Self {
+        assert!(mttf.as_micros() > 0, "mttf must be positive");
+        assert!(mttr.as_micros() > 0, "mttr must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = FailureSchedule::none();
+        for site in 0..n_sites as u32 {
+            let mut t = 0u64;
+            let mut up = true;
+            loop {
+                let mean = if up { mttf.as_micros() } else { mttr.as_micros() };
+                // Exponential sample via inverse transform.
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                let dwell = (-u.ln() * mean as f64) as u64;
+                t = t.saturating_add(dwell.max(1));
+                if t >= horizon.as_micros() {
+                    break;
+                }
+                let at = SimTime::from_micros(t);
+                if up {
+                    schedule.crash(at, SiteId::new(site));
+                } else {
+                    schedule.recover(at, SiteId::new(site));
+                }
+                up = !up;
+            }
+        }
+        schedule
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[(SimTime, SiteId, bool)] {
+        &self.events
+    }
+
+    /// Installs the schedule into a simulation.
+    pub fn apply<P: ReplicaControl>(&self, sim: &mut Simulation<P>) {
+        for &(at, site, is_crash) in &self.events {
+            if is_crash {
+                sim.schedule_crash(at, site);
+            } else {
+                sim.schedule_recover(at, site);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schedule_alternates_per_site() {
+        let s = FailureSchedule::random(
+            4,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(5),
+            1,
+        );
+        for site in 0..4u32 {
+            let mine: Vec<bool> = s
+                .events()
+                .iter()
+                .filter(|(_, sid, _)| sid.as_u32() == site)
+                .map(|&(_, _, c)| c)
+                .collect();
+            // Alternation: crash, recover, crash, …
+            for (i, &c) in mine.iter().enumerate() {
+                assert_eq!(c, i % 2 == 0, "site {site} event {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic() {
+        let a = FailureSchedule::random(
+            3,
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(8),
+            SimDuration::from_millis(2),
+            7,
+        );
+        let b = FailureSchedule::random(
+            3,
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(8),
+            SimDuration::from_millis(2),
+            7,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn events_stay_within_horizon() {
+        let horizon = SimDuration::from_millis(30);
+        let s = FailureSchedule::random(
+            5,
+            horizon,
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(1),
+            9,
+        );
+        assert!(!s.events().is_empty());
+        for &(at, _, _) in s.events() {
+            assert!(at.as_micros() < horizon.as_micros());
+        }
+    }
+
+    #[test]
+    fn manual_schedule() {
+        let mut s = FailureSchedule::none();
+        s.crash(SimTime::from_millis(1), SiteId::new(0))
+            .recover(SimTime::from_millis(2), SiteId::new(0));
+        assert_eq!(s.events().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mttf")]
+    fn zero_mttf_rejected() {
+        let _ = FailureSchedule::random(
+            1,
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+            SimDuration::from_millis(1),
+            0,
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Experiment harness: empirical measurements of availability, load and
+//! cost that validate the paper's closed forms, plus convenience wrappers
+//! for full dynamic simulations.
+
+use crate::config::SimConfig;
+use crate::failure::FailureSchedule;
+use crate::sim::{SimReport, Simulation};
+use arbitree_quorum::{AliveSet, ReplicaControl, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Empirical read/write availability: sample `trials` alive-site vectors
+/// (each site up independently with probability `p`) and count the fraction
+/// in which the protocol can assemble each quorum kind.
+///
+/// This is the *static* availability experiment — it measures exactly the
+/// quantity the paper's formulas describe, independent of timeout dynamics.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability, `trials == 0`, or the universe
+/// exceeds 128 sites.
+pub fn empirical_availability<P: ReplicaControl + Sync + ?Sized>(
+    protocol: &P,
+    p: f64,
+    trials: u32,
+    seed: u64,
+) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(trials > 0, "need at least one trial");
+    let n = protocol.universe().len();
+    assert!(n <= AliveSet::MAX_SITES);
+
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get().min(8));
+    let per_thread = trials / threads as u32;
+    let remainder = trials % threads as u32;
+
+    let totals = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let my_trials = per_thread + u32::from((t as u32) < remainder);
+            let my_seed = seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            handles.push(scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(my_seed);
+                let mut reads = 0u64;
+                let mut writes = 0u64;
+                for _ in 0..my_trials {
+                    let mut alive = AliveSet::empty();
+                    for i in 0..n as u32 {
+                        if rng.gen::<f64>() < p {
+                            alive.insert(SiteId::new(i));
+                        }
+                    }
+                    if protocol.pick_read_quorum(alive, &mut rng).is_some() {
+                        reads += 1;
+                    }
+                    if protocol.pick_write_quorum(alive, &mut rng).is_some() {
+                        writes += 1;
+                    }
+                }
+                (reads, writes)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial thread panicked"))
+            .fold((0u64, 0u64), |(ar, aw), (r, w)| (ar + r, aw + w))
+    })
+    .expect("crossbeam scope");
+
+    (
+        totals.0 as f64 / f64::from(trials),
+        totals.1 as f64 / f64::from(trials),
+    )
+}
+
+/// Empirical system loads under the protocol's canonical strategy with all
+/// sites alive: pick `samples` read and write quorums, count per-site
+/// membership, and return each kind's busiest-site fraction
+/// `(read_load, write_load)` — the empirical counterpart of definition 2.5.
+pub fn empirical_load<P: ReplicaControl + ?Sized>(protocol: &P, samples: u32, seed: u64) -> (f64, f64) {
+    assert!(samples > 0, "need at least one sample");
+    let n = protocol.universe().len();
+    let alive = AliveSet::full(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut read_hits = vec![0u64; n];
+    let mut write_hits = vec![0u64; n];
+    for _ in 0..samples {
+        let rq = protocol
+            .pick_read_quorum(alive, &mut rng)
+            .expect("all sites alive");
+        for s in rq.iter() {
+            read_hits[s.index()] += 1;
+        }
+        let wq = protocol
+            .pick_write_quorum(alive, &mut rng)
+            .expect("all sites alive");
+        for s in wq.iter() {
+            write_hits[s.index()] += 1;
+        }
+    }
+    let max_r = read_hits.iter().copied().max().unwrap_or(0);
+    let max_w = write_hits.iter().copied().max().unwrap_or(0);
+    (
+        max_r as f64 / f64::from(samples),
+        max_w as f64 / f64::from(samples),
+    )
+}
+
+/// Empirical mean communication costs `(read, write)` under the canonical
+/// strategy with all sites alive.
+pub fn empirical_cost<P: ReplicaControl + ?Sized>(protocol: &P, samples: u32, seed: u64) -> (f64, f64) {
+    assert!(samples > 0, "need at least one sample");
+    let alive = AliveSet::full(protocol.universe().len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut read_total = 0u64;
+    let mut write_total = 0u64;
+    for _ in 0..samples {
+        read_total += protocol
+            .pick_read_quorum(alive, &mut rng)
+            .expect("all sites alive")
+            .len() as u64;
+        write_total += protocol
+            .pick_write_quorum(alive, &mut rng)
+            .expect("all sites alive")
+            .len() as u64;
+    }
+    (
+        read_total as f64 / f64::from(samples),
+        write_total as f64 / f64::from(samples),
+    )
+}
+
+/// Empirical mean communication costs `(read, write)` **under failures**:
+/// sites are alive independently with probability `p` per trial; only
+/// successful quorum assemblies contribute. Returns `None` for an operation
+/// that never assembled a quorum. Captures how degraded-mode costs grow
+/// (e.g. the tree-quorum protocol's log n → (n+1)/2 range).
+pub fn empirical_cost_under_failures<P: ReplicaControl + ?Sized>(
+    protocol: &P,
+    p: f64,
+    trials: u32,
+    seed: u64,
+) -> (Option<f64>, Option<f64>) {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(trials > 0, "need at least one trial");
+    let n = protocol.universe().len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut rt, mut rc) = (0u64, 0u64);
+    let (mut wt, mut wc) = (0u64, 0u64);
+    for _ in 0..trials {
+        let mut alive = AliveSet::empty();
+        for i in 0..n as u32 {
+            if rng.gen::<f64>() < p {
+                alive.insert(SiteId::new(i));
+            }
+        }
+        if let Some(q) = protocol.pick_read_quorum(alive, &mut rng) {
+            rt += q.len() as u64;
+            rc += 1;
+        }
+        if let Some(q) = protocol.pick_write_quorum(alive, &mut rng) {
+            wt += q.len() as u64;
+            wc += 1;
+        }
+    }
+    (
+        (rc > 0).then(|| rt as f64 / rc as f64),
+        (wc > 0).then(|| wt as f64 / wc as f64),
+    )
+}
+
+/// Runs a full dynamic simulation of `protocol` under `config` with the
+/// given failure schedule, returning its report.
+pub fn run_simulation<P: ReplicaControl>(
+    config: SimConfig,
+    protocol: P,
+    failures: &FailureSchedule,
+) -> SimReport {
+    let mut sim = Simulation::new(config, protocol);
+    failures.apply(&mut sim);
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use arbitree_core::{ArbitraryProtocol, TreeMetrics};
+
+    fn proto() -> ArbitraryProtocol {
+        ArbitraryProtocol::parse("1-3-5").unwrap()
+    }
+
+    #[test]
+    fn empirical_availability_tracks_closed_form() {
+        let p = proto();
+        let m = TreeMetrics::new(p.tree());
+        for &prob in &[0.6, 0.7, 0.85] {
+            let (er, ew) = empirical_availability(&p, prob, 40_000, 1);
+            assert!(
+                (er - m.read_availability(prob)).abs() < 0.01,
+                "read p={prob}: {er} vs {}",
+                m.read_availability(prob)
+            );
+            assert!(
+                (ew - m.write_availability(prob)).abs() < 0.01,
+                "write p={prob}: {ew} vs {}",
+                m.write_availability(prob)
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_load_tracks_closed_form() {
+        let p = proto();
+        let (lr, lw) = empirical_load(&p, 60_000, 2);
+        // L_RD = 1/3, L_WR = 1/2 for 1-3-5.
+        assert!((lr - 1.0 / 3.0).abs() < 0.01, "read load {lr}");
+        assert!((lw - 0.5).abs() < 0.01, "write load {lw}");
+    }
+
+    #[test]
+    fn empirical_cost_tracks_closed_form() {
+        let p = proto();
+        let (cr, cw) = empirical_cost(&p, 20_000, 3);
+        assert!((cr - 2.0).abs() < 1e-9, "read cost {cr}");
+        assert!((cw - 4.0).abs() < 0.05, "write cost {cw}");
+    }
+
+    #[test]
+    fn run_simulation_with_random_failures_is_consistent() {
+        let config = SimConfig {
+            seed: 5,
+            duration: SimDuration::from_millis(150),
+            ..SimConfig::default()
+        };
+        let schedule = FailureSchedule::random(
+            8,
+            config.duration,
+            SimDuration::from_millis(40),
+            SimDuration::from_millis(10),
+            11,
+        );
+        let report = run_simulation(config, proto(), &schedule);
+        assert!(report.consistent, "violations: {}", report.violations);
+        assert!(report.metrics.ops_ok() > 0);
+    }
+
+    #[test]
+    fn degraded_costs_grow_for_tree_quorum() {
+        // All-alive, the tree-quorum pick is a pure path (h+1); under
+        // failures the average grows towards (n+1)/2.
+        use arbitree_baselines::TreeQuorum;
+        let tq = TreeQuorum::new(3); // n = 15, path = 4
+        let (healthy, _) = empirical_cost_under_failures(&tq, 1.0, 2_000, 1);
+        assert_eq!(healthy, Some(4.0));
+        let (degraded, _) = empirical_cost_under_failures(&tq, 0.7, 20_000, 2);
+        let degraded = degraded.unwrap();
+        assert!(degraded > 4.2, "degraded cost {degraded}");
+        assert!(degraded < 8.0);
+    }
+
+    #[test]
+    fn degraded_costs_stable_for_arbitrary_reads() {
+        // The arbitrary protocol's read quorum is always |K_phy| replicas,
+        // dead or alive — only availability changes, not cost.
+        let p = proto();
+        let (r, _) = empirical_cost_under_failures(&p, 0.8, 10_000, 3);
+        assert_eq!(r, Some(2.0));
+    }
+
+    #[test]
+    fn availability_is_deterministic_per_seed() {
+        let p = proto();
+        let a = empirical_availability(&p, 0.7, 5_000, 9);
+        let b = empirical_availability(&p, 0.7, 5_000, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,178 @@
+//! The centralized concurrency control of §2.2: a strict two-phase-locking
+//! lock manager shared by all clients, with FIFO queueing (no starvation)
+//! and shared read locks.
+
+use crate::message::{ObjectId, OpId};
+use std::collections::{HashMap, VecDeque};
+
+/// Lock mode requested by an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared: concurrent readers allowed.
+    Read,
+    /// Exclusive.
+    Write,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holders: Vec<(OpId, LockMode)>,
+    queue: VecDeque<(OpId, LockMode)>,
+}
+
+impl LockState {
+    fn compatible(&self, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Write => self.holders.is_empty(),
+            LockMode::Read => self.holders.iter().all(|(_, m)| *m == LockMode::Read),
+        }
+    }
+}
+
+/// The global lock table.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    objects: HashMap<ObjectId, LockState>,
+}
+
+impl LockManager {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Requests a lock. Returns `true` if granted immediately; otherwise the
+    /// request is queued FIFO and will be granted by a later
+    /// [`release`](Self::release).
+    ///
+    /// A read request is only granted immediately when nothing is queued
+    /// ahead of it, so writers are never starved by a stream of readers.
+    pub fn acquire(&mut self, op: OpId, obj: ObjectId, mode: LockMode) -> bool {
+        let state = self.objects.entry(obj).or_default();
+        debug_assert!(
+            !state.holders.iter().any(|(o, _)| *o == op),
+            "operation already holds this lock"
+        );
+        if state.queue.is_empty() && state.compatible(mode) {
+            state.holders.push((op, mode));
+            true
+        } else {
+            state.queue.push_back((op, mode));
+            false
+        }
+    }
+
+    /// Releases `op`'s lock (or queued request) on `obj`, returning the
+    /// operations whose queued requests are granted as a result, in FIFO
+    /// order.
+    pub fn release(&mut self, op: OpId, obj: ObjectId) -> Vec<OpId> {
+        let Some(state) = self.objects.get_mut(&obj) else {
+            return Vec::new();
+        };
+        state.holders.retain(|(o, _)| *o != op);
+        state.queue.retain(|(o, _)| *o != op);
+
+        let mut granted = Vec::new();
+        while let Some(&(next_op, next_mode)) = state.queue.front() {
+            if state.compatible(next_mode) {
+                state.queue.pop_front();
+                state.holders.push((next_op, next_mode));
+                granted.push(next_op);
+                if next_mode == LockMode::Write {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if state.holders.is_empty() && state.queue.is_empty() {
+            self.objects.remove(&obj);
+        }
+        granted
+    }
+
+    /// Whether `op` currently holds a lock on `obj`.
+    pub fn holds(&self, op: OpId, obj: ObjectId) -> bool {
+        self.objects
+            .get(&obj)
+            .is_some_and(|s| s.holders.iter().any(|(o, _)| *o == op))
+    }
+
+    /// Number of operations waiting on `obj`.
+    pub fn queue_len(&self, obj: ObjectId) -> usize {
+        self.objects.get(&obj).map_or(0, |s| s.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ: ObjectId = ObjectId(0);
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut lm = LockManager::new();
+        assert!(lm.acquire(OpId(1), OBJ, LockMode::Read));
+        assert!(lm.acquire(OpId(2), OBJ, LockMode::Read));
+        assert!(!lm.acquire(OpId(3), OBJ, LockMode::Write));
+        assert_eq!(lm.queue_len(OBJ), 1);
+        assert!(lm.release(OpId(1), OBJ).is_empty());
+        // Writer granted once the last reader leaves.
+        assert_eq!(lm.release(OpId(2), OBJ), vec![OpId(3)]);
+        assert!(lm.holds(OpId(3), OBJ));
+    }
+
+    #[test]
+    fn fifo_prevents_reader_starvation() {
+        let mut lm = LockManager::new();
+        assert!(lm.acquire(OpId(1), OBJ, LockMode::Read));
+        assert!(!lm.acquire(OpId(2), OBJ, LockMode::Write));
+        // A new reader must queue behind the waiting writer.
+        assert!(!lm.acquire(OpId(3), OBJ, LockMode::Read));
+        let granted = lm.release(OpId(1), OBJ);
+        assert_eq!(granted, vec![OpId(2)]);
+        let granted = lm.release(OpId(2), OBJ);
+        assert_eq!(granted, vec![OpId(3)]);
+    }
+
+    #[test]
+    fn consecutive_readers_granted_together() {
+        let mut lm = LockManager::new();
+        assert!(lm.acquire(OpId(1), OBJ, LockMode::Write));
+        assert!(!lm.acquire(OpId(2), OBJ, LockMode::Read));
+        assert!(!lm.acquire(OpId(3), OBJ, LockMode::Read));
+        assert!(!lm.acquire(OpId(4), OBJ, LockMode::Write));
+        let granted = lm.release(OpId(1), OBJ);
+        assert_eq!(granted, vec![OpId(2), OpId(3)]);
+        // The writer waits for both readers.
+        assert!(lm.release(OpId(2), OBJ).is_empty());
+        assert_eq!(lm.release(OpId(3), OBJ), vec![OpId(4)]);
+    }
+
+    #[test]
+    fn release_of_queued_request_cancels_it() {
+        let mut lm = LockManager::new();
+        assert!(lm.acquire(OpId(1), OBJ, LockMode::Write));
+        assert!(!lm.acquire(OpId(2), OBJ, LockMode::Write));
+        // Op 2 gives up while queued.
+        lm.release(OpId(2), OBJ);
+        assert_eq!(lm.queue_len(OBJ), 0);
+        assert!(lm.release(OpId(1), OBJ).is_empty());
+    }
+
+    #[test]
+    fn objects_are_independent() {
+        let mut lm = LockManager::new();
+        assert!(lm.acquire(OpId(1), ObjectId(0), LockMode::Write));
+        assert!(lm.acquire(OpId(2), ObjectId(1), LockMode::Write));
+    }
+
+    #[test]
+    fn table_shrinks_when_idle() {
+        let mut lm = LockManager::new();
+        lm.acquire(OpId(1), OBJ, LockMode::Write);
+        lm.release(OpId(1), OBJ);
+        assert!(lm.objects.is_empty());
+    }
+}

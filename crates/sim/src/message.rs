@@ -1,0 +1,197 @@
+//! Messages exchanged between clients (transaction coordinators) and sites.
+
+use crate::time::SimTime;
+use arbitree_core::Timestamp;
+use arbitree_quorum::SiteId;
+use bytes::Bytes;
+use std::fmt;
+
+/// Identifier of a client (transaction coordinator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A replicated data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Identifier of an operation (globally unique per simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// A message endpoint: a replica site or a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A replica site.
+    Site(SiteId),
+    /// A client / transaction coordinator.
+    Client(ClientId),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Site(s) => write!(f, "{s}"),
+            Endpoint::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Message payloads of the replica control protocol: versioned reads plus a
+/// two-phase commit for writes (§2.2's transaction model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Client → site: return your stored value and timestamp for `obj`.
+    ReadReq {
+        /// Operation this request belongs to.
+        op: OpId,
+        /// Target object.
+        obj: ObjectId,
+    },
+    /// Site → client: the stored value and timestamp.
+    ReadResp {
+        /// Operation this response answers.
+        op: OpId,
+        /// Target object.
+        obj: ObjectId,
+        /// Stored value.
+        value: Bytes,
+        /// Stored timestamp.
+        ts: Timestamp,
+    },
+    /// Client → site (2PC phase 1): durably stage `value` at `ts`.
+    Prepare {
+        /// Operation.
+        op: OpId,
+        /// Target object.
+        obj: ObjectId,
+        /// New value.
+        value: Bytes,
+        /// New timestamp.
+        ts: Timestamp,
+    },
+    /// Site → client: phase-1 vote, echoing the request's timestamp so the
+    /// coordinator can match the vote to its current prepare attempt.
+    PrepareAck {
+        /// Operation.
+        op: OpId,
+        /// Object the vote concerns (transactions prepare several).
+        obj: ObjectId,
+        /// `true` = vote-commit, `false` = vote-abort.
+        ok: bool,
+        /// The timestamp of the `Prepare` this vote answers.
+        ts: Timestamp,
+    },
+    /// Client → site (2PC phase 2): apply the staged write.
+    Commit {
+        /// Operation.
+        op: OpId,
+        /// Target object.
+        obj: ObjectId,
+    },
+    /// Client → site: discard the staged write.
+    Abort {
+        /// Operation.
+        op: OpId,
+        /// Target object.
+        obj: ObjectId,
+    },
+    /// Site → client: the staged write was applied (idempotent).
+    CommitAck {
+        /// Operation.
+        op: OpId,
+        /// Object whose stage was applied.
+        obj: ObjectId,
+    },
+    /// Client → site (read-repair): apply `value` at `ts` directly if newer
+    /// than the stored version. Fire-and-forget; `value` is already durable
+    /// on a full write quorum, this only refreshes a stale member.
+    Repair {
+        /// The reading operation that noticed the staleness.
+        op: OpId,
+        /// Target object.
+        obj: ObjectId,
+        /// The freshest value observed.
+        value: Bytes,
+        /// Its timestamp.
+        ts: Timestamp,
+    },
+}
+
+impl Payload {
+    /// The operation this payload belongs to.
+    pub fn op(&self) -> OpId {
+        match self {
+            Payload::ReadReq { op, .. }
+            | Payload::ReadResp { op, .. }
+            | Payload::Prepare { op, .. }
+            | Payload::PrepareAck { op, .. }
+            | Payload::Commit { op, .. }
+            | Payload::Abort { op, .. }
+            | Payload::CommitAck { op, .. }
+            | Payload::Repair { op, .. } => *op,
+        }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sender endpoint.
+    pub from: Endpoint,
+    /// Destination endpoint.
+    pub to: Endpoint,
+    /// Protocol payload.
+    pub payload: Payload,
+    /// Send time (for latency accounting).
+    pub sent_at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_op_extraction() {
+        let op = OpId(7);
+        let obj = ObjectId(1);
+        let msgs = [
+            Payload::ReadReq { op, obj },
+            Payload::ReadResp { op, obj, value: Bytes::new(), ts: Timestamp::ZERO },
+            Payload::Prepare { op, obj, value: Bytes::new(), ts: Timestamp::ZERO },
+            Payload::PrepareAck { op, obj, ok: true, ts: Timestamp::ZERO },
+            Payload::Commit { op, obj },
+            Payload::Abort { op, obj },
+            Payload::CommitAck { op, obj },
+            Payload::Repair { op, obj, value: Bytes::new(), ts: Timestamp::ZERO },
+        ];
+        for m in msgs {
+            assert_eq!(m.op(), op);
+        }
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(Endpoint::Site(SiteId::new(2)).to_string(), "s2");
+        assert_eq!(Endpoint::Client(ClientId(1)).to_string(), "c1");
+        assert_eq!(ObjectId(4).to_string(), "obj4");
+        assert_eq!(OpId(3).to_string(), "op3");
+    }
+}

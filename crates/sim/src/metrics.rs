@@ -1,0 +1,307 @@
+//! Counters collected during a simulation run.
+
+use crate::time::SimDuration;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A log-scale latency histogram: buckets grow by powers of two from 1 µs,
+/// giving ~5% worst-case relative error on percentile queries at tiny,
+/// fixed memory cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples with `2^i ≤ latency_µs < 2^(i+1)`
+    /// (bucket 0 additionally holds sub-microsecond samples).
+    buckets: [u64; 40],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 40], count: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let us = latency.as_micros().max(1);
+        let bucket = (63 - us.leading_zeros() as usize).min(39);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]` (upper bucket bound), or `None`
+    /// if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(SimDuration::from_micros(1u64 << (i + 1)));
+            }
+        }
+        None
+    }
+
+    /// The median latency.
+    pub fn p50(&self) -> Option<SimDuration> {
+        self.quantile(0.5)
+    }
+
+    /// The 99th-percentile latency.
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.quantile(0.99)
+    }
+}
+
+/// Aggregated simulation metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimMetrics {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages lost to drops or partitions.
+    pub messages_dropped: u64,
+    /// Messages delivered to live endpoints.
+    pub messages_delivered: u64,
+    /// Messages that arrived at a crashed site (discarded).
+    pub messages_to_dead: u64,
+    /// Read operations completed successfully.
+    pub reads_ok: u64,
+    /// Read operations that gave up (no quorum assembled).
+    pub reads_failed: u64,
+    /// Write operations committed.
+    pub writes_ok: u64,
+    /// Write operations aborted (no quorum assembled).
+    pub writes_failed: u64,
+    /// Transactions committed (equals `ops_ok` totals when transactions
+    /// contain a single operation).
+    pub txns_ok: u64,
+    /// Transactions aborted.
+    pub txns_failed: u64,
+    /// Per-site count of protocol requests served (empirical load proxy).
+    pub site_requests: HashMap<u32, u64>,
+    /// Per-site membership count in *successful read* quorums.
+    pub read_quorum_hits: HashMap<u32, u64>,
+    /// Per-site membership count in *successful write* quorums (the write
+    /// quorum proper, excluding the version-phase read quorum).
+    pub write_quorum_hits: HashMap<u32, u64>,
+    /// Per-site membership count in version-phase read quorums of writes.
+    pub version_quorum_hits: HashMap<u32, u64>,
+    /// Read-repair messages sent (stale members refreshed after a read).
+    pub repairs_sent: u64,
+    /// Completed live reconfigurations (protocol swaps).
+    pub reconfigurations: u64,
+    /// Migration writes performed during reconfigurations.
+    pub migration_writes: u64,
+    /// Distribution of completed-operation latencies.
+    pub latency_histogram: LatencyHistogram,
+    /// Sum of completed-operation latencies.
+    pub total_latency: SimDuration,
+    /// Number of latency samples in `total_latency`.
+    pub latency_samples: u64,
+}
+
+impl SimMetrics {
+    /// Records that `site` served a protocol request.
+    pub fn record_site_request(&mut self, site: u32) {
+        *self.site_requests.entry(site).or_insert(0) += 1;
+    }
+
+    /// Records a completed-operation latency.
+    pub fn record_latency(&mut self, latency: SimDuration) {
+        self.total_latency = self.total_latency + latency;
+        self.latency_samples += 1;
+        self.latency_histogram.record(latency);
+    }
+
+    /// Mean operation latency, if any sample exists.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        self.total_latency
+            .as_micros()
+            .checked_div(self.latency_samples)
+            .map(SimDuration::from_micros)
+    }
+
+    /// Total completed operations.
+    pub fn ops_ok(&self) -> u64 {
+        self.reads_ok + self.writes_ok
+    }
+
+    /// Total failed operations.
+    pub fn ops_failed(&self) -> u64 {
+        self.reads_failed + self.writes_failed
+    }
+
+    /// Empirical per-site load: the busiest site's share of all site
+    /// requests, `max_i requests(i) / Σ_i requests(i)`. `None` if no
+    /// requests were served.
+    ///
+    /// This mirrors definition 2.5 with "request served" as the unit of
+    /// work: under strategy `w`, the busiest site serves a `L_w(S)`-fraction
+    /// of quorum accesses per operation.
+    pub fn empirical_max_load(&self, ops: u64) -> Option<f64> {
+        let max = self.site_requests.values().copied().max()?;
+        if ops == 0 {
+            return None;
+        }
+        Some(max as f64 / ops as f64)
+    }
+
+    /// Mean number of site requests per operation (empirical communication
+    /// cost).
+    pub fn empirical_cost(&self, ops: u64) -> Option<f64> {
+        if ops == 0 {
+            return None;
+        }
+        let total: u64 = self.site_requests.values().sum();
+        Some(total as f64 / ops as f64)
+    }
+
+    /// Empirical read load: the busiest site's share of successful read
+    /// quorums (compare with the closed form `1/d`).
+    pub fn empirical_read_load(&self) -> Option<f64> {
+        let max = self.read_quorum_hits.values().copied().max()?;
+        if self.reads_ok == 0 {
+            return None;
+        }
+        Some(max as f64 / self.reads_ok as f64)
+    }
+
+    /// Empirical write load: the busiest site's share of successful write
+    /// quorums (compare with the closed form `1/|K_phy|`).
+    pub fn empirical_write_load(&self) -> Option<f64> {
+        let max = self.write_quorum_hits.values().copied().max()?;
+        if self.writes_ok == 0 {
+            return None;
+        }
+        Some(max as f64 / self.writes_ok as f64)
+    }
+
+    /// Empirical mean read-quorum size (compare with `RD_cost`).
+    pub fn empirical_read_cost(&self) -> Option<f64> {
+        if self.reads_ok == 0 {
+            return None;
+        }
+        let total: u64 = self.read_quorum_hits.values().sum();
+        Some(total as f64 / self.reads_ok as f64)
+    }
+
+    /// Empirical mean write-quorum size (compare with `WR_cost`).
+    pub fn empirical_write_cost(&self) -> Option<f64> {
+        if self.writes_ok == 0 {
+            return None;
+        }
+        let total: u64 = self.write_quorum_hits.values().sum();
+        Some(total as f64 / self.writes_ok as f64)
+    }
+}
+
+impl fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads {}/{} writes {}/{} msgs {} (dropped {})",
+            self.reads_ok,
+            self.reads_ok + self.reads_failed,
+            self.writes_ok,
+            self.writes_ok + self.writes_failed,
+            self.messages_sent,
+            self.messages_dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_accounting() {
+        let mut m = SimMetrics::default();
+        assert!(m.mean_latency().is_none());
+        m.record_latency(SimDuration::from_micros(100));
+        m.record_latency(SimDuration::from_micros(300));
+        assert_eq!(m.mean_latency().unwrap().as_micros(), 200);
+    }
+
+    #[test]
+    fn load_and_cost() {
+        let mut m = SimMetrics::default();
+        for _ in 0..8 {
+            m.record_site_request(0);
+        }
+        for _ in 0..2 {
+            m.record_site_request(1);
+        }
+        assert_eq!(m.empirical_max_load(10), Some(0.8));
+        assert_eq!(m.empirical_cost(10), Some(1.0));
+        assert_eq!(m.empirical_max_load(0), None);
+        assert_eq!(SimMetrics::default().empirical_max_load(5), None);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.quantile(0.5).is_none());
+        for us in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.p50().unwrap().as_micros();
+        // The 5th sample (1600us) lands in bucket [1024,2048) → bound 2048.
+        assert_eq!(p50, 2048);
+        let p99 = h.p99().unwrap().as_micros();
+        assert!(p99 >= 51200, "p99 {p99}");
+        // Quantiles are monotone.
+        assert!(h.quantile(0.1).unwrap() <= h.quantile(0.9).unwrap());
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO); // clamps to 1us bucket
+        assert_eq!(h.quantile(0.0).unwrap().as_micros(), 2);
+        assert_eq!(h.quantile(1.0).unwrap().as_micros(), 2);
+        // Giant sample lands in the last bucket without panicking.
+        h.record(SimDuration::from_micros(u64::MAX));
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn histogram_rejects_bad_quantile() {
+        let _ = LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn display_and_totals() {
+        let m = SimMetrics {
+            reads_ok: 3,
+            writes_ok: 2,
+            writes_failed: 1,
+            ..SimMetrics::default()
+        };
+        assert_eq!(m.ops_ok(), 5);
+        assert_eq!(m.ops_failed(), 1);
+        assert!(m.to_string().contains("writes 2/3"));
+    }
+}

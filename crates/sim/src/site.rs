@@ -1,0 +1,188 @@
+//! Replica sites: fail-stop processes holding durable [`Storage`] and
+//! answering protocol requests.
+
+use crate::message::{Endpoint, Payload};
+use crate::storage::Storage;
+use arbitree_quorum::SiteId;
+
+/// A replica site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    id: SiteId,
+    up: bool,
+    storage: Storage,
+}
+
+impl Site {
+    /// Creates a live site with empty storage.
+    pub fn new(id: SiteId) -> Self {
+        Site {
+            id,
+            up: true,
+            storage: Storage::new(),
+        }
+    }
+
+    /// This site's identifier.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Whether the site is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Fail-stop: the site goes silent. Storage is retained (failures are
+    /// transient per §2.2).
+    pub fn crash(&mut self) {
+        self.up = false;
+    }
+
+    /// The site resumes processing with its durable state intact.
+    pub fn recover(&mut self) {
+        self.up = true;
+    }
+
+    /// Read access to the site's storage (tests, invariants).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Handles an incoming protocol request, returning the reply to send
+    /// back to the requesting endpoint, or `None` for one-way messages.
+    ///
+    /// A crashed site returns `None` for everything (the caller should not
+    /// even deliver messages to it; this is a second line of defence).
+    pub fn handle(&mut self, payload: &Payload) -> Option<(Endpoint, Payload)> {
+        if !self.up {
+            return None;
+        }
+        let me = Endpoint::Site(self.id);
+        let _ = me; // reply routing is by the caller; we return payloads only
+        match payload {
+            Payload::ReadReq { op, obj } => {
+                let v = self.storage.read(*obj);
+                Some((
+                    Endpoint::Site(self.id),
+                    Payload::ReadResp { op: *op, obj: *obj, value: v.value, ts: v.ts },
+                ))
+            }
+            Payload::Prepare { op, obj, value, ts } => {
+                let ok = self.storage.prepare(*obj, *op, value.clone(), *ts);
+                Some((
+                    Endpoint::Site(self.id),
+                    Payload::PrepareAck { op: *op, obj: *obj, ok, ts: *ts },
+                ))
+            }
+            Payload::Commit { op, obj } => {
+                self.storage.commit(*obj, *op);
+                Some((Endpoint::Site(self.id), Payload::CommitAck { op: *op, obj: *obj }))
+            }
+            Payload::Abort { op, obj } => {
+                self.storage.abort(*obj, *op);
+                None
+            }
+            Payload::Repair { obj, value, ts, .. } => {
+                self.storage.repair(*obj, value.clone(), *ts);
+                None
+            }
+            // Sites never receive coordinator-bound payloads.
+            Payload::ReadResp { .. } | Payload::PrepareAck { .. } | Payload::CommitAck { .. } => {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ObjectId, OpId};
+    use arbitree_core::Timestamp;
+    use bytes::Bytes;
+
+    fn read_req() -> Payload {
+        Payload::ReadReq { op: OpId(1), obj: ObjectId(0) }
+    }
+
+    #[test]
+    fn crashed_site_is_silent() {
+        let mut s = Site::new(SiteId::new(0));
+        assert!(s.is_up());
+        s.crash();
+        assert!(!s.is_up());
+        assert!(s.handle(&read_req()).is_none());
+        s.recover();
+        assert!(s.handle(&read_req()).is_some());
+    }
+
+    #[test]
+    fn storage_survives_crash() {
+        let mut s = Site::new(SiteId::new(1));
+        let ts = Timestamp::new(1, SiteId::new(1));
+        s.handle(&Payload::Prepare {
+            op: OpId(1),
+            obj: ObjectId(0),
+            value: Bytes::from_static(b"v"),
+            ts,
+        });
+        s.handle(&Payload::Commit { op: OpId(1), obj: ObjectId(0) });
+        s.crash();
+        s.recover();
+        match s.handle(&read_req()) {
+            Some((_, Payload::ReadResp { ts: got, value, .. })) => {
+                assert_eq!(got, ts);
+                assert_eq!(value, Bytes::from_static(b"v"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepared_state_survives_crash_for_2pc_completion() {
+        let mut s = Site::new(SiteId::new(2));
+        let ts = Timestamp::new(1, SiteId::new(2));
+        s.handle(&Payload::Prepare {
+            op: OpId(7),
+            obj: ObjectId(3),
+            value: Bytes::from_static(b"w"),
+            ts,
+        });
+        s.crash();
+        s.recover();
+        // The retried commit still applies.
+        s.handle(&Payload::Commit { op: OpId(7), obj: ObjectId(3) });
+        assert_eq!(s.storage().read(ObjectId(3)).ts, ts);
+    }
+
+    #[test]
+    fn replies_have_expected_shapes() {
+        let mut s = Site::new(SiteId::new(0));
+        match s.handle(&read_req()) {
+            Some((_, Payload::ReadResp { op, .. })) => assert_eq!(op, OpId(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.handle(&Payload::Prepare {
+            op: OpId(2),
+            obj: ObjectId(0),
+            value: Bytes::new(),
+            ts: Timestamp::ZERO,
+        }) {
+            Some((_, Payload::PrepareAck { op, obj, ok, ts })) => {
+                assert_eq!(op, OpId(2));
+                assert_eq!(obj, ObjectId(0));
+                assert!(ok);
+                assert_eq!(ts, Timestamp::ZERO);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(s
+            .handle(&Payload::Abort { op: OpId(2), obj: ObjectId(0) })
+            .is_none());
+        // Coordinator payloads are ignored.
+        assert!(s
+            .handle(&Payload::CommitAck { op: OpId(2), obj: ObjectId(0) })
+            .is_none());
+    }
+}

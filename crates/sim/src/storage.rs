@@ -1,0 +1,214 @@
+//! Per-site durable storage: committed versions plus 2PC-staged writes.
+//!
+//! Storage survives crashes (the paper's failures are transient: a site
+//! that recovers still holds its data, including prepared-but-uncommitted
+//! writes, as required for 2PC to complete after recovery).
+
+use crate::message::{ObjectId, OpId};
+use arbitree_core::Timestamp;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// A committed object version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Version {
+    /// The value.
+    pub value: Bytes,
+    /// Its timestamp.
+    pub ts: Timestamp,
+}
+
+impl Default for Version {
+    fn default() -> Self {
+        Version {
+            value: Bytes::new(),
+            ts: Timestamp::ZERO,
+        }
+    }
+}
+
+/// A staged (prepared, not yet committed) write.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Staged {
+    /// The preparing operation.
+    pub op: OpId,
+    /// The value to apply on commit.
+    pub value: Bytes,
+    /// Its timestamp.
+    pub ts: Timestamp,
+}
+
+/// Durable replica storage.
+#[derive(Debug, Clone, Default)]
+pub struct Storage {
+    committed: HashMap<ObjectId, Version>,
+    staged: HashMap<ObjectId, Staged>,
+}
+
+impl Storage {
+    /// Empty storage: every object reads as the zero version.
+    pub fn new() -> Self {
+        Storage::default()
+    }
+
+    /// The committed version of `obj` (zero version if never written).
+    pub fn read(&self, obj: ObjectId) -> Version {
+        self.committed.get(&obj).cloned().unwrap_or_default()
+    }
+
+    /// Stages a write (2PC phase 1). Re-staging by the same operation is
+    /// idempotent (message retries). A stage left behind by a *different*
+    /// operation is replaced only when the new timestamp is strictly
+    /// greater — safe because the global lock manager admits one writer per
+    /// object at a time, so an older stale stage can only belong to an
+    /// operation that gave up before its commit point (its `Abort` was lost)
+    /// and will therefore never commit. An equal-or-lower timestamp gets a
+    /// vote-abort.
+    pub fn prepare(&mut self, obj: ObjectId, op: OpId, value: Bytes, ts: Timestamp) -> bool {
+        match self.staged.get(&obj) {
+            Some(existing) if existing.op != op && ts <= existing.ts => false,
+            _ => {
+                self.staged.insert(obj, Staged { op, value, ts });
+                true
+            }
+        }
+    }
+
+    /// Applies the staged write of `op` (2PC phase 2). Idempotent: if the
+    /// stage was already applied (or never existed here), the call succeeds
+    /// without changing state. The write is applied only when its timestamp
+    /// exceeds the committed one (writes carry monotonically increasing
+    /// timestamps).
+    pub fn commit(&mut self, obj: ObjectId, op: OpId) {
+        if let Some(staged) = self.staged.get(&obj) {
+            if staged.op == op {
+                let staged = self.staged.remove(&obj).expect("just observed");
+                let current = self.read(obj);
+                if staged.ts > current.ts {
+                    self.committed
+                        .insert(obj, Version { value: staged.value, ts: staged.ts });
+                }
+            }
+        }
+    }
+
+    /// Discards the staged write of `op`, if present.
+    pub fn abort(&mut self, obj: ObjectId, op: OpId) {
+        if let Some(staged) = self.staged.get(&obj) {
+            if staged.op == op {
+                self.staged.remove(&obj);
+            }
+        }
+    }
+
+    /// Read-repair: directly installs `value` at `ts` when it is newer than
+    /// the committed version. Used only for values that are already durable
+    /// on a full write quorum elsewhere.
+    pub fn repair(&mut self, obj: ObjectId, value: Bytes, ts: Timestamp) {
+        let current = self.read(obj);
+        if ts > current.ts {
+            self.committed.insert(obj, Version { value, ts });
+        }
+    }
+
+    /// The staged write for `obj`, if any (used by tests and invariants).
+    pub fn staged(&self, obj: ObjectId) -> Option<&Staged> {
+        self.staged.get(&obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitree_quorum::SiteId;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v, SiteId::new(0))
+    }
+
+    #[test]
+    fn read_of_unwritten_object_is_zero_version() {
+        let s = Storage::new();
+        let v = s.read(ObjectId(0));
+        assert_eq!(v.ts, Timestamp::ZERO);
+        assert!(v.value.is_empty());
+    }
+
+    #[test]
+    fn prepare_commit_cycle() {
+        let mut s = Storage::new();
+        let obj = ObjectId(1);
+        assert!(s.prepare(obj, OpId(1), Bytes::from_static(b"a"), ts(1)));
+        assert!(s.staged(obj).is_some());
+        // Value not visible before commit.
+        assert_eq!(s.read(obj).ts, Timestamp::ZERO);
+        s.commit(obj, OpId(1));
+        assert_eq!(s.read(obj).ts, ts(1));
+        assert_eq!(s.read(obj).value, Bytes::from_static(b"a"));
+        assert!(s.staged(obj).is_none());
+    }
+
+    #[test]
+    fn conflicting_prepare_rules() {
+        let mut s = Storage::new();
+        let obj = ObjectId(0);
+        assert!(s.prepare(obj, OpId(1), Bytes::new(), ts(2)));
+        // Different op, lower or equal timestamp: vote-abort.
+        assert!(!s.prepare(obj, OpId(2), Bytes::new(), ts(2)));
+        assert!(!s.prepare(obj, OpId(2), Bytes::new(), ts(1)));
+        // Different op, strictly higher timestamp: replaces a stale stage.
+        assert!(s.prepare(obj, OpId(2), Bytes::new(), ts(3)));
+        assert_eq!(s.staged(obj).unwrap().op, OpId(2));
+        // Same op re-preparing is fine (message retry).
+        assert!(s.prepare(obj, OpId(2), Bytes::new(), ts(3)));
+    }
+
+    #[test]
+    fn commit_is_idempotent_and_op_scoped() {
+        let mut s = Storage::new();
+        let obj = ObjectId(0);
+        s.prepare(obj, OpId(1), Bytes::from_static(b"x"), ts(3));
+        // Commit for a different op does nothing.
+        s.commit(obj, OpId(9));
+        assert!(s.staged(obj).is_some());
+        s.commit(obj, OpId(1));
+        s.commit(obj, OpId(1)); // replay
+        assert_eq!(s.read(obj).ts, ts(3));
+    }
+
+    #[test]
+    fn stale_commit_does_not_regress() {
+        let mut s = Storage::new();
+        let obj = ObjectId(0);
+        s.prepare(obj, OpId(1), Bytes::from_static(b"new"), ts(5));
+        s.commit(obj, OpId(1));
+        // A delayed lower-timestamp write must not clobber the newer value.
+        s.prepare(obj, OpId(2), Bytes::from_static(b"old"), ts(2));
+        s.commit(obj, OpId(2));
+        assert_eq!(s.read(obj).ts, ts(5));
+        assert_eq!(s.read(obj).value, Bytes::from_static(b"new"));
+    }
+
+    #[test]
+    fn abort_discards_stage() {
+        let mut s = Storage::new();
+        let obj = ObjectId(0);
+        s.prepare(obj, OpId(1), Bytes::new(), ts(1));
+        s.abort(obj, OpId(2)); // wrong op: keeps stage
+        assert!(s.staged(obj).is_some());
+        s.abort(obj, OpId(1));
+        assert!(s.staged(obj).is_none());
+        s.commit(obj, OpId(1)); // nothing to apply
+        assert_eq!(s.read(obj).ts, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn objects_are_independent() {
+        let mut s = Storage::new();
+        s.prepare(ObjectId(0), OpId(1), Bytes::from_static(b"a"), ts(1));
+        s.prepare(ObjectId(1), OpId(2), Bytes::from_static(b"b"), ts(1));
+        s.commit(ObjectId(0), OpId(1));
+        assert_eq!(s.read(ObjectId(0)).value, Bytes::from_static(b"a"));
+        assert_eq!(s.read(ObjectId(1)).ts, Timestamp::ZERO);
+    }
+}

@@ -1,0 +1,214 @@
+//! Workload shaping: how clients choose objects and pace their operations.
+//!
+//! Real replicated stores rarely see uniform access; hot objects dominate.
+//! [`ObjectDistribution::Zipfian`] models that with a power-law sampler
+//! (precomputed CDF, inverse-transform sampling), and
+//! [`ArrivalPattern::Bursty`] models on/off traffic.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// How a client picks the object of its next operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ObjectDistribution {
+    /// Every object equally likely.
+    #[default]
+    Uniform,
+    /// Zipf-distributed popularity: object `i` (0-based) has weight
+    /// `1/(i+1)^exponent`. `exponent = 0` degenerates to uniform; typical
+    /// web-like skew is `0.9 … 1.2`.
+    Zipfian {
+        /// The skew exponent `s ≥ 0`.
+        exponent: f64,
+    },
+}
+
+/// How a client paces its operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalPattern {
+    /// A steady stream with jittered think time.
+    #[default]
+    Steady,
+    /// Bursts of `burst_len` back-to-back operations separated by idle gaps
+    /// of `idle_factor ×` the think time.
+    Bursty {
+        /// Operations per burst.
+        burst_len: u32,
+        /// Idle gap between bursts, in think-time multiples.
+        idle_factor: u32,
+    },
+}
+
+/// Precomputed object sampler.
+#[derive(Debug, Clone)]
+pub struct ObjectSampler {
+    /// Cumulative distribution over object ids; empty means uniform.
+    cdf: Vec<f64>,
+    objects: u32,
+}
+
+impl ObjectSampler {
+    /// Builds a sampler for `objects` objects under `dist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects == 0` or a Zipf exponent is negative/NaN.
+    pub fn new(objects: usize, dist: ObjectDistribution) -> Self {
+        assert!(objects > 0, "need at least one object");
+        let cdf = match dist {
+            ObjectDistribution::Uniform => Vec::new(),
+            ObjectDistribution::Zipfian { exponent } => {
+                assert!(
+                    exponent >= 0.0 && exponent.is_finite(),
+                    "zipf exponent must be a nonnegative finite number"
+                );
+                let mut acc = 0.0;
+                let mut cdf = Vec::with_capacity(objects);
+                for i in 0..objects {
+                    acc += 1.0 / ((i + 1) as f64).powf(exponent);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for v in &mut cdf {
+                    *v /= total;
+                }
+                cdf
+            }
+        };
+        ObjectSampler { cdf, objects: objects as u32 }
+    }
+
+    /// Samples an object id.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        if self.cdf.is_empty() {
+            return rng.gen_range(0..self.objects);
+        }
+        let x: f64 = rng.gen();
+        match self.cdf.binary_search_by(|v| v.partial_cmp(&x).expect("no NaN")) {
+            Ok(i) | Err(i) => (i as u32).min(self.objects - 1),
+        }
+    }
+}
+
+/// Stateful arrival pacer: returns the delay before a client's next
+/// operation.
+#[derive(Debug, Clone)]
+pub struct ArrivalPacer {
+    pattern: ArrivalPattern,
+    think: SimDuration,
+    position_in_burst: u32,
+}
+
+impl ArrivalPacer {
+    /// Creates a pacer with the given pattern and base think time.
+    pub fn new(pattern: ArrivalPattern, think: SimDuration) -> Self {
+        ArrivalPacer { pattern, think, position_in_burst: 0 }
+    }
+
+    /// Delay before the next operation. `jitter` should be a uniform sample
+    /// in `[0, 1)` supplied by the caller's RNG.
+    pub fn next_delay(&mut self, jitter: f64) -> SimDuration {
+        let base = self.think.as_micros();
+        let jittered = base + (jitter * base as f64 / 2.0) as u64;
+        match self.pattern {
+            ArrivalPattern::Steady => SimDuration::from_micros(jittered),
+            ArrivalPattern::Bursty { burst_len, idle_factor } => {
+                self.position_in_burst += 1;
+                if self.position_in_burst >= burst_len {
+                    self.position_in_burst = 0;
+                    SimDuration::from_micros(jittered.saturating_mul(u64::from(idle_factor).max(1)))
+                } else {
+                    // Within a burst: minimal pause.
+                    SimDuration::from_micros((base / 10).max(1))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sampler_covers_all_objects() {
+        let s = ObjectSampler::new(4, ObjectDistribution::Uniform);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hist = [0u32; 4];
+        for _ in 0..4000 {
+            hist[s.sample(&mut rng) as usize] += 1;
+        }
+        for h in hist {
+            assert!((800..1200).contains(&h), "{hist:?}");
+        }
+    }
+
+    #[test]
+    fn zipfian_sampler_skews_towards_low_ids() {
+        let s = ObjectSampler::new(8, ObjectDistribution::Zipfian { exponent: 1.0 });
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hist = [0u32; 8];
+        for _ in 0..20_000 {
+            hist[s.sample(&mut rng) as usize] += 1;
+        }
+        // Monotone-ish decay and strong head.
+        assert!(hist[0] > hist[3] && hist[3] > hist[7], "{hist:?}");
+        assert!(hist[0] as f64 / hist[7] as f64 > 4.0, "{hist:?}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let s = ObjectSampler::new(5, ObjectDistribution::Zipfian { exponent: 0.0 });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hist = [0u32; 5];
+        for _ in 0..10_000 {
+            hist[s.sample(&mut rng) as usize] += 1;
+        }
+        for h in hist {
+            assert!((1700..2300).contains(&h), "{hist:?}");
+        }
+    }
+
+    #[test]
+    fn sample_never_out_of_range() {
+        let s = ObjectSampler::new(3, ObjectDistribution::Zipfian { exponent: 2.0 });
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn zero_objects_rejected() {
+        let _ = ObjectSampler::new(0, ObjectDistribution::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_rejected() {
+        let _ = ObjectSampler::new(2, ObjectDistribution::Zipfian { exponent: -1.0 });
+    }
+
+    #[test]
+    fn steady_pacer_jitters_around_think_time() {
+        let mut p = ArrivalPacer::new(ArrivalPattern::Steady, SimDuration::from_micros(1000));
+        let d0 = p.next_delay(0.0).as_micros();
+        let d1 = p.next_delay(0.99).as_micros();
+        assert_eq!(d0, 1000);
+        assert!((1400..=1500).contains(&d1), "{d1}");
+    }
+
+    #[test]
+    fn bursty_pacer_alternates_fast_and_idle() {
+        let mut p = ArrivalPacer::new(
+            ArrivalPattern::Bursty { burst_len: 3, idle_factor: 10 },
+            SimDuration::from_micros(1000),
+        );
+        let delays: Vec<u64> = (0..6).map(|_| p.next_delay(0.0).as_micros()).collect();
+        // Two fast gaps, then an idle one, repeating.
+        assert_eq!(delays, vec![100, 100, 10_000, 100, 100, 10_000]);
+    }
+}

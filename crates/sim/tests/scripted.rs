@@ -1,0 +1,160 @@
+//! Tests of the scripted-transaction API.
+
+use arbitree_core::ArbitraryProtocol;
+use arbitree_sim::{
+    ClientId, ObjectId, SimConfig, SimDuration, SimTime, Simulation, TxnRequest,
+};
+use bytes::Bytes;
+
+fn scripted_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        clients: 2,
+        objects: 4,
+        auto_workload: false,
+        record_history: true,
+        duration: SimDuration::from_millis(300),
+        ..SimConfig::default()
+    }
+}
+
+fn proto() -> ArbitraryProtocol {
+    ArbitraryProtocol::parse("1-3-5").unwrap()
+}
+
+#[test]
+fn scripted_writes_then_read_returns_last_value() {
+    let mut sim = Simulation::new(scripted_config(1), proto());
+    let obj = ObjectId(0);
+    sim.schedule_transaction(
+        SimTime::from_millis(1),
+        ClientId(0),
+        TxnRequest::write(obj, Bytes::from_static(b"first")),
+    );
+    sim.schedule_transaction(
+        SimTime::from_millis(50),
+        ClientId(0),
+        TxnRequest::write(obj, Bytes::from_static(b"second")),
+    );
+    sim.schedule_transaction(SimTime::from_millis(100), ClientId(1), TxnRequest::read(obj));
+    let report = sim.run();
+    assert!(report.consistent);
+    assert_eq!(report.metrics.txns_ok, 3);
+    assert_eq!(report.metrics.txns_failed, 0);
+    // The committed model holds the second value.
+    let (_, value) = sim.checker().committed(obj).unwrap();
+    assert_eq!(value, Bytes::from_static(b"second"));
+    // And the read observed it (history's read event carries the final ts).
+    let read_event = report
+        .history
+        .events()
+        .iter()
+        .find(|e| e.kind == arbitree_sim::HistoryKind::Read)
+        .unwrap();
+    assert_eq!(read_event.ts.version(), 2);
+}
+
+#[test]
+fn scripted_multi_object_transaction_is_atomic() {
+    let mut sim = Simulation::new(scripted_config(2), proto());
+    sim.schedule_transaction(
+        SimTime::from_millis(1),
+        ClientId(0),
+        TxnRequest {
+            reads: vec![ObjectId(2)],
+            writes: vec![
+                (ObjectId(0), Bytes::from_static(b"a")),
+                (ObjectId(1), Bytes::from_static(b"b")),
+            ],
+        },
+    );
+    let report = sim.run();
+    assert!(report.consistent);
+    assert_eq!(report.metrics.txns_ok, 1);
+    assert_eq!(report.metrics.reads_ok, 1);
+    assert_eq!(report.metrics.writes_ok, 2);
+    let (_, a) = sim.checker().committed(ObjectId(0)).unwrap();
+    let (_, b) = sim.checker().committed(ObjectId(1)).unwrap();
+    assert_eq!(a, Bytes::from_static(b"a"));
+    assert_eq!(b, Bytes::from_static(b"b"));
+}
+
+#[test]
+fn no_auto_workload_means_only_scripted_txns_run() {
+    let mut sim = Simulation::new(scripted_config(3), proto());
+    sim.schedule_transaction(
+        SimTime::from_millis(1),
+        ClientId(0),
+        TxnRequest::read(ObjectId(0)),
+    );
+    let report = sim.run();
+    assert_eq!(report.metrics.txns_ok, 1);
+    assert_eq!(report.metrics.ops_ok(), 1);
+}
+
+#[test]
+fn scripted_queue_drains_in_order_per_client() {
+    let mut sim = Simulation::new(scripted_config(4), proto());
+    // Queue three writes at the same instant: they must apply in order.
+    for (i, v) in [&b"1"[..], b"2", b"3"].iter().enumerate() {
+        sim.schedule_transaction(
+            SimTime::from_millis(1 + i as u64),
+            ClientId(0),
+            TxnRequest::write(ObjectId(0), Bytes::copy_from_slice(v)),
+        );
+    }
+    let report = sim.run();
+    assert!(report.consistent);
+    assert_eq!(report.metrics.txns_ok, 3);
+    let (ts, value) = sim.checker().committed(ObjectId(0)).unwrap();
+    assert_eq!(value, Bytes::from_static(b"3"));
+    assert_eq!(ts.version(), 3);
+}
+
+#[test]
+fn scripted_and_auto_workload_compose() {
+    let mut cfg = scripted_config(5);
+    cfg.auto_workload = true;
+    let mut sim = Simulation::new(cfg, proto());
+    sim.schedule_transaction(
+        SimTime::from_millis(50),
+        ClientId(0),
+        TxnRequest::write(ObjectId(3), Bytes::from_static(b"scripted")),
+    );
+    let report = sim.run();
+    assert!(report.consistent);
+    // The random workload also ran.
+    assert!(report.metrics.txns_ok > 1);
+}
+
+#[test]
+#[should_panic(expected = "appears twice")]
+fn duplicate_object_rejected() {
+    let mut sim = Simulation::new(scripted_config(6), proto());
+    sim.schedule_transaction(
+        SimTime::from_millis(1),
+        ClientId(0),
+        TxnRequest {
+            reads: vec![ObjectId(0)],
+            writes: vec![(ObjectId(0), Bytes::new())],
+        },
+    );
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn bad_object_rejected() {
+    let mut sim = Simulation::new(scripted_config(7), proto());
+    sim.schedule_transaction(
+        SimTime::from_millis(1),
+        ClientId(0),
+        TxnRequest::read(ObjectId(99)),
+    );
+}
+
+#[test]
+#[should_panic(expected = "at least one operation")]
+fn empty_transaction_rejected() {
+    let mut sim = Simulation::new(scripted_config(8), proto());
+    sim.schedule_transaction(SimTime::from_millis(1), ClientId(0), TxnRequest::default());
+}

@@ -1,0 +1,107 @@
+//! Property-based simulation tests: random workloads, failure schedules
+//! and network behaviours — one-copy consistency must hold in every
+//! generated execution.
+
+use arbitree_core::ArbitraryProtocol;
+use arbitree_sim::{
+    run_simulation, FailureSchedule, NetworkConfig, SimConfig, SimDuration, SimTime, Simulation,
+};
+use proptest::prelude::*;
+
+const SPECS: [&str; 5] = ["1-3-5", "1-8", "1-2-2-2-3", "1-4-4", "p:1-2-4"];
+
+fn config_from(seed: u64, read_fraction: f64, drop: f64, repair: bool) -> SimConfig {
+    SimConfig {
+        seed,
+        clients: 3,
+        objects: 3,
+        max_txn_ops: 2,
+        read_fraction,
+        read_repair: repair,
+        network: NetworkConfig {
+            drop_probability: drop,
+            ..NetworkConfig::default()
+        },
+        duration: SimDuration::from_millis(80),
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_executions_are_consistent(
+        seed in 0u64..10_000,
+        spec_idx in 0usize..SPECS.len(),
+        read_fraction in 0.0f64..=1.0,
+        drop in 0.0f64..0.15,
+        repair in any::<bool>(),
+        fail_seed in 0u64..10_000,
+    ) {
+        let proto = ArbitraryProtocol::parse(SPECS[spec_idx]).unwrap();
+        let n = proto.tree().replica_count();
+        let schedule = FailureSchedule::random(
+            n,
+            SimDuration::from_millis(80),
+            SimDuration::from_millis(25),
+            SimDuration::from_millis(8),
+            fail_seed,
+        );
+        let report = run_simulation(
+            config_from(seed, read_fraction, drop, repair),
+            proto,
+            &schedule,
+        );
+        prop_assert!(
+            report.consistent,
+            "spec {} seed {seed} drop {drop:.3}: {} violations",
+            SPECS[spec_idx],
+            report.violations
+        );
+    }
+
+    #[test]
+    fn random_reconfigurations_are_consistent(
+        seed in 0u64..10_000,
+        from_idx in 0usize..3,
+        to_idx in 0usize..3,
+        at_ms in 10u64..60,
+    ) {
+        // Shapes sharing n = 8 so reconfiguration is legal.
+        let shapes = ["1-8", "1-3-5", "1-2-2-4"];
+        let from = ArbitraryProtocol::parse(shapes[from_idx]).unwrap();
+        let to = ArbitraryProtocol::parse(shapes[to_idx]).unwrap();
+        let mut sim = Simulation::new(config_from(seed, 0.5, 0.02, false), from);
+        sim.schedule_reconfigure(SimTime::from_millis(at_ms), to);
+        let report = sim.run();
+        prop_assert!(
+            report.consistent,
+            "{} -> {} at {at_ms}ms seed {seed}: {} violations",
+            shapes[from_idx], shapes[to_idx], report.violations
+        );
+    }
+
+    #[test]
+    fn failure_free_runs_never_fail_operations(
+        seed in 0u64..10_000,
+        spec_idx in 0usize..SPECS.len(),
+        read_fraction in 0.0f64..=1.0,
+    ) {
+        let proto = ArbitraryProtocol::parse(SPECS[spec_idx]).unwrap();
+        let report = run_simulation(
+            config_from(seed, read_fraction, 0.0, false),
+            proto,
+            &FailureSchedule::none(),
+        );
+        prop_assert!(report.consistent);
+        prop_assert_eq!(
+            report.metrics.ops_failed(),
+            0,
+            "spec {} seed {}",
+            SPECS[spec_idx],
+            seed
+        );
+        prop_assert!(report.metrics.ops_ok() > 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Side-by-side comparison of all protocols in the workspace — the six §4
+//! configurations plus ROWA, Majority, Grid and Maekawa — at a common
+//! target size: communication costs, loads, availability, and a live
+//! simulation of each.
+//!
+//! Run with: `cargo run --example protocol_comparison [-- <n>]`
+
+use arbitree::analysis::Configuration;
+use arbitree::baselines::{Grid, Maekawa, Majority, Rowa};
+use arbitree::quorum::ReplicaControl;
+use arbitree::sim::{run_simulation, FailureSchedule, SimConfig, SimDuration};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(27);
+    let p = 0.8;
+
+    let mut protocols: Vec<Box<dyn ReplicaControl>> = Vec::new();
+    for config in Configuration::ALL {
+        protocols.push(Box::new(config.build(n)));
+    }
+    protocols.push(Box::new(Rowa::new(n)));
+    protocols.push(Box::new(Majority::new(n)));
+    protocols.push(Box::new(Grid::square_like(n)));
+    protocols.push(Box::new(Maekawa::square_like(n)));
+
+    println!("Analytic comparison at target n = {n}, p = {p}");
+    println!(
+        "{:<13} {:>4} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "protocol", "n", "RDcost", "WRcost", "RDload", "WRload", "RDavail", "WRavail"
+    );
+    for proto in &protocols {
+        println!(
+            "{:<13} {:>4} {:>8.2} {:>8.2} {:>8.4} {:>8.4} {:>9.4} {:>9.4}",
+            proto.name(),
+            proto.universe().len(),
+            proto.read_cost().avg,
+            proto.write_cost().avg,
+            proto.read_load(),
+            proto.write_load(),
+            proto.read_availability(p),
+            proto.write_availability(p),
+        );
+    }
+
+    println!("\nLive simulation (120 ms, churn, same seed for all):");
+    println!(
+        "{:<13} {:>9} {:>10} {:>10} {:>11} {:>11}",
+        "protocol", "reads_ok", "reads_fail", "writes_ok", "writes_fail", "consistent"
+    );
+    for proto in protocols {
+        let sites = proto.universe().len();
+        if sites > 128 {
+            continue;
+        }
+        let config = SimConfig {
+            seed: 99,
+            clients: 4,
+            objects: 4,
+            duration: SimDuration::from_millis(120),
+            ..SimConfig::default()
+        };
+        let schedule = FailureSchedule::random(
+            sites,
+            config.duration,
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(12),
+            5,
+        );
+        let name = proto.name().to_string();
+        let report = run_simulation(config, proto, &schedule);
+        println!(
+            "{:<13} {:>9} {:>10} {:>10} {:>11} {:>11}",
+            name,
+            report.metrics.reads_ok,
+            report.metrics.reads_failed,
+            report.metrics.writes_ok,
+            report.metrics.writes_failed,
+            report.consistent,
+        );
+        assert!(report.consistent, "{name} violated consistency");
+    }
+    Ok(())
+}

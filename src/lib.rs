@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the `arbitree` workspace.
+pub use arbitree_analysis as analysis;
+pub use arbitree_baselines as baselines;
+pub use arbitree_core as core;
+pub use arbitree_quorum as quorum;
+pub use arbitree_sim as sim;

@@ -1,0 +1,174 @@
+//! Integration tests spanning crates: every protocol in the workspace is
+//! checked against the generic quorum foundations (bicoterie validity, LP
+//! loads, exhaustive availability) and driven through the simulator.
+
+use arbitree::analysis::Configuration;
+use arbitree::baselines::{Grid, Hqc, Maekawa, Majority, Rowa, TreeQuorum};
+use arbitree::core::ArbitraryProtocol;
+use arbitree::quorum::{exact_availability, optimal_load, ReplicaControl};
+use arbitree::sim::{run_simulation, FailureSchedule, SimConfig, SimDuration};
+
+fn all_small_protocols() -> Vec<Box<dyn ReplicaControl>> {
+    vec![
+        Box::new(ArbitraryProtocol::parse("1-3-5").unwrap()),
+        Box::new(ArbitraryProtocol::parse("1-2-2-3").unwrap()),
+        Box::new(Rowa::new(7)),
+        Box::new(Majority::new(7)),
+        Box::new(TreeQuorum::new(2)),
+        Box::new(Hqc::new(2)),
+        Box::new(Grid::new(3, 3)),
+        Box::new(Maekawa::new(3, 3)),
+    ]
+}
+
+#[test]
+fn every_protocol_is_a_valid_bicoterie() {
+    for proto in all_small_protocols() {
+        proto
+            .to_bicoterie()
+            .unwrap_or_else(|e| panic!("{}: {e}", proto.name()));
+    }
+}
+
+#[test]
+fn closed_form_availability_matches_enumeration_everywhere() {
+    for proto in all_small_protocols() {
+        let b = proto.to_bicoterie().unwrap();
+        for &p in &[0.6, 0.8] {
+            let read = exact_availability(b.read_quorums(), p);
+            let write = exact_availability(b.write_quorums(), p);
+            assert!(
+                (read - proto.read_availability(p)).abs() < 1e-6,
+                "{} read p={p}: {read} vs {}",
+                proto.name(),
+                proto.read_availability(p)
+            );
+            assert!(
+                (write - proto.write_availability(p)).abs() < 1e-6,
+                "{} write p={p}: {write} vs {}",
+                proto.name(),
+                proto.write_availability(p)
+            );
+        }
+    }
+}
+
+#[test]
+fn reported_loads_are_achievable_lp_loads() {
+    // For protocols whose canonical strategy is load-optimal, the reported
+    // load must equal the LP optimum of the enumerated system. BINARY
+    // reports the Naor–Wool optimum (its operational strategy is
+    // cost-optimal instead), so it is checked as a lower bound.
+    for proto in all_small_protocols() {
+        let b = proto.to_bicoterie().unwrap();
+        let (read_lp, _) = optimal_load(b.read_quorums());
+        let (write_lp, _) = optimal_load(b.write_quorums());
+        assert!(
+            read_lp <= proto.read_load() + 1e-6,
+            "{}: LP read load {read_lp} exceeds reported {}",
+            proto.name(),
+            proto.read_load()
+        );
+        assert!(
+            write_lp <= proto.write_load() + 1e-6,
+            "{}: LP write load {write_lp} exceeds reported {}",
+            proto.name(),
+            proto.write_load()
+        );
+        if proto.name() != "BINARY" {
+            assert!(
+                (read_lp - proto.read_load()).abs() < 1e-5,
+                "{}: read load {read_lp} vs {}",
+                proto.name(),
+                proto.read_load()
+            );
+        }
+    }
+}
+
+#[test]
+fn cost_profiles_match_enumerated_sizes() {
+    for proto in all_small_protocols() {
+        let b = proto.to_bicoterie().unwrap();
+        assert_eq!(
+            b.read_quorums().min_quorum_size() as f64,
+            proto.read_cost().min,
+            "{} read min",
+            proto.name()
+        );
+        assert_eq!(
+            b.read_quorums().max_quorum_size() as f64,
+            proto.read_cost().max,
+            "{} read max",
+            proto.name()
+        );
+        assert_eq!(
+            b.write_quorums().min_quorum_size() as f64,
+            proto.write_cost().min,
+            "{} write min",
+            proto.name()
+        );
+        assert_eq!(
+            b.write_quorums().max_quorum_size() as f64,
+            proto.write_cost().max,
+            "{} write max",
+            proto.name()
+        );
+    }
+}
+
+#[test]
+fn simulator_keeps_every_protocol_consistent() {
+    for proto in all_small_protocols() {
+        let n = proto.universe().len();
+        let name = proto.name().to_string();
+        let config = SimConfig {
+            seed: 21,
+            duration: SimDuration::from_millis(100),
+            ..SimConfig::default()
+        };
+        let schedule = FailureSchedule::random(
+            n,
+            config.duration,
+            SimDuration::from_millis(40),
+            SimDuration::from_millis(10),
+            3,
+        );
+        let report = run_simulation(config, proto, &schedule);
+        assert!(report.consistent, "{name}: {} violations", report.violations);
+    }
+}
+
+#[test]
+fn configurations_build_and_expose_consistent_metrics() {
+    for config in Configuration::ALL {
+        for n in [9usize, 31, 81] {
+            let proto = config.build(n);
+            // Loads are probabilities; availability is monotone in p.
+            assert!(proto.read_load() > 0.0 && proto.read_load() <= 1.0, "{config} n={n}");
+            assert!(proto.write_load() > 0.0 && proto.write_load() <= 1.0);
+            assert!(proto.read_availability(0.9) >= proto.read_availability(0.6) - 1e-9);
+            assert!(proto.write_availability(0.9) >= proto.write_availability(0.6) - 1e-9);
+            // Cost profile sanity.
+            let rc = proto.read_cost();
+            assert!(rc.min <= rc.max, "{config} n={n}");
+            let wc = proto.write_cost();
+            assert!(wc.min <= wc.max);
+            assert!(wc.max <= proto.universe().len() as f64 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn expected_loads_interpolate_between_load_and_one() {
+    for proto in all_small_protocols() {
+        for &p in &[0.5, 0.7, 0.9, 1.0] {
+            let er = proto.expected_read_load(p);
+            let ew = proto.expected_write_load(p);
+            assert!(er >= proto.read_load() - 1e-9 && er <= 1.0 + 1e-9, "{}", proto.name());
+            assert!(ew >= proto.write_load() - 1e-9 && ew <= 1.0 + 1e-9, "{}", proto.name());
+        }
+        assert!((proto.expected_read_load(1.0) - proto.read_load()).abs() < 1e-9);
+        assert!((proto.expected_write_load(1.0) - proto.write_load()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end pipeline tests: workload → planner → protocol → simulation →
+//! verified consistency and metric agreement — the full user journey the
+//! README describes.
+
+use arbitree::core::planner::{plan, reconfigure, Workload};
+use arbitree::core::{ArbitraryProtocol, ArbitraryTree, TreeMetrics};
+use arbitree::quorum::ReplicaControl;
+use arbitree::sim::{
+    empirical_availability, empirical_cost, empirical_load, run_simulation, FailureSchedule,
+    SimConfig, SimDuration,
+};
+
+#[test]
+fn plan_build_simulate_verify() {
+    let n = 24;
+    let workload = Workload::new(0.75, 0.9);
+    let best = plan(n, workload).unwrap();
+    let tree = ArbitraryTree::from_spec(&best.spec).unwrap();
+    let proto = ArbitraryProtocol::new(tree);
+
+    let config = SimConfig {
+        seed: 77,
+        clients: 5,
+        objects: 4,
+        read_fraction: 0.75,
+        duration: SimDuration::from_millis(250),
+        ..SimConfig::default()
+    };
+    let schedule = FailureSchedule::random(
+        n,
+        config.duration,
+        SimDuration::from_millis(70),
+        SimDuration::from_millis(15),
+        5,
+    );
+    let report = run_simulation(config, proto, &schedule);
+    assert!(report.consistent, "{} violations", report.violations);
+    assert!(report.metrics.reads_ok > 20);
+    assert!(report.metrics.writes_ok > 0);
+}
+
+#[test]
+fn empirical_metrics_agree_with_planner_expectations() {
+    let n = 36;
+    let best = plan(n, Workload::balanced(0.9)).unwrap();
+    let tree = ArbitraryTree::from_spec(&best.spec).unwrap();
+    let m = TreeMetrics::new(&tree);
+    let closed = (
+        m.read_availability(0.85),
+        m.write_availability(0.85),
+        m.read_load(),
+        m.write_load(),
+        m.read_cost().avg,
+        m.write_cost().avg,
+    );
+    let proto = ArbitraryProtocol::new(tree);
+    let (ar, aw) = empirical_availability(&proto, 0.85, 30_000, 1);
+    let (lr, lw) = empirical_load(&proto, 30_000, 2);
+    let (cr, cw) = empirical_cost(&proto, 30_000, 3);
+    assert!((ar - closed.0).abs() < 0.01, "read avail {ar} vs {}", closed.0);
+    assert!((aw - closed.1).abs() < 0.01, "write avail {aw} vs {}", closed.1);
+    assert!((lr - closed.2).abs() < 0.02, "read load {lr} vs {}", closed.2);
+    assert!((lw - closed.3).abs() < 0.02, "write load {lw} vs {}", closed.3);
+    assert!((cr - closed.4).abs() < 1e-9, "read cost {cr} vs {}", closed.4);
+    assert!((cw - closed.5).abs() < 0.2, "write cost {cw} vs {}", closed.5);
+}
+
+#[test]
+fn reconfiguration_preserves_service() {
+    // Run the same workload under the pre- and post-shift shapes; both must
+    // be consistent, and the post-shift shape must serve writes cheaper.
+    let n = 20;
+    let read_shape = plan(n, Workload::new(0.95, 0.9)).unwrap().spec;
+    let write_shape = plan(n, Workload::new(0.05, 0.9)).unwrap().spec;
+    let migration = reconfigure(&read_shape, &write_shape).unwrap();
+    assert!(!migration.moves().is_empty());
+
+    let mut write_costs = Vec::new();
+    for spec in [&read_shape, &write_shape] {
+        let tree = ArbitraryTree::from_spec(spec).unwrap();
+        write_costs.push(TreeMetrics::new(&tree).write_cost().avg);
+        let proto = ArbitraryProtocol::new(tree);
+        let config = SimConfig {
+            seed: 3,
+            read_fraction: 0.05,
+            duration: SimDuration::from_millis(150),
+            ..SimConfig::default()
+        };
+        let report = run_simulation(config, proto, &FailureSchedule::none());
+        assert!(report.consistent);
+        assert!(report.metrics.writes_ok > 0);
+    }
+    assert!(write_costs[1] < write_costs[0]);
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The facade crate exposes every layer under one namespace.
+    let spec: arbitree::core::TreeSpec = "1-3-5".parse().unwrap();
+    let tree = arbitree::core::ArbitraryTree::from_spec(&spec).unwrap();
+    let proto = arbitree::core::ArbitraryProtocol::new(tree);
+    let bic: arbitree::quorum::Bicoterie = proto.to_bicoterie().unwrap();
+    assert_eq!(bic.read_quorums().len(), 15);
+    let pt = arbitree::analysis::point(arbitree::analysis::Configuration::Arbitrary, 81, 0.8);
+    assert_eq!(pt.n, 81);
+}

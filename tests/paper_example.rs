@@ -1,0 +1,157 @@
+//! Golden tests reproducing every number the paper states for its running
+//! example (§3.4, Table 1) and the named claims of §3.3 and §4.
+
+use arbitree::core::builder::{balanced, complete_binary, mostly_read, mostly_write};
+use arbitree::core::{
+    read_quorum_count, write_quorum_count, ArbitraryTree, LevelSpec, TreeMetrics, TreeSpec,
+};
+use arbitree::quorum::ReplicaControl;
+
+#[test]
+fn table_1_bookkeeping() {
+    let tree = ArbitraryTree::from_spec(&TreeSpec::new(vec![
+        LevelSpec::logical(1),
+        LevelSpec::physical(3),
+        LevelSpec { physical: 5, logical: 4 },
+    ]))
+    .unwrap();
+    // Table 1 rows.
+    assert_eq!(
+        (tree.level_total(0), tree.level_physical(0), tree.level_logical(0)),
+        (1, 0, 1)
+    );
+    assert_eq!(
+        (tree.level_total(1), tree.level_physical(1), tree.level_logical(1)),
+        (3, 3, 0)
+    );
+    assert_eq!(
+        (tree.level_total(2), tree.level_physical(2), tree.level_logical(2)),
+        (9, 5, 4)
+    );
+    // §3.4 bullet points.
+    assert_eq!(tree.replica_count(), 8);
+    assert_eq!(tree.physical_levels(), &[1, 2]);
+    assert_eq!(tree.logical_levels(), &[0]);
+    assert_eq!(read_quorum_count(&tree), Some(15));
+    assert_eq!(write_quorum_count(&tree), 2);
+}
+
+#[test]
+fn section_3_4_metrics() {
+    let tree = ArbitraryTree::parse("1-3-5").unwrap();
+    let m = TreeMetrics::new(&tree);
+    let p = 0.7;
+    assert_eq!(m.read_cost().avg, 2.0);
+    // Paper rounds RDavail to 0.97; exact value is 0.9706…
+    assert!((m.read_availability(p) - 0.97).abs() < 0.005);
+    assert!((m.read_load() - 1.0 / 3.0).abs() < 1e-12);
+    assert_eq!(m.write_cost().min, 3.0);
+    assert_eq!(m.write_cost().max, 5.0);
+    assert_eq!(m.write_cost().avg, 4.0);
+    // Paper rounds WRavail to 0.45; exact 0.4534…
+    assert!((m.write_availability(p) - 0.45).abs() < 0.005);
+    assert!((m.write_load() - 0.5).abs() < 1e-12);
+    // E[L_RD] = 0.35, E[L_WR] = 0.775 per equation 3.2.
+    assert!((m.expected_read_load(p) - 0.35).abs() < 0.005);
+    assert!((m.expected_write_load(p) - 0.775).abs() < 0.005);
+}
+
+#[test]
+fn section_3_3_recommended_small_configuration() {
+    // n > 32, p > 0.65: seven 4-wide levels plus the rest.
+    let spec = balanced(40).unwrap();
+    let counts = spec.physical_counts();
+    assert_eq!(&counts[..7], &[4, 4, 4, 4, 4, 4, 4]);
+    assert_eq!(counts[7], 12);
+    assert_eq!(spec.replica_count(), 40);
+}
+
+#[test]
+fn algorithm_1_headline_numbers() {
+    // Write load 1/sqrt(n), read load 1/4, both costs ~sqrt(n).
+    for n in [100usize, 144, 256, 400] {
+        let tree = ArbitraryTree::from_spec(&balanced(n).unwrap()).unwrap();
+        let m = TreeMetrics::new(&tree);
+        let sqrt = (n as f64).sqrt();
+        assert!((m.write_load() - 1.0 / sqrt).abs() < 1e-9, "n={n}");
+        assert_eq!(m.read_load(), 0.25, "n={n}");
+        assert!((m.read_cost().avg - sqrt).abs() < 1.0, "n={n}");
+        assert!((m.write_cost().avg - sqrt).abs() < 1.0, "n={n}");
+        // Combined cost ≈ 2√n (conclusion).
+        let combined = m.read_cost().avg + m.write_cost().avg;
+        assert!((combined - 2.0 * sqrt).abs() < 2.0, "n={n}");
+    }
+}
+
+#[test]
+fn section_3_3_availability_limits() {
+    use arbitree::core::{
+        algorithm1_read_availability_limit, algorithm1_write_availability_limit,
+    };
+    // The limits are approached from the finite formulas as n grows.
+    for &p in &[0.6, 0.75, 0.9] {
+        let big = ArbitraryTree::from_spec(&balanced(10_000).unwrap()).unwrap();
+        let m = TreeMetrics::new(&big);
+        assert!(
+            (m.write_availability(p) - algorithm1_write_availability_limit(p)).abs() < 0.01,
+            "p={p}"
+        );
+        assert!(
+            (m.read_availability(p) - algorithm1_read_availability_limit(p)).abs() < 0.01,
+            "p={p}"
+        );
+    }
+    // For p > 0.8 both ≈ 1.
+    assert!(algorithm1_read_availability_limit(0.85) > 0.98);
+    assert!(algorithm1_write_availability_limit(0.85) > 0.97);
+}
+
+#[test]
+fn unmodified_lower_bound_claim() {
+    // §3.3: write load 1/log2(n+1), strictly below Naor–Wool's
+    // 2/(log2(n+1)+1); writes highly available (> p), reads poorly (< p).
+    for h in 2..9usize {
+        let tree = ArbitraryTree::from_spec(&complete_binary(h).unwrap()).unwrap();
+        let m = TreeMetrics::new(&tree);
+        let n = tree.replica_count() as f64;
+        let log = (n + 1.0).log2();
+        assert!((m.write_load() - 1.0 / log).abs() < 1e-12);
+        assert!(m.write_load() < 2.0 / (log + 1.0));
+        assert!((m.write_cost().avg - n / log).abs() < 1e-9);
+        assert_eq!(m.read_cost().avg, log);
+        assert_eq!(m.read_load(), 1.0);
+        for &p in &[0.55, 0.7, 0.9] {
+            assert!(m.write_availability(p) > p, "h={h} p={p}");
+            assert!(m.read_availability(p) < p, "h={h} p={p}");
+        }
+    }
+}
+
+#[test]
+fn mostly_read_and_mostly_write_extremes() {
+    // §4: MOSTLY-READ = ROWA-like; MOSTLY-WRITE cost 2 / load 2/(n−1).
+    let n = 101;
+    let mr = ArbitraryTree::from_spec(&mostly_read(n).unwrap()).unwrap();
+    let m = TreeMetrics::new(&mr);
+    assert_eq!(m.read_cost().avg, 1.0);
+    assert_eq!(m.write_cost().avg, n as f64);
+    assert!((m.read_load() - 1.0 / n as f64).abs() < 1e-12);
+    assert_eq!(m.write_load(), 1.0);
+
+    let mw = ArbitraryTree::from_spec(&mostly_write(n).unwrap()).unwrap();
+    let m = TreeMetrics::new(&mw);
+    assert_eq!(m.write_cost().min, 2.0);
+    assert!((m.write_load() - 2.0 / (n as f64 - 1.0)).abs() < 1e-12);
+    assert_eq!(m.read_cost().avg, (n as f64 - 1.0) / 2.0);
+    assert_eq!(m.read_load(), 0.5);
+}
+
+#[test]
+fn bicoterie_proof_by_construction() {
+    // §3.2.3's induction, checked exhaustively on several shapes.
+    for spec in ["1-2", "1-3-5", "1-2-2-2-3", "1-4-4-4", "p:1-2-4"] {
+        let tree = ArbitraryTree::parse(spec).unwrap();
+        let proto = arbitree::core::ArbitraryProtocol::new(tree);
+        proto.to_bicoterie().unwrap_or_else(|e| panic!("{spec}: {e}"));
+    }
+}
