@@ -37,7 +37,10 @@ pub fn render_chart(series: &[ChartSeries], width: usize, height: usize) -> Stri
     assert!(width >= 8, "chart width must be at least 8");
     assert!(height >= 3, "chart height must be at least 3");
     let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "chart needs at least one point");
 
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -105,11 +108,7 @@ mod tests {
 
     #[test]
     fn multiple_series_get_distinct_glyphs() {
-        let art = render_chart(
-            &[line("a", |x| x), line("b", |x| 20.0 - x)],
-            40,
-            10,
-        );
+        let art = render_chart(&[line("a", |x| x), line("b", |x| 20.0 - x)], 40, 10);
         assert!(art.contains('*'));
         assert!(art.contains('o'));
         assert!(art.contains("  * a"));
@@ -136,7 +135,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one point")]
     fn empty_series_rejected() {
-        let s = ChartSeries { label: "e".into(), points: vec![] };
+        let s = ChartSeries {
+            label: "e".into(),
+            points: vec![],
+        };
         let _ = render_chart(&[s], 20, 5);
     }
 

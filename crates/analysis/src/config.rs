@@ -83,9 +83,9 @@ impl Configuration {
                 }
                 v
             }
-            Configuration::Arbitrary
-            | Configuration::MostlyRead
-            | Configuration::MostlyWrite => (self.min_size()..=max_n).collect(),
+            Configuration::Arbitrary | Configuration::MostlyRead | Configuration::MostlyWrite => {
+                (self.min_size()..=max_n).collect()
+            }
         }
     }
 
@@ -164,7 +164,14 @@ mod tests {
         let names: Vec<&str> = Configuration::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            vec!["BINARY", "UNMODIFIED", "ARBITRARY", "HQC", "MOSTLY-READ", "MOSTLY-WRITE"]
+            vec![
+                "BINARY",
+                "UNMODIFIED",
+                "ARBITRARY",
+                "HQC",
+                "MOSTLY-READ",
+                "MOSTLY-WRITE"
+            ]
         );
     }
 

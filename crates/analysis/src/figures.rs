@@ -5,6 +5,7 @@
 //! `arbitree-bench` binaries print as tables for comparison against the
 //! paper's shapes.
 
+use crate::chart::{render_chart, ChartSeries};
 use crate::config::Configuration;
 
 /// One point of a figure series, carrying every metric the paper plots.
@@ -123,6 +124,50 @@ pub fn availability_limits(ps: &[f64]) -> Vec<(f64, f64, f64)> {
         .collect()
 }
 
+/// Groups figure `data` into one chart series per configuration (in first
+/// appearance order), plotting `metric` against the replica count.
+pub fn config_series(
+    data: &[SeriesPoint],
+    metric: impl Fn(&SeriesPoint) -> f64,
+) -> Vec<ChartSeries> {
+    let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
+    configs.dedup();
+    configs
+        .into_iter()
+        .map(|config| ChartSeries {
+            label: config.to_string(),
+            points: data
+                .iter()
+                .filter(|p| p.config == config)
+                .map(|p| (p.n as f64, metric(p)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The shared chart tail of the `fig2`/`fig3`/`fig4` binaries: if `args`
+/// carries `--svg [dir]`, writes the figure as `svg_file` into `dir`
+/// (default `.`); then prints the terminal chart under `chart_label`.
+pub fn emit_figure_charts(
+    data: &[SeriesPoint],
+    metric: impl Fn(&SeriesPoint) -> f64,
+    args: &[String],
+    svg_title: &str,
+    svg_file: &str,
+    chart_label: &str,
+) {
+    let series = config_series(data, metric);
+    if let Some(i) = args.iter().position(|a| a == "--svg") {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| ".".into());
+        let svg = crate::svg::render_svg(&series, svg_title, 860, 480);
+        let path = std::path::Path::new(&dir).join(svg_file);
+        std::fs::write(&path, svg).expect("write svg");
+        println!("wrote {}", path.display());
+    }
+    println!("{chart_label}:");
+    println!("{}", render_chart(&series, 72, 18));
+}
+
 /// The §3.3 lower-bound comparison printed alongside Figure 4: for each
 /// binary-tree size, the `UNMODIFIED` write load `1/log₂(n+1)` versus the
 /// Naor–Wool bound `2/(log₂(n+1)+1)` for the structure of \[2\].
@@ -191,7 +236,10 @@ mod tests {
             assert_eq!(p.read_load, 0.25, "n={}", p.n);
         }
         // HQC has the least read load among the first four for larger n.
-        let hqc = data.iter().find(|p| p.config == "HQC" && p.n == 243).unwrap();
+        let hqc = data
+            .iter()
+            .find(|p| p.config == "HQC" && p.n == 243)
+            .unwrap();
         for other in ["BINARY", "UNMODIFIED", "ARBITRARY"] {
             let o = data
                 .iter()
@@ -219,8 +267,29 @@ mod tests {
         }
         // ARBITRARY write load = 1/√n.
         for p in data.iter().filter(|p| p.config == "ARBITRARY" && p.n > 64) {
-            assert!((p.write_load - 1.0 / (p.n as f64).sqrt()).abs() < 0.01, "n={}", p.n);
+            assert!(
+                (p.write_load - 1.0 / (p.n as f64).sqrt()).abs() < 0.01,
+                "n={}",
+                p.n
+            );
         }
+    }
+
+    #[test]
+    fn config_series_groups_in_order() {
+        let data = figure2(100);
+        let series = config_series(&data, |p| p.write_cost);
+        assert_eq!(series.len(), Configuration::ALL.len());
+        // First appearance order matches the sweep's configuration order.
+        assert_eq!(series[0].label, Configuration::ALL[0].name());
+        // Every point lands in exactly one series.
+        let total: usize = series.iter().map(|s| s.points.len()).sum();
+        assert_eq!(total, data.len());
+        // Metric values survive the grouping.
+        let first = &series[0].points[0];
+        let src = data.iter().find(|p| p.config == series[0].label).unwrap();
+        assert_eq!(first.0, src.n as f64);
+        assert_eq!(first.1, src.write_cost);
     }
 
     #[test]
@@ -252,10 +321,22 @@ mod tests {
         let mostly_read = point(Configuration::MostlyRead, n, p);
         assert!(mostly_read.read_stability_gap() < 0.01);
         let mostly_write = point(Configuration::MostlyWrite, n, p);
-        assert!(mostly_write.read_stability_gap() > 0.3, "gap {}", mostly_write.read_stability_gap());
-        for cfg in [Configuration::Binary, Configuration::Hqc, Configuration::Arbitrary] {
+        assert!(
+            mostly_write.read_stability_gap() > 0.3,
+            "gap {}",
+            mostly_write.read_stability_gap()
+        );
+        for cfg in [
+            Configuration::Binary,
+            Configuration::Hqc,
+            Configuration::Arbitrary,
+        ] {
             let pt = point(cfg, n, p);
-            assert!(pt.read_stability_gap() < 0.1, "{cfg:?}: {}", pt.read_stability_gap());
+            assert!(
+                pt.read_stability_gap() < 0.1,
+                "{cfg:?}: {}",
+                pt.read_stability_gap()
+            );
         }
         // §4.2.2: MOSTLY-WRITE's *write* load is stable, MOSTLY-READ's is not.
         assert!(mostly_write.write_stability_gap() < 0.01);

@@ -29,11 +29,13 @@
 pub mod chart;
 mod config;
 mod crossover;
-pub mod stats;
-pub mod svg;
 pub mod figures;
 pub mod report;
+pub mod stats;
+pub mod svg;
 
 pub use config::Configuration;
 pub use crossover::{crossover, metrics, Metric};
-pub use figures::{availability_limits, figure2, figure3, figure4, lower_bound_comparison, point, SeriesPoint};
+pub use figures::{
+    availability_limits, figure2, figure3, figure4, lower_bound_comparison, point, SeriesPoint,
+};

@@ -56,8 +56,17 @@ pub fn summarize(samples: &[f64]) -> Summary {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
         var.sqrt()
     };
-    let ci95 = if n < 2 { 0.0 } else { 1.96 * stddev / (n as f64).sqrt() };
-    Summary { n, mean, stddev, ci95 }
+    let ci95 = if n < 2 {
+        0.0
+    } else {
+        1.96 * stddev / (n as f64).sqrt()
+    };
+    Summary {
+        n,
+        mean,
+        stddev,
+        ci95,
+    }
 }
 
 #[cfg(test)]

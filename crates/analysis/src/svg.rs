@@ -33,7 +33,10 @@ const COLORS: [&str; 8] = [
 /// 100×100.
 pub fn render_svg(series: &[ChartSeries], title: &str, width: u32, height: u32) -> String {
     assert!(width >= 100 && height >= 100, "canvas too small");
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "chart needs at least one point");
 
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -82,7 +85,11 @@ pub fn render_svg(series: &[ChartSeries], title: &str, width: u32, height: u32) 
         ml + pw,
         mt + ph
     );
-    let _ = write!(out, r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#, mt + ph);
+    let _ = write!(
+        out,
+        r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+        mt + ph
+    );
     // Ticks: 5 along each axis.
     for i in 0..=4 {
         let fx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
@@ -150,7 +157,9 @@ pub fn render_svg(series: &[ChartSeries], title: &str, width: u32, height: u32) 
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -209,7 +218,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one point")]
     fn empty_rejected() {
-        let s = ChartSeries { label: "e".into(), points: vec![] };
+        let s = ChartSeries {
+            label: "e".into(),
+            points: vec![],
+        };
         let _ = render_svg(&[s], "t", 640, 400);
     }
 }

@@ -3,9 +3,7 @@
 //! write quorum takes one full column plus one replica from every other
 //! column. Costs are `O(√n)` for a square grid.
 
-use arbitree_quorum::{
-    AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe,
-};
+use arbitree_quorum::{AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe};
 use rand::RngCore;
 
 /// The grid protocol over `rows × cols` replicas.
@@ -227,7 +225,10 @@ mod tests {
         let b = g.to_bicoterie().unwrap();
         for &p in &[0.6, 0.8, 0.9] {
             let read_exact = exact_availability(b.read_quorums(), p);
-            assert!((read_exact - g.read_availability(p)).abs() < 1e-9, "read p={p}");
+            assert!(
+                (read_exact - g.read_availability(p)).abs() < 1e-9,
+                "read p={p}"
+            );
             let write_exact = exact_availability(b.write_quorums(), p);
             assert!(
                 (write_exact - g.write_availability(p)).abs() < 1e-9,

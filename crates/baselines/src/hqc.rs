@@ -7,9 +7,7 @@
 //! the paper quotes), giving quorums of size `2^h = n^{log₃2} ≈ n^0.63` and
 //! an optimal load of `n^{−0.37}` (Naor–Wool §6.4).
 
-use arbitree_quorum::{
-    AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe,
-};
+use arbitree_quorum::{AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe};
 use rand::RngCore;
 
 /// The three ways to choose 2 children out of 3.

@@ -7,8 +7,8 @@
 //! load `≈ 2/√n`.
 
 use arbitree_quorum::{
-    exact_availability, monte_carlo_availability, AliveSet, CostProfile, QuorumSet,
-    ReplicaControl, SetSystem, SiteId, Universe,
+    exact_availability, monte_carlo_availability, AliveSet, CostProfile, QuorumSet, ReplicaControl,
+    SetSystem, SiteId, Universe,
 };
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -92,10 +92,7 @@ impl ReplicaControl for Maekawa {
     }
 
     fn read_quorums(&self) -> Box<dyn Iterator<Item = QuorumSet> + '_> {
-        Box::new(
-            (0..self.rows)
-                .flat_map(move |r| (0..self.cols).map(move |c| self.cross(r, c))),
-        )
+        Box::new((0..self.rows).flat_map(move |r| (0..self.cols).map(move |c| self.cross(r, c))))
     }
 
     fn write_quorums(&self) -> Box<dyn Iterator<Item = QuorumSet> + '_> {

@@ -54,8 +54,11 @@ impl Majority {
     }
 
     fn pick(&self, alive: AliveSet, rng: &mut dyn RngCore) -> Option<QuorumSet> {
-        let mut live: Vec<SiteId> =
-            self.universe.sites().filter(|&s| alive.contains(s)).collect();
+        let mut live: Vec<SiteId> = self
+            .universe
+            .sites()
+            .filter(|&s| alive.contains(s))
+            .collect();
         if live.len() < self.quorum_size {
             return None;
         }
@@ -64,7 +67,9 @@ impl Majority {
             let j = i + (rng.next_u64() % (live.len() - i) as u64) as usize;
             live.swap(i, j);
         }
-        Some(QuorumSet::from_sites(live[..self.quorum_size].iter().copied()))
+        Some(QuorumSet::from_sites(
+            live[..self.quorum_size].iter().copied(),
+        ))
     }
 }
 
@@ -78,7 +83,10 @@ impl ReplicaControl for Majority {
     }
 
     fn read_quorums(&self) -> Box<dyn Iterator<Item = QuorumSet> + '_> {
-        Box::new(Combinations::new(self.universe.len() as u32, self.quorum_size))
+        Box::new(Combinations::new(
+            self.universe.len() as u32,
+            self.quorum_size,
+        ))
     }
 
     fn write_quorums(&self) -> Box<dyn Iterator<Item = QuorumSet> + '_> {

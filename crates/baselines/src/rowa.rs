@@ -1,9 +1,7 @@
 //! Read-One-Write-All (Bernstein & Goodman): read any single replica, write
 //! all of them.
 
-use arbitree_quorum::{
-    AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe,
-};
+use arbitree_quorum::{AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe};
 use rand::RngCore;
 
 /// The ROWA protocol over `n` replicas.
@@ -35,7 +33,9 @@ impl Rowa {
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
-        Rowa { universe: Universe::new(n) }
+        Rowa {
+            universe: Universe::new(n),
+        }
     }
 }
 
@@ -49,19 +49,21 @@ impl ReplicaControl for Rowa {
     }
 
     fn read_quorums(&self) -> Box<dyn Iterator<Item = QuorumSet> + '_> {
-        Box::new(
-            self.universe
-                .sites()
-                .map(|s| QuorumSet::from_sites([s])),
-        )
+        Box::new(self.universe.sites().map(|s| QuorumSet::from_sites([s])))
     }
 
     fn write_quorums(&self) -> Box<dyn Iterator<Item = QuorumSet> + '_> {
-        Box::new(std::iter::once(QuorumSet::from_sites(self.universe.sites())))
+        Box::new(std::iter::once(QuorumSet::from_sites(
+            self.universe.sites(),
+        )))
     }
 
     fn pick_read_quorum(&self, alive: AliveSet, rng: &mut dyn RngCore) -> Option<QuorumSet> {
-        let live: Vec<SiteId> = self.universe.sites().filter(|&s| alive.contains(s)).collect();
+        let live: Vec<SiteId> = self
+            .universe
+            .sites()
+            .filter(|&s| alive.contains(s))
+            .collect();
         if live.is_empty() {
             return None;
         }

@@ -7,9 +7,7 @@
 //! `v` is inaccessible). Quorum sizes range from `h+1 = log₂(n+1)` (a pure
 //! path) to `(n+1)/2` (all leaves).
 
-use arbitree_quorum::{
-    AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe,
-};
+use arbitree_quorum::{AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe};
 use rand::RngCore;
 
 /// The tree quorum protocol over a complete binary tree of the given height.
@@ -378,8 +376,18 @@ mod tests {
         for h in 1..8 {
             let tq = TreeQuorum::new(h);
             let c = tq.read_cost();
-            assert!(c.avg >= c.min - 1e-9, "h={h}: avg {} < min {}", c.avg, c.min);
-            assert!(c.avg <= c.max + 1e-9, "h={h}: avg {} > max {}", c.avg, c.max);
+            assert!(
+                c.avg >= c.min - 1e-9,
+                "h={h}: avg {} < min {}",
+                c.avg,
+                c.min
+            );
+            assert!(
+                c.avg <= c.max + 1e-9,
+                "h={h}: avg {} > max {}",
+                c.avg,
+                c.max
+            );
         }
     }
 

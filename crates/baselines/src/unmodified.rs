@@ -32,8 +32,10 @@ use arbitree_core::{ArbitraryProtocol, TreeError};
 /// ```
 pub fn unmodified(height: usize) -> Result<ArbitraryProtocol, TreeError> {
     let spec = complete_binary(height)?;
-    Ok(ArbitraryProtocol::new(arbitree_core::ArbitraryTree::from_spec(&spec)?)
-        .with_name("UNMODIFIED"))
+    Ok(
+        ArbitraryProtocol::new(arbitree_core::ArbitraryTree::from_spec(&spec)?)
+            .with_name("UNMODIFIED"),
+    )
 }
 
 #[cfg(test)]

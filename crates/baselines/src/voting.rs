@@ -7,9 +7,7 @@
 //! Majority quorum consensus is the special case of one vote each with
 //! `r = w = ⌊V/2⌋ + 1`.
 
-use arbitree_quorum::{
-    AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe,
-};
+use arbitree_quorum::{AliveSet, CostProfile, QuorumSet, ReplicaControl, SiteId, Universe};
 use rand::RngCore;
 use std::fmt;
 
@@ -112,12 +110,19 @@ impl WeightedVoting {
     ///
     /// Returns a [`VotingError`] when Gifford's conditions (`r + w > V`,
     /// `2w > V`), reachability, positivity, or the size cap are violated.
-    pub fn new(votes: Vec<u32>, read_threshold: u32, write_threshold: u32) -> Result<Self, VotingError> {
+    pub fn new(
+        votes: Vec<u32>,
+        read_threshold: u32,
+        write_threshold: u32,
+    ) -> Result<Self, VotingError> {
         if votes.is_empty() {
             return Err(VotingError::NoReplicas);
         }
         if votes.len() > MAX_VOTING_SITES {
-            return Err(VotingError::TooLarge { n: votes.len(), max: MAX_VOTING_SITES });
+            return Err(VotingError::TooLarge {
+                n: votes.len(),
+                max: MAX_VOTING_SITES,
+            });
         }
         if let Some(site) = votes.iter().position(|&v| v == 0) {
             return Err(VotingError::ZeroVote { site });
@@ -135,7 +140,10 @@ impl WeightedVoting {
             });
         }
         if 2 * write_threshold <= total {
-            return Err(VotingError::WriteWriteIntersection { write: write_threshold, total });
+            return Err(VotingError::WriteWriteIntersection {
+                write: write_threshold,
+                total,
+            });
         }
         let read_minimal = minimal_quorums(&votes, read_threshold);
         let write_minimal = minimal_quorums(&votes, write_threshold);
@@ -222,7 +230,9 @@ impl WeightedVoting {
                 k += 1;
             }
         }
-        Some(QuorumSet::from_indices(chosen.into_iter().map(|i| i as u32)))
+        Some(QuorumSet::from_indices(
+            chosen.into_iter().map(|i| i as u32),
+        ))
     }
 
     /// Exact probability that the alive vote total reaches `threshold`, via
@@ -478,7 +488,10 @@ mod tests {
             VotingError::ZeroVote { site: 1 },
             VotingError::ReadWriteIntersection { sum: 3, total: 5 },
             VotingError::WriteWriteIntersection { write: 2, total: 5 },
-            VotingError::UnreachableThreshold { threshold: 9, total: 5 },
+            VotingError::UnreachableThreshold {
+                threshold: 9,
+                total: 5,
+            },
             VotingError::TooLarge { n: 30, max: 20 },
         ] {
             assert!(!e.to_string().is_empty());

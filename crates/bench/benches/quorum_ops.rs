@@ -72,13 +72,9 @@ fn bench_pick_read_degraded(c: &mut Criterion) {
             alive.remove(arbitree_quorum::SiteId::new(i as u32));
         }
         let mut rng = StdRng::seed_from_u64(3);
-        group.bench_with_input(
-            BenchmarkId::new(config.name(), n),
-            &proto,
-            |b, proto| {
-                b.iter(|| black_box(proto.pick_read_quorum(alive, &mut rng)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(config.name(), n), &proto, |b, proto| {
+            b.iter(|| black_box(proto.pick_read_quorum(alive, &mut rng)));
+        });
     }
     group.finish();
 }

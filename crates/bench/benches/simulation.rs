@@ -1,11 +1,13 @@
 //! Criterion benches: end-to-end simulator throughput — events processed
 //! for a fixed workload under each configuration, failure-free and with
-//! churn. Also measures the static experiment harness.
+//! churn — plus the parallel experiment runner against its serial
+//! equivalent, and the static experiment harness.
 
 use arbitree_analysis::Configuration;
 use arbitree_core::ArbitraryProtocol;
 use arbitree_sim::{
-    empirical_availability, run_simulation, FailureSchedule, SimConfig, SimDuration,
+    empirical_availability, run_cells, run_simulation, ExperimentCell, FailureSchedule, SimConfig,
+    SimDuration,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -30,6 +32,17 @@ fn config(seed: u64) -> SimConfig {
     }
 }
 
+/// The failure-free sweep as experiment cells (one per tree shape).
+fn failure_free_cells(seed: u64) -> Vec<ExperimentCell> {
+    ["1-3-5", "1-4-4-4-4", "1-16"]
+        .into_iter()
+        .map(|spec| {
+            let proto = ArbitraryProtocol::parse(spec).expect("valid");
+            ExperimentCell::new(spec, config(seed), proto)
+        })
+        .collect()
+}
+
 fn bench_failure_free_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_failure_free");
     group.sample_size(20);
@@ -41,6 +54,26 @@ fn bench_failure_free_run(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+fn bench_parallel_runner(c: &mut Criterion) {
+    // The same three-cell sweep run serially and through the worker-pool
+    // runner — the numbers agree cell-for-cell; only wall-clock differs.
+    let mut group = c.benchmark_group("experiment_runner");
+    group.sample_size(10);
+    group.bench_function("serial_3_cells", |b| {
+        b.iter(|| {
+            for cell in failure_free_cells(1) {
+                let mut sim = arbitree_sim::Simulation::from_boxed(cell.config, cell.protocol);
+                cell.failures.apply(&mut sim);
+                black_box(sim.run());
+            }
+        });
+    });
+    group.bench_function("parallel_3_cells", |b| {
+        b.iter(|| black_box(run_cells(failure_free_cells(1))));
+    });
     group.finish();
 }
 
@@ -70,7 +103,11 @@ fn bench_static_availability(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_availability_10k_trials");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
-    for cfg in [Configuration::Arbitrary, Configuration::Binary, Configuration::Hqc] {
+    for cfg in [
+        Configuration::Arbitrary,
+        Configuration::Binary,
+        Configuration::Hqc,
+    ] {
         let proto = cfg.build(63);
         group.bench_with_input(
             BenchmarkId::new(cfg.name(), proto.universe().len()),
@@ -109,19 +146,26 @@ fn bench_read_repair_overhead(c: &mut Criterion) {
 }
 
 fn bench_reconfiguration(c: &mut Criterion) {
+    use arbitree_baselines::Rowa;
     use arbitree_sim::{SimTime, Simulation};
     let mut group = c.benchmark_group("reconfiguration");
     group.sample_size(20);
     group.bench_function("swap_1-9_to_1-2-3-4", |b| {
         b.iter(|| {
-            let mut sim = Simulation::new(
-                config(4),
-                ArbitraryProtocol::parse("1-9").expect("valid"),
-            );
+            let mut sim =
+                Simulation::new(config(4), ArbitraryProtocol::parse("1-9").expect("valid"));
             sim.schedule_reconfigure(
                 SimTime::from_millis(20),
                 ArbitraryProtocol::parse("1-2-3-4").expect("valid"),
             );
+            black_box(sim.run())
+        });
+    });
+    group.bench_function("swap_arbitrary_to_rowa", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(config(5), ArbitraryProtocol::parse("1-3-5").expect("valid"));
+            sim.schedule_reconfigure(SimTime::from_millis(20), Rowa::new(8));
             black_box(sim.run())
         });
     });
@@ -133,6 +177,7 @@ criterion_group! {
     config = fast();
     targets =
       bench_failure_free_run,
+      bench_parallel_runner,
       bench_churn_run,
       bench_static_availability,
       bench_read_repair_overhead,

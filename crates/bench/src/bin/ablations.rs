@@ -36,22 +36,21 @@ fn main() {
 /// protocol's read cost is structurally fixed at |K_phy|.
 fn degraded_cost_ablation() {
     use arbitree_baselines::TreeQuorum;
-    use arbitree_sim::empirical_cost_under_failures;
+    use arbitree_sim::{empirical_cost_under_failures, parallel_map};
     println!("\nAblation 4 — mean read cost under failures (20k alive-set samples)\n");
     let tq = TreeQuorum::new(3); // n = 15
     let arb = ArbitraryProtocol::parse("1-4-4-7").expect("valid"); // n = 15
-    let rows: Vec<Vec<String>> = [1.0f64, 0.9, 0.8, 0.7]
-        .into_iter()
-        .map(|p| {
-            let (tq_cost, _) = empirical_cost_under_failures(&tq, p, 20_000, 1);
-            let (arb_cost, _) = empirical_cost_under_failures(&arb, p, 20_000, 2);
-            vec![
-                fmt_f(p),
-                tq_cost.map_or("-".into(), fmt_f),
-                arb_cost.map_or("-".into(), fmt_f),
-            ]
-        })
-        .collect();
+                                                                   // Each availability point is an independent sampling cell with its own
+                                                                   // fixed seeds, so the fan-out changes wall-clock time only.
+    let rows: Vec<Vec<String>> = parallel_map(vec![1.0f64, 0.9, 0.8, 0.7], |p| {
+        let (tq_cost, _) = empirical_cost_under_failures(&tq, p, 20_000, 1);
+        let (arb_cost, _) = empirical_cost_under_failures(&arb, p, 20_000, 2);
+        vec![
+            fmt_f(p),
+            tq_cost.map_or("-".into(), fmt_f),
+            arb_cost.map_or("-".into(), fmt_f),
+        ]
+    });
     print!(
         "{}",
         render_table(&["p", "tree-quorum n=15", "arbitrary 1-4-4-7"], &rows)
@@ -78,8 +77,11 @@ fn strategy_ablation() {
         }
     }
     // Naive: always the first replica of every physical level.
-    let naive_quorum: QuorumSet =
-        QuorumSet::from_sites(tree.physical_levels().iter().map(|&k| tree.level_sites(k)[0]));
+    let naive_quorum: QuorumSet = QuorumSet::from_sites(
+        tree.physical_levels()
+            .iter()
+            .map(|&k| tree.level_sites(k)[0]),
+    );
     let mut naive_hits = vec![0u64; n];
     for _ in 0..samples {
         for s in naive_quorum.iter() {
@@ -94,7 +96,11 @@ fn strategy_ablation() {
             fmt_f(load(&uniform_hits)),
             fmt_f(TreeMetrics::new(&tree).read_load()),
         ],
-        vec!["first-of-level".into(), fmt_f(load(&naive_hits)), "1.0000".into()],
+        vec![
+            "first-of-level".into(),
+            fmt_f(load(&naive_hits)),
+            "1.0000".into(),
+        ],
     ];
     print!(
         "{}",
@@ -128,7 +134,15 @@ fn shape_ablation(n: usize) {
     print!(
         "{}",
         render_table(
-            &["shape", "spec", "L_RD", "L_WR", "WRcost max", "RDavail(.7)", "WRavail(.7)"],
+            &[
+                "shape",
+                "spec",
+                "L_RD",
+                "L_WR",
+                "WRcost max",
+                "RDavail(.7)",
+                "WRavail(.7)"
+            ],
             &rows
         )
     );
@@ -139,11 +153,7 @@ fn shape_ablation(n: usize) {
 fn availability_ablation() {
     println!("Ablation 3 — availability evaluators on tree 1-3-5\n");
     let proto = ArbitraryProtocol::parse("1-3-5").expect("valid");
-    let reads = SetSystem::new(
-        proto.universe(),
-        proto.read_quorums().collect(),
-    )
-    .expect("valid");
+    let reads = SetSystem::new(proto.universe(), proto.read_quorums().collect()).expect("valid");
     let p = 0.7;
     let exact = exact_availability(&reads, p);
     let rows: Vec<Vec<String>> = [100u32, 1_000, 10_000, 100_000]

@@ -37,7 +37,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["p", "RDavail(n)", "lim RDavail", "WRavail(n)", "lim WRavail"],
+            &[
+                "p",
+                "RDavail(n)",
+                "lim RDavail",
+                "WRavail(n)",
+                "lim WRavail"
+            ],
             &rows
         )
     );

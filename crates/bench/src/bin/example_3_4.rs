@@ -10,7 +10,11 @@ fn main() {
     let m = TreeMetrics::new(&tree);
     let p = 0.7;
 
-    println!("§3.4 example — spec {}, n = {}, p = {p}\n", tree.spec(), tree.replica_count());
+    println!(
+        "§3.4 example — spec {}, n = {}, p = {p}\n",
+        tree.spec(),
+        tree.replica_count()
+    );
     let rows = vec![
         row("RD_cost", m.read_cost().avg, 2.0),
         row("RD_availability(0.7)", m.read_availability(p), 0.97),

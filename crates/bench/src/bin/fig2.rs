@@ -3,8 +3,8 @@
 //!
 //! Usage: `fig2 [--n <max_n>]` (default 520).
 
+use arbitree_analysis::figures::{emit_figure_charts, figure2};
 use arbitree_analysis::report::{fmt_f, render_series};
-use arbitree_analysis::figures::figure2;
 use arbitree_bench::arg_value;
 
 fn main() {
@@ -28,43 +28,14 @@ fn main() {
             vec![p.n.to_string(), fmt_f(p.read_cost), fmt_f(p.write_cost)]
         })
     );
-    if let Some(i) = args.iter().position(|a| a == "--svg") {
-        let dir = args.get(i + 1).cloned().unwrap_or_else(|| ".".into());
-        let mut series = Vec::new();
-        let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
-        configs.dedup();
-        for config in configs {
-            series.push(arbitree_analysis::chart::ChartSeries {
-                label: config.to_string(),
-                points: data
-                    .iter()
-                    .filter(|p| p.config == config)
-                    .map(|p| (p.n as f64, p.write_cost))
-                    .collect(),
-            });
-        }
-        let svg = arbitree_analysis::svg::render_svg(&series, "Figure 2: write communication cost vs n", 860, 480);
-        let path = std::path::Path::new(&dir).join("fig2_write_cost.svg");
-        std::fs::write(&path, svg).expect("write svg");
-        println!("wrote {}", path.display());
-    }
-    // Shape-at-a-glance chart of write cost per configuration.
-    {
-        use arbitree_analysis::chart::{render_chart, ChartSeries};
-        let mut series = Vec::new();
-        let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
-        configs.dedup();
-        for config in configs {
-            let points: Vec<(f64, f64)> = data
-                .iter()
-                .filter(|p| p.config == config)
-                .map(|p| (p.n as f64, p.write_cost))
-                .collect();
-            series.push(ChartSeries { label: config.to_string(), points });
-        }
-        println!("write cost vs n:");
-        println!("{}", render_chart(&series, 72, 18));
-    }
+    emit_figure_charts(
+        &data,
+        |p| p.write_cost,
+        &args,
+        "Figure 2: write communication cost vs n",
+        "fig2_write_cost.svg",
+        "write cost vs n",
+    );
     println!("Paper shape checks:");
     println!("  MOSTLY-READ: read cost 1, write cost n (ROWA extremes)");
     println!("  MOSTLY-WRITE: write cost ~2, read cost ~n/2");

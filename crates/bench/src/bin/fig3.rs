@@ -3,7 +3,7 @@
 //!
 //! Usage: `fig3 [--n <max_n>] [--p <availability>]` (defaults 520, 0.7).
 
-use arbitree_analysis::figures::figure3;
+use arbitree_analysis::figures::{emit_figure_charts, figure3};
 use arbitree_analysis::report::{fmt_f, render_series};
 use arbitree_bench::arg_value;
 
@@ -17,9 +17,17 @@ fn main() {
     if args.iter().any(|a| a == "--csv") {
         print!(
             "{}",
-            arbitree_analysis::report::render_csv(&data, &["read_load", "expected_read_load", "read_availability"], |p| {
-                vec![fmt_f(p.read_load), fmt_f(p.expected_read_load), fmt_f(p.read_availability)]
-            })
+            arbitree_analysis::report::render_csv(
+                &data,
+                &["read_load", "expected_read_load", "read_availability"],
+                |p| {
+                    vec![
+                        fmt_f(p.read_load),
+                        fmt_f(p.expected_read_load),
+                        fmt_f(p.read_availability),
+                    ]
+                }
+            )
         );
         return;
     }
@@ -38,43 +46,14 @@ fn main() {
             }
         )
     );
-    if let Some(i) = args.iter().position(|a| a == "--svg") {
-        let dir = args.get(i + 1).cloned().unwrap_or_else(|| ".".into());
-        let mut series = Vec::new();
-        let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
-        configs.dedup();
-        for config in configs {
-            series.push(arbitree_analysis::chart::ChartSeries {
-                label: config.to_string(),
-                points: data
-                    .iter()
-                    .filter(|p| p.config == config)
-                    .map(|p| (p.n as f64, p.expected_read_load))
-                    .collect(),
-            });
-        }
-        let svg = arbitree_analysis::svg::render_svg(&series, "Figure 3: expected read load vs n (p as given)", 860, 480);
-        let path = std::path::Path::new(&dir).join("fig3_read_load.svg");
-        std::fs::write(&path, svg).expect("write svg");
-        println!("wrote {}", path.display());
-    }
-    // Shape-at-a-glance chart of E[read load] per configuration.
-    {
-        use arbitree_analysis::chart::{render_chart, ChartSeries};
-        let mut series = Vec::new();
-        let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
-        configs.dedup();
-        for config in configs {
-            let points: Vec<(f64, f64)> = data
-                .iter()
-                .filter(|p| p.config == config)
-                .map(|p| (p.n as f64, p.expected_read_load))
-                .collect();
-            series.push(ChartSeries { label: config.to_string(), points });
-        }
-        println!("E[read load] vs n:");
-        println!("{}", render_chart(&series, 72, 18));
-    }
+    emit_figure_charts(
+        &data,
+        |p| p.expected_read_load,
+        &args,
+        "Figure 3: expected read load vs n (p as given)",
+        "fig3_read_load.svg",
+        "E[read load] vs n",
+    );
     println!("Paper shape checks:");
     println!("  MOSTLY-READ: lowest (1/n, stable); MOSTLY-WRITE: 1/2, unstable");
     println!("  UNMODIFIED: highest, 1 (root in every read quorum)");

@@ -4,7 +4,7 @@
 //!
 //! Usage: `fig4 [--n <max_n>] [--p <availability>]` (defaults 520, 0.7).
 
-use arbitree_analysis::figures::{figure4, lower_bound_comparison};
+use arbitree_analysis::figures::{emit_figure_charts, figure4, lower_bound_comparison};
 use arbitree_analysis::report::{fmt_f, render_series, render_table};
 use arbitree_bench::arg_value;
 
@@ -18,9 +18,17 @@ fn main() {
     if args.iter().any(|a| a == "--csv") {
         print!(
             "{}",
-            arbitree_analysis::report::render_csv(&data, &["write_load", "expected_write_load", "write_availability"], |p| {
-                vec![fmt_f(p.write_load), fmt_f(p.expected_write_load), fmt_f(p.write_availability)]
-            })
+            arbitree_analysis::report::render_csv(
+                &data,
+                &["write_load", "expected_write_load", "write_availability"],
+                |p| {
+                    vec![
+                        fmt_f(p.write_load),
+                        fmt_f(p.expected_write_load),
+                        fmt_f(p.write_availability),
+                    ]
+                }
+            )
         );
         return;
     }
@@ -40,50 +48,24 @@ fn main() {
         )
     );
 
-    if let Some(i) = args.iter().position(|a| a == "--svg") {
-        let dir = args.get(i + 1).cloned().unwrap_or_else(|| ".".into());
-        let mut series = Vec::new();
-        let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
-        configs.dedup();
-        for config in configs {
-            series.push(arbitree_analysis::chart::ChartSeries {
-                label: config.to_string(),
-                points: data
-                    .iter()
-                    .filter(|p| p.config == config)
-                    .map(|p| (p.n as f64, p.expected_write_load))
-                    .collect(),
-            });
-        }
-        let svg = arbitree_analysis::svg::render_svg(&series, "Figure 4: expected write load vs n (p as given)", 860, 480);
-        let path = std::path::Path::new(&dir).join("fig4_write_load.svg");
-        std::fs::write(&path, svg).expect("write svg");
-        println!("wrote {}", path.display());
-    }
-    // Shape-at-a-glance chart of E[write load] per configuration.
-    {
-        use arbitree_analysis::chart::{render_chart, ChartSeries};
-        let mut series = Vec::new();
-        let mut configs: Vec<&'static str> = data.iter().map(|p| p.config).collect();
-        configs.dedup();
-        for config in configs {
-            let points: Vec<(f64, f64)> = data
-                .iter()
-                .filter(|p| p.config == config)
-                .map(|p| (p.n as f64, p.expected_write_load))
-                .collect();
-            series.push(ChartSeries { label: config.to_string(), points });
-        }
-        println!("E[write load] vs n:");
-        println!("{}", render_chart(&series, 72, 18));
-    }
+    emit_figure_charts(
+        &data,
+        |p| p.expected_write_load,
+        &args,
+        "Figure 4: expected write load vs n (p as given)",
+        "fig4_write_load.svg",
+        "E[write load] vs n",
+    );
     println!("§3.3 new lower bound for the binary structure of [2]:");
     println!("(UNMODIFIED write load 1/log2(n+1) vs Naor–Wool 2/(log2(n+1)+1))\n");
     let rows: Vec<Vec<String>> = lower_bound_comparison(max_n)
         .into_iter()
         .map(|(n, ours, nw)| vec![n.to_string(), fmt_f(ours), fmt_f(nw)])
         .collect();
-    print!("{}", render_table(&["n", "1/log2(n+1)", "2/(log2(n+1)+1)"], &rows));
+    print!(
+        "{}",
+        render_table(&["n", "1/log2(n+1)", "2/(log2(n+1)+1)"], &rows)
+    );
 
     println!();
     println!("Paper shape checks:");

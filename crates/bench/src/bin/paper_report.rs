@@ -13,8 +13,7 @@ use arbitree_core::{
     ArbitraryTree, TreeMetrics,
 };
 use arbitree_sim::{
-    empirical_availability, empirical_load, run_simulation, FailureSchedule, SimConfig,
-    SimDuration,
+    empirical_availability, empirical_load, run_simulation, FailureSchedule, SimConfig, SimDuration,
 };
 
 struct Checklist {
@@ -37,7 +36,10 @@ impl Checklist {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trials = arg_value(&args, "--trials").unwrap_or(20_000.0) as u32;
-    let mut c = Checklist { passed: 0, failed: 0 };
+    let mut c = Checklist {
+        passed: 0,
+        failed: 0,
+    };
 
     println!("== Table 1 / §3.4 running example (tree 1-3-5, p = 0.7) ==");
     let tree = ArbitraryTree::parse("1-3-5").expect("valid");
@@ -100,12 +102,15 @@ fn main() {
                 .filter(|p| p.config == "MOSTLY-WRITE")
                 .all(|p| p.write_cost <= 2.5),
     );
-    c.check("BINARY has the highest costs of the first four at n = 127", {
-        let b = figures::point(Configuration::Binary, 127, 0.7);
-        b.read_cost > figures::point(Configuration::Unmodified, 127, 0.7).read_cost
-            && b.read_cost > figures::point(Configuration::Arbitrary, 127, 0.7).read_cost
-            && b.read_cost > figures::point(Configuration::Hqc, 127, 0.7).read_cost
-    });
+    c.check(
+        "BINARY has the highest costs of the first four at n = 127",
+        {
+            let b = figures::point(Configuration::Binary, 127, 0.7);
+            b.read_cost > figures::point(Configuration::Unmodified, 127, 0.7).read_cost
+                && b.read_cost > figures::point(Configuration::Arbitrary, 127, 0.7).read_cost
+                && b.read_cost > figures::point(Configuration::Hqc, 127, 0.7).read_cost
+        },
+    );
     c.check(
         "UNMODIFIED write cost crosses HQC's in the low hundreds",
         matches!(
@@ -118,27 +123,38 @@ fn main() {
     let f3 = figures::figure3(300, 0.7);
     c.check(
         "UNMODIFIED read load 1; ARBITRARY 1/4 beyond n = 32; MOSTLY-WRITE 1/2",
-        f3.iter().filter(|p| p.config == "UNMODIFIED").all(|p| p.read_load == 1.0)
+        f3.iter()
+            .filter(|p| p.config == "UNMODIFIED")
+            .all(|p| p.read_load == 1.0)
             && f3
                 .iter()
                 .filter(|p| p.config == "ARBITRARY" && p.n > 32)
                 .all(|p| p.read_load == 0.25)
-            && f3.iter().filter(|p| p.config == "MOSTLY-WRITE").all(|p| p.read_load == 0.5),
+            && f3
+                .iter()
+                .filter(|p| p.config == "MOSTLY-WRITE")
+                .all(|p| p.read_load == 0.5),
     );
-    c.check("HQC read load n^-0.37 is least of the first four at n = 243", {
-        let hqc = figures::point(Configuration::Hqc, 243, 0.7);
-        hqc.read_load < figures::point(Configuration::Binary, 243, 0.7).read_load
-            && hqc.read_load < figures::point(Configuration::Arbitrary, 243, 0.7).read_load
-            && hqc.read_load < figures::point(Configuration::Unmodified, 243, 0.7).read_load
-    });
+    c.check(
+        "HQC read load n^-0.37 is least of the first four at n = 243",
+        {
+            let hqc = figures::point(Configuration::Hqc, 243, 0.7);
+            hqc.read_load < figures::point(Configuration::Binary, 243, 0.7).read_load
+                && hqc.read_load < figures::point(Configuration::Arbitrary, 243, 0.7).read_load
+                && hqc.read_load < figures::point(Configuration::Unmodified, 243, 0.7).read_load
+        },
+    );
 
     println!("== Figure 4 shapes (write loads) ==");
-    c.check("ARBITRARY has the least write load of the first four at n = 127", {
-        let a = figures::point(Configuration::Arbitrary, 127, 0.7);
-        a.write_load < figures::point(Configuration::Binary, 127, 0.7).write_load
-            && a.write_load < figures::point(Configuration::Unmodified, 127, 0.7).write_load
-            && a.write_load < figures::point(Configuration::Hqc, 127, 0.7).write_load
-    });
+    c.check(
+        "ARBITRARY has the least write load of the first four at n = 127",
+        {
+            let a = figures::point(Configuration::Arbitrary, 127, 0.7);
+            a.write_load < figures::point(Configuration::Binary, 127, 0.7).write_load
+                && a.write_load < figures::point(Configuration::Unmodified, 127, 0.7).write_load
+                && a.write_load < figures::point(Configuration::Hqc, 127, 0.7).write_load
+        },
+    );
     c.check(
         "MOSTLY-WRITE write load = 2/(n-1) for odd n",
         [9usize, 45, 101].iter().all(|&n| {

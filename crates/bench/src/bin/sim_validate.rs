@@ -11,8 +11,8 @@ use arbitree_analysis::Configuration;
 use arbitree_bench::arg_value;
 use arbitree_core::ArbitraryProtocol;
 use arbitree_sim::{
-    empirical_availability, empirical_cost, empirical_load, run_simulation, FailureSchedule,
-    SimConfig, SimDuration,
+    empirical_availability, empirical_cost, empirical_load, parallel_map, run_cells,
+    ExperimentCell, FailureSchedule, SimConfig, SimDuration,
 };
 
 fn main() {
@@ -22,13 +22,14 @@ fn main() {
     let trials = arg_value(&args, "--trials").unwrap_or(30_000.0) as u32;
 
     println!("Static validation: closed forms vs sampled quorum assembly (target n = {n}, p = {p}, {trials} trials)\n");
-    let mut rows = Vec::new();
-    for config in Configuration::ALL {
+    // Each §4 configuration is one independent cell; fan the sampling out
+    // across worker threads and collect rows in input order.
+    let rows = parallel_map(Configuration::ALL.to_vec(), |config| {
         let proto = config.build(n);
         let (er, ew) = empirical_availability(proto.as_ref(), p, trials, 1);
         let (lr, lw) = empirical_load(proto.as_ref(), trials, 2);
         let (cr, cw) = empirical_cost(proto.as_ref(), trials, 3);
-        rows.push(vec![
+        vec![
             config.name().to_string(),
             proto.universe().len().to_string(),
             format!("{}/{}", fmt_f(proto.read_availability(p)), fmt_f(er)),
@@ -37,8 +38,8 @@ fn main() {
             format!("{}/{}", fmt_f(proto.write_load()), fmt_f(lw)),
             format!("{}/{}", fmt_f(proto.read_cost().avg), fmt_f(cr)),
             format!("{}/{}", fmt_f(proto.write_cost().avg), fmt_f(cw)),
-        ]);
-    }
+        ]
+    });
     print!(
         "{}",
         render_table(
@@ -58,37 +59,56 @@ fn main() {
     println!("(c = closed form, e = empirical; loads sampled under the canonical strategy)\n");
 
     println!("Dynamic validation: full event simulation with random crash/recovery\n");
-    let mut rows = Vec::new();
-    for spec in ["1-3-5", "1-4-4-4-4", "1-16"] {
-        let proto = ArbitraryProtocol::parse(spec).expect("valid spec");
-        let n_sites = proto.tree().replica_count();
-        let config = SimConfig {
-            seed: 7,
-            duration: SimDuration::from_millis(300),
-            ..SimConfig::default()
-        };
-        let schedule = FailureSchedule::random(
-            n_sites,
-            config.duration,
-            SimDuration::from_millis(60),
-            SimDuration::from_millis(15),
-            13,
-        );
-        let report = run_simulation(config, proto, &schedule);
-        rows.push(vec![
-            spec.to_string(),
-            report.metrics.reads_ok.to_string(),
-            report.metrics.reads_failed.to_string(),
-            report.metrics.writes_ok.to_string(),
-            report.metrics.writes_failed.to_string(),
-            report.metrics.messages_sent.to_string(),
-            if report.consistent { "yes".into() } else { format!("NO ({})", report.violations) },
-        ]);
-    }
+    let cells: Vec<ExperimentCell> = ["1-3-5", "1-4-4-4-4", "1-16"]
+        .into_iter()
+        .map(|spec| {
+            let proto = ArbitraryProtocol::parse(spec).expect("valid spec");
+            let n_sites = proto.tree().replica_count();
+            let config = SimConfig {
+                seed: 7,
+                duration: SimDuration::from_millis(300),
+                ..SimConfig::default()
+            };
+            let schedule = FailureSchedule::random(
+                n_sites,
+                config.duration,
+                SimDuration::from_millis(60),
+                SimDuration::from_millis(15),
+                13,
+            );
+            ExperimentCell::new(spec, config, proto).with_failures(schedule)
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = run_cells(cells)
+        .into_iter()
+        .map(|(spec, report)| {
+            vec![
+                spec,
+                report.metrics.reads_ok.to_string(),
+                report.metrics.reads_failed.to_string(),
+                report.metrics.writes_ok.to_string(),
+                report.metrics.writes_failed.to_string(),
+                report.metrics.messages_sent.to_string(),
+                if report.consistent {
+                    "yes".into()
+                } else {
+                    format!("NO ({})", report.violations)
+                },
+            ]
+        })
+        .collect();
     print!(
         "{}",
         render_table(
-            &["tree", "reads_ok", "reads_fail", "writes_ok", "writes_fail", "msgs", "consistent"],
+            &[
+                "tree",
+                "reads_ok",
+                "reads_fail",
+                "writes_ok",
+                "writes_fail",
+                "msgs",
+                "consistent"
+            ],
             &rows
         )
     );

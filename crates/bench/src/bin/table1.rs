@@ -9,11 +9,17 @@ fn main() {
     let spec = TreeSpec::new(vec![
         LevelSpec::logical(1),
         LevelSpec::physical(3),
-        LevelSpec { physical: 5, logical: 4 },
+        LevelSpec {
+            physical: 5,
+            logical: 4,
+        },
     ]);
     let tree = ArbitraryTree::from_spec(&spec).expect("Figure 1 tree is valid");
 
-    println!("Table 1 — node bookkeeping of the Figure 1 tree ({})\n", tree.spec());
+    println!(
+        "Table 1 — node bookkeeping of the Figure 1 tree ({})\n",
+        tree.spec()
+    );
     let rows: Vec<Vec<String>> = (0..=tree.height())
         .map(|k| {
             vec![
@@ -27,8 +33,16 @@ fn main() {
 
     println!();
     println!("n        = {}", tree.replica_count());
-    println!("K_phy    = {:?}  (|K_phy| = {})", tree.physical_levels(), tree.physical_level_count());
-    println!("K_log    = {:?}  (|K_log| = {})", tree.logical_levels(), tree.logical_levels().len());
+    println!(
+        "K_phy    = {:?}  (|K_phy| = {})",
+        tree.physical_levels(),
+        tree.physical_level_count()
+    );
+    println!(
+        "K_log    = {:?}  (|K_log| = {})",
+        tree.logical_levels(),
+        tree.logical_levels().len()
+    );
     println!(
         "m(R)     = {}",
         arbitree_core::read_quorum_count(&tree).expect("small tree")

@@ -161,7 +161,13 @@ pub fn balanced(n: usize) -> Result<TreeSpec, TreeError> {
     let base = rest / rest_levels;
     let rem = rest % rest_levels;
     let mut counts = vec![4; 7];
-    counts.extend((0..rest_levels).map(|i| if i < rest_levels - rem { base } else { base + 1 }));
+    counts.extend((0..rest_levels).map(|i| {
+        if i < rest_levels - rem {
+            base
+        } else {
+            base + 1
+        }
+    }));
     let spec = TreeSpec::logical_root(counts);
     spec.validate()?;
     Ok(spec)
@@ -309,7 +315,10 @@ mod tests {
             s.validate().unwrap();
             // Read load is always 1/4 on the algorithm's domain.
             let t = ArbitraryTree::from_spec(&s).unwrap();
-            assert!((TreeMetrics::new(&t).read_load() - 0.25).abs() < 1e-12, "n={n}");
+            assert!(
+                (TreeMetrics::new(&t).read_load() - 0.25).abs() < 1e-12,
+                "n={n}"
+            );
         }
     }
 

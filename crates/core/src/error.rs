@@ -77,15 +77,26 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(TreeError::NoLevels.to_string().contains("no levels"));
-        assert!(TreeError::BadRoot { nodes_at_root: 2 }.to_string().contains("2"));
+        assert!(TreeError::BadRoot { nodes_at_root: 2 }
+            .to_string()
+            .contains("2"));
         assert!(TreeError::EmptyLevel { level: 3 }.to_string().contains("3"));
         assert!(TreeError::NoPhysicalNodes.to_string().contains("physical"));
-        let e = TreeError::AssumptionViolated { level: 2, previous: 5, current: 3 };
+        let e = TreeError::AssumptionViolated {
+            level: 2,
+            previous: 5,
+            current: 3,
+        };
         assert!(e.to_string().contains("assumption 3.1"));
         assert!(e.to_string().contains("level 2"));
-        let p = TreeError::ParseError { reason: "empty component".into() };
+        let p = TreeError::ParseError {
+            reason: "empty component".into(),
+        };
         assert!(p.to_string().contains("empty component"));
-        let u = TreeError::UnsupportedReplicaCount { n: 5, reason: "needs n > 64" };
+        let u = TreeError::UnsupportedReplicaCount {
+            n: 5,
+            reason: "needs n > 64",
+        };
         assert!(u.to_string().contains("5"));
     }
 }

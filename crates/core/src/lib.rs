@@ -70,8 +70,8 @@ pub use metrics::{
     algorithm1_read_availability_limit, algorithm1_write_availability_limit, TreeMetrics,
 };
 pub use protocol::ArbitraryProtocol;
-pub use render::{render_outline, render_tree};
 pub use quorums::{read_quorum_count, read_quorums, write_quorum_count, write_quorums};
+pub use render::{render_outline, render_tree};
 pub use spec::{LevelSpec, TreeSpec};
 pub use timestamp::Timestamp;
 pub use tree::{ArbitraryTree, Node, NodeId, NodeKind};

@@ -41,7 +41,10 @@ impl Workload {
             (0.0..=1.0).contains(&availability),
             "availability must be in [0,1]"
         );
-        Workload { read_fraction, availability }
+        Workload {
+            read_fraction,
+            availability,
+        }
     }
 
     /// A read-heavy workload (95% reads) at the given availability.
@@ -285,7 +288,11 @@ pub fn reconfigure(from: &TreeSpec, to: &TreeSpec) -> Result<MigrationPlan, Tree
         if a == b {
             unchanged += 1;
         } else {
-            moves.push(SiteMove { site, from_level: a, to_level: b });
+            moves.push(SiteMove {
+                site,
+                from_level: a,
+                to_level: b,
+            });
         }
     }
     Ok(MigrationPlan { moves, unchanged })

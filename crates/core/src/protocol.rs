@@ -76,6 +76,10 @@ impl ReplicaControl for ArbitraryProtocol {
         &self.name
     }
 
+    fn describe(&self) -> String {
+        self.tree.spec().to_string()
+    }
+
     fn universe(&self) -> Universe {
         self.tree.universe()
     }

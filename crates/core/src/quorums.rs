@@ -22,9 +22,9 @@ use arbitree_quorum::QuorumSet;
 /// # Ok::<(), arbitree_core::TreeError>(())
 /// ```
 pub fn read_quorum_count(tree: &ArbitraryTree) -> Option<u128> {
-    tree.physical_levels()
-        .iter()
-        .try_fold(1u128, |acc, &k| acc.checked_mul(tree.level_physical(k) as u128))
+    tree.physical_levels().iter().try_fold(1u128, |acc, &k| {
+        acc.checked_mul(tree.level_physical(k) as u128)
+    })
 }
 
 /// Number of write quorums `m(W) = |K_phy|` (fact 3.2.2).
@@ -111,7 +111,10 @@ pub struct WriteQuorums<'a> {
 
 impl<'a> WriteQuorums<'a> {
     pub(crate) fn new(tree: &'a ArbitraryTree) -> Self {
-        WriteQuorums { tree, next_index: 0 }
+        WriteQuorums {
+            tree,
+            next_index: 0,
+        }
     }
 }
 

@@ -34,7 +34,11 @@ pub fn render_tree(tree: &ArbitraryTree) -> String {
                 NodeKind::Logical => cells.push("[ ]".to_owned()),
             }
         }
-        let tag = if tree.level_physical(k) > 0 { "phy" } else { "log" };
+        let tag = if tree.level_physical(k) > 0 {
+            "phy"
+        } else {
+            "log"
+        };
         let _ = writeln!(
             out,
             "level {k} [{tag}]  {}   (m={}, phy={}, log={})",
@@ -104,7 +108,10 @@ mod tests {
     fn logical_filler_rendered() {
         let tree = ArbitraryTree::from_spec(&crate::TreeSpec::new(vec![
             crate::LevelSpec::logical(1),
-            crate::LevelSpec { physical: 2, logical: 1 },
+            crate::LevelSpec {
+                physical: 2,
+                logical: 1,
+            },
         ]))
         .unwrap();
         let art = render_tree(&tree);

@@ -1,14 +1,13 @@
 //! Tree specifications: the per-level shape of an arbitrary tree, with the
-//! paper's `1-3-5` notation (§3.4), parsing, validation, and serde support.
+//! paper's `1-3-5` notation (§3.4), parsing and validation.
 
 use crate::error::TreeError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// Shape of one tree level: how many physical (replica) and logical
 /// (placeholder) nodes it holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LevelSpec {
     /// Number of physical nodes (replicas) at this level — `m_phy_k`.
     pub physical: usize,
@@ -19,12 +18,18 @@ pub struct LevelSpec {
 impl LevelSpec {
     /// A level with `physical` replicas and no logical filler.
     pub const fn physical(physical: usize) -> Self {
-        LevelSpec { physical, logical: 0 }
+        LevelSpec {
+            physical,
+            logical: 0,
+        }
     }
 
     /// A level holding only logical nodes.
     pub const fn logical(logical: usize) -> Self {
-        LevelSpec { physical: 0, logical }
+        LevelSpec {
+            physical: 0,
+            logical,
+        }
     }
 
     /// Total node count `m_k` at this level.
@@ -68,7 +73,7 @@ impl LevelSpec {
 /// spec.validate()?;
 /// # Ok::<(), arbitree_core::TreeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TreeSpec {
     levels: Vec<LevelSpec>,
 }
@@ -100,7 +105,10 @@ impl TreeSpec {
     /// (the first count must be 1 for the spec to validate).
     pub fn physical_root<I: IntoIterator<Item = usize>>(physical_counts: I) -> Self {
         TreeSpec {
-            levels: physical_counts.into_iter().map(LevelSpec::physical).collect(),
+            levels: physical_counts
+                .into_iter()
+                .map(LevelSpec::physical)
+                .collect(),
         }
     }
 
@@ -293,7 +301,10 @@ mod tests {
         let spec = TreeSpec::new(vec![
             LevelSpec::logical(1),
             LevelSpec::physical(3),
-            LevelSpec { physical: 5, logical: 4 },
+            LevelSpec {
+                physical: 5,
+                logical: 4,
+            },
         ]);
         spec.validate().unwrap();
         assert_eq!(spec.replica_count(), 8);
@@ -305,14 +316,20 @@ mod tests {
     #[test]
     fn validation_catches_bad_root() {
         let spec = TreeSpec::new(vec![LevelSpec::physical(2)]);
-        assert_eq!(spec.validate(), Err(TreeError::BadRoot { nodes_at_root: 2 }));
+        assert_eq!(
+            spec.validate(),
+            Err(TreeError::BadRoot { nodes_at_root: 2 })
+        );
     }
 
     #[test]
     fn validation_catches_empty_level() {
         let spec = TreeSpec::new(vec![
             LevelSpec::logical(1),
-            LevelSpec { physical: 0, logical: 0 },
+            LevelSpec {
+                physical: 0,
+                logical: 0,
+            },
         ]);
         assert_eq!(spec.validate(), Err(TreeError::EmptyLevel { level: 1 }));
     }
@@ -329,13 +346,21 @@ mod tests {
         let spec = TreeSpec::logical_root([5, 3]);
         assert_eq!(
             spec.validate(),
-            Err(TreeError::AssumptionViolated { level: 2, previous: 5, current: 3 })
+            Err(TreeError::AssumptionViolated {
+                level: 2,
+                previous: 5,
+                current: 3
+            })
         );
         // Physical root of 1 followed by level with 1 is not a strict increase.
         let spec = TreeSpec::physical_root([1, 1]);
         assert_eq!(
             spec.validate(),
-            Err(TreeError::AssumptionViolated { level: 1, previous: 1, current: 1 })
+            Err(TreeError::AssumptionViolated {
+                level: 1,
+                previous: 1,
+                current: 1
+            })
         );
     }
 
@@ -364,15 +389,30 @@ mod tests {
     #[test]
     fn empty_spec_rejected() {
         assert_eq!(TreeSpec::new(vec![]).validate(), Err(TreeError::NoLevels));
-        assert!(matches!("".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
+        assert!(matches!(
+            "".parse::<TreeSpec>(),
+            Err(TreeError::ParseError { .. })
+        ));
     }
 
     #[test]
     fn parse_errors() {
-        assert!(matches!("1--3".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
-        assert!(matches!("1-x".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
-        assert!(matches!("3-4".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
-        assert!(matches!("p:".parse::<TreeSpec>(), Err(TreeError::ParseError { .. })));
+        assert!(matches!(
+            "1--3".parse::<TreeSpec>(),
+            Err(TreeError::ParseError { .. })
+        ));
+        assert!(matches!(
+            "1-x".parse::<TreeSpec>(),
+            Err(TreeError::ParseError { .. })
+        ));
+        assert!(matches!(
+            "3-4".parse::<TreeSpec>(),
+            Err(TreeError::ParseError { .. })
+        ));
+        assert!(matches!(
+            "p:".parse::<TreeSpec>(),
+            Err(TreeError::ParseError { .. })
+        ));
     }
 
     #[test]

@@ -317,7 +317,10 @@ mod tests {
         ArbitraryTree::from_spec(&TreeSpec::new(vec![
             LevelSpec::logical(1),
             LevelSpec::physical(3),
-            LevelSpec { physical: 5, logical: 4 },
+            LevelSpec {
+                physical: 5,
+                logical: 4,
+            },
         ]))
         .unwrap()
     }

@@ -43,7 +43,11 @@ pub fn exact_availability(system: &SetSystem, p: f64) -> f64 {
     );
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
 
-    let masks: Vec<u128> = system.sets().iter().map(|s| s.to_alive_set().bits()).collect();
+    let masks: Vec<u128> = system
+        .sets()
+        .iter()
+        .map(|s| s.to_alive_set().bits())
+        .collect();
     let mut total = 0.0;
     for subset in 0u64..(1u64 << n) {
         let alive = subset as u128;
@@ -71,7 +75,11 @@ pub fn monte_carlo_availability<R: Rng + ?Sized>(
     assert!(samples > 0, "need at least one sample");
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let n = system.universe().len();
-    let masks: Vec<u128> = system.sets().iter().map(|s| s.to_alive_set().bits()).collect();
+    let masks: Vec<u128> = system
+        .sets()
+        .iter()
+        .map(|s| s.to_alive_set().bits())
+        .collect();
     let mut hits = 0u32;
     for _ in 0..samples {
         let mut alive = 0u128;
@@ -135,11 +143,7 @@ mod tests {
     }
 
     fn rowa_writes(n: usize) -> SetSystem {
-        SetSystem::new(
-            Universe::new(n),
-            vec![QuorumSet::from_indices(0..n as u32)],
-        )
-        .unwrap()
+        SetSystem::new(Universe::new(n), vec![QuorumSet::from_indices(0..n as u32)]).unwrap()
     }
 
     #[test]
@@ -177,7 +181,9 @@ mod tests {
         let n = 4;
         let s = SetSystem::new(
             Universe::new(n),
-            (0..n as u32).map(|i| QuorumSet::from_indices([i])).collect(),
+            (0..n as u32)
+                .map(|i| QuorumSet::from_indices([i]))
+                .collect(),
         )
         .unwrap();
         for &p in &[0.6, 0.8] {

@@ -119,7 +119,9 @@ mod tests {
     fn sys(n: usize, sets: &[&[u32]]) -> SetSystem {
         SetSystem::new(
             Universe::new(n),
-            sets.iter().map(|s| QuorumSet::from_indices(s.iter().copied())).collect(),
+            sets.iter()
+                .map(|s| QuorumSet::from_indices(s.iter().copied()))
+                .collect(),
         )
         .unwrap()
     }
@@ -168,10 +170,7 @@ mod tests {
         // 3-subsets; H = {0,1}: intersects every 3-subset of {0..3}
         // (a 3-subset omits only one element) and contains no 3-subset →
         // dominated.
-        let m4 = sys(
-            4,
-            &[&[0, 1, 2], &[0, 1, 3], &[0, 2, 3], &[1, 2, 3]],
-        );
+        let m4 = sys(4, &[&[0, 1, 2], &[0, 1, 3], &[0, 2, 3], &[1, 2, 3]]);
         assert!(is_dominated(&m4));
     }
 

@@ -72,7 +72,10 @@ pub fn optimal_load(system: &SetSystem) -> (f64, Strategy) {
     }
 
     match lp.solve() {
-        LpOutcome::Optimal { objective, mut solution } => {
+        LpOutcome::Optimal {
+            objective,
+            mut solution,
+        } => {
             solution.truncate(m);
             // Clamp tiny numerical noise so Strategy validation passes.
             for w in &mut solution {
@@ -191,7 +194,9 @@ mod tests {
         let n = 6;
         let s = SetSystem::new(
             Universe::new(n),
-            (0..n as u32).map(|i| QuorumSet::from_indices([i])).collect(),
+            (0..n as u32)
+                .map(|i| QuorumSet::from_indices([i]))
+                .collect(),
         )
         .unwrap();
         let (load, _) = optimal_load(&s);

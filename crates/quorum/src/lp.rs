@@ -80,7 +80,10 @@ impl LinearProgram {
     ///
     /// Panics if `objective` is empty.
     pub fn minimize(objective: Vec<f64>) -> Self {
-        assert!(!objective.is_empty(), "objective must have at least one variable");
+        assert!(
+            !objective.is_empty(),
+            "objective must have at least one variable"
+        );
         LinearProgram {
             objective,
             constraints: Vec::new(),
@@ -267,8 +270,7 @@ impl Tableau {
                         None => leaving = Some((r, ratio)),
                         Some((lr, lratio)) => {
                             if ratio < lratio - EPS
-                                || ((ratio - lratio).abs() <= EPS
-                                    && self.basis[r] < self.basis[lr])
+                                || ((ratio - lratio).abs() <= EPS && self.basis[r] < self.basis[lr])
                             {
                                 leaving = Some((r, ratio));
                             }
@@ -350,7 +352,10 @@ mod tests {
 
     fn assert_optimal(outcome: LpOutcome, expect_obj: f64) -> Vec<f64> {
         match outcome {
-            LpOutcome::Optimal { objective, solution } => {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
                 assert!(
                     (objective - expect_obj).abs() < 1e-7,
                     "objective {objective} != {expect_obj}"
@@ -457,7 +462,10 @@ mod tests {
     fn outcome_display() {
         assert_eq!(LpOutcome::Infeasible.to_string(), "infeasible");
         assert_eq!(LpOutcome::Unbounded.to_string(), "unbounded");
-        let o = LpOutcome::Optimal { objective: 1.5, solution: vec![] };
+        let o = LpOutcome::Optimal {
+            objective: 1.5,
+            solution: vec![],
+        };
         assert_eq!(o.to_string(), "optimal(1.5)");
     }
 }

@@ -62,7 +62,14 @@ pub fn blocking_number(system: &SetSystem) -> (usize, QuorumSet) {
     // members (classic hitting-set search); quorums are small, so this is
     // fast in practice.
     let mut best: Option<u32> = None;
-    fn search(masks: &[u32], hit: u32, chosen: u32, size: usize, best: &mut Option<u32>, best_size: &mut usize) {
+    fn search(
+        masks: &[u32],
+        hit: u32,
+        chosen: u32,
+        size: usize,
+        best: &mut Option<u32>,
+        best_size: &mut usize,
+    ) {
         if size >= *best_size {
             return;
         }
@@ -102,7 +109,9 @@ mod tests {
     fn sys(n: usize, sets: &[&[u32]]) -> SetSystem {
         SetSystem::new(
             Universe::new(n),
-            sets.iter().map(|s| QuorumSet::from_indices(s.iter().copied())).collect(),
+            sets.iter()
+                .map(|s| QuorumSet::from_indices(s.iter().copied()))
+                .collect(),
         )
         .unwrap()
     }

@@ -241,7 +241,10 @@ mod tests {
         let s = majority3();
         assert_eq!(
             Strategy::new(&s, vec![1.0]),
-            Err(StrategyError::LengthMismatch { expected: 3, got: 1 })
+            Err(StrategyError::LengthMismatch {
+                expected: 3,
+                got: 1
+            })
         );
         assert!(matches!(
             Strategy::new(&s, vec![-0.1, 0.6, 0.5]),
@@ -294,12 +297,18 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(StrategyError::LengthMismatch { expected: 2, got: 3 }
-            .to_string()
-            .contains("expected 2"));
-        assert!(StrategyError::InvalidWeight { index: 1, value: -1.0 }
-            .to_string()
-            .contains("#1"));
+        assert!(StrategyError::LengthMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 2"));
+        assert!(StrategyError::InvalidWeight {
+            index: 1,
+            value: -1.0
+        }
+        .to_string()
+        .contains("#1"));
         assert!(StrategyError::NotNormalized { sum: 0.5 }
             .to_string()
             .contains("0.5"));

@@ -145,7 +145,10 @@ impl SetSystem {
         for i in 0..self.sets.len() {
             for j in (i + 1)..self.sets.len() {
                 if !self.sets[i].intersects(&self.sets[j]) {
-                    return Err(QuorumError::EmptyIntersection { first: i, second: j });
+                    return Err(QuorumError::EmptyIntersection {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -169,7 +172,10 @@ impl SetSystem {
         for i in 0..self.sets.len() {
             for j in 0..self.sets.len() {
                 if i != j && self.sets[i].is_proper_subset_of(&self.sets[j]) {
-                    return Err(QuorumError::NotMinimal { subset: i, superset: j });
+                    return Err(QuorumError::NotMinimal {
+                        subset: i,
+                        superset: j,
+                    });
                 }
             }
         }
@@ -243,7 +249,10 @@ impl Bicoterie {
         for (i, r) in reads.sets().iter().enumerate() {
             for (j, w) in writes.sets().iter().enumerate() {
                 if !r.intersects(w) {
-                    return Err(QuorumError::EmptyIntersection { first: i, second: j });
+                    return Err(QuorumError::EmptyIntersection {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -296,12 +305,18 @@ mod tests {
     fn disjoint_sets_fail_quorum_property() {
         let s = SetSystem::new(
             Universe::new(4),
-            vec![QuorumSet::from_indices([0, 1]), QuorumSet::from_indices([2, 3])],
+            vec![
+                QuorumSet::from_indices([0, 1]),
+                QuorumSet::from_indices([2, 3]),
+            ],
         )
         .unwrap();
         assert_eq!(
             s.check_quorum_system(),
-            Err(QuorumError::EmptyIntersection { first: 0, second: 1 })
+            Err(QuorumError::EmptyIntersection {
+                first: 0,
+                second: 1
+            })
         );
         assert!(!s.is_coterie());
     }
@@ -310,13 +325,19 @@ mod tests {
     fn dominated_set_fails_minimality() {
         let s = SetSystem::new(
             Universe::new(3),
-            vec![QuorumSet::from_indices([0]), QuorumSet::from_indices([0, 1])],
+            vec![
+                QuorumSet::from_indices([0]),
+                QuorumSet::from_indices([0, 1]),
+            ],
         )
         .unwrap();
         assert!(s.is_quorum_system());
         assert_eq!(
             s.check_coterie(),
-            Err(QuorumError::NotMinimal { subset: 0, superset: 1 })
+            Err(QuorumError::NotMinimal {
+                subset: 0,
+                superset: 1
+            })
         );
     }
 
@@ -357,7 +378,10 @@ mod tests {
         let writes = SetSystem::new(u, vec![QuorumSet::from_indices([2, 3])]).unwrap();
         assert_eq!(
             Bicoterie::new(reads, writes),
-            Err(QuorumError::EmptyIntersection { first: 0, second: 0 })
+            Err(QuorumError::EmptyIntersection {
+                first: 0,
+                second: 0
+            })
         );
     }
 
@@ -373,16 +397,24 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = QuorumError::EmptyIntersection { first: 1, second: 2 };
+        let e = QuorumError::EmptyIntersection {
+            first: 1,
+            second: 2,
+        };
         assert!(e.to_string().contains("#1"));
         assert!(e.to_string().contains("#2"));
         assert!(!QuorumError::Empty.to_string().is_empty());
-        assert!(QuorumError::EmptySet { set_index: 3 }.to_string().contains("#3"));
+        assert!(QuorumError::EmptySet { set_index: 3 }
+            .to_string()
+            .contains("#3"));
         assert!(QuorumError::SiteOutOfUniverse { set_index: 0 }
             .to_string()
             .contains("#0"));
-        assert!(QuorumError::NotMinimal { subset: 0, superset: 1 }
-            .to_string()
-            .contains("subset"));
+        assert!(QuorumError::NotMinimal {
+            subset: 0,
+            superset: 1
+        }
+        .to_string()
+        .contains("subset"));
     }
 }

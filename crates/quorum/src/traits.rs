@@ -24,13 +24,21 @@ pub struct CostProfile {
 impl CostProfile {
     /// A profile where min, max and avg all equal `c` (regular systems).
     pub const fn flat(c: f64) -> Self {
-        CostProfile { min: c, max: c, avg: c }
+        CostProfile {
+            min: c,
+            max: c,
+            avg: c,
+        }
     }
 }
 
 impl fmt::Display for CostProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[min {:.2}, avg {:.2}, max {:.2}]", self.min, self.avg, self.max)
+        write!(
+            f,
+            "[min {:.2}, avg {:.2}, max {:.2}]",
+            self.min, self.avg, self.max
+        )
     }
 }
 
@@ -63,6 +71,13 @@ pub fn expected_write_load(write_availability: f64, write_load: f64) -> f64 {
 pub trait ReplicaControl {
     /// Human-readable protocol name (e.g. `"ARBITRARY"`, `"ROWA"`).
     fn name(&self) -> &str;
+
+    /// Human-readable description of the concrete configuration —
+    /// protocols with structure (e.g. a tree spec like `1-3-5`) override
+    /// this so the shape stays inspectable through `dyn ReplicaControl`.
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
 
     /// The universe of replicas the protocol manages.
     fn universe(&self) -> Universe;
@@ -131,6 +146,9 @@ pub trait ReplicaControl {
 impl<P: ReplicaControl + ?Sized> ReplicaControl for Box<P> {
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
     }
     fn universe(&self) -> Universe {
         (**self).universe()
@@ -237,10 +255,7 @@ mod tests {
 
     #[test]
     fn pick_uniform_alive_eventually_picks_all_live_candidates() {
-        let candidates = vec![
-            QuorumSet::from_indices([0]),
-            QuorumSet::from_indices([1]),
-        ];
+        let candidates = vec![QuorumSet::from_indices([0]), QuorumSet::from_indices([1])];
         let mut rng = StdRng::seed_from_u64(11);
         let alive = AliveSet::full(2);
         let mut seen = [false; 2];

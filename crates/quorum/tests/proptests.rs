@@ -13,8 +13,8 @@ use rand::SeedableRng;
 /// every set contains site 0 — guaranteeing the intersection property.
 fn star_system() -> impl PropStrategy<Value = SetSystem> {
     (2usize..8, 1usize..6).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 1..n), m)
-            .prop_map(move |sets| {
+        proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 1..n), m).prop_map(
+            move |sets| {
                 let quorums = sets
                     .into_iter()
                     .map(|mut s| {
@@ -23,7 +23,8 @@ fn star_system() -> impl PropStrategy<Value = SetSystem> {
                     })
                     .collect();
                 SetSystem::new(Universe::new(n), quorums).unwrap()
-            })
+            },
+        )
     })
 }
 

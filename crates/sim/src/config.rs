@@ -110,7 +110,10 @@ impl SimConfig {
         assert!(self.clients > 0, "need at least one client");
         assert!(self.objects > 0, "need at least one object");
         assert!(self.max_attempts > 0, "need at least one attempt");
-        assert!(self.max_txn_ops > 0, "transactions need at least one operation");
+        assert!(
+            self.max_txn_ops > 0,
+            "transactions need at least one operation"
+        );
         assert!(
             self.network.min_latency <= self.network.max_latency,
             "min latency must not exceed max latency"
@@ -134,14 +137,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "round trip")]
     fn tight_timeout_rejected() {
-        let c = SimConfig { op_timeout: SimDuration::from_micros(10), ..SimConfig::default() };
+        let c = SimConfig {
+            op_timeout: SimDuration::from_micros(10),
+            ..SimConfig::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "read_fraction")]
     fn bad_fraction_rejected() {
-        let c = SimConfig { read_fraction: 1.5, ..SimConfig::default() };
+        let c = SimConfig {
+            read_fraction: 1.5,
+            ..SimConfig::default()
+        };
         c.validate();
     }
 
@@ -152,7 +161,10 @@ mod tests {
             min_latency: SimDuration::from_millis(10),
             ..NetworkConfig::default()
         };
-        let c = SimConfig { network, ..SimConfig::default() };
+        let c = SimConfig {
+            network,
+            ..SimConfig::default()
+        };
         c.validate();
     }
 }

@@ -1,0 +1,942 @@
+//! The coordinator layer: the transaction state machine.
+//!
+//! [`Coordinator`] owns everything transactional — the strict-2PL lock
+//! manager, the per-transaction phase machines (lock wait → read rounds →
+//! 2PC prepare → 2PC commit), the one-copy consistency checker, the
+//! workload generators, and the live-reconfiguration state machine. It is
+//! deliberately protocol-agnostic: every quorum decision goes through a
+//! `&dyn ReplicaControl`, which is also what makes *cross-protocol*
+//! reconfiguration possible (the migration target is an arbitrary boxed
+//! protocol, not "another tree").
+//!
+//! Methods take the [`Engine`] and the active protocol as explicit
+//! parameters: the three layers are sibling fields of
+//! [`crate::Simulation`], so the borrow checker can see they are disjoint.
+
+use crate::checker::ConsistencyChecker;
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::event::Event;
+use crate::history::{History, HistoryEvent, HistoryKind};
+use crate::locks::{LockManager, LockMode};
+use crate::message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
+use crate::time::SimTime;
+use crate::txn::{ClientState, MigrationPhase, Phase, Reconfig, SimReport, TxnRequest, TxnState};
+use crate::workload::{ArrivalPacer, ObjectSampler};
+use arbitree_core::Timestamp;
+use arbitree_quorum::{AliveSet, QuorumSet, ReplicaControl, SiteId};
+use bytes::Bytes;
+use rand::Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// The boxed protocol the simulation runs — swapped live on migration.
+pub(crate) type Proto = Box<dyn ReplicaControl>;
+
+/// The coordinator layer: clients, transactions, locks, checker, workload,
+/// and reconfiguration.
+pub struct Coordinator {
+    pub(crate) config: SimConfig,
+    locks: LockManager,
+    checker: ConsistencyChecker,
+    clients: Vec<ClientState>,
+    ops: HashMap<OpId, TxnState>,
+    next_op: u64,
+    queued_reconfigs: VecDeque<Proto>,
+    reconfig: Option<Reconfig>,
+    history: History,
+    object_sampler: ObjectSampler,
+    pacers: Vec<ArrivalPacer>,
+    scripted: HashMap<ClientId, VecDeque<(SimTime, TxnRequest)>>,
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("clients", &self.clients.len())
+            .field("ops_in_flight", &self.ops.len())
+            .field("next_op", &self.next_op)
+            .field("queued_reconfigs", &self.queued_reconfigs.len())
+            .field("reconfig", &self.reconfig)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Coordinator {
+    /// Creates the coordinator for `n_sites` replicas under `config`.
+    pub(crate) fn new(config: SimConfig, n_sites: usize) -> Self {
+        // One extra coordinator (the last index) drives reconfiguration
+        // migrations; it never issues workload transactions.
+        let clients = (0..=config.clients as u32)
+            .map(|c| ClientState {
+                sid: SiteId::new(n_sites as u32 + c),
+                suspected: HashSet::new(),
+                current_op: None,
+            })
+            .collect();
+        Coordinator {
+            locks: LockManager::new(),
+            checker: ConsistencyChecker::new(),
+            clients,
+            ops: HashMap::new(),
+            next_op: 0,
+            queued_reconfigs: VecDeque::new(),
+            reconfig: None,
+            history: History::new(),
+            object_sampler: ObjectSampler::new(config.objects, config.object_distribution),
+            pacers: (0..config.clients)
+                .map(|_| ArrivalPacer::new(config.arrival_pattern, config.think_time))
+                .collect(),
+            scripted: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The consistency checker (inspection after a run).
+    pub fn checker(&self) -> &ConsistencyChecker {
+        &self.checker
+    }
+
+    /// Transactions currently in flight.
+    pub fn ops_in_flight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The reserved migration coordinator's id.
+    fn migration_client(&self) -> ClientId {
+        ClientId(self.config.clients as u32)
+    }
+
+    /// Enqueues a reconfiguration target (popped by the next
+    /// [`Event::Reconfigure`]).
+    pub(crate) fn queue_reconfigure(&mut self, target: Proto) {
+        self.queued_reconfigs.push_back(target);
+    }
+
+    /// Enqueues a scripted transaction; see
+    /// [`crate::Simulation::schedule_transaction`].
+    pub(crate) fn schedule_transaction(
+        &mut self,
+        engine: &mut Engine,
+        at: SimTime,
+        client: ClientId,
+        req: TxnRequest,
+    ) {
+        assert!(
+            (client.0 as usize) < self.config.clients,
+            "client id out of range"
+        );
+        assert!(
+            !req.reads.is_empty() || !req.writes.is_empty(),
+            "transaction must contain at least one operation"
+        );
+        let mut seen = HashSet::new();
+        for obj in req.reads.iter().chain(req.writes.iter().map(|(o, _)| o)) {
+            assert!(
+                (obj.0 as usize) < self.config.objects,
+                "object {obj} out of range"
+            );
+            assert!(
+                seen.insert(*obj),
+                "object {obj} appears twice in the transaction"
+            );
+        }
+        self.scripted
+            .entry(client)
+            .or_default()
+            .push_back((at, req));
+        engine.schedule(at, Event::ClientTick(client));
+    }
+
+    /// Picks a quorum among believed-alive sites. If none can be assembled,
+    /// clears the client's suspicions (failures are transient and detectable
+    /// per §2.2 — the client re-probes) and tries once more against the full
+    /// membership; genuinely dead sites will be re-suspected at the next
+    /// timeout.
+    fn pick_with_reprobe(
+        &mut self,
+        engine: &mut Engine,
+        protocol: &dyn ReplicaControl,
+        client: ClientId,
+        write: bool,
+    ) -> Option<QuorumSet> {
+        let alive = self.believed_alive(engine, client);
+        let pick = |alive, rng: &mut dyn rand::RngCore| {
+            if write {
+                protocol.pick_write_quorum(alive, rng)
+            } else {
+                protocol.pick_read_quorum(alive, rng)
+            }
+        };
+        if let Some(q) = pick(alive, &mut engine.rng) {
+            return Some(q);
+        }
+        if self.clients[client.0 as usize].suspected.is_empty() {
+            return None;
+        }
+        self.clients[client.0 as usize].suspected.clear();
+        let full = AliveSet::full(engine.sites.len());
+        pick(full, &mut engine.rng)
+    }
+
+    fn believed_alive(&self, engine: &Engine, client: ClientId) -> AliveSet {
+        let mut alive = AliveSet::full(engine.sites.len());
+        for s in &self.clients[client.0 as usize].suspected {
+            alive.remove(*s);
+        }
+        alive
+    }
+
+    fn arm_timeout(&mut self, engine: &mut Engine, op: OpId) {
+        let state = self.ops.get_mut(&op).expect("txn exists");
+        state.phase_counter += 1;
+        engine.arm_timeout(
+            state.client,
+            op,
+            state.phase_counter,
+            self.config.op_timeout,
+        );
+    }
+
+    /// Handles a client's wake-up tick: issue the next transaction if idle.
+    pub(crate) fn handle_client_tick(
+        &mut self,
+        engine: &mut Engine,
+        protocol: &mut Proto,
+        client: ClientId,
+    ) {
+        if (client.0 as usize) < self.config.clients
+            && self.clients[client.0 as usize].current_op.is_none()
+        {
+            self.issue_op(engine, protocol, client);
+        }
+    }
+
+    /// Issues a fresh transaction for `client` (assumes it is idle):
+    /// scripted requests first, then — if enabled — the random workload.
+    fn issue_op(&mut self, engine: &mut Engine, protocol: &mut Proto, client: ClientId) {
+        if self.reconfig.is_some() {
+            return;
+        }
+        let due = self
+            .scripted
+            .get(&client)
+            .and_then(|q| q.front())
+            .is_some_and(|(at, _)| *at <= engine.now);
+        if due {
+            let (_, req) = self
+                .scripted
+                .get_mut(&client)
+                .and_then(VecDeque::pop_front)
+                .expect("front checked");
+            let reads = req.reads;
+            let mut writes = Vec::new();
+            let mut write_values = HashMap::new();
+            for (obj, value) in req.writes {
+                write_values.insert(obj, value);
+                writes.push(obj);
+            }
+            self.insert_txn(engine, protocol, client, reads, writes, write_values);
+            return;
+        }
+        if engine.now >= engine.end || !self.config.auto_workload {
+            return;
+        }
+        let id_hint = self.next_op;
+
+        // Sample 1..=max distinct objects, each op independently read/write.
+        let max_ops = self.config.max_txn_ops.min(self.config.objects);
+        let op_count = if max_ops == 1 {
+            1
+        } else {
+            engine.rng.gen_range(1..=max_ops)
+        };
+        let mut objects: Vec<ObjectId> = Vec::with_capacity(op_count);
+        let mut tries = 0;
+        while objects.len() < op_count && tries < 16 * op_count {
+            let obj = ObjectId(self.object_sampler.sample(&mut engine.rng));
+            if !objects.contains(&obj) {
+                objects.push(obj);
+            }
+            tries += 1;
+        }
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut write_values = HashMap::new();
+        for obj in objects {
+            if engine.rng.gen::<f64>() < self.config.read_fraction {
+                reads.push(obj);
+            } else {
+                let mut v = Vec::with_capacity(12);
+                v.extend_from_slice(&id_hint.to_be_bytes());
+                v.extend_from_slice(&obj.0.to_be_bytes());
+                write_values.insert(obj, Bytes::from(v));
+                writes.push(obj);
+            }
+        }
+        self.insert_txn(engine, protocol, client, reads, writes, write_values);
+    }
+
+    /// Registers a transaction's state and starts its lock acquisition.
+    fn insert_txn(
+        &mut self,
+        engine: &mut Engine,
+        protocol: &mut Proto,
+        client: ClientId,
+        reads: Vec<ObjectId>,
+        writes: Vec<ObjectId>,
+        write_values: HashMap<ObjectId, Bytes>,
+    ) {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        // Lock plan: ascending object order (deadlock freedom), strongest
+        // mode per object.
+        let mut lock_plan: Vec<(ObjectId, LockMode)> = reads
+            .iter()
+            .map(|&o| (o, LockMode::Read))
+            .chain(writes.iter().map(|&o| (o, LockMode::Write)))
+            .collect();
+        lock_plan.sort_by_key(|&(o, _)| o);
+        // Every object needing a read round: reads + writes (versions).
+        let read_targets: Vec<ObjectId> = lock_plan.iter().map(|&(o, _)| o).collect();
+
+        let mut state = TxnState::new(client, engine.now, false);
+        state.reads = reads;
+        state.writes = writes;
+        state.lock_plan = lock_plan;
+        state.read_targets = read_targets;
+        state.write_values = write_values;
+        self.ops.insert(id, state);
+        self.clients[client.0 as usize].current_op = Some(id);
+        self.advance_locks(engine, protocol, id);
+    }
+
+    /// Acquires the next planned lock(s); when all are held, starts the
+    /// first read round (or the prepare phase for read-less migrations).
+    fn advance_locks(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        loop {
+            let next = {
+                let s = self.ops.get(&op).expect("txn exists");
+                s.lock_plan.get(s.locks_held).copied()
+            };
+            match next {
+                None => {
+                    // All locks held.
+                    let has_reads = {
+                        let s = self.ops.get(&op).expect("txn exists");
+                        !s.read_targets.is_empty()
+                    };
+                    if has_reads {
+                        self.start_read_round(engine, protocol, op);
+                    } else {
+                        self.start_prepare_phase(engine, protocol, op);
+                    }
+                    return;
+                }
+                Some((obj, mode)) => {
+                    if self.locks.acquire(op, obj, mode) {
+                        self.ops.get_mut(&op).expect("txn exists").locks_held += 1;
+                    } else {
+                        return; // queued; resumed by a later release
+                    }
+                }
+            }
+        }
+    }
+
+    /// Called when the lock manager grants a queued request of `op`.
+    fn on_lock_granted(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        if self.ops.contains_key(&op) {
+            self.ops.get_mut(&op).expect("txn exists").locks_held += 1;
+            self.advance_locks(engine, protocol, op);
+        }
+    }
+
+    /// Starts (or restarts) the current read round.
+    fn start_read_round(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        let (client, obj) = {
+            let s = self.ops.get(&op).expect("txn exists");
+            (s.client, s.current_read_target().expect("round in range"))
+        };
+        let quorum = self.pick_with_reprobe(engine, protocol, client, false);
+        let Some(quorum) = quorum else {
+            self.fail_op(engine, protocol, op);
+            return;
+        };
+        {
+            let s = self.ops.get_mut(&op).expect("txn exists");
+            s.phase = Phase::ReadGather;
+            s.pending_sites = quorum.iter().collect();
+            s.round_quorum = quorum.clone();
+            s.round_responses.clear();
+        }
+        engine.send_to_sites(client, &quorum, |_| Payload::ReadReq { op, obj });
+        self.arm_timeout(engine, op);
+    }
+
+    /// The current read round finished: record its result, maybe repair,
+    /// then move to the next round, the prepare phase, or completion.
+    fn finish_read_round(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        let (obj, best, responses, client) = {
+            let s = self.ops.get_mut(&op).expect("txn exists");
+            let obj = s.current_read_target().expect("round in range");
+            let best = s
+                .gathered
+                .get(&obj)
+                .cloned()
+                .unwrap_or((Timestamp::ZERO, Bytes::new()));
+            s.round_quorums.insert(obj, s.round_quorum.clone());
+            s.read_round += 1;
+            (obj, best, s.round_responses.clone(), s.client)
+        };
+        // Read-repair: the best value is committed (locks block writers), so
+        // refreshing stale members is safe even if the txn later aborts.
+        if self.config.read_repair {
+            let stale: Vec<SiteId> = responses
+                .iter()
+                .filter(|(_, seen)| *seen < best.0)
+                .map(|(site, _)| *site)
+                .collect();
+            if !stale.is_empty() {
+                let members = QuorumSet::from_sites(stale);
+                engine.metrics.repairs_sent += members.len() as u64;
+                let (ts, value) = best.clone();
+                engine.send_to_sites(client, &members, |_| Payload::Repair {
+                    op,
+                    obj,
+                    value: value.clone(),
+                    ts,
+                });
+            }
+        }
+        let (more_rounds, has_writes) = {
+            let s = self.ops.get(&op).expect("txn exists");
+            (s.read_round < s.read_targets.len(), !s.writes.is_empty())
+        };
+        if more_rounds {
+            self.start_read_round(engine, protocol, op);
+        } else if has_writes {
+            // Stamp every written object from its gathered version.
+            let client_idx = self.ops.get(&op).expect("txn exists").client.0 as usize;
+            let sid = self.clients[client_idx].sid;
+            let s = self.ops.get_mut(&op).expect("txn exists");
+            for obj in s.writes.clone() {
+                let base = s.gathered.get(&obj).map_or(Timestamp::ZERO, |(t, _)| *t);
+                s.write_ts.insert(obj, base.next(sid));
+            }
+            self.start_prepare_phase(engine, protocol, op);
+        } else {
+            self.complete_op(engine, protocol, op);
+        }
+    }
+
+    /// Starts (or restarts) the 2PC prepare phase across every written
+    /// object's write quorum.
+    fn start_prepare_phase(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        let (client, writes, is_migration) = {
+            let s = self.ops.get(&op).expect("txn exists");
+            (s.client, s.writes.clone(), s.is_migration)
+        };
+        let mut quorums: HashMap<ObjectId, QuorumSet> = HashMap::new();
+        for &obj in &writes {
+            let q = if is_migration {
+                // Migration writes go to the union of an old-structure and a
+                // new-structure write quorum so the value is visible
+                // whichever structure serves later reads.
+                let old_q = self.pick_with_reprobe(engine, protocol, client, true);
+                let alive = self.believed_alive(engine, client);
+                let new_q = match (&self.reconfig, old_q.as_ref()) {
+                    (Some(rc), Some(_)) => rc.target.pick_write_quorum(alive, &mut engine.rng),
+                    _ => None,
+                };
+                match (old_q, new_q) {
+                    (Some(a), Some(b)) => Some(QuorumSet::from_sites(a.iter().chain(b.iter()))),
+                    _ => None,
+                }
+            } else {
+                self.pick_with_reprobe(engine, protocol, client, true)
+            };
+            match q {
+                Some(q) => {
+                    quorums.insert(obj, q);
+                }
+                None => {
+                    self.fail_op(engine, protocol, op);
+                    return;
+                }
+            }
+        }
+        let mut sends: Vec<(ObjectId, QuorumSet, Bytes, Timestamp)> = Vec::new();
+        {
+            let s = self.ops.get_mut(&op).expect("txn exists");
+            s.phase = Phase::PrepareGather;
+            s.pending_pairs.clear();
+            for (&obj, q) in &quorums {
+                for site in q.iter() {
+                    s.pending_pairs.insert((obj, site));
+                }
+                sends.push((
+                    obj,
+                    q.clone(),
+                    s.write_values.get(&obj).expect("value exists").clone(),
+                    *s.write_ts.get(&obj).expect("ts stamped"),
+                ));
+            }
+            s.write_quorums = quorums;
+        }
+        for (obj, q, value, ts) in sends {
+            let v = value;
+            engine.send_to_sites(client, &q, |_| Payload::Prepare {
+                op,
+                obj,
+                value: v.clone(),
+                ts,
+            });
+        }
+        self.arm_timeout(engine, op);
+    }
+
+    /// Crossing the commit point: send `Commit` to every participant.
+    fn start_commit_phase(&mut self, engine: &mut Engine, op: OpId) {
+        let (client, quorums) = {
+            let s = self.ops.get_mut(&op).expect("txn exists");
+            s.phase = Phase::CommitGather;
+            s.pending_pairs.clear();
+            for (&obj, q) in &s.write_quorums {
+                for site in q.iter() {
+                    s.pending_pairs.insert((obj, site));
+                }
+            }
+            (s.client, s.write_quorums.clone())
+        };
+        for (obj, q) in quorums {
+            engine.send_to_sites(client, &q, |_| Payload::Commit { op, obj });
+        }
+        self.arm_timeout(engine, op);
+    }
+
+    /// The transaction gives up: abort staged writes, release locks, count
+    /// the failure, let the client move on.
+    fn fail_op(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        let state = self.ops.remove(&op).expect("txn exists");
+        // Staged-but-uncommitted writes must be cleaned up.
+        if state.phase == Phase::PrepareGather {
+            for (&obj, q) in &state.write_quorums {
+                let (client, q) = (state.client, q.clone());
+                engine.send_to_sites(client, &q, |_| Payload::Abort { op, obj });
+            }
+        }
+        if state.is_migration {
+            // Abandon the reconfiguration without swapping: everything
+            // written so far went to old∪new quorums, so the old structure
+            // remains fully consistent.
+            self.clients[state.client.0 as usize].current_op = None;
+            self.reconfig = None;
+            self.resume_clients(engine);
+            return;
+        }
+        engine.metrics.reads_failed += state.reads.len() as u64;
+        engine.metrics.writes_failed += state.writes.len() as u64;
+        engine.metrics.txns_failed += 1;
+        self.finish_client_txn(engine, protocol, &state, op);
+    }
+
+    /// Completes a transaction successfully.
+    fn complete_op(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        let state = self.ops.remove(&op).expect("txn exists");
+        if state.is_migration {
+            self.clients[state.client.0 as usize].current_op = None;
+            self.complete_migration_op(engine, protocol, op, state);
+            return;
+        }
+        let latency = engine.now - state.started;
+        engine.metrics.record_latency(latency);
+        for &obj in &state.reads {
+            let (ts, value) = state
+                .gathered
+                .get(&obj)
+                .cloned()
+                .unwrap_or((Timestamp::ZERO, Bytes::new()));
+            self.checker.check_read(op, obj, &value, ts);
+            engine.metrics.reads_ok += 1;
+            if let Some(q) = state.round_quorums.get(&obj) {
+                for s in q.iter() {
+                    *engine
+                        .metrics
+                        .read_quorum_hits
+                        .entry(s.as_u32())
+                        .or_insert(0) += 1;
+                }
+            }
+            if self.config.record_history {
+                self.history.record(HistoryEvent {
+                    op,
+                    kind: HistoryKind::Read,
+                    obj,
+                    invoked: state.started,
+                    responded: engine.now,
+                    ts,
+                });
+            }
+        }
+        for &obj in &state.writes {
+            let ts = *state.write_ts.get(&obj).expect("ts stamped");
+            let value = state.write_values.get(&obj).expect("value exists").clone();
+            self.checker.record_write(op, obj, value, ts);
+            engine.metrics.writes_ok += 1;
+            if let Some(q) = state.write_quorums.get(&obj) {
+                for s in q.iter() {
+                    *engine
+                        .metrics
+                        .write_quorum_hits
+                        .entry(s.as_u32())
+                        .or_insert(0) += 1;
+                }
+            }
+            if let Some(q) = state.round_quorums.get(&obj) {
+                for s in q.iter() {
+                    *engine
+                        .metrics
+                        .version_quorum_hits
+                        .entry(s.as_u32())
+                        .or_insert(0) += 1;
+                }
+            }
+            if self.config.record_history {
+                self.history.record(HistoryEvent {
+                    op,
+                    kind: HistoryKind::Write,
+                    obj,
+                    invoked: state.started,
+                    responded: engine.now,
+                    ts,
+                });
+            }
+        }
+        engine.metrics.txns_ok += 1;
+        self.finish_client_txn(engine, protocol, &state, op);
+    }
+
+    /// Advances the migration state machine after one of its transactions
+    /// completes.
+    fn complete_migration_op(
+        &mut self,
+        engine: &mut Engine,
+        protocol: &mut Proto,
+        op: OpId,
+        state: TxnState,
+    ) {
+        if state.writes.is_empty() {
+            // Migration read finished: rewrite the value under a fresh
+            // timestamp to old∪new write quorums.
+            let obj = state.reads[0];
+            let (ts, value) = state
+                .gathered
+                .get(&obj)
+                .cloned()
+                .unwrap_or((Timestamp::ZERO, Bytes::new()));
+            self.checker.check_read(op, obj, &value, ts);
+            let sid = self.clients[self.migration_client().0 as usize].sid;
+            self.issue_migration_write(engine, protocol, obj, value, ts.next(sid));
+        } else {
+            let obj = state.writes[0];
+            let ts = *state.write_ts.get(&obj).expect("ts stamped");
+            let value = state.write_values.get(&obj).expect("value exists").clone();
+            if self.config.record_history {
+                self.history.record(HistoryEvent {
+                    op,
+                    kind: HistoryKind::Write,
+                    obj,
+                    invoked: state.started,
+                    responded: engine.now,
+                    ts,
+                });
+            }
+            self.checker.record_write(op, obj, value, ts);
+            engine.metrics.migration_writes += 1;
+            let next_obj = obj.0 + 1;
+            if (next_obj as usize) < self.config.objects {
+                self.issue_migration_read(engine, protocol, ObjectId(next_obj));
+            } else {
+                // Every object migrated: swap the live protocol and resume.
+                let rc = self.reconfig.take().expect("migration in progress");
+                *protocol = rc.target;
+                engine.metrics.reconfigurations += 1;
+                self.resume_clients(engine);
+            }
+        }
+    }
+
+    fn blank_migration_txn(&mut self, engine: &Engine, client: ClientId) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.ops.insert(id, TxnState::new(client, engine.now, true));
+        self.clients[client.0 as usize].current_op = Some(id);
+        id
+    }
+
+    fn issue_migration_read(&mut self, engine: &mut Engine, protocol: &mut Proto, obj: ObjectId) {
+        let client = self.migration_client();
+        let id = self.blank_migration_txn(engine, client);
+        let s = self.ops.get_mut(&id).expect("txn exists");
+        s.reads = vec![obj];
+        s.read_targets = vec![obj];
+        self.start_read_round(engine, protocol, id);
+    }
+
+    fn issue_migration_write(
+        &mut self,
+        engine: &mut Engine,
+        protocol: &mut Proto,
+        obj: ObjectId,
+        value: Bytes,
+        ts: Timestamp,
+    ) {
+        let client = self.migration_client();
+        let id = self.blank_migration_txn(engine, client);
+        let s = self.ops.get_mut(&id).expect("txn exists");
+        s.writes = vec![obj];
+        s.write_ts.insert(obj, ts);
+        s.write_values.insert(obj, value);
+        self.start_prepare_phase(engine, protocol, id);
+    }
+
+    /// Begins the migration once every in-flight client transaction drained.
+    fn try_advance_reconfig(&mut self, engine: &mut Engine, protocol: &mut Proto) {
+        let draining = matches!(
+            self.reconfig,
+            Some(Reconfig {
+                phase: MigrationPhase::Draining,
+                ..
+            })
+        );
+        if draining && self.ops.is_empty() {
+            if let Some(rc) = self.reconfig.as_mut() {
+                rc.phase = MigrationPhase::Migrating;
+            }
+            self.issue_migration_read(engine, protocol, ObjectId(0));
+        }
+    }
+
+    /// Restarts workload clients after a reconfiguration ends (success or
+    /// abandonment).
+    fn resume_clients(&mut self, engine: &mut Engine) {
+        for c in 0..self.config.clients as u32 {
+            let offset = crate::time::SimDuration::from_micros(u64::from(c) * 37);
+            engine.schedule(
+                engine.now + self.config.think_time + offset,
+                Event::ClientTick(ClientId(c)),
+            );
+        }
+    }
+
+    /// Releases every lock the transaction held or queued for, resumes
+    /// granted waiters, schedules the client's next think-time tick.
+    fn finish_client_txn(
+        &mut self,
+        engine: &mut Engine,
+        protocol: &mut Proto,
+        state: &TxnState,
+        op: OpId,
+    ) {
+        let client = state.client;
+        self.clients[client.0 as usize].current_op = None;
+        let mut granted_all = Vec::new();
+        for &(obj, _) in &state.lock_plan {
+            granted_all.extend(self.locks.release(op, obj));
+        }
+        for granted in granted_all {
+            self.on_lock_granted(engine, protocol, granted);
+        }
+        let jitter: f64 = engine.rng.gen();
+        let delay = self.pacers[client.0 as usize].next_delay(jitter);
+        engine.schedule(engine.now + delay, Event::ClientTick(client));
+        // A pending reconfiguration may now be able to start.
+        self.try_advance_reconfig(engine, protocol);
+    }
+
+    /// Handles a client-bound message from a site.
+    pub(crate) fn on_client_message(
+        &mut self,
+        engine: &mut Engine,
+        protocol: &mut Proto,
+        client: ClientId,
+        msg: Message,
+    ) {
+        let Endpoint::Site(from) = msg.from else {
+            return; // clients never message each other
+        };
+        // A response proves the site is alive again.
+        self.clients[client.0 as usize].suspected.remove(&from);
+
+        let op_id = msg.payload.op();
+        let Some(state) = self.ops.get_mut(&op_id) else {
+            return; // stale response for a finished txn
+        };
+        if state.client != client {
+            return;
+        }
+        match (&msg.payload, &state.phase) {
+            (Payload::ReadResp { obj, value, ts, .. }, Phase::ReadGather) => {
+                if state.current_read_target() != Some(*obj) || !state.pending_sites.remove(&from) {
+                    return; // stale round, duplicate, or out-of-quorum
+                }
+                state.round_responses.push((from, *ts));
+                let entry = state.gathered.entry(*obj);
+                let candidate = (*ts, value.clone());
+                match entry {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if candidate.0 > e.get().0 {
+                            e.insert(candidate);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(candidate);
+                    }
+                }
+                if state.pending_sites.is_empty() {
+                    self.finish_read_round(engine, protocol, op_id);
+                }
+            }
+            (Payload::PrepareAck { obj, ok, ts, .. }, Phase::PrepareGather) => {
+                if state.write_ts.get(obj) != Some(ts)
+                    || !state.pending_pairs.contains(&(*obj, from))
+                {
+                    return; // vote for an earlier attempt's timestamp
+                }
+                if !*ok {
+                    // Vote-abort: a leaked stage from a failed writer holds
+                    // an equal-or-higher timestamp for this object. Bump the
+                    // version past it and retry so the object cannot
+                    // livelock.
+                    state.attempts += 1;
+                    let bumped = Timestamp::new(ts.version() + 1, ts.sid());
+                    state.write_ts.insert(*obj, bumped);
+                    if state.attempts >= self.config.max_attempts {
+                        self.fail_op(engine, protocol, op_id);
+                    } else {
+                        self.start_prepare_phase(engine, protocol, op_id);
+                    }
+                    return;
+                }
+                state.pending_pairs.remove(&(*obj, from));
+                if state.pending_pairs.is_empty() {
+                    self.start_commit_phase(engine, op_id);
+                }
+            }
+            (Payload::CommitAck { obj, .. }, Phase::CommitGather)
+                if state.pending_pairs.remove(&(*obj, from)) && state.pending_pairs.is_empty() =>
+            {
+                self.complete_op(engine, protocol, op_id);
+            }
+            _ => {} // stale message from an earlier phase
+        }
+    }
+
+    /// Handles a phase timeout.
+    pub(crate) fn on_timeout(
+        &mut self,
+        engine: &mut Engine,
+        protocol: &mut Proto,
+        client: ClientId,
+        op: OpId,
+        attempt: u64,
+    ) {
+        let Some(state) = self.ops.get_mut(&op) else {
+            return;
+        };
+        if state.phase_counter != attempt || state.client != client {
+            return; // stale timeout
+        }
+        // Suspect every member that stayed silent.
+        let silent: Vec<SiteId> = match state.phase {
+            Phase::ReadGather => state.pending_sites.iter().copied().collect(),
+            Phase::PrepareGather | Phase::CommitGather => {
+                state.pending_pairs.iter().map(|&(_, s)| s).collect()
+            }
+            Phase::LockWait => Vec::new(),
+        };
+        for s in &silent {
+            self.clients[client.0 as usize].suspected.insert(*s);
+        }
+        match state.phase {
+            Phase::LockWait => {}
+            Phase::ReadGather => {
+                state.attempts += 1;
+                if state.attempts >= self.config.max_attempts {
+                    self.fail_op(engine, protocol, op);
+                } else {
+                    self.start_read_round(engine, protocol, op);
+                }
+            }
+            Phase::PrepareGather => {
+                state.attempts += 1;
+                let old_quorums = state.write_quorums.clone();
+                if state.attempts >= self.config.max_attempts {
+                    self.fail_op(engine, protocol, op);
+                } else {
+                    // Retry with freshly picked write quorums. Stages on
+                    // members of BOTH the old and new quorum are reused
+                    // (same op, same ts), so we must not race an Abort
+                    // against the re-Prepare; only members dropped from a
+                    // quorum get an Abort for that object.
+                    self.start_prepare_phase(engine, protocol, op);
+                    if let Some(state) = self.ops.get(&op) {
+                        let new_quorums = state.write_quorums.clone();
+                        for (obj, old_q) in old_quorums {
+                            let dropped = QuorumSet::from_sites(old_q.iter().filter(|s| {
+                                new_quorums.get(&obj).is_none_or(|nq| !nq.contains(*s))
+                            }));
+                            engine.send_to_sites(client, &dropped, |_| Payload::Abort { op, obj });
+                        }
+                    }
+                }
+            }
+            Phase::CommitGather => {
+                // Past the commit point: 2PC phase 2 never gives up.
+                let pending: Vec<(ObjectId, SiteId)> =
+                    state.pending_pairs.iter().copied().collect();
+                for (obj, site) in pending {
+                    let members = QuorumSet::from_sites([site]);
+                    engine.send_to_sites(client, &members, |_| Payload::Commit { op, obj });
+                }
+                self.arm_timeout(engine, op);
+            }
+        }
+    }
+
+    /// Handles a [`Event::Reconfigure`]: pop the next queued target and
+    /// start draining towards it.
+    pub(crate) fn on_reconfigure_event(&mut self, engine: &mut Engine, protocol: &mut Proto) {
+        if self.reconfig.is_some() {
+            // A reconfiguration is already in flight; retry shortly.
+            engine.schedule(engine.now + self.config.op_timeout, Event::Reconfigure);
+            return;
+        }
+        let Some(target) = self.queued_reconfigs.pop_front() else {
+            return;
+        };
+        assert!(
+            target.universe().len() == engine.sites.len(),
+            "reconfiguration must keep the replica set"
+        );
+        self.reconfig = Some(Reconfig {
+            target,
+            phase: MigrationPhase::Draining,
+        });
+        self.try_advance_reconfig(engine, protocol);
+    }
+
+    /// Snapshot of the run's outcome.
+    pub(crate) fn report(&self, engine: &Engine) -> SimReport {
+        SimReport {
+            metrics: engine.metrics.clone(),
+            violations: self.checker.violations().len(),
+            consistent: self.checker.is_consistent(),
+            ops_incomplete: self.ops.len(),
+            reads_checked: self.checker.reads_checked(),
+            writes_recorded: self.checker.writes_recorded(),
+            history: self.history.clone(),
+        }
+    }
+}

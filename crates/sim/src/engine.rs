@@ -1,0 +1,148 @@
+//! The discrete-event engine: everything below the transaction layer.
+//!
+//! [`Engine`] owns the simulated clock, the future-event queue, the
+//! message transport, the replica sites (with their storage and liveness),
+//! the metrics sink, and the run's RNG. It knows nothing about
+//! transactions, locks, or quorums — the
+//! [`crate::coordinator::Coordinator`] drives those and uses the engine
+//! purely as its clock + transport + site fabric.
+
+use crate::config::SimConfig;
+use crate::event::{Event, EventQueue};
+use crate::message::{ClientId, Endpoint, Message, OpId, Payload};
+use crate::metrics::SimMetrics;
+use crate::network::{Network, Partition};
+use crate::site::Site;
+use crate::time::SimTime;
+use arbitree_quorum::{QuorumSet, SiteId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The engine layer: clock, event queue, transport, sites, metrics, RNG.
+#[derive(Debug)]
+pub struct Engine {
+    pub(crate) sites: Vec<Site>,
+    pub(crate) network: Network,
+    pub(crate) queue: EventQueue,
+    pub(crate) metrics: SimMetrics,
+    pub(crate) rng: StdRng,
+    pub(crate) now: SimTime,
+    pub(crate) end: SimTime,
+}
+
+impl Engine {
+    /// Creates the engine fabric for `n_sites` replicas under `config`.
+    pub(crate) fn new(n_sites: usize, config: &SimConfig) -> Self {
+        Engine {
+            sites: (0..n_sites as u32)
+                .map(|i| Site::new(SiteId::new(i)))
+                .collect(),
+            network: Network::new(config.network),
+            queue: EventQueue::new(),
+            metrics: SimMetrics::default(),
+            rng: StdRng::seed_from_u64(config.seed),
+            now: SimTime::ZERO,
+            end: SimTime::ZERO + config.duration,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Configured end of the run.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// The replica sites.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Schedules an event at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Installs (or clears) a network partition.
+    pub fn set_partition(&mut self, partition: Partition) {
+        self.network.set_partition(partition);
+    }
+
+    /// Fail-stops a site.
+    pub(crate) fn crash(&mut self, site: SiteId) {
+        self.sites[site.index()].crash();
+    }
+
+    /// Recovers a site (storage intact — failures are transient).
+    pub(crate) fn recover(&mut self, site: SiteId) {
+        self.sites[site.index()].recover();
+    }
+
+    /// Sends one message through the simulated network.
+    pub(crate) fn send(&mut self, from: Endpoint, to: Endpoint, payload: Payload) {
+        self.network.send(
+            self.now,
+            from,
+            to,
+            payload,
+            &mut self.queue,
+            &mut self.metrics,
+            &mut self.rng,
+        );
+    }
+
+    /// Sends `mk(site)` from `client` to every member of `members`.
+    pub(crate) fn send_to_sites(
+        &mut self,
+        client: ClientId,
+        members: &QuorumSet,
+        mk: impl Fn(SiteId) -> Payload,
+    ) {
+        for s in members.iter() {
+            self.send(Endpoint::Client(client), Endpoint::Site(s), mk(s));
+        }
+    }
+
+    /// Arms a phase timeout for `op`, tagged with `attempt` so stale
+    /// timeouts from earlier phase starts are ignored.
+    pub(crate) fn arm_timeout(
+        &mut self,
+        client: ClientId,
+        op: OpId,
+        attempt: u64,
+        timeout: crate::time::SimDuration,
+    ) {
+        self.queue.schedule(
+            self.now + timeout,
+            Event::OpTimeout {
+                client,
+                op,
+                attempt,
+            },
+        );
+    }
+
+    /// Delivers a site-bound message: the site handles it and any reply is
+    /// sent back through the network. Messages to crashed sites are counted
+    /// and dropped.
+    pub(crate) fn deliver_to_site(&mut self, sid: SiteId, msg: Message) {
+        let site = &mut self.sites[sid.index()];
+        if !site.is_up() {
+            self.metrics.messages_to_dead += 1;
+            return;
+        }
+        self.metrics.messages_delivered += 1;
+        self.metrics.record_site_request(sid.as_u32());
+        if let Some((_, reply)) = site.handle(&msg.payload) {
+            self.send(Endpoint::Site(sid), msg.from, reply);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::sim::Simulation;
 use crate::time::{SimDuration, SimTime};
-use arbitree_quorum::{ReplicaControl, SiteId};
+use arbitree_quorum::SiteId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,7 +53,11 @@ impl FailureSchedule {
             let mut t = 0u64;
             let mut up = true;
             loop {
-                let mean = if up { mttf.as_micros() } else { mttr.as_micros() };
+                let mean = if up {
+                    mttf.as_micros()
+                } else {
+                    mttr.as_micros()
+                };
                 // Exponential sample via inverse transform.
                 let u: f64 = rng.gen_range(1e-12..1.0);
                 let dwell = (-u.ln() * mean as f64) as u64;
@@ -79,7 +83,7 @@ impl FailureSchedule {
     }
 
     /// Installs the schedule into a simulation.
-    pub fn apply<P: ReplicaControl>(&self, sim: &mut Simulation<P>) {
+    pub fn apply(&self, sim: &mut Simulation) {
         for &(at, site, is_crash) in &self.events {
             if is_crash {
                 sim.schedule_crash(at, site);

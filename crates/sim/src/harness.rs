@@ -1,13 +1,19 @@
 //! Experiment harness: empirical measurements of availability, load and
-//! cost that validate the paper's closed forms, plus convenience wrappers
-//! for full dynamic simulations.
+//! cost that validate the paper's closed forms, convenience wrappers for
+//! full dynamic simulations, and a parallel experiment runner
+//! ([`run_cells`]) that executes a batch of independent simulation cells
+//! across worker threads with seed-for-seed deterministic results.
 
 use crate::config::SimConfig;
 use crate::failure::FailureSchedule;
-use crate::sim::{SimReport, Simulation};
+use crate::sim::Simulation;
+use crate::txn::SimReport;
 use arbitree_quorum::{AliveSet, ReplicaControl, SiteId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Empirical read/write availability: sample `trials` alive-site vectors
 /// (each site up independently with probability `p`) and count the fraction
@@ -39,7 +45,9 @@ pub fn empirical_availability<P: ReplicaControl + Sync + ?Sized>(
         let mut handles = Vec::new();
         for t in 0..threads {
             let my_trials = per_thread + u32::from((t as u32) < remainder);
-            let my_seed = seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let my_seed = seed
+                .wrapping_add(t as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
             handles.push(scope.spawn(move |_| {
                 let mut rng = StdRng::seed_from_u64(my_seed);
                 let mut reads = 0u64;
@@ -78,7 +86,11 @@ pub fn empirical_availability<P: ReplicaControl + Sync + ?Sized>(
 /// sites alive: pick `samples` read and write quorums, count per-site
 /// membership, and return each kind's busiest-site fraction
 /// `(read_load, write_load)` — the empirical counterpart of definition 2.5.
-pub fn empirical_load<P: ReplicaControl + ?Sized>(protocol: &P, samples: u32, seed: u64) -> (f64, f64) {
+pub fn empirical_load<P: ReplicaControl + ?Sized>(
+    protocol: &P,
+    samples: u32,
+    seed: u64,
+) -> (f64, f64) {
     assert!(samples > 0, "need at least one sample");
     let n = protocol.universe().len();
     let alive = AliveSet::full(n);
@@ -109,7 +121,11 @@ pub fn empirical_load<P: ReplicaControl + ?Sized>(protocol: &P, samples: u32, se
 
 /// Empirical mean communication costs `(read, write)` under the canonical
 /// strategy with all sites alive.
-pub fn empirical_cost<P: ReplicaControl + ?Sized>(protocol: &P, samples: u32, seed: u64) -> (f64, f64) {
+pub fn empirical_cost<P: ReplicaControl + ?Sized>(
+    protocol: &P,
+    samples: u32,
+    seed: u64,
+) -> (f64, f64) {
     assert!(samples > 0, "need at least one sample");
     let alive = AliveSet::full(protocol.universe().len());
     let mut rng = StdRng::seed_from_u64(seed);
@@ -172,14 +188,153 @@ pub fn empirical_cost_under_failures<P: ReplicaControl + ?Sized>(
 
 /// Runs a full dynamic simulation of `protocol` under `config` with the
 /// given failure schedule, returning its report.
-pub fn run_simulation<P: ReplicaControl>(
+pub fn run_simulation(
     config: SimConfig,
-    protocol: P,
+    protocol: impl ReplicaControl + 'static,
     failures: &FailureSchedule,
 ) -> SimReport {
     let mut sim = Simulation::new(config, protocol);
     failures.apply(&mut sim);
     sim.run()
+}
+
+/// Derives the seed of experiment cell `index` from an experiment-level
+/// base seed. SplitMix64-style mixing: adjacent indices land far apart, so
+/// sweeps built from one base seed do not correlate across cells.
+pub fn cell_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One unit of work for the parallel experiment runner: a labelled
+/// simulation of `protocol` under `config` with `failures` injected.
+///
+/// The cell's run is a pure function of its own `config` (seed included)
+/// and `failures` — which is exactly why [`run_cells`] may execute cells
+/// on any thread in any order and still produce the same numbers as a
+/// serial loop.
+pub struct ExperimentCell {
+    /// Label carried through to the results (e.g. `"ARBITRARY n=25"`).
+    pub label: String,
+    /// The run's configuration (its `seed` fully determines the run).
+    pub config: SimConfig,
+    /// The protocol to simulate.
+    pub protocol: Box<dyn ReplicaControl + Send>,
+    /// Crash/recovery schedule injected before the run.
+    pub failures: FailureSchedule,
+}
+
+impl ExperimentCell {
+    /// A cell with no injected failures.
+    pub fn new(
+        label: impl Into<String>,
+        config: SimConfig,
+        protocol: impl ReplicaControl + Send + 'static,
+    ) -> Self {
+        ExperimentCell {
+            label: label.into(),
+            config,
+            protocol: Box::new(protocol),
+            failures: FailureSchedule::none(),
+        }
+    }
+
+    /// Sets the failure schedule.
+    pub fn with_failures(mut self, failures: FailureSchedule) -> Self {
+        self.failures = failures;
+        self
+    }
+}
+
+impl fmt::Debug for ExperimentCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExperimentCell")
+            .field("label", &self.label)
+            .field("protocol", &self.protocol.describe())
+            .field("seed", &self.config.seed)
+            .field("failure_events", &self.failures.events().len())
+            .finish()
+    }
+}
+
+/// Applies `f` to every item on a pool of scoped worker threads, returning
+/// results **in input order**. Items are claimed from a shared work index,
+/// so long items do not serialize behind short ones.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |t| t.get())
+        .min(8)
+        .min(n);
+    let run_worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let item = work[i]
+            .lock()
+            .expect("work slot poisoned")
+            .take()
+            .expect("item claimed once");
+        let out = f(item);
+        *slots[i].lock().expect("result slot poisoned") = Some(out);
+    };
+    if threads <= 1 {
+        run_worker();
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|_| run_worker()))
+                .collect();
+            for h in handles {
+                h.join().expect("worker thread panicked");
+            }
+        })
+        .expect("crossbeam scope");
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// Runs every cell to completion across a worker-thread pool and returns
+/// `(label, report)` pairs **in input order**.
+///
+/// Each cell's report is identical to what a serial
+/// [`run_simulation`]-style loop would produce for it, because a run is a
+/// pure function of the cell's own config and failure schedule — thread
+/// scheduling cannot leak between cells.
+pub fn run_cells(cells: Vec<ExperimentCell>) -> Vec<(String, SimReport)> {
+    parallel_map(cells, |cell| {
+        let ExperimentCell {
+            label,
+            config,
+            protocol,
+            failures,
+        } = cell;
+        let mut sim = Simulation::from_boxed(config, protocol);
+        failures.apply(&mut sim);
+        (label, sim.run())
+    })
 }
 
 #[cfg(test)]

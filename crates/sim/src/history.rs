@@ -63,7 +63,7 @@ impl fmt::Display for HistoryViolation {
 }
 
 /// A recorded execution history.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct History {
     events: Vec<HistoryEvent>,
 }
@@ -149,7 +149,10 @@ impl History {
                         None => violations.push(HistoryViolation {
                             op: read.op,
                             obj,
-                            reason: format!("returned {} which no committed write produced", read.ts),
+                            reason: format!(
+                                "returned {} which no committed write produced",
+                                read.ts
+                            ),
                         }),
                         Some(w) => {
                             if w.invoked > read.responded {

@@ -11,15 +11,26 @@
 //!
 //! ## Layout
 //!
-//! * [`Simulation`] — the engine: clients executing quorum reads and 2PC
-//!   writes over any [`arbitree_quorum::ReplicaControl`] protocol;
+//! The simulator is split into three layers, composed by [`Simulation`]:
+//!
+//! * [`Engine`] — the discrete-event substrate: clock, event queue,
+//!   message transport, replica sites and their liveness, metrics, RNG;
+//! * [`Coordinator`] — the transaction layer: strict-2PL locking, quorum
+//!   read rounds with read-repair, two-phase commit, the one-copy
+//!   checker, workload generation, and live reconfiguration;
+//! * the protocol — held as a `Box<dyn `[`arbitree_quorum::ReplicaControl`]`>`,
+//!   so a run can migrate *between protocol families* at runtime.
+//!
+//! Around them:
+//!
 //! * [`ConsistencyChecker`] — verifies one-copy equivalence online;
 //! * [`FailureSchedule`] — crash/recovery injection (manual or random
 //!   MTTF/MTTR);
 //! * [`Partition`] — network partition injection;
 //! * [`harness`] — static experiments ([`empirical_availability`],
 //!   [`empirical_load`], [`empirical_cost`]) that validate the paper's
-//!   closed forms directly, plus [`run_simulation`];
+//!   closed forms directly, plus [`run_simulation`] and the parallel
+//!   experiment runner ([`run_cells`] over [`ExperimentCell`]s);
 //! * [`SimMetrics`] — message counts, per-site hit counts (empirical load),
 //!   latencies.
 //!
@@ -42,6 +53,8 @@
 
 mod checker;
 mod config;
+mod coordinator;
+mod engine;
 mod event;
 mod failure;
 pub mod harness;
@@ -54,23 +67,27 @@ mod sim;
 mod site;
 mod storage;
 mod time;
+mod txn;
 mod workload;
 
 pub use checker::{ConsistencyChecker, Violation};
 pub use config::{NetworkConfig, SimConfig};
+pub use coordinator::Coordinator;
+pub use engine::Engine;
 pub use event::{Event, EventQueue};
 pub use failure::FailureSchedule;
-pub use history::{History, HistoryEvent, HistoryKind, HistoryViolation};
 pub use harness::{
-    empirical_availability, empirical_cost, empirical_cost_under_failures, empirical_load,
-    run_simulation,
+    cell_seed, empirical_availability, empirical_cost, empirical_cost_under_failures,
+    empirical_load, parallel_map, run_cells, run_simulation, ExperimentCell,
 };
+pub use history::{History, HistoryEvent, HistoryKind, HistoryViolation};
 pub use locks::{LockManager, LockMode};
 pub use message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
 pub use metrics::{LatencyHistogram, SimMetrics};
 pub use network::{Network, Partition};
-pub use sim::{SimReport, Simulation, TxnRequest};
+pub use sim::Simulation;
 pub use site::Site;
 pub use storage::{Staged, Storage, Version};
-pub use workload::{ArrivalPacer, ArrivalPattern, ObjectDistribution, ObjectSampler};
 pub use time::{SimDuration, SimTime};
+pub use txn::{SimReport, TxnRequest};
+pub use workload::{ArrivalPacer, ArrivalPattern, ObjectDistribution, ObjectSampler};

@@ -174,13 +174,33 @@ mod tests {
         let obj = ObjectId(1);
         let msgs = [
             Payload::ReadReq { op, obj },
-            Payload::ReadResp { op, obj, value: Bytes::new(), ts: Timestamp::ZERO },
-            Payload::Prepare { op, obj, value: Bytes::new(), ts: Timestamp::ZERO },
-            Payload::PrepareAck { op, obj, ok: true, ts: Timestamp::ZERO },
+            Payload::ReadResp {
+                op,
+                obj,
+                value: Bytes::new(),
+                ts: Timestamp::ZERO,
+            },
+            Payload::Prepare {
+                op,
+                obj,
+                value: Bytes::new(),
+                ts: Timestamp::ZERO,
+            },
+            Payload::PrepareAck {
+                op,
+                obj,
+                ok: true,
+                ts: Timestamp::ZERO,
+            },
             Payload::Commit { op, obj },
             Payload::Abort { op, obj },
             Payload::CommitAck { op, obj },
-            Payload::Repair { op, obj, value: Bytes::new(), ts: Timestamp::ZERO },
+            Payload::Repair {
+                op,
+                obj,
+                value: Bytes::new(),
+                ts: Timestamp::ZERO,
+            },
         ];
         for m in msgs {
             assert_eq!(m.op(), op);

@@ -17,7 +17,10 @@ pub struct LatencyHistogram {
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram { buckets: [0; 40], count: 0 }
+        LatencyHistogram {
+            buckets: [0; 40],
+            count: 0,
+        }
     }
 }
 

@@ -104,13 +104,21 @@ impl Network {
             .max_latency
             .as_micros()
             .saturating_sub(self.config.min_latency.as_micros());
-        let jitter = if span == 0 { 0 } else { rng.gen_range(0..=span) };
-        let latency = crate::time::SimDuration::from_micros(
-            self.config.min_latency.as_micros() + jitter,
-        );
+        let jitter = if span == 0 {
+            0
+        } else {
+            rng.gen_range(0..=span)
+        };
+        let latency =
+            crate::time::SimDuration::from_micros(self.config.min_latency.as_micros() + jitter);
         queue.schedule(
             now + latency,
-            Event::Deliver(Message { from, to, payload, sent_at: now }),
+            Event::Deliver(Message {
+                from,
+                to,
+                payload,
+                sent_at: now,
+            }),
         );
         true
     }
@@ -119,8 +127,8 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{ObjectId, OpId};
     use crate::message::ClientId;
+    use crate::message::{ObjectId, OpId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -133,7 +141,10 @@ mod tests {
     }
 
     fn payload() -> Payload {
-        Payload::ReadReq { op: OpId(1), obj: ObjectId(0) }
+        Payload::ReadReq {
+            op: OpId(1),
+            obj: ObjectId(0),
+        }
     }
 
     #[test]
@@ -156,12 +167,23 @@ mod tests {
 
     #[test]
     fn drops_are_counted() {
-        let cfg = NetworkConfig { drop_probability: 1.0, ..NetworkConfig::default() };
+        let cfg = NetworkConfig {
+            drop_probability: 1.0,
+            ..NetworkConfig::default()
+        };
         let net = Network::new(cfg);
         let mut q = EventQueue::new();
         let mut m = SimMetrics::default();
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(!net.send(SimTime::ZERO, client(0), site(0), payload(), &mut q, &mut m, &mut rng));
+        assert!(!net.send(
+            SimTime::ZERO,
+            client(0),
+            site(0),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng
+        ));
         assert_eq!(m.messages_dropped, 1);
         assert!(q.is_empty());
     }
@@ -174,12 +196,36 @@ mod tests {
         let mut m = SimMetrics::default();
         let mut rng = StdRng::seed_from_u64(3);
         // Client (group 0) → site 1 (group 1): dropped.
-        assert!(!net.send(SimTime::ZERO, client(0), site(1), payload(), &mut q, &mut m, &mut rng));
+        assert!(!net.send(
+            SimTime::ZERO,
+            client(0),
+            site(1),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng
+        ));
         // Client → site 0 (group 0): delivered.
-        assert!(net.send(SimTime::ZERO, client(0), site(0), payload(), &mut q, &mut m, &mut rng));
+        assert!(net.send(
+            SimTime::ZERO,
+            client(0),
+            site(0),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng
+        ));
         // Healing the partition restores traffic.
         net.set_partition(Partition::none());
-        assert!(net.send(SimTime::ZERO, client(0), site(1), payload(), &mut q, &mut m, &mut rng));
+        assert!(net.send(
+            SimTime::ZERO,
+            client(0),
+            site(1),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng
+        ));
     }
 
     #[test]
@@ -200,7 +246,15 @@ mod tests {
         let mut q = EventQueue::new();
         let mut m = SimMetrics::default();
         let mut rng = StdRng::seed_from_u64(4);
-        net.send(SimTime::ZERO, client(0), site(0), payload(), &mut q, &mut m, &mut rng);
+        net.send(
+            SimTime::ZERO,
+            client(0),
+            site(0),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng,
+        );
         let (t, _) = q.pop().unwrap();
         assert_eq!(t.as_micros(), cfg.max_latency.as_micros());
     }

@@ -1,292 +1,115 @@
-//! The simulation engine: clients (transaction coordinators) executing
-//! quorum-replicated transactions over fail-stop sites, under the §2.2
-//! system model — transactions are (partially ordered) sets of read and
-//! write operations, concurrency control is a centralized strict-2PL lock
-//! manager, and every transaction containing writes commits through a
-//! single two-phase commit across all written objects.
+//! The simulation facade: a thin composition of the three layers.
 //!
-//! # Transaction execution
+//! * [`crate::engine::Engine`] — clock, event queue, transport, sites,
+//!   metrics, RNG (knows nothing about transactions);
+//! * [`crate::coordinator::Coordinator`] — clients running the §2.2
+//!   transaction model: strict-2PL locking, quorum read rounds with
+//!   read-repair, two-phase commit, the one-copy checker, and the live
+//!   reconfiguration state machine;
+//! * the **protocol**, held as a `Box<dyn ReplicaControl>` — any quorum
+//!   protocol, swappable at runtime, which is what lets
+//!   [`Simulation::schedule_reconfigure`] migrate between protocol
+//!   *families* (ARBITRARY ↔ ROWA ↔ tree-quorum ↔ HQC), not just between
+//!   tree shapes.
 //!
-//! 1. **Locking** — locks for every touched object are acquired in
-//!    ascending object order (deadlock-free), shared for reads, exclusive
-//!    for writes.
-//! 2. **Read rounds** — for every object read *or written* (writes need the
-//!    current version, §3.2.2), a read quorum is assembled and queried; the
-//!    value with the greatest [`arbitree_core::Timestamp`] (highest
-//!    version, lowest SID) wins. On timeout, silent members are suspected
-//!    and the round retried with a fresh quorum.
-//! 3. **Prepare (2PC phase 1)** — every written object is staged, with a
-//!    fresh timestamp, on every member of its own write quorum. The
-//!    *commit point* is reached when every member of every quorum votes
-//!    commit.
-//! 4. **Commit (2PC phase 2)** — `Commit` is sent to every participant and
-//!    retried forever (prepared state is durable; phase 2 never aborts).
-//!    Locks are held until every participant acknowledges, so no reader
-//!    ever observes a partially applied transaction.
+//! [`Simulation::run`] is the event loop: it pops events and dispatches
+//! pure engine events (crash/recover/site delivery) to the engine and
+//! transactional events (client messages, ticks, timeouts,
+//! reconfigurations) to the coordinator, passing the engine and protocol
+//! as explicit siblings so the borrow checker sees the layers are
+//! disjoint.
 //!
 //! Determinism: a run is a pure function of the [`SimConfig`] (seed
 //! included) and the injected failure schedule.
 
-use crate::checker::ConsistencyChecker;
 use crate::config::SimConfig;
-use crate::event::{Event, EventQueue};
-use crate::history::{History, HistoryEvent, HistoryKind};
-use crate::locks::{LockManager, LockMode};
-use crate::message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
-use crate::metrics::SimMetrics;
-use crate::network::{Network, Partition};
+use crate::coordinator::Coordinator;
+use crate::engine::Engine;
+use crate::event::Event;
+use crate::message::{ClientId, Endpoint};
+use crate::network::Partition;
 use crate::site::Site;
 use crate::time::SimTime;
-use crate::workload::{ArrivalPacer, ObjectSampler};
-use arbitree_core::Timestamp;
-use arbitree_quorum::{AliveSet, QuorumSet, ReplicaControl, SiteId};
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet, VecDeque};
-
-/// What a transaction is doing right now.
-#[derive(Debug, Clone, PartialEq)]
-enum Phase {
-    /// Acquiring its locks, in object order.
-    LockWait,
-    /// Gathering a read quorum's responses for the current read round.
-    ReadGather,
-    /// Gathering 2PC votes from every written object's write quorum.
-    PrepareGather,
-    /// Past the commit point, gathering commit acks.
-    CommitGather,
-}
-
-/// Coordinator state of one transaction.
-#[derive(Debug)]
-struct TxnState {
-    client: ClientId,
-    phase: Phase,
-    started: SimTime,
-    /// Bumped on every phase (re)start; stale timeouts carry the old value.
-    phase_counter: u64,
-    /// Quorum re-pick attempts consumed.
-    attempts: u32,
-    /// Objects read by the transaction.
-    reads: Vec<ObjectId>,
-    /// Objects written by the transaction.
-    writes: Vec<ObjectId>,
-    /// Lock acquisition plan, ascending by object.
-    lock_plan: Vec<(ObjectId, LockMode)>,
-    /// How many of the planned locks are held.
-    locks_held: usize,
-    /// Objects needing a read round (`reads ∪ writes`, in order).
-    read_targets: Vec<ObjectId>,
-    /// Index of the read round in progress.
-    read_round: usize,
-    /// Members of the current read round still to respond.
-    pending_sites: HashSet<SiteId>,
-    /// The current read round's quorum.
-    round_quorum: QuorumSet,
-    /// Per-responder timestamps of the current round (read-repair).
-    round_responses: Vec<(SiteId, Timestamp)>,
-    /// Best (greatest-timestamp) result per object.
-    gathered: HashMap<ObjectId, (Timestamp, Bytes)>,
-    /// Read quorums used, per object (flushed to metrics on success).
-    round_quorums: HashMap<ObjectId, QuorumSet>,
-    /// Chosen write timestamps per object.
-    write_ts: HashMap<ObjectId, Timestamp>,
-    /// Values to write per object.
-    write_values: HashMap<ObjectId, Bytes>,
-    /// Write quorums per object (current prepare attempt).
-    write_quorums: HashMap<ObjectId, QuorumSet>,
-    /// Outstanding (object, site) prepare/commit acknowledgements.
-    pending_pairs: HashSet<(ObjectId, SiteId)>,
-    /// Whether this is a reconfiguration-migration transaction.
-    is_migration: bool,
-}
-
-impl TxnState {
-    fn current_read_target(&self) -> Option<ObjectId> {
-        self.read_targets.get(self.read_round).copied()
-    }
-}
-
-/// Progress of a live reconfiguration.
-#[derive(Debug)]
-enum MigrationPhase {
-    /// Waiting for in-flight client transactions to drain.
-    Draining,
-    /// Objects are being migrated (read old structure, write both).
-    Migrating,
-}
-
-/// An in-progress live reconfiguration towards `target`.
-#[derive(Debug)]
-struct Reconfig<P> {
-    target: P,
-    phase: MigrationPhase,
-}
-
-#[derive(Debug)]
-struct ClientState {
-    /// SID used in this client's write timestamps (distinct from replicas).
-    sid: SiteId,
-    suspected: HashSet<SiteId>,
-    current_op: Option<OpId>,
-}
-
-/// A scripted transaction: explicit reads and writes on distinct objects.
-///
-/// Submit with [`Simulation::schedule_transaction`]; combine with
-/// [`crate::SimConfig::auto_workload`]` = false` for fully scripted runs.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct TxnRequest {
-    /// Objects to read.
-    pub reads: Vec<ObjectId>,
-    /// Objects to write, with their new values.
-    pub writes: Vec<(ObjectId, Bytes)>,
-}
-
-impl TxnRequest {
-    /// A single-object read.
-    pub fn read(obj: ObjectId) -> Self {
-        TxnRequest { reads: vec![obj], writes: Vec::new() }
-    }
-
-    /// A single-object write.
-    pub fn write(obj: ObjectId, value: Bytes) -> Self {
-        TxnRequest { reads: Vec::new(), writes: vec![(obj, value)] }
-    }
-}
-
-/// Outcome of a finished run.
-#[derive(Debug)]
-pub struct SimReport {
-    /// Aggregated counters.
-    pub metrics: SimMetrics,
-    /// Consistency violations (empty for a correct protocol).
-    pub violations: usize,
-    /// Whether the execution was one-copy consistent.
-    pub consistent: bool,
-    /// Transactions still in flight when the simulation ended (e.g. blocked
-    /// on a crashed quorum member during 2PC phase 2).
-    pub ops_incomplete: usize,
-    /// Reads verified by the checker.
-    pub reads_checked: u64,
-    /// Writes recorded by the checker.
-    pub writes_recorded: u64,
-    /// The recorded operation history (empty unless
-    /// [`crate::SimConfig::record_history`] was set).
-    pub history: History,
-}
-
-impl std::fmt::Display for SimReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} | consistent: {} ({} read checks, {} writes recorded), {} in flight",
-            self.metrics, self.consistent, self.reads_checked, self.writes_recorded,
-            self.ops_incomplete
-        )
-    }
-}
+use crate::txn::{SimReport, TxnRequest};
+use arbitree_quorum::{AliveSet, ReplicaControl, SiteId};
+use std::fmt;
 
 /// The simulation: construct, optionally inject failures, then [`run`].
 ///
 /// [`run`]: Simulation::run
-#[derive(Debug)]
-pub struct Simulation<P: ReplicaControl> {
-    config: SimConfig,
-    protocol: P,
-    sites: Vec<Site>,
-    network: Network,
-    queue: EventQueue,
-    locks: LockManager,
-    checker: ConsistencyChecker,
-    metrics: SimMetrics,
-    rng: StdRng,
-    now: SimTime,
-    end: SimTime,
-    clients: Vec<ClientState>,
-    ops: HashMap<OpId, TxnState>,
-    next_op: u64,
-    queued_reconfigs: VecDeque<P>,
-    reconfig: Option<Reconfig<P>>,
-    history: History,
-    object_sampler: ObjectSampler,
-    pacers: Vec<ArrivalPacer>,
-    scripted: HashMap<ClientId, VecDeque<(SimTime, TxnRequest)>>,
+pub struct Simulation {
+    engine: Engine,
+    coordinator: Coordinator,
+    protocol: Box<dyn ReplicaControl>,
 }
 
-impl<P: ReplicaControl> Simulation<P> {
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("protocol", &self.protocol.describe())
+            .field("engine", &self.engine)
+            .field("coordinator", &self.coordinator)
+            .finish()
+    }
+}
+
+impl Simulation {
     /// Creates a simulation of `protocol` under `config`.
     ///
     /// # Panics
     ///
     /// Panics if the config is invalid or the protocol's universe exceeds
     /// 128 sites (the [`AliveSet`] limit).
-    pub fn new(config: SimConfig, protocol: P) -> Self {
-        config.validate();
-        let n = protocol.universe().len();
-        assert!(n <= AliveSet::MAX_SITES, "simulator supports up to 128 sites");
-        let sites = (0..n as u32).map(|i| Site::new(SiteId::new(i))).collect();
-        // One extra coordinator (the last index) drives reconfiguration
-        // migrations; it never issues workload transactions.
-        let clients = (0..=config.clients as u32)
-            .map(|c| ClientState {
-                sid: SiteId::new(n as u32 + c),
-                suspected: HashSet::new(),
-                current_op: None,
-            })
-            .collect();
-        let end = SimTime::ZERO + config.duration;
-        Simulation {
-            rng: StdRng::seed_from_u64(config.seed),
-            network: Network::new(config.network),
-            queue: EventQueue::new(),
-            locks: LockManager::new(),
-            checker: ConsistencyChecker::new(),
-            metrics: SimMetrics::default(),
-            now: SimTime::ZERO,
-            end,
-            clients,
-            ops: HashMap::new(),
-            next_op: 0,
-            queued_reconfigs: VecDeque::new(),
-            reconfig: None,
-            history: History::new(),
-            object_sampler: ObjectSampler::new(config.objects, config.object_distribution),
-            pacers: (0..config.clients)
-                .map(|_| ArrivalPacer::new(config.arrival_pattern, config.think_time))
-                .collect(),
-            scripted: HashMap::new(),
-            sites,
-            config,
-            protocol,
-        }
+    pub fn new(config: SimConfig, protocol: impl ReplicaControl + 'static) -> Self {
+        Simulation::from_boxed(config, Box::new(protocol))
     }
 
-    /// The reserved migration coordinator's id.
-    fn migration_client(&self) -> ClientId {
-        ClientId(self.config.clients as u32)
+    /// Creates a simulation of an already-boxed protocol — the form the
+    /// parallel experiment runner uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulation::new`].
+    pub fn from_boxed(config: SimConfig, protocol: Box<dyn ReplicaControl>) -> Self {
+        config.validate();
+        let n = protocol.universe().len();
+        assert!(
+            n <= AliveSet::MAX_SITES,
+            "simulator supports up to 128 sites"
+        );
+        Simulation {
+            engine: Engine::new(n, &config),
+            coordinator: Coordinator::new(config, n),
+            protocol,
+        }
     }
 
     /// Schedules a live reconfiguration: at `at`, client transactions
     /// drain, every object is migrated (read under the old structure,
     /// written to the union of an old and a new write quorum — visible to
     /// both structures whatever happens), and only then does the protocol
-    /// swap. If any migration step fails, the swap is abandoned and the old
-    /// structure stays in force; safety is preserved either way.
-    pub fn schedule_reconfigure(&mut self, at: SimTime, target: P) {
-        self.queued_reconfigs.push_back(target);
-        self.queue.schedule(at, Event::Reconfigure);
+    /// swap. The target may be *any* protocol over the same replica set,
+    /// including a different family than the one currently running. If any
+    /// migration step fails, the swap is abandoned and the old structure
+    /// stays in force; safety is preserved either way.
+    pub fn schedule_reconfigure(&mut self, at: SimTime, target: impl ReplicaControl + 'static) {
+        self.schedule_reconfigure_boxed(at, Box::new(target));
+    }
+
+    /// Boxed form of [`Simulation::schedule_reconfigure`].
+    pub fn schedule_reconfigure_boxed(&mut self, at: SimTime, target: Box<dyn ReplicaControl>) {
+        self.coordinator.queue_reconfigure(target);
+        self.engine.schedule(at, Event::Reconfigure);
     }
 
     /// Schedules a site crash.
     pub fn schedule_crash(&mut self, at: SimTime, site: SiteId) {
-        self.queue.schedule(at, Event::Crash(site));
+        self.engine.schedule(at, Event::Crash(site));
     }
 
     /// Schedules a site recovery.
     pub fn schedule_recover(&mut self, at: SimTime, site: SiteId) {
-        self.queue.schedule(at, Event::Recover(site));
+        self.engine.schedule(at, Event::Recover(site));
     }
 
     /// Enqueues a scripted transaction for `client`, to be issued at (or
@@ -298,879 +121,103 @@ impl<P: ReplicaControl> Simulation<P> {
     /// Panics if the client id is out of range, the request is empty, an
     /// object is out of range, or an object appears twice.
     pub fn schedule_transaction(&mut self, at: SimTime, client: ClientId, req: TxnRequest) {
-        assert!(
-            (client.0 as usize) < self.config.clients,
-            "client id out of range"
-        );
-        assert!(
-            !req.reads.is_empty() || !req.writes.is_empty(),
-            "transaction must contain at least one operation"
-        );
-        let mut seen = HashSet::new();
-        for obj in req.reads.iter().chain(req.writes.iter().map(|(o, _)| o)) {
-            assert!(
-                (obj.0 as usize) < self.config.objects,
-                "object {obj} out of range"
-            );
-            assert!(seen.insert(*obj), "object {obj} appears twice in the transaction");
-        }
-        self.scripted.entry(client).or_default().push_back((at, req));
-        self.queue.schedule(at, Event::ClientTick(client));
+        self.coordinator
+            .schedule_transaction(&mut self.engine, at, client, req);
     }
 
     /// Installs a partition immediately (before or between runs).
     pub fn set_partition(&mut self, partition: Partition) {
-        self.network.set_partition(partition);
+        self.engine.set_partition(partition);
     }
 
-    /// The protocol under simulation.
-    pub fn protocol(&self) -> &P {
-        &self.protocol
+    /// The protocol under simulation (after a completed reconfiguration,
+    /// the migration target).
+    pub fn protocol(&self) -> &dyn ReplicaControl {
+        &*self.protocol
     }
 
-    /// Picks a quorum among believed-alive sites. If none can be assembled,
-    /// clears the client's suspicions (failures are transient and detectable
-    /// per §2.2 — the client re-probes) and tries once more against the full
-    /// membership; genuinely dead sites will be re-suspected at the next
-    /// timeout.
-    fn pick_with_reprobe(&mut self, client: ClientId, write: bool) -> Option<QuorumSet> {
-        let alive = self.believed_alive(client);
-        let pick = |proto: &P, alive, rng: &mut StdRng| {
-            if write {
-                proto.pick_write_quorum(alive, rng)
-            } else {
-                proto.pick_read_quorum(alive, rng)
-            }
-        };
-        if let Some(q) = pick(&self.protocol, alive, &mut self.rng) {
-            return Some(q);
-        }
-        if self.clients[client.0 as usize].suspected.is_empty() {
-            return None;
-        }
-        self.clients[client.0 as usize].suspected.clear();
-        let full = AliveSet::full(self.sites.len());
-        pick(&self.protocol, full, &mut self.rng)
+    /// The engine layer (inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
-    fn believed_alive(&self, client: ClientId) -> AliveSet {
-        let mut alive = AliveSet::full(self.sites.len());
-        for s in &self.clients[client.0 as usize].suspected {
-            alive.remove(*s);
-        }
-        alive
-    }
-
-    fn send_to_sites(&mut self, client: ClientId, members: &QuorumSet, mk: impl Fn(SiteId) -> Payload) {
-        for s in members.iter() {
-            self.network.send(
-                self.now,
-                Endpoint::Client(client),
-                Endpoint::Site(s),
-                mk(s),
-                &mut self.queue,
-                &mut self.metrics,
-                &mut self.rng,
-            );
-        }
-    }
-
-    fn arm_timeout(&mut self, op: OpId) {
-        let state = self.ops.get_mut(&op).expect("txn exists");
-        state.phase_counter += 1;
-        let attempt = state.phase_counter;
-        let client = state.client;
-        self.queue.schedule(
-            self.now + self.config.op_timeout,
-            Event::OpTimeout { client, op, attempt },
-        );
-    }
-
-    /// Issues a fresh transaction for `client` (assumes it is idle):
-    /// scripted requests first, then — if enabled — the random workload.
-    fn issue_op(&mut self, client: ClientId) {
-        if self.reconfig.is_some() {
-            return;
-        }
-        let due = self
-            .scripted
-            .get(&client)
-            .and_then(|q| q.front())
-            .is_some_and(|(at, _)| *at <= self.now);
-        if due {
-            let (_, req) = self
-                .scripted
-                .get_mut(&client)
-                .and_then(VecDeque::pop_front)
-                .expect("front checked");
-            let reads = req.reads;
-            let mut writes = Vec::new();
-            let mut write_values = HashMap::new();
-            for (obj, value) in req.writes {
-                write_values.insert(obj, value);
-                writes.push(obj);
-            }
-            self.insert_txn(client, reads, writes, write_values);
-            return;
-        }
-        if self.now >= self.end || !self.config.auto_workload {
-            return;
-        }
-        let id_hint = self.next_op;
-
-        // Sample 1..=max distinct objects, each op independently read/write.
-        let max_ops = self.config.max_txn_ops.min(self.config.objects);
-        let op_count = if max_ops == 1 { 1 } else { self.rng.gen_range(1..=max_ops) };
-        let mut objects: Vec<ObjectId> = Vec::with_capacity(op_count);
-        let mut tries = 0;
-        while objects.len() < op_count && tries < 16 * op_count {
-            let obj = ObjectId(self.object_sampler.sample(&mut self.rng));
-            if !objects.contains(&obj) {
-                objects.push(obj);
-            }
-            tries += 1;
-        }
-        let mut reads = Vec::new();
-        let mut writes = Vec::new();
-        let mut write_values = HashMap::new();
-        for obj in objects {
-            if self.rng.gen::<f64>() < self.config.read_fraction {
-                reads.push(obj);
-            } else {
-                let mut v = Vec::with_capacity(12);
-                v.extend_from_slice(&id_hint.to_be_bytes());
-                v.extend_from_slice(&obj.0.to_be_bytes());
-                write_values.insert(obj, Bytes::from(v));
-                writes.push(obj);
-            }
-        }
-        self.insert_txn(client, reads, writes, write_values);
-    }
-
-    /// Registers a transaction's state and starts its lock acquisition.
-    fn insert_txn(
-        &mut self,
-        client: ClientId,
-        reads: Vec<ObjectId>,
-        writes: Vec<ObjectId>,
-        write_values: HashMap<ObjectId, Bytes>,
-    ) {
-        let id = OpId(self.next_op);
-        self.next_op += 1;
-        // Lock plan: ascending object order (deadlock freedom), strongest
-        // mode per object.
-        let mut lock_plan: Vec<(ObjectId, LockMode)> = reads
-            .iter()
-            .map(|&o| (o, LockMode::Read))
-            .chain(writes.iter().map(|&o| (o, LockMode::Write)))
-            .collect();
-        lock_plan.sort_by_key(|&(o, _)| o);
-        // Every object needing a read round: reads + writes (versions).
-        let read_targets: Vec<ObjectId> = lock_plan.iter().map(|&(o, _)| o).collect();
-
-        self.ops.insert(
-            id,
-            TxnState {
-                client,
-                phase: Phase::LockWait,
-                started: self.now,
-                phase_counter: 0,
-                attempts: 0,
-                reads,
-                writes,
-                lock_plan,
-                locks_held: 0,
-                read_targets,
-                read_round: 0,
-                pending_sites: HashSet::new(),
-                round_quorum: QuorumSet::new(),
-                round_responses: Vec::new(),
-                gathered: HashMap::new(),
-                round_quorums: HashMap::new(),
-                write_ts: HashMap::new(),
-                write_values,
-                write_quorums: HashMap::new(),
-                pending_pairs: HashSet::new(),
-                is_migration: false,
-            },
-        );
-        self.clients[client.0 as usize].current_op = Some(id);
-        self.advance_locks(id);
-    }
-
-    /// Acquires the next planned lock(s); when all are held, starts the
-    /// first read round (or the prepare phase for read-less migrations).
-    fn advance_locks(&mut self, op: OpId) {
-        loop {
-            let (next, client) = {
-                let s = self.ops.get(&op).expect("txn exists");
-                (s.lock_plan.get(s.locks_held).copied(), s.client)
-            };
-            let _ = client;
-            match next {
-                None => {
-                    // All locks held.
-                    let has_reads = {
-                        let s = self.ops.get(&op).expect("txn exists");
-                        !s.read_targets.is_empty()
-                    };
-                    if has_reads {
-                        self.start_read_round(op);
-                    } else {
-                        self.start_prepare_phase(op);
-                    }
-                    return;
-                }
-                Some((obj, mode)) => {
-                    if self.locks.acquire(op, obj, mode) {
-                        self.ops.get_mut(&op).expect("txn exists").locks_held += 1;
-                    } else {
-                        return; // queued; resumed by a later release
-                    }
-                }
-            }
-        }
-    }
-
-    /// Called when the lock manager grants a queued request of `op`.
-    fn on_lock_granted(&mut self, op: OpId) {
-        if self.ops.contains_key(&op) {
-            self.ops.get_mut(&op).expect("txn exists").locks_held += 1;
-            self.advance_locks(op);
-        }
-    }
-
-    /// Starts (or restarts) the current read round.
-    fn start_read_round(&mut self, op: OpId) {
-        let (client, obj) = {
-            let s = self.ops.get(&op).expect("txn exists");
-            (s.client, s.current_read_target().expect("round in range"))
-        };
-        let quorum = self.pick_with_reprobe(client, false);
-        let Some(quorum) = quorum else {
-            self.fail_op(op);
-            return;
-        };
-        {
-            let s = self.ops.get_mut(&op).expect("txn exists");
-            s.phase = Phase::ReadGather;
-            s.pending_sites = quorum.iter().collect();
-            s.round_quorum = quorum.clone();
-            s.round_responses.clear();
-        }
-        self.send_to_sites(client, &quorum, |_| Payload::ReadReq { op, obj });
-        self.arm_timeout(op);
-    }
-
-    /// The current read round finished: record its result, maybe repair,
-    /// then move to the next round, the prepare phase, or completion.
-    fn finish_read_round(&mut self, op: OpId) {
-        let (obj, best, quorum, responses, client) = {
-            let s = self.ops.get_mut(&op).expect("txn exists");
-            let obj = s.current_read_target().expect("round in range");
-            let best = s
-                .gathered
-                .get(&obj)
-                .cloned()
-                .unwrap_or((Timestamp::ZERO, Bytes::new()));
-            s.round_quorums.insert(obj, s.round_quorum.clone());
-            s.read_round += 1;
-            (obj, best, s.round_quorum.clone(), s.round_responses.clone(), s.client)
-        };
-        // Read-repair: the best value is committed (locks block writers), so
-        // refreshing stale members is safe even if the txn later aborts.
-        if self.config.read_repair {
-            let stale: Vec<SiteId> = responses
-                .iter()
-                .filter(|(_, seen)| *seen < best.0)
-                .map(|(site, _)| *site)
-                .collect();
-            if !stale.is_empty() {
-                let members = QuorumSet::from_sites(stale);
-                self.metrics.repairs_sent += members.len() as u64;
-                let (ts, value) = best.clone();
-                self.send_to_sites(client, &members, |_| Payload::Repair {
-                    op,
-                    obj,
-                    value: value.clone(),
-                    ts,
-                });
-            }
-        }
-        let _ = quorum;
-        let (more_rounds, has_writes) = {
-            let s = self.ops.get(&op).expect("txn exists");
-            (s.read_round < s.read_targets.len(), !s.writes.is_empty())
-        };
-        if more_rounds {
-            self.start_read_round(op);
-        } else if has_writes {
-            // Stamp every written object from its gathered version.
-            let client_idx = self.ops.get(&op).expect("txn exists").client.0 as usize;
-            let sid = self.clients[client_idx].sid;
-            let s = self.ops.get_mut(&op).expect("txn exists");
-            for obj in s.writes.clone() {
-                let base = s.gathered.get(&obj).map_or(Timestamp::ZERO, |(t, _)| *t);
-                s.write_ts.insert(obj, base.next(sid));
-            }
-            self.start_prepare_phase(op);
-        } else {
-            self.complete_op(op);
-        }
-    }
-
-    /// Starts (or restarts) the 2PC prepare phase across every written
-    /// object's write quorum.
-    fn start_prepare_phase(&mut self, op: OpId) {
-        let (client, writes, is_migration) = {
-            let s = self.ops.get(&op).expect("txn exists");
-            (s.client, s.writes.clone(), s.is_migration)
-        };
-        let mut quorums: HashMap<ObjectId, QuorumSet> = HashMap::new();
-        for &obj in &writes {
-            let q = if is_migration {
-                // Migration writes go to the union of an old-structure and a
-                // new-structure write quorum so the value is visible
-                // whichever structure serves later reads.
-                let old_q = self.pick_with_reprobe(client, true);
-                let alive = self.believed_alive(client);
-                let new_q = match (&self.reconfig, old_q.as_ref()) {
-                    (Some(rc), Some(_)) => rc.target.pick_write_quorum(alive, &mut self.rng),
-                    _ => None,
-                };
-                match (old_q, new_q) {
-                    (Some(a), Some(b)) => Some(QuorumSet::from_sites(a.iter().chain(b.iter()))),
-                    _ => None,
-                }
-            } else {
-                self.pick_with_reprobe(client, true)
-            };
-            match q {
-                Some(q) => {
-                    quorums.insert(obj, q);
-                }
-                None => {
-                    self.fail_op(op);
-                    return;
-                }
-            }
-        }
-        let mut sends: Vec<(ObjectId, QuorumSet, Bytes, Timestamp)> = Vec::new();
-        {
-            let s = self.ops.get_mut(&op).expect("txn exists");
-            s.phase = Phase::PrepareGather;
-            s.pending_pairs.clear();
-            for (&obj, q) in &quorums {
-                for site in q.iter() {
-                    s.pending_pairs.insert((obj, site));
-                }
-                sends.push((
-                    obj,
-                    q.clone(),
-                    s.write_values.get(&obj).expect("value exists").clone(),
-                    *s.write_ts.get(&obj).expect("ts stamped"),
-                ));
-            }
-            s.write_quorums = quorums;
-        }
-        for (obj, q, value, ts) in sends {
-            let v = value;
-            self.send_to_sites(client, &q, |_| Payload::Prepare {
-                op,
-                obj,
-                value: v.clone(),
-                ts,
-            });
-        }
-        self.arm_timeout(op);
-    }
-
-    /// Crossing the commit point: send `Commit` to every participant.
-    fn start_commit_phase(&mut self, op: OpId) {
-        let (client, quorums) = {
-            let s = self.ops.get_mut(&op).expect("txn exists");
-            s.phase = Phase::CommitGather;
-            s.pending_pairs.clear();
-            for (&obj, q) in &s.write_quorums {
-                for site in q.iter() {
-                    s.pending_pairs.insert((obj, site));
-                }
-            }
-            (s.client, s.write_quorums.clone())
-        };
-        for (obj, q) in quorums {
-            self.send_to_sites(client, &q, |_| Payload::Commit { op, obj });
-        }
-        self.arm_timeout(op);
-    }
-
-    /// The transaction gives up: abort staged writes, release locks, count
-    /// the failure, let the client move on.
-    fn fail_op(&mut self, op: OpId) {
-        let state = self.ops.remove(&op).expect("txn exists");
-        // Staged-but-uncommitted writes must be cleaned up.
-        if state.phase == Phase::PrepareGather {
-            for (&obj, q) in &state.write_quorums {
-                let (client, q) = (state.client, q.clone());
-                self.send_to_sites(client, &q, |_| Payload::Abort { op, obj });
-            }
-        }
-        if state.is_migration {
-            // Abandon the reconfiguration without swapping: everything
-            // written so far went to old∪new quorums, so the old structure
-            // remains fully consistent.
-            self.clients[state.client.0 as usize].current_op = None;
-            self.reconfig = None;
-            self.resume_clients();
-            return;
-        }
-        self.metrics.reads_failed += state.reads.len() as u64;
-        self.metrics.writes_failed += state.writes.len() as u64;
-        self.metrics.txns_failed += 1;
-        self.finish_client_txn(&state, op);
-    }
-
-    /// Completes a transaction successfully.
-    fn complete_op(&mut self, op: OpId) {
-        let state = self.ops.remove(&op).expect("txn exists");
-        if state.is_migration {
-            self.clients[state.client.0 as usize].current_op = None;
-            self.complete_migration_op(op, state);
-            return;
-        }
-        let latency = self.now - state.started;
-        self.metrics.record_latency(latency);
-        for &obj in &state.reads {
-            let (ts, value) = state
-                .gathered
-                .get(&obj)
-                .cloned()
-                .unwrap_or((Timestamp::ZERO, Bytes::new()));
-            self.checker.check_read(op, obj, &value, ts);
-            self.metrics.reads_ok += 1;
-            if let Some(q) = state.round_quorums.get(&obj) {
-                for s in q.iter() {
-                    *self.metrics.read_quorum_hits.entry(s.as_u32()).or_insert(0) += 1;
-                }
-            }
-            if self.config.record_history {
-                self.history.record(HistoryEvent {
-                    op,
-                    kind: HistoryKind::Read,
-                    obj,
-                    invoked: state.started,
-                    responded: self.now,
-                    ts,
-                });
-            }
-        }
-        for &obj in &state.writes {
-            let ts = *state.write_ts.get(&obj).expect("ts stamped");
-            let value = state.write_values.get(&obj).expect("value exists").clone();
-            self.checker.record_write(op, obj, value, ts);
-            self.metrics.writes_ok += 1;
-            if let Some(q) = state.write_quorums.get(&obj) {
-                for s in q.iter() {
-                    *self.metrics.write_quorum_hits.entry(s.as_u32()).or_insert(0) += 1;
-                }
-            }
-            if let Some(q) = state.round_quorums.get(&obj) {
-                for s in q.iter() {
-                    *self.metrics.version_quorum_hits.entry(s.as_u32()).or_insert(0) += 1;
-                }
-            }
-            if self.config.record_history {
-                self.history.record(HistoryEvent {
-                    op,
-                    kind: HistoryKind::Write,
-                    obj,
-                    invoked: state.started,
-                    responded: self.now,
-                    ts,
-                });
-            }
-        }
-        self.metrics.txns_ok += 1;
-        self.finish_client_txn(&state, op);
-    }
-
-    /// Advances the migration state machine after one of its transactions
-    /// completes.
-    fn complete_migration_op(&mut self, op: OpId, state: TxnState) {
-        if state.writes.is_empty() {
-            // Migration read finished: rewrite the value under a fresh
-            // timestamp to old∪new write quorums.
-            let obj = state.reads[0];
-            let (ts, value) = state
-                .gathered
-                .get(&obj)
-                .cloned()
-                .unwrap_or((Timestamp::ZERO, Bytes::new()));
-            self.checker.check_read(op, obj, &value, ts);
-            let sid = self.clients[self.migration_client().0 as usize].sid;
-            self.issue_migration_write(obj, value, ts.next(sid));
-        } else {
-            let obj = state.writes[0];
-            let ts = *state.write_ts.get(&obj).expect("ts stamped");
-            let value = state.write_values.get(&obj).expect("value exists").clone();
-            if self.config.record_history {
-                self.history.record(HistoryEvent {
-                    op,
-                    kind: HistoryKind::Write,
-                    obj,
-                    invoked: state.started,
-                    responded: self.now,
-                    ts,
-                });
-            }
-            self.checker.record_write(op, obj, value, ts);
-            self.metrics.migration_writes += 1;
-            let next_obj = obj.0 + 1;
-            if (next_obj as usize) < self.config.objects {
-                self.issue_migration_read(ObjectId(next_obj));
-            } else {
-                // Every object migrated: swap and resume.
-                let rc = self.reconfig.take().expect("migration in progress");
-                self.protocol = rc.target;
-                self.metrics.reconfigurations += 1;
-                self.resume_clients();
-            }
-        }
-    }
-
-    fn blank_migration_txn(&mut self, client: ClientId) -> OpId {
-        let id = OpId(self.next_op);
-        self.next_op += 1;
-        self.ops.insert(
-            id,
-            TxnState {
-                client,
-                phase: Phase::LockWait,
-                started: self.now,
-                phase_counter: 0,
-                attempts: 0,
-                reads: Vec::new(),
-                writes: Vec::new(),
-                lock_plan: Vec::new(),
-                locks_held: 0,
-                read_targets: Vec::new(),
-                read_round: 0,
-                pending_sites: HashSet::new(),
-                round_quorum: QuorumSet::new(),
-                round_responses: Vec::new(),
-                gathered: HashMap::new(),
-                round_quorums: HashMap::new(),
-                write_ts: HashMap::new(),
-                write_values: HashMap::new(),
-                write_quorums: HashMap::new(),
-                pending_pairs: HashSet::new(),
-                is_migration: true,
-            },
-        );
-        self.clients[client.0 as usize].current_op = Some(id);
-        id
-    }
-
-    fn issue_migration_read(&mut self, obj: ObjectId) {
-        let client = self.migration_client();
-        let id = self.blank_migration_txn(client);
-        let s = self.ops.get_mut(&id).expect("txn exists");
-        s.reads = vec![obj];
-        s.read_targets = vec![obj];
-        self.start_read_round(id);
-    }
-
-    fn issue_migration_write(&mut self, obj: ObjectId, value: Bytes, ts: Timestamp) {
-        let client = self.migration_client();
-        let id = self.blank_migration_txn(client);
-        let s = self.ops.get_mut(&id).expect("txn exists");
-        s.writes = vec![obj];
-        s.write_ts.insert(obj, ts);
-        s.write_values.insert(obj, value);
-        self.start_prepare_phase(id);
-    }
-
-    /// Begins the migration once every in-flight client transaction drained.
-    fn try_advance_reconfig(&mut self) {
-        let draining = matches!(
-            self.reconfig,
-            Some(Reconfig { phase: MigrationPhase::Draining, .. })
-        );
-        if draining && self.ops.is_empty() {
-            if let Some(rc) = self.reconfig.as_mut() {
-                rc.phase = MigrationPhase::Migrating;
-            }
-            self.issue_migration_read(ObjectId(0));
-        }
-    }
-
-    /// Restarts workload clients after a reconfiguration ends (success or
-    /// abandonment).
-    fn resume_clients(&mut self) {
-        for c in 0..self.config.clients as u32 {
-            let offset = crate::time::SimDuration::from_micros(u64::from(c) * 37);
-            self.queue
-                .schedule(self.now + self.config.think_time + offset, Event::ClientTick(ClientId(c)));
-        }
-    }
-
-    /// Releases every lock the transaction held or queued for, resumes
-    /// granted waiters, schedules the client's next think-time tick.
-    fn finish_client_txn(&mut self, state: &TxnState, op: OpId) {
-        let client = state.client;
-        self.clients[client.0 as usize].current_op = None;
-        let mut granted_all = Vec::new();
-        for &(obj, _) in &state.lock_plan {
-            granted_all.extend(self.locks.release(op, obj));
-        }
-        for granted in granted_all {
-            self.on_lock_granted(granted);
-        }
-        let jitter: f64 = self.rng.gen();
-        let delay = self.pacers[client.0 as usize].next_delay(jitter);
-        self.queue.schedule(self.now + delay, Event::ClientTick(client));
-        // A pending reconfiguration may now be able to start.
-        self.try_advance_reconfig();
-    }
-
-    fn on_deliver(&mut self, msg: Message) {
-        match msg.to {
-            Endpoint::Site(sid) => {
-                let site = &mut self.sites[sid.index()];
-                if !site.is_up() {
-                    self.metrics.messages_to_dead += 1;
-                    return;
-                }
-                self.metrics.messages_delivered += 1;
-                self.metrics.record_site_request(sid.as_u32());
-                if let Some((_, reply)) = site.handle(&msg.payload) {
-                    self.network.send(
-                        self.now,
-                        Endpoint::Site(sid),
-                        msg.from,
-                        reply,
-                        &mut self.queue,
-                        &mut self.metrics,
-                        &mut self.rng,
-                    );
-                }
-            }
-            Endpoint::Client(cid) => {
-                self.metrics.messages_delivered += 1;
-                self.on_client_message(cid, msg);
-            }
-        }
-    }
-
-    fn on_client_message(&mut self, client: ClientId, msg: Message) {
-        let Endpoint::Site(from) = msg.from else {
-            return; // clients never message each other
-        };
-        // A response proves the site is alive again.
-        self.clients[client.0 as usize].suspected.remove(&from);
-
-        let op_id = msg.payload.op();
-        let Some(state) = self.ops.get_mut(&op_id) else {
-            return; // stale response for a finished txn
-        };
-        if state.client != client {
-            return;
-        }
-        match (&msg.payload, &state.phase) {
-            (Payload::ReadResp { obj, value, ts, .. }, Phase::ReadGather) => {
-                if state.current_read_target() != Some(*obj) || !state.pending_sites.remove(&from)
-                {
-                    return; // stale round, duplicate, or out-of-quorum
-                }
-                state.round_responses.push((from, *ts));
-                let entry = state.gathered.entry(*obj);
-                let candidate = (*ts, value.clone());
-                match entry {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        if candidate.0 > e.get().0 {
-                            e.insert(candidate);
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(candidate);
-                    }
-                }
-                if state.pending_sites.is_empty() {
-                    self.finish_read_round(op_id);
-                }
-            }
-            (Payload::PrepareAck { obj, ok, ts, .. }, Phase::PrepareGather) => {
-                if state.write_ts.get(obj) != Some(ts)
-                    || !state.pending_pairs.contains(&(*obj, from))
-                {
-                    return; // vote for an earlier attempt's timestamp
-                }
-                if !*ok {
-                    // Vote-abort: a leaked stage from a failed writer holds
-                    // an equal-or-higher timestamp for this object. Bump the
-                    // version past it and retry so the object cannot
-                    // livelock.
-                    state.attempts += 1;
-                    let bumped = Timestamp::new(ts.version() + 1, ts.sid());
-                    state.write_ts.insert(*obj, bumped);
-                    if state.attempts >= self.config.max_attempts {
-                        self.fail_op(op_id);
-                    } else {
-                        self.start_prepare_phase(op_id);
-                    }
-                    return;
-                }
-                state.pending_pairs.remove(&(*obj, from));
-                if state.pending_pairs.is_empty() {
-                    self.start_commit_phase(op_id);
-                }
-            }
-            (Payload::CommitAck { obj, .. }, Phase::CommitGather)
-                if state.pending_pairs.remove(&(*obj, from))
-                    && state.pending_pairs.is_empty() =>
-            {
-                self.complete_op(op_id);
-            }
-            _ => {} // stale message from an earlier phase
-        }
-    }
-
-    fn on_timeout(&mut self, client: ClientId, op: OpId, attempt: u64) {
-        let Some(state) = self.ops.get_mut(&op) else {
-            return;
-        };
-        if state.phase_counter != attempt || state.client != client {
-            return; // stale timeout
-        }
-        // Suspect every member that stayed silent.
-        let silent: Vec<SiteId> = match state.phase {
-            Phase::ReadGather => state.pending_sites.iter().copied().collect(),
-            Phase::PrepareGather | Phase::CommitGather => {
-                state.pending_pairs.iter().map(|&(_, s)| s).collect()
-            }
-            Phase::LockWait => Vec::new(),
-        };
-        for s in &silent {
-            self.clients[client.0 as usize].suspected.insert(*s);
-        }
-        match state.phase {
-            Phase::LockWait => {}
-            Phase::ReadGather => {
-                state.attempts += 1;
-                if state.attempts >= self.config.max_attempts {
-                    self.fail_op(op);
-                } else {
-                    self.start_read_round(op);
-                }
-            }
-            Phase::PrepareGather => {
-                state.attempts += 1;
-                let old_quorums = state.write_quorums.clone();
-                if state.attempts >= self.config.max_attempts {
-                    self.fail_op(op);
-                } else {
-                    // Retry with freshly picked write quorums. Stages on
-                    // members of BOTH the old and new quorum are reused
-                    // (same op, same ts), so we must not race an Abort
-                    // against the re-Prepare; only members dropped from a
-                    // quorum get an Abort for that object.
-                    self.start_prepare_phase(op);
-                    if let Some(state) = self.ops.get(&op) {
-                        let new_quorums = state.write_quorums.clone();
-                        for (obj, old_q) in old_quorums {
-                            let dropped = QuorumSet::from_sites(old_q.iter().filter(|s| {
-                                new_quorums.get(&obj).is_none_or(|nq| !nq.contains(*s))
-                            }));
-                            self.send_to_sites(client, &dropped, |_| Payload::Abort { op, obj });
-                        }
-                    }
-                }
-            }
-            Phase::CommitGather => {
-                // Past the commit point: 2PC phase 2 never gives up.
-                let pending: Vec<(ObjectId, SiteId)> =
-                    state.pending_pairs.iter().copied().collect();
-                for (obj, site) in pending {
-                    let members = QuorumSet::from_sites([site]);
-                    self.send_to_sites(client, &members, |_| Payload::Commit { op, obj });
-                }
-                self.arm_timeout(op);
-            }
-        }
-    }
-
-    fn on_reconfigure_event(&mut self) {
-        if self.reconfig.is_some() {
-            // A reconfiguration is already in flight; retry shortly.
-            self.queue
-                .schedule(self.now + self.config.op_timeout, Event::Reconfigure);
-            return;
-        }
-        let Some(target) = self.queued_reconfigs.pop_front() else {
-            return;
-        };
-        assert!(
-            target.universe().len() == self.sites.len(),
-            "reconfiguration must keep the replica set"
-        );
-        self.reconfig = Some(Reconfig { target, phase: MigrationPhase::Draining });
-        self.try_advance_reconfig();
+    /// The coordinator layer (inspection).
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
     }
 
     /// Runs the simulation to its configured end time and reports.
     pub fn run(&mut self) -> SimReport {
         // Stagger initial client ticks so they do not synchronize.
-        for c in 0..self.config.clients as u32 {
+        for c in 0..self.coordinator.config.clients as u32 {
             let offset = crate::time::SimDuration::from_micros(u64::from(c) * 37);
-            self.queue.schedule(SimTime::ZERO + offset, Event::ClientTick(ClientId(c)));
+            self.engine
+                .schedule(SimTime::ZERO + offset, Event::ClientTick(ClientId(c)));
         }
-        while let Some((at, event)) = self.queue.pop() {
-            if at > self.end {
+        while let Some((at, event)) = self.engine.queue.pop() {
+            if at > self.engine.end {
                 break;
             }
-            self.now = at;
+            self.engine.now = at;
             match event {
-                Event::Deliver(msg) => self.on_deliver(msg),
-                Event::Crash(s) => self.sites[s.index()].crash(),
-                Event::Recover(s) => self.sites[s.index()].recover(),
-                Event::ClientTick(c) => {
-                    if (c.0 as usize) < self.config.clients
-                        && self.clients[c.0 as usize].current_op.is_none()
-                    {
-                        self.issue_op(c);
+                Event::Deliver(msg) => match msg.to {
+                    Endpoint::Site(sid) => self.engine.deliver_to_site(sid, msg),
+                    Endpoint::Client(cid) => {
+                        self.engine.metrics.messages_delivered += 1;
+                        self.coordinator.on_client_message(
+                            &mut self.engine,
+                            &mut self.protocol,
+                            cid,
+                            msg,
+                        );
                     }
+                },
+                Event::Crash(s) => self.engine.crash(s),
+                Event::Recover(s) => self.engine.recover(s),
+                Event::ClientTick(c) => {
+                    self.coordinator
+                        .handle_client_tick(&mut self.engine, &mut self.protocol, c);
                 }
-                Event::Reconfigure => self.on_reconfigure_event(),
-                Event::OpTimeout { client, op, attempt } => self.on_timeout(client, op, attempt),
+                Event::Reconfigure => {
+                    self.coordinator
+                        .on_reconfigure_event(&mut self.engine, &mut self.protocol);
+                }
+                Event::OpTimeout {
+                    client,
+                    op,
+                    attempt,
+                } => {
+                    self.coordinator.on_timeout(
+                        &mut self.engine,
+                        &mut self.protocol,
+                        client,
+                        op,
+                        attempt,
+                    );
+                }
             }
         }
-        SimReport {
-            metrics: self.metrics.clone(),
-            violations: self.checker.violations().len(),
-            consistent: self.checker.is_consistent(),
-            ops_incomplete: self.ops.len(),
-            reads_checked: self.checker.reads_checked(),
-            writes_recorded: self.checker.writes_recorded(),
-            history: self.history.clone(),
-        }
+        self.coordinator.report(&self.engine)
     }
 
     /// The consistency checker (inspection after a run).
-    pub fn checker(&self) -> &ConsistencyChecker {
-        &self.checker
+    pub fn checker(&self) -> &crate::checker::ConsistencyChecker {
+        self.coordinator.checker()
     }
 
     /// The sites (inspection after a run).
     pub fn sites(&self) -> &[Site] {
-        &self.sites
+        self.engine.sites()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::{ObjectId, OpId};
     use crate::time::SimDuration;
     use arbitree_core::ArbitraryProtocol;
+    use std::collections::HashMap;
 
     fn small_config(seed: u64) -> SimConfig {
         SimConfig {
@@ -1211,6 +258,13 @@ mod tests {
         assert_eq!(r1.metrics, r2.metrics);
         let r3 = Simulation::new(small_config(43), proto()).run();
         assert_ne!(r1.metrics, r3.metrics);
+    }
+
+    #[test]
+    fn boxed_and_concrete_construction_agree() {
+        let concrete = Simulation::new(small_config(42), proto()).run();
+        let boxed = Simulation::from_boxed(small_config(42), Box::new(proto())).run();
+        assert_eq!(concrete, boxed);
     }
 
     #[test]
@@ -1325,7 +379,11 @@ mod tests {
             sim.schedule_crash(SimTime::from_millis(100), SiteId::new(4));
             sim.schedule_recover(SimTime::from_millis(150), SiteId::new(4));
             let report = sim.run();
-            assert!(report.consistent, "seed {seed}: {} violations", report.violations);
+            assert!(
+                report.consistent,
+                "seed {seed}: {} violations",
+                report.violations
+            );
             let v = report.history.check_linearizable();
             assert!(v.is_empty(), "seed {seed}: {v:?}");
         }
@@ -1351,7 +409,10 @@ mod tests {
         for e in report.history.events() {
             *per_op.entry(e.op).or_insert(0) += 1;
         }
-        assert!(per_op.values().any(|&c| c > 1), "some txn wrote several objects");
+        assert!(
+            per_op.values().any(|&c| c > 1),
+            "some txn wrote several objects"
+        );
     }
 
     #[test]
@@ -1370,6 +431,10 @@ mod tests {
         assert!(report.metrics.txns_ok > 20, "{}", report.metrics);
         // No transaction should be stuck in LockWait at the end beyond the
         // handful naturally in flight.
-        assert!(report.ops_incomplete <= 6, "{} incomplete", report.ops_incomplete);
+        assert!(
+            report.ops_incomplete <= 6,
+            "{} incomplete",
+            report.ops_incomplete
+        );
     }
 }

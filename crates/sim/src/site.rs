@@ -65,19 +65,32 @@ impl Site {
                 let v = self.storage.read(*obj);
                 Some((
                     Endpoint::Site(self.id),
-                    Payload::ReadResp { op: *op, obj: *obj, value: v.value, ts: v.ts },
+                    Payload::ReadResp {
+                        op: *op,
+                        obj: *obj,
+                        value: v.value,
+                        ts: v.ts,
+                    },
                 ))
             }
             Payload::Prepare { op, obj, value, ts } => {
                 let ok = self.storage.prepare(*obj, *op, value.clone(), *ts);
                 Some((
                     Endpoint::Site(self.id),
-                    Payload::PrepareAck { op: *op, obj: *obj, ok, ts: *ts },
+                    Payload::PrepareAck {
+                        op: *op,
+                        obj: *obj,
+                        ok,
+                        ts: *ts,
+                    },
                 ))
             }
             Payload::Commit { op, obj } => {
                 self.storage.commit(*obj, *op);
-                Some((Endpoint::Site(self.id), Payload::CommitAck { op: *op, obj: *obj }))
+                Some((
+                    Endpoint::Site(self.id),
+                    Payload::CommitAck { op: *op, obj: *obj },
+                ))
             }
             Payload::Abort { op, obj } => {
                 self.storage.abort(*obj, *op);
@@ -103,7 +116,10 @@ mod tests {
     use bytes::Bytes;
 
     fn read_req() -> Payload {
-        Payload::ReadReq { op: OpId(1), obj: ObjectId(0) }
+        Payload::ReadReq {
+            op: OpId(1),
+            obj: ObjectId(0),
+        }
     }
 
     #[test]
@@ -127,7 +143,10 @@ mod tests {
             value: Bytes::from_static(b"v"),
             ts,
         });
-        s.handle(&Payload::Commit { op: OpId(1), obj: ObjectId(0) });
+        s.handle(&Payload::Commit {
+            op: OpId(1),
+            obj: ObjectId(0),
+        });
         s.crash();
         s.recover();
         match s.handle(&read_req()) {
@@ -152,7 +171,10 @@ mod tests {
         s.crash();
         s.recover();
         // The retried commit still applies.
-        s.handle(&Payload::Commit { op: OpId(7), obj: ObjectId(3) });
+        s.handle(&Payload::Commit {
+            op: OpId(7),
+            obj: ObjectId(3),
+        });
         assert_eq!(s.storage().read(ObjectId(3)).ts, ts);
     }
 
@@ -178,11 +200,17 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(s
-            .handle(&Payload::Abort { op: OpId(2), obj: ObjectId(0) })
+            .handle(&Payload::Abort {
+                op: OpId(2),
+                obj: ObjectId(0)
+            })
             .is_none());
         // Coordinator payloads are ignored.
         assert!(s
-            .handle(&Payload::CommitAck { op: OpId(2), obj: ObjectId(0) })
+            .handle(&Payload::CommitAck {
+                op: OpId(2),
+                obj: ObjectId(0)
+            })
             .is_none());
     }
 }

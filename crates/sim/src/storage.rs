@@ -85,8 +85,13 @@ impl Storage {
                 let staged = self.staged.remove(&obj).expect("just observed");
                 let current = self.read(obj);
                 if staged.ts > current.ts {
-                    self.committed
-                        .insert(obj, Version { value: staged.value, ts: staged.ts });
+                    self.committed.insert(
+                        obj,
+                        Version {
+                            value: staged.value,
+                            ts: staged.ts,
+                        },
+                    );
                 }
             }
         }

@@ -132,7 +132,9 @@ mod tests {
         assert_eq!(big + SimDuration::from_micros(10), big);
         assert_eq!(SimTime::ZERO - SimTime::from_micros(5), SimDuration::ZERO);
         assert_eq!(
-            SimDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(),
+            SimDuration::from_micros(u64::MAX)
+                .saturating_mul(2)
+                .as_micros(),
             u64::MAX
         );
     }

@@ -1,0 +1,208 @@
+//! Transaction-level state: the per-transaction coordinator record and its
+//! phase machine, the client bookkeeping, live-reconfiguration progress,
+//! and the public request/report types.
+//!
+//! These types carry no behaviour of their own — the
+//! [`crate::coordinator::Coordinator`] drives them and the
+//! [`crate::engine::Engine`] transports their messages.
+
+use crate::history::History;
+use crate::locks::LockMode;
+use crate::message::{ClientId, ObjectId, OpId};
+use crate::metrics::SimMetrics;
+use crate::time::SimTime;
+use arbitree_core::Timestamp;
+use arbitree_quorum::{QuorumSet, ReplicaControl, SiteId};
+use bytes::Bytes;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// What a transaction is doing right now.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Phase {
+    /// Acquiring its locks, in object order.
+    LockWait,
+    /// Gathering a read quorum's responses for the current read round.
+    ReadGather,
+    /// Gathering 2PC votes from every written object's write quorum.
+    PrepareGather,
+    /// Past the commit point, gathering commit acks.
+    CommitGather,
+}
+
+/// Coordinator state of one transaction.
+#[derive(Debug)]
+pub(crate) struct TxnState {
+    pub(crate) client: ClientId,
+    pub(crate) phase: Phase,
+    pub(crate) started: SimTime,
+    /// Bumped on every phase (re)start; stale timeouts carry the old value.
+    pub(crate) phase_counter: u64,
+    /// Quorum re-pick attempts consumed.
+    pub(crate) attempts: u32,
+    /// Objects read by the transaction.
+    pub(crate) reads: Vec<ObjectId>,
+    /// Objects written by the transaction.
+    pub(crate) writes: Vec<ObjectId>,
+    /// Lock acquisition plan, ascending by object.
+    pub(crate) lock_plan: Vec<(ObjectId, LockMode)>,
+    /// How many of the planned locks are held.
+    pub(crate) locks_held: usize,
+    /// Objects needing a read round (`reads ∪ writes`, in order).
+    pub(crate) read_targets: Vec<ObjectId>,
+    /// Index of the read round in progress.
+    pub(crate) read_round: usize,
+    /// Members of the current read round still to respond.
+    pub(crate) pending_sites: HashSet<SiteId>,
+    /// The current read round's quorum.
+    pub(crate) round_quorum: QuorumSet,
+    /// Per-responder timestamps of the current round (read-repair).
+    pub(crate) round_responses: Vec<(SiteId, Timestamp)>,
+    /// Best (greatest-timestamp) result per object.
+    pub(crate) gathered: HashMap<ObjectId, (Timestamp, Bytes)>,
+    /// Read quorums used, per object (flushed to metrics on success).
+    pub(crate) round_quorums: HashMap<ObjectId, QuorumSet>,
+    /// Chosen write timestamps per object.
+    pub(crate) write_ts: HashMap<ObjectId, Timestamp>,
+    /// Values to write per object.
+    pub(crate) write_values: HashMap<ObjectId, Bytes>,
+    /// Write quorums per object (current prepare attempt).
+    pub(crate) write_quorums: HashMap<ObjectId, QuorumSet>,
+    /// Outstanding (object, site) prepare/commit acknowledgements.
+    pub(crate) pending_pairs: HashSet<(ObjectId, SiteId)>,
+    /// Whether this is a reconfiguration-migration transaction.
+    pub(crate) is_migration: bool,
+}
+
+impl TxnState {
+    /// A fresh transaction record in the lock-wait phase.
+    pub(crate) fn new(client: ClientId, started: SimTime, is_migration: bool) -> Self {
+        TxnState {
+            client,
+            phase: Phase::LockWait,
+            started,
+            phase_counter: 0,
+            attempts: 0,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            lock_plan: Vec::new(),
+            locks_held: 0,
+            read_targets: Vec::new(),
+            read_round: 0,
+            pending_sites: HashSet::new(),
+            round_quorum: QuorumSet::new(),
+            round_responses: Vec::new(),
+            gathered: HashMap::new(),
+            round_quorums: HashMap::new(),
+            write_ts: HashMap::new(),
+            write_values: HashMap::new(),
+            write_quorums: HashMap::new(),
+            pending_pairs: HashSet::new(),
+            is_migration,
+        }
+    }
+
+    pub(crate) fn current_read_target(&self) -> Option<ObjectId> {
+        self.read_targets.get(self.read_round).copied()
+    }
+}
+
+/// Progress of a live reconfiguration.
+#[derive(Debug)]
+pub(crate) enum MigrationPhase {
+    /// Waiting for in-flight client transactions to drain.
+    Draining,
+    /// Objects are being migrated (read old structure, write both).
+    Migrating,
+}
+
+/// An in-progress live reconfiguration towards `target` — any
+/// [`ReplicaControl`] implementation, so a run can migrate between protocol
+/// *families* (e.g. ARBITRARY → ROWA), not just between trees.
+pub(crate) struct Reconfig {
+    pub(crate) target: Box<dyn ReplicaControl>,
+    pub(crate) phase: MigrationPhase,
+}
+
+impl fmt::Debug for Reconfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reconfig")
+            .field("target", &self.target.describe())
+            .field("phase", &self.phase)
+            .finish()
+    }
+}
+
+/// Per-client coordinator bookkeeping.
+#[derive(Debug)]
+pub(crate) struct ClientState {
+    /// SID used in this client's write timestamps (distinct from replicas).
+    pub(crate) sid: SiteId,
+    pub(crate) suspected: HashSet<SiteId>,
+    pub(crate) current_op: Option<OpId>,
+}
+
+/// A scripted transaction: explicit reads and writes on distinct objects.
+///
+/// Submit with [`crate::Simulation::schedule_transaction`]; combine with
+/// [`crate::SimConfig::auto_workload`]` = false` for fully scripted runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TxnRequest {
+    /// Objects to read.
+    pub reads: Vec<ObjectId>,
+    /// Objects to write, with their new values.
+    pub writes: Vec<(ObjectId, Bytes)>,
+}
+
+impl TxnRequest {
+    /// A single-object read.
+    pub fn read(obj: ObjectId) -> Self {
+        TxnRequest {
+            reads: vec![obj],
+            writes: Vec::new(),
+        }
+    }
+
+    /// A single-object write.
+    pub fn write(obj: ObjectId, value: Bytes) -> Self {
+        TxnRequest {
+            reads: Vec::new(),
+            writes: vec![(obj, value)],
+        }
+    }
+}
+
+/// Outcome of a finished run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Aggregated counters.
+    pub metrics: SimMetrics,
+    /// Consistency violations (empty for a correct protocol).
+    pub violations: usize,
+    /// Whether the execution was one-copy consistent.
+    pub consistent: bool,
+    /// Transactions still in flight when the simulation ended (e.g. blocked
+    /// on a crashed quorum member during 2PC phase 2).
+    pub ops_incomplete: usize,
+    /// Reads verified by the checker.
+    pub reads_checked: u64,
+    /// Writes recorded by the checker.
+    pub writes_recorded: u64,
+    /// The recorded operation history (empty unless
+    /// [`crate::SimConfig::record_history`] was set).
+    pub history: History,
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | consistent: {} ({} read checks, {} writes recorded), {} in flight",
+            self.metrics,
+            self.consistent,
+            self.reads_checked,
+            self.writes_recorded,
+            self.ops_incomplete
+        )
+    }
+}

@@ -75,7 +75,10 @@ impl ObjectSampler {
                 cdf
             }
         };
-        ObjectSampler { cdf, objects: objects as u32 }
+        ObjectSampler {
+            cdf,
+            objects: objects as u32,
+        }
     }
 
     /// Samples an object id.
@@ -84,7 +87,10 @@ impl ObjectSampler {
             return rng.gen_range(0..self.objects);
         }
         let x: f64 = rng.gen();
-        match self.cdf.binary_search_by(|v| v.partial_cmp(&x).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|v| v.partial_cmp(&x).expect("no NaN"))
+        {
             Ok(i) | Err(i) => (i as u32).min(self.objects - 1),
         }
     }
@@ -102,7 +108,11 @@ pub struct ArrivalPacer {
 impl ArrivalPacer {
     /// Creates a pacer with the given pattern and base think time.
     pub fn new(pattern: ArrivalPattern, think: SimDuration) -> Self {
-        ArrivalPacer { pattern, think, position_in_burst: 0 }
+        ArrivalPacer {
+            pattern,
+            think,
+            position_in_burst: 0,
+        }
     }
 
     /// Delay before the next operation. `jitter` should be a uniform sample
@@ -112,7 +122,10 @@ impl ArrivalPacer {
         let jittered = base + (jitter * base as f64 / 2.0) as u64;
         match self.pattern {
             ArrivalPattern::Steady => SimDuration::from_micros(jittered),
-            ArrivalPattern::Bursty { burst_len, idle_factor } => {
+            ArrivalPattern::Bursty {
+                burst_len,
+                idle_factor,
+            } => {
                 self.position_in_burst += 1;
                 if self.position_in_burst >= burst_len {
                     self.position_in_burst = 0;
@@ -204,7 +217,10 @@ mod tests {
     #[test]
     fn bursty_pacer_alternates_fast_and_idle() {
         let mut p = ArrivalPacer::new(
-            ArrivalPattern::Bursty { burst_len: 3, idle_factor: 10 },
+            ArrivalPattern::Bursty {
+                burst_len: 3,
+                idle_factor: 10,
+            },
             SimDuration::from_micros(1000),
         );
         let delays: Vec<u64> = (0..6).map(|_| p.next_delay(0.0).as_micros()).collect();

@@ -1,0 +1,202 @@
+//! Tests of the engine/coordinator/protocol layering: deterministic
+//! replay, cross-protocol live migration, trait-object parity, and the
+//! parallel experiment runner's serial equivalence.
+
+use arbitree_baselines::{Grid, Hqc, Maekawa, Majority, Rowa, TreeQuorum};
+use arbitree_core::ArbitraryProtocol;
+use arbitree_quorum::ReplicaControl;
+use arbitree_sim::{
+    cell_seed, run_cells, run_simulation, ExperimentCell, FailureSchedule, SimConfig, SimDuration,
+    SimReport, SimTime, Simulation,
+};
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        clients: 4,
+        objects: 3,
+        read_fraction: 0.6,
+        duration: SimDuration::from_millis(250),
+        ..SimConfig::default()
+    }
+}
+
+/// Same seed, same schedule ⇒ byte-identical report (full struct equality,
+/// history included — not just the headline metrics).
+#[test]
+fn deterministic_replay_is_byte_identical() {
+    let run = || {
+        let schedule = FailureSchedule::random(
+            8,
+            SimDuration::from_millis(250),
+            SimDuration::from_millis(40),
+            SimDuration::from_millis(10),
+            3,
+        );
+        run_simulation(
+            config(17),
+            ArbitraryProtocol::parse("1-3-5").unwrap(),
+            &schedule,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert!(a.consistent);
+}
+
+/// The tentpole scenario: a live ARBITRARY → ROWA migration mid-workload,
+/// with the one-copy-serializability checker passing throughout.
+#[test]
+fn live_arbitrary_to_rowa_migration_is_one_copy_serializable() {
+    let before = ArbitraryProtocol::parse("1-3-5").unwrap(); // n = 8
+    let mut sim = Simulation::new(config(23), before);
+    sim.schedule_reconfigure(SimTime::from_millis(120), Rowa::new(8));
+    let report = sim.run();
+    assert!(report.consistent, "{} violations", report.violations);
+    assert_eq!(report.metrics.reconfigurations, 1);
+    assert_eq!(report.metrics.migration_writes, 3); // one per object
+    assert_eq!(sim.protocol().describe(), "ROWA");
+    // Traffic on both sides of the family swap.
+    assert!(report.metrics.reads_ok > 20);
+    assert!(report.metrics.writes_ok > 5);
+}
+
+/// Chained migrations across three protocol families stay consistent.
+#[test]
+fn chained_cross_family_migrations() {
+    let mut sim = Simulation::new(config(29), ArbitraryProtocol::parse("1-3-5").unwrap());
+    sim.schedule_reconfigure(SimTime::from_millis(80), Rowa::new(8));
+    sim.schedule_reconfigure(SimTime::from_millis(170), Majority::new(8));
+    let report = sim.run();
+    assert!(report.consistent, "{} violations", report.violations);
+    assert_eq!(report.metrics.reconfigurations, 2);
+    assert_eq!(sim.protocol().describe(), "MAJORITY");
+}
+
+/// Migrating into ROWA and back out again mid-workload round-trips.
+#[test]
+fn migration_round_trip_returns_to_arbitrary() {
+    let mut sim = Simulation::new(config(31), Rowa::new(8));
+    sim.schedule_reconfigure(
+        SimTime::from_millis(100),
+        ArbitraryProtocol::parse("1-3-5").unwrap(),
+    );
+    let report = sim.run();
+    assert!(report.consistent);
+    assert_eq!(report.metrics.reconfigurations, 1);
+    assert_eq!(sim.protocol().describe(), "1-3-5");
+}
+
+/// `Box<dyn ReplicaControl>` must be a perfect stand-in for the concrete
+/// type: for every baseline, the boxed run's report equals the concrete
+/// run's report field-for-field.
+#[test]
+fn trait_object_parity_for_every_baseline() {
+    fn parity(label: &str, proto: impl ReplicaControl + Clone + 'static) {
+        let n = proto.universe().len();
+        let cfg = config(41);
+        let concrete = {
+            let mut sim = Simulation::new(cfg.clone(), proto.clone());
+            sim.run()
+        };
+        let boxed: Box<dyn ReplicaControl> = Box::new(proto);
+        let via_dyn = {
+            let mut sim = Simulation::from_boxed(cfg, boxed);
+            sim.run()
+        };
+        assert_eq!(concrete, via_dyn, "{label} (n = {n})");
+        assert!(concrete.consistent, "{label}");
+    }
+    parity("ARBITRARY", ArbitraryProtocol::parse("1-3-5").unwrap());
+    parity("ROWA", Rowa::new(9));
+    parity("MAJORITY", Majority::new(9));
+    parity("TREE-QUORUM", TreeQuorum::new(2)); // n = 7
+    parity("HQC", Hqc::new(2)); // n = 9
+    parity("GRID", Grid::new(3, 3));
+    parity("MAEKAWA", Maekawa::new(3, 3));
+}
+
+/// The acceptance-criteria pin: one cell run through the parallel runner
+/// must be seed-for-seed identical to the same cell run serially.
+#[test]
+fn parallel_runner_matches_serial_for_pinned_cell() {
+    let make_cell = |seed: u64| {
+        let schedule = FailureSchedule::random(
+            8,
+            SimDuration::from_millis(250),
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(12),
+            seed,
+        );
+        ExperimentCell::new(
+            format!("seed {seed}"),
+            config(seed),
+            ArbitraryProtocol::parse("1-3-5").unwrap(),
+        )
+        .with_failures(schedule)
+    };
+
+    // Serial reference for the pinned cell (seed 7).
+    let serial: SimReport = {
+        let schedule = FailureSchedule::random(
+            8,
+            SimDuration::from_millis(250),
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(12),
+            7,
+        );
+        run_simulation(
+            config(7),
+            ArbitraryProtocol::parse("1-3-5").unwrap(),
+            &schedule,
+        )
+    };
+
+    // The pinned cell rides inside a batch, surrounded by other cells that
+    // race it for worker threads.
+    let cells: Vec<ExperimentCell> = [3u64, 5, 7, 11, 13].into_iter().map(make_cell).collect();
+    let results = run_cells(cells);
+    assert_eq!(results.len(), 5);
+    // Results arrive in input order regardless of completion order.
+    assert_eq!(results[2].0, "seed 7");
+    assert_eq!(results[2].1, serial);
+}
+
+/// Repeated parallel batches agree with each other run-for-run.
+#[test]
+fn parallel_runner_is_deterministic_across_batches() {
+    let batch = || {
+        let cells: Vec<ExperimentCell> = [1u64, 2, 3, 4, 5, 6, 7, 8]
+            .into_iter()
+            .map(|seed| {
+                ExperimentCell::new(
+                    format!("s{seed}"),
+                    config(seed),
+                    ArbitraryProtocol::parse("1-4-4").unwrap(),
+                )
+            })
+            .collect();
+        run_cells(cells)
+    };
+    assert_eq!(batch(), batch());
+}
+
+/// `cell_seed` is stable and spreads adjacent indices apart.
+#[test]
+fn cell_seed_is_stable_and_well_spread() {
+    assert_eq!(cell_seed(42, 0), cell_seed(42, 0));
+    let seeds: Vec<u64> = (0..64).map(|i| cell_seed(42, i)).collect();
+    let mut unique = seeds.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), seeds.len(), "collision in first 64 cells");
+    // Adjacent cells differ in roughly half their bits.
+    for w in seeds.windows(2) {
+        let flipped = (w[0] ^ w[1]).count_ones();
+        assert!(
+            (8..=56).contains(&flipped),
+            "weak diffusion: {flipped} bits"
+        );
+    }
+}

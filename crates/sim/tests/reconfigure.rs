@@ -3,9 +3,7 @@
 
 use arbitree_core::ArbitraryProtocol;
 use arbitree_quorum::SiteId;
-use arbitree_sim::{
-    FailureSchedule, NetworkConfig, SimConfig, SimDuration, SimTime, Simulation,
-};
+use arbitree_sim::{FailureSchedule, NetworkConfig, SimConfig, SimDuration, SimTime, Simulation};
 
 fn config(seed: u64) -> SimConfig {
     SimConfig {
@@ -30,7 +28,7 @@ fn reconfiguration_swaps_protocol_and_stays_consistent() {
     assert!(report.consistent, "{} violations", report.violations);
     assert_eq!(report.metrics.reconfigurations, 1);
     assert_eq!(report.metrics.migration_writes, 3); // one per object
-    assert_eq!(sim.protocol().tree().spec().to_string(), "1-2-3-4");
+    assert_eq!(sim.protocol().describe(), "1-2-3-4");
     // Work happened on both sides of the swap.
     assert!(report.metrics.reads_ok > 20);
     assert!(report.metrics.writes_ok > 5);
@@ -95,7 +93,7 @@ fn multiple_sequential_reconfigurations() {
     let report = sim.run();
     assert!(report.consistent);
     assert_eq!(report.metrics.reconfigurations, 2);
-    assert_eq!(sim.protocol().tree().spec().to_string(), "1-2-3-4");
+    assert_eq!(sim.protocol().describe(), "1-2-3-4");
 }
 
 #[test]

@@ -1,9 +1,7 @@
 //! Tests of the scripted-transaction API.
 
 use arbitree_core::ArbitraryProtocol;
-use arbitree_sim::{
-    ClientId, ObjectId, SimConfig, SimDuration, SimTime, Simulation, TxnRequest,
-};
+use arbitree_sim::{ClientId, ObjectId, SimConfig, SimDuration, SimTime, Simulation, TxnRequest};
 use bytes::Bytes;
 
 fn scripted_config(seed: u64) -> SimConfig {
@@ -36,7 +34,11 @@ fn scripted_writes_then_read_returns_last_value() {
         ClientId(0),
         TxnRequest::write(obj, Bytes::from_static(b"second")),
     );
-    sim.schedule_transaction(SimTime::from_millis(100), ClientId(1), TxnRequest::read(obj));
+    sim.schedule_transaction(
+        SimTime::from_millis(100),
+        ClientId(1),
+        TxnRequest::read(obj),
+    );
     let report = sim.run();
     assert!(report.consistent);
     assert_eq!(report.metrics.txns_ok, 3);

@@ -75,7 +75,10 @@ fn baselines_survive_churn_and_loss() {
                 "{name} seed {seed}: {} violations",
                 report.violations
             );
-            assert!(report.metrics.ops_ok() > 0, "{name} seed {seed} made no progress");
+            assert!(
+                report.metrics.ops_ok() > 0,
+                "{name} seed {seed} made no progress"
+            );
         }
     }
 }
@@ -139,11 +142,7 @@ fn extreme_drop_rate_makes_no_progress_but_stays_safe() {
 fn reports_deterministic_across_identical_runs() {
     let mk = || {
         let proto = ArbitraryProtocol::parse("1-2-3-4").unwrap();
-        run_simulation(
-            churn_config(11, 0.04),
-            proto,
-            &churn_schedule(9, 42),
-        )
+        run_simulation(churn_config(11, 0.04), proto, &churn_schedule(9, 42))
     };
     let a = mk();
     let b = mk();
@@ -204,10 +203,17 @@ fn zipfian_and_bursty_workloads_stay_consistent() {
         let mut config = churn_config(seed, 0.02);
         config.objects = 6;
         config.object_distribution = ObjectDistribution::Zipfian { exponent: 1.1 };
-        config.arrival_pattern = ArrivalPattern::Bursty { burst_len: 4, idle_factor: 8 };
+        config.arrival_pattern = ArrivalPattern::Bursty {
+            burst_len: 4,
+            idle_factor: 8,
+        };
         config.record_history = true;
         let report = run_simulation(config, proto, &churn_schedule(8, seed + 200));
-        assert!(report.consistent, "seed {seed}: {} violations", report.violations);
+        assert!(
+            report.consistent,
+            "seed {seed}: {} violations",
+            report.violations
+        );
         assert!(report.history.check_linearizable().is_empty());
         assert!(report.metrics.ops_ok() > 0);
     }

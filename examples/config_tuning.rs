@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = 0.9;
 
     println!("Planning the tree shape for {n} replicas at per-replica availability {p}\n");
-    println!("{:<14} {:>8} {:>14} {:>10} {:>10}", "workload", "levels", "shape", "E[L_RD]", "E[L_WR]");
+    println!(
+        "{:<14} {:>8} {:>14} {:>10} {:>10}",
+        "workload", "levels", "shape", "E[L_RD]", "E[L_WR]"
+    );
     let mut plans = Vec::new();
     for (label, read_fraction) in [
         ("pure read", 1.0),
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nWorkload shift: {} -> {}", from, to);
     println!("{migration}");
     for mv in migration.moves().iter().take(6) {
-        println!("  {} : level {} -> level {}", mv.site, mv.from_level, mv.to_level);
+        println!(
+            "  {} : level {} -> level {}",
+            mv.site, mv.from_level, mv.to_level
+        );
     }
     if migration.moves().len() > 6 {
         println!("  ... and {} more", migration.moves().len() - 6);

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.schedule_reconfigure(SimTime::from_millis(150), after);
     let report = sim.run();
 
-    println!("final shape      : {}", sim.protocol().tree().spec());
+    println!("final shape      : {}", sim.protocol().describe());
     println!("reconfigurations : {}", report.metrics.reconfigurations);
     println!("migration writes : {}", report.metrics.migration_writes);
     println!("traffic          : {}", report.metrics);

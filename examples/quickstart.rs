@@ -18,10 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("replicas  : {}", protocol.tree().replica_count());
     println!("read cost : {}", protocol.read_cost());
     println!("write cost: {}", protocol.write_cost());
-    println!("read load : {:.4} (optimal: 1/d = 1/3)", metrics.read_load());
-    println!("write load: {:.4} (optimal: 1/|K_phy| = 1/2)", metrics.write_load());
+    println!(
+        "read load : {:.4} (optimal: 1/d = 1/3)",
+        metrics.read_load()
+    );
+    println!(
+        "write load: {:.4} (optimal: 1/|K_phy| = 1/2)",
+        metrics.write_load()
+    );
     println!("read avail (p=0.7) : {:.4}", metrics.read_availability(0.7));
-    println!("write avail (p=0.7): {:.4}", metrics.write_availability(0.7));
+    println!(
+        "write avail (p=0.7): {:.4}",
+        metrics.write_availability(0.7)
+    );
 
     // Enumerate the quorums: any physical node of every physical level for
     // reads, a full physical level for writes.
@@ -29,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for q in protocol.write_quorums() {
         println!("  {q}");
     }
-    println!("read quorums: {} total (first three shown)", protocol.read_quorums().count());
+    println!(
+        "read quorums: {} total (first three shown)",
+        protocol.read_quorums().count()
+    );
     for q in protocol.read_quorums().take(3) {
         println!("  {q}");
     }
@@ -46,8 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulation::new(config, protocol);
     let mut failures = FailureSchedule::none();
     failures
-        .crash(arbitree::sim::SimTime::from_millis(40), arbitree::quorum::SiteId::new(0))
-        .recover(arbitree::sim::SimTime::from_millis(120), arbitree::quorum::SiteId::new(0));
+        .crash(
+            arbitree::sim::SimTime::from_millis(40),
+            arbitree::quorum::SiteId::new(0),
+        )
+        .recover(
+            arbitree::sim::SimTime::from_millis(120),
+            arbitree::quorum::SiteId::new(0),
+        );
     failures.apply(&mut sim);
     let report = sim.run();
 

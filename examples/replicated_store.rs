@@ -7,9 +7,7 @@
 
 use arbitree::core::builder::balanced;
 use arbitree::core::{ArbitraryProtocol, ArbitraryTree, TreeMetrics};
-use arbitree::sim::{
-    run_simulation, FailureSchedule, NetworkConfig, SimConfig, SimDuration,
-};
+use arbitree::sim::{run_simulation, FailureSchedule, NetworkConfig, SimConfig, SimDuration};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 66-replica store shaped by Algorithm 1 (write load 1/sqrt(n)).
@@ -19,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("store shape: {spec}  (n = {n})");
     let (read_cost, write_cost, write_load) = {
         let metrics = TreeMetrics::new(&tree);
-        (metrics.read_cost().avg, metrics.write_cost().avg, metrics.write_load())
+        (
+            metrics.read_cost().avg,
+            metrics.write_cost().avg,
+            metrics.write_load(),
+        )
     };
     println!("closed forms: read cost {read_cost}, write cost {write_cost:.1}, write load {write_load:.4}");
 

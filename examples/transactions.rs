@@ -30,13 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.schedule_recover(SimTime::from_millis(250), arbitree::quorum::SiteId::new(5));
     let report = sim.run();
 
-    println!("transactions : {} ok, {} aborted", report.metrics.txns_ok, report.metrics.txns_failed);
+    println!(
+        "transactions : {} ok, {} aborted",
+        report.metrics.txns_ok, report.metrics.txns_failed
+    );
     println!(
         "operations   : {} reads, {} writes",
         report.metrics.reads_ok, report.metrics.writes_ok
     );
-    println!("p50 latency  : {:?}", report.metrics.latency_histogram.p50());
-    println!("p99 latency  : {:?}", report.metrics.latency_histogram.p99());
+    println!(
+        "p50 latency  : {:?}",
+        report.metrics.latency_histogram.p50()
+    );
+    println!(
+        "p99 latency  : {:?}",
+        report.metrics.latency_histogram.p99()
+    );
 
     // Atomicity at a glance: transactions touching several objects appear
     // in the history with one event per touched object, all committed.
@@ -48,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("multi-object transactions committed: {multi}");
 
     let violations = report.history.check_linearizable();
-    println!("offline per-object linearizability: {} violations", violations.len());
+    println!(
+        "offline per-object linearizability: {} violations",
+        violations.len()
+    );
     println!("online one-copy consistency: {}", report.consistent);
     assert!(report.consistent && violations.is_empty());
     Ok(())

@@ -7,13 +7,18 @@
 //! arbitree frontier <n> [p]          the read/write Pareto frontier
 //! arbitree compare <n> [p]           all protocols side by side
 //! arbitree simulate <spec> [seed]    run the simulator with churn
+//!   [--seeds <k>]                    parallel sweep over k derived seeds
+//!   [--migrate-to <target>]          live-migrate mid-run (rowa | majority | spec)
 //! ```
 
 use arbitree::analysis::Configuration;
 use arbitree::core::planner::{pareto_frontier, plan, Workload};
 use arbitree::core::{render_tree, ArbitraryProtocol, ArbitraryTree, TreeMetrics};
 use arbitree::quorum::ReplicaControl;
-use arbitree::sim::{run_simulation, FailureSchedule, SimConfig, SimDuration};
+use arbitree::{
+    cell_seed, run_cells, ExperimentCell, FailureSchedule, SimConfig, SimDuration, SimTime,
+    Simulation,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -48,6 +53,8 @@ const USAGE: &str = "usage:
   arbitree frontier <n> [p]          the read/write Pareto frontier
   arbitree compare <n> [p]           the six paper configurations side by side
   arbitree simulate <spec> [seed]    run the simulator with churn
+     [--seeds <k>]                   parallel sweep over k derived seeds
+     [--migrate-to <target>]         live-migrate mid-run (rowa | majority | spec)
   arbitree faults <spec>             worst-case fault tolerance of reads/writes
   arbitree migrate <from> <to> [k]   gradual migration plan (k moves per step)
 ";
@@ -95,7 +102,10 @@ fn analyze(args: &[String]) -> CliResult {
         m.expected_write_load(p)
     );
     if let Some(mr) = arbitree::core::read_quorum_count(&tree) {
-        println!("quorums: m(R) = {mr}, m(W) = {}", arbitree::core::write_quorum_count(&tree));
+        println!(
+            "quorums: m(R) = {mr}, m(W) = {}",
+            arbitree::core::write_quorum_count(&tree)
+        );
     }
     Ok(())
 }
@@ -166,8 +176,18 @@ fn faults(args: &[String]) -> CliResult {
     let (rk, rw) = blocking_number(&reads);
     let (wk, ww) = blocking_number(&writes);
     println!("spec: {} (n = {})", proto.tree().spec(), u.len());
-    println!("reads  survive any {} failures; blocked by {} e.g. {}", rk - 1, rk, rw);
-    println!("writes survive any {} failures; blocked by {} e.g. {}", wk - 1, wk, ww);
+    println!(
+        "reads  survive any {} failures; blocked by {} e.g. {}",
+        rk - 1,
+        rk,
+        rw
+    );
+    println!(
+        "writes survive any {} failures; blocked by {} e.g. {}",
+        wk - 1,
+        wk,
+        ww
+    );
     Ok(())
 }
 
@@ -180,34 +200,139 @@ fn migrate(args: &[String]) -> CliResult {
         Some(_) => arg(args, 2, "moves per step")?,
     };
     let steps = gradual_migration(&from, &to, k)?;
-    println!("{} -> {} in {} steps of <= {k} moves:", from, to, steps.len());
+    println!(
+        "{} -> {} in {} steps of <= {k} moves:",
+        from,
+        to,
+        steps.len()
+    );
     for (i, s) in steps.iter().enumerate() {
         println!("  step {:>2}: {s}", i + 1);
     }
     Ok(())
 }
 
+/// Builds the protocol named by a `--migrate-to` target: a baseline name
+/// (`rowa`, `majority`) at size `n`, or another tree spec.
+fn migration_target(
+    name: &str,
+    n: usize,
+) -> Result<Box<dyn ReplicaControl + Send>, Box<dyn std::error::Error>> {
+    match name.to_ascii_lowercase().as_str() {
+        "rowa" => Ok(Box::new(arbitree::baselines::Rowa::new(n))),
+        "majority" => Ok(Box::new(arbitree::baselines::Majority::new(n))),
+        spec => Ok(Box::new(ArbitraryProtocol::parse(spec)?)),
+    }
+}
+
 fn simulate(args: &[String]) -> CliResult {
     let spec: String = arg(args, 0, "spec")?;
     let seed: u64 = match args.get(1) {
-        None => 0,
-        Some(_) => arg(args, 1, "seed")?,
+        Some(s) if !s.starts_with("--") => arg(args, 1, "seed")?,
+        _ => 0,
     };
+    let seeds: u64 = match args.iter().position(|a| a == "--seeds") {
+        Some(i) => arg(args, i + 1, "seed count")?,
+        None => 1,
+    };
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let migrate_to: Option<String> = args
+        .iter()
+        .position(|a| a == "--migrate-to")
+        .map(|i| arg(args, i + 1, "migration target"))
+        .transpose()?;
+
     let proto = ArbitraryProtocol::parse(&spec)?;
     let n = proto.tree().replica_count();
-    let config = SimConfig {
+    let base = SimConfig {
         seed,
         duration: SimDuration::from_millis(300),
         ..SimConfig::default()
     };
-    let schedule = FailureSchedule::random(
-        n,
-        config.duration,
-        SimDuration::from_millis(60),
-        SimDuration::from_millis(15),
-        seed.wrapping_add(1),
-    );
-    let report = run_simulation(config, proto, &schedule);
+
+    if let Some(target) = &migrate_to {
+        // Single run with a live mid-run migration; the sweep path keeps
+        // each cell a pure (config, schedule) function instead.
+        let mut sim = Simulation::new(base.clone(), proto);
+        FailureSchedule::random(
+            n,
+            base.duration,
+            SimDuration::from_millis(60),
+            SimDuration::from_millis(15),
+            seed.wrapping_add(1),
+        )
+        .apply(&mut sim);
+        let target = migration_target(target, n)?;
+        let m = target.universe().len();
+        if m != n {
+            return Err(format!(
+                "migration target has {m} replicas but the running system has {n} — \
+                 reconfiguration must keep the replica set"
+            )
+            .into());
+        }
+        sim.schedule_reconfigure_boxed(SimTime::from_millis(150), target);
+        let report = sim.run();
+        if report.metrics.reconfigurations == 0 {
+            // E.g. ROWA needs every site alive for its write quorum, so a
+            // migration into it may never find a window under churn.
+            println!(
+                "migration did not complete before the horizon (still {})",
+                sim.protocol().describe()
+            );
+        } else {
+            println!("migrated to  : {}", sim.protocol().describe());
+        }
+        println!("migrations   : {}", report.metrics.reconfigurations);
+        return print_report(&report);
+    }
+
+    // Parallel sweep: one cell per seed, reports in seed order.
+    let cells: Vec<ExperimentCell> = (0..seeds)
+        .map(|i| {
+            let s = cell_seed(seed, i);
+            let config = SimConfig {
+                seed: s,
+                ..base.clone()
+            };
+            let schedule = FailureSchedule::random(
+                n,
+                config.duration,
+                SimDuration::from_millis(60),
+                SimDuration::from_millis(15),
+                s.wrapping_add(1),
+            );
+            ExperimentCell::new(
+                format!("seed {s:#018x}"),
+                config,
+                ArbitraryProtocol::parse(&spec).expect("spec already parsed"),
+            )
+            .with_failures(schedule)
+        })
+        .collect();
+    let results = run_cells(cells);
+    if seeds == 1 {
+        return print_report(&results[0].1);
+    }
+    let mut bad = 0usize;
+    for (label, report) in &results {
+        println!(
+            "{label}: ops_ok {} incomplete {} consistent {}",
+            report.metrics.ops_ok(),
+            report.ops_incomplete,
+            report.consistent
+        );
+        bad += usize::from(!report.consistent);
+    }
+    if bad > 0 {
+        return Err(format!("{bad} of {seeds} runs had consistency violations").into());
+    }
+    Ok(())
+}
+
+fn print_report(report: &arbitree::SimReport) -> CliResult {
     println!("{}", report.metrics);
     println!("mean latency : {:?}", report.metrics.mean_latency());
     println!("incomplete   : {}", report.ops_incomplete);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-4355b2c7d5511bdf.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-4355b2c7d5511bdf: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

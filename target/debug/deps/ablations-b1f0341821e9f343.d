@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b1f0341821e9f343.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b1f0341821e9f343: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

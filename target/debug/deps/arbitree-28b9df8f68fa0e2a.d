@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbitree-28b9df8f68fa0e2a.d: src/bin/arbitree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitree-28b9df8f68fa0e2a.rmeta: src/bin/arbitree.rs Cargo.toml
+
+src/bin/arbitree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitree-3b5836a038bbeb08.d: src/bin/arbitree.rs
+
+/root/repo/target/debug/deps/arbitree-3b5836a038bbeb08: src/bin/arbitree.rs
+
+src/bin/arbitree.rs:

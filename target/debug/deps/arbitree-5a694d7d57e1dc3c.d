@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbitree-5a694d7d57e1dc3c.d: src/bin/arbitree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitree-5a694d7d57e1dc3c.rmeta: src/bin/arbitree.rs Cargo.toml
+
+src/bin/arbitree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbitree-6a4e9cf36ed5bcd6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libarbitree-6a4e9cf36ed5bcd6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libarbitree-6a4e9cf36ed5bcd6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitree-921e564224ee3889.d: src/lib.rs
+
+/root/repo/target/debug/deps/arbitree-921e564224ee3889: src/lib.rs
+
+src/lib.rs:

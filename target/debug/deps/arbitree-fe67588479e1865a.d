@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitree-fe67588479e1865a.d: src/bin/arbitree.rs
+
+/root/repo/target/debug/deps/arbitree-fe67588479e1865a: src/bin/arbitree.rs
+
+src/bin/arbitree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arbitree_analysis-1bb51e1d493d39d6.d: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+/root/repo/target/debug/deps/arbitree_analysis-1bb51e1d493d39d6: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/config.rs:
+crates/analysis/src/crossover.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/svg.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/arbitree_analysis-88077235d503c201.d: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitree_analysis-88077235d503c201.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/config.rs:
+crates/analysis/src/crossover.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

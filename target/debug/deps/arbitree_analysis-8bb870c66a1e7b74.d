@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/arbitree_analysis-8bb870c66a1e7b74.d: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+/root/repo/target/debug/deps/libarbitree_analysis-8bb870c66a1e7b74.rlib: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+/root/repo/target/debug/deps/libarbitree_analysis-8bb870c66a1e7b74.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/config.rs:
+crates/analysis/src/crossover.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/svg.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/arbitree_baselines-4a1a3045bc612364.d: crates/baselines/src/lib.rs crates/baselines/src/grid.rs crates/baselines/src/hqc.rs crates/baselines/src/maekawa.rs crates/baselines/src/majority.rs crates/baselines/src/rowa.rs crates/baselines/src/tree_quorum.rs crates/baselines/src/unmodified.rs crates/baselines/src/util.rs crates/baselines/src/voting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitree_baselines-4a1a3045bc612364.rmeta: crates/baselines/src/lib.rs crates/baselines/src/grid.rs crates/baselines/src/hqc.rs crates/baselines/src/maekawa.rs crates/baselines/src/majority.rs crates/baselines/src/rowa.rs crates/baselines/src/tree_quorum.rs crates/baselines/src/unmodified.rs crates/baselines/src/util.rs crates/baselines/src/voting.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/grid.rs:
+crates/baselines/src/hqc.rs:
+crates/baselines/src/maekawa.rs:
+crates/baselines/src/majority.rs:
+crates/baselines/src/rowa.rs:
+crates/baselines/src/tree_quorum.rs:
+crates/baselines/src/unmodified.rs:
+crates/baselines/src/util.rs:
+crates/baselines/src/voting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

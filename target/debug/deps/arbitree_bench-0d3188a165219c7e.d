@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbitree_bench-0d3188a165219c7e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitree_bench-0d3188a165219c7e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

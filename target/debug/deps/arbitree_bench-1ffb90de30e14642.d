@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitree_bench-1ffb90de30e14642.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/arbitree_bench-1ffb90de30e14642: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

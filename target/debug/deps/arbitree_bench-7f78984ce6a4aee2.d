@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arbitree_bench-7f78984ce6a4aee2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libarbitree_bench-7f78984ce6a4aee2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libarbitree_bench-7f78984ce6a4aee2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/arbitree_core-34a33272b689755f.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitree_core-34a33272b689755f.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/planner.rs:
+crates/core/src/protocol.rs:
+crates/core/src/quorums.rs:
+crates/core/src/render.rs:
+crates/core/src/spec.rs:
+crates/core/src/timestamp.rs:
+crates/core/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/arbitree_core-b68648d4f0418422.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs
+
+/root/repo/target/debug/deps/arbitree_core-b68648d4f0418422: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/planner.rs:
+crates/core/src/protocol.rs:
+crates/core/src/quorums.rs:
+crates/core/src/render.rs:
+crates/core/src/spec.rs:
+crates/core/src/timestamp.rs:
+crates/core/src/tree.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/arbitree_quorum-9cff60849942954d.d: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitree_quorum-9cff60849942954d.rmeta: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs Cargo.toml
+
+crates/quorum/src/lib.rs:
+crates/quorum/src/availability.rs:
+crates/quorum/src/domination.rs:
+crates/quorum/src/load.rs:
+crates/quorum/src/lp.rs:
+crates/quorum/src/quorum_set.rs:
+crates/quorum/src/resilience.rs:
+crates/quorum/src/site.rs:
+crates/quorum/src/strategy.rs:
+crates/quorum/src/system.rs:
+crates/quorum/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

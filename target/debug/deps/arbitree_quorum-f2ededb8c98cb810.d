@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/arbitree_quorum-f2ededb8c98cb810.d: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs
+
+/root/repo/target/debug/deps/libarbitree_quorum-f2ededb8c98cb810.rlib: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs
+
+/root/repo/target/debug/deps/libarbitree_quorum-f2ededb8c98cb810.rmeta: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs
+
+crates/quorum/src/lib.rs:
+crates/quorum/src/availability.rs:
+crates/quorum/src/domination.rs:
+crates/quorum/src/load.rs:
+crates/quorum/src/lp.rs:
+crates/quorum/src/quorum_set.rs:
+crates/quorum/src/resilience.rs:
+crates/quorum/src/site.rs:
+crates/quorum/src/strategy.rs:
+crates/quorum/src/system.rs:
+crates/quorum/src/traits.rs:

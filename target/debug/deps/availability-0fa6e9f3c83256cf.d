@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/availability-0fa6e9f3c83256cf.d: crates/bench/src/bin/availability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libavailability-0fa6e9f3c83256cf.rmeta: crates/bench/src/bin/availability.rs Cargo.toml
+
+crates/bench/src/bin/availability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

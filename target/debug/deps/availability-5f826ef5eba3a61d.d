@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/availability-5f826ef5eba3a61d.d: crates/bench/src/bin/availability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libavailability-5f826ef5eba3a61d.rmeta: crates/bench/src/bin/availability.rs Cargo.toml
+
+crates/bench/src/bin/availability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

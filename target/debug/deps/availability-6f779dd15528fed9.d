@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/availability-6f779dd15528fed9.d: crates/bench/src/bin/availability.rs
+
+/root/repo/target/debug/deps/availability-6f779dd15528fed9: crates/bench/src/bin/availability.rs
+
+crates/bench/src/bin/availability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/availability-b3c82e0b74bd5550.d: crates/bench/src/bin/availability.rs
+
+/root/repo/target/debug/deps/availability-b3c82e0b74bd5550: crates/bench/src/bin/availability.rs
+
+crates/bench/src/bin/availability.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-6025a31e7b654d40.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-6025a31e7b654d40: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_arbitree=/root/repo/target/debug/arbitree

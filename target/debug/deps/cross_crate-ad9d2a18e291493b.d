@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-ad9d2a18e291493b.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-ad9d2a18e291493b: tests/cross_crate.rs
+
+tests/cross_crate.rs:

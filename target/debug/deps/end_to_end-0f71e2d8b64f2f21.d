@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0f71e2d8b64f2f21.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0f71e2d8b64f2f21: tests/end_to_end.rs
+
+tests/end_to_end.rs:

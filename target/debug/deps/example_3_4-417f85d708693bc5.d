@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/example_3_4-417f85d708693bc5.d: crates/bench/src/bin/example_3_4.rs
+
+/root/repo/target/debug/deps/example_3_4-417f85d708693bc5: crates/bench/src/bin/example_3_4.rs
+
+crates/bench/src/bin/example_3_4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/example_3_4-6ef3ce36bffb8648.d: crates/bench/src/bin/example_3_4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexample_3_4-6ef3ce36bffb8648.rmeta: crates/bench/src/bin/example_3_4.rs Cargo.toml
+
+crates/bench/src/bin/example_3_4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

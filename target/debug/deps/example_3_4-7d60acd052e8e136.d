@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/example_3_4-7d60acd052e8e136.d: crates/bench/src/bin/example_3_4.rs
+
+/root/repo/target/debug/deps/example_3_4-7d60acd052e8e136: crates/bench/src/bin/example_3_4.rs
+
+crates/bench/src/bin/example_3_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-3dbfa7a31ab597c4.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-3dbfa7a31ab597c4: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-d775434bbc8b8a76.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-d775434bbc8b8a76: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-887ce4c913dd98cb.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-887ce4c913dd98cb: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

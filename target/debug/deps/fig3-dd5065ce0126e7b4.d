@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-dd5065ce0126e7b4.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-dd5065ce0126e7b4: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

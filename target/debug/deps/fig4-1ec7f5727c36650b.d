@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-1ec7f5727c36650b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-1ec7f5727c36650b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

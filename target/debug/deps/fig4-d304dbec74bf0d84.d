@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-d304dbec74bf0d84.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-d304dbec74bf0d84: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/foundations-26287162ed64d8cd.d: crates/bench/benches/foundations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfoundations-26287162ed64d8cd.rmeta: crates/bench/benches/foundations.rs Cargo.toml
+
+crates/bench/benches/foundations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/foundations-8569ed60bdd00447.d: crates/bench/benches/foundations.rs
+
+/root/repo/target/debug/deps/foundations-8569ed60bdd00447: crates/bench/benches/foundations.rs
+
+crates/bench/benches/foundations.rs:

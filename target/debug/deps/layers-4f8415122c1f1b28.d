@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/layers-4f8415122c1f1b28.d: crates/sim/tests/layers.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblayers-4f8415122c1f1b28.rmeta: crates/sim/tests/layers.rs Cargo.toml
+
+crates/sim/tests/layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layers-8458faa6918d58f8.d: crates/sim/tests/layers.rs
+
+/root/repo/target/debug/deps/layers-8458faa6918d58f8: crates/sim/tests/layers.rs
+
+crates/sim/tests/layers.rs:

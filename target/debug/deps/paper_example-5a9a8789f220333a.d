@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_example-5a9a8789f220333a.d: tests/paper_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_example-5a9a8789f220333a.rmeta: tests/paper_example.rs Cargo.toml
+
+tests/paper_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-7c420d8ff26ebb4f.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-7c420d8ff26ebb4f: tests/paper_example.rs
+
+tests/paper_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_report-326dcb8bcbef74ca.d: crates/bench/src/bin/paper_report.rs
+
+/root/repo/target/debug/deps/paper_report-326dcb8bcbef74ca: crates/bench/src/bin/paper_report.rs
+
+crates/bench/src/bin/paper_report.rs:

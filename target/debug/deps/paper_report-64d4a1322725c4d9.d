@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_report-64d4a1322725c4d9.d: crates/bench/src/bin/paper_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_report-64d4a1322725c4d9.rmeta: crates/bench/src/bin/paper_report.rs Cargo.toml
+
+crates/bench/src/bin/paper_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_report-8af48e1e4611d113.d: crates/bench/src/bin/paper_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_report-8af48e1e4611d113.rmeta: crates/bench/src/bin/paper_report.rs Cargo.toml
+
+crates/bench/src/bin/paper_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_report-9af4cc081dfa3fd1.d: crates/bench/src/bin/paper_report.rs
+
+/root/repo/target/debug/deps/paper_report-9af4cc081dfa3fd1: crates/bench/src/bin/paper_report.rs
+
+crates/bench/src/bin/paper_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-428bc233ffc49572.d: crates/quorum/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-428bc233ffc49572.rmeta: crates/quorum/tests/proptests.rs Cargo.toml
+
+crates/quorum/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-65bbdae43a9a6e0c.d: crates/quorum/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-65bbdae43a9a6e0c: crates/quorum/tests/proptests.rs
+
+crates/quorum/tests/proptests.rs:

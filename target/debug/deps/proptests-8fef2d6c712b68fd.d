@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8fef2d6c712b68fd.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8fef2d6c712b68fd: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quorum_ops-297f9a8b50705ce2.d: crates/bench/benches/quorum_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquorum_ops-297f9a8b50705ce2.rmeta: crates/bench/benches/quorum_ops.rs Cargo.toml
+
+crates/bench/benches/quorum_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

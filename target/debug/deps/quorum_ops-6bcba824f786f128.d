@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quorum_ops-6bcba824f786f128.d: crates/bench/benches/quorum_ops.rs
+
+/root/repo/target/debug/deps/quorum_ops-6bcba824f786f128: crates/bench/benches/quorum_ops.rs
+
+crates/bench/benches/quorum_ops.rs:

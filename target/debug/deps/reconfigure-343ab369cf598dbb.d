@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfigure-343ab369cf598dbb.d: crates/sim/tests/reconfigure.rs
+
+/root/repo/target/debug/deps/reconfigure-343ab369cf598dbb: crates/sim/tests/reconfigure.rs
+
+crates/sim/tests/reconfigure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconfigure-f373fd63ebd58920.d: crates/sim/tests/reconfigure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconfigure-f373fd63ebd58920.rmeta: crates/sim/tests/reconfigure.rs Cargo.toml
+
+crates/sim/tests/reconfigure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

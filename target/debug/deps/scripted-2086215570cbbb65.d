@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scripted-2086215570cbbb65.d: crates/sim/tests/scripted.rs
+
+/root/repo/target/debug/deps/scripted-2086215570cbbb65: crates/sim/tests/scripted.rs
+
+crates/sim/tests/scripted.rs:

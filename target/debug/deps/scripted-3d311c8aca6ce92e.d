@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scripted-3d311c8aca6ce92e.d: crates/sim/tests/scripted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscripted-3d311c8aca6ce92e.rmeta: crates/sim/tests/scripted.rs Cargo.toml
+
+crates/sim/tests/scripted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

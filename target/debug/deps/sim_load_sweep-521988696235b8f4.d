@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_load_sweep-521988696235b8f4.d: crates/bench/src/bin/sim_load_sweep.rs
+
+/root/repo/target/debug/deps/sim_load_sweep-521988696235b8f4: crates/bench/src/bin/sim_load_sweep.rs
+
+crates/bench/src/bin/sim_load_sweep.rs:

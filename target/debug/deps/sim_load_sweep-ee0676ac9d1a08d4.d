@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_load_sweep-ee0676ac9d1a08d4.d: crates/bench/src/bin/sim_load_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_load_sweep-ee0676ac9d1a08d4.rmeta: crates/bench/src/bin/sim_load_sweep.rs Cargo.toml
+
+crates/bench/src/bin/sim_load_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

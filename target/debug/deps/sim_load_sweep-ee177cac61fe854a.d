@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_load_sweep-ee177cac61fe854a.d: crates/bench/src/bin/sim_load_sweep.rs
+
+/root/repo/target/debug/deps/sim_load_sweep-ee177cac61fe854a: crates/bench/src/bin/sim_load_sweep.rs
+
+crates/bench/src/bin/sim_load_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_proptests-1a4929624e1b76d9.d: crates/sim/tests/sim_proptests.rs
+
+/root/repo/target/debug/deps/sim_proptests-1a4929624e1b76d9: crates/sim/tests/sim_proptests.rs
+
+crates/sim/tests/sim_proptests.rs:

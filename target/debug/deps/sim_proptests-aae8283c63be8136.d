@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_proptests-aae8283c63be8136.d: crates/sim/tests/sim_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_proptests-aae8283c63be8136.rmeta: crates/sim/tests/sim_proptests.rs Cargo.toml
+
+crates/sim/tests/sim_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

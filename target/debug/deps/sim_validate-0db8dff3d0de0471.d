@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_validate-0db8dff3d0de0471.d: crates/bench/src/bin/sim_validate.rs
+
+/root/repo/target/debug/deps/sim_validate-0db8dff3d0de0471: crates/bench/src/bin/sim_validate.rs
+
+crates/bench/src/bin/sim_validate.rs:

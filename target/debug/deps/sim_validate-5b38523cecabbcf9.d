@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_validate-5b38523cecabbcf9.d: crates/bench/src/bin/sim_validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_validate-5b38523cecabbcf9.rmeta: crates/bench/src/bin/sim_validate.rs Cargo.toml
+
+crates/bench/src/bin/sim_validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

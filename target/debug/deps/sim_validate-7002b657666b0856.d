@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_validate-7002b657666b0856.d: crates/bench/src/bin/sim_validate.rs
+
+/root/repo/target/debug/deps/sim_validate-7002b657666b0856: crates/bench/src/bin/sim_validate.rs
+
+crates/bench/src/bin/sim_validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_validate-8eb491e1c1451b8b.d: crates/bench/src/bin/sim_validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_validate-8eb491e1c1451b8b.rmeta: crates/bench/src/bin/sim_validate.rs Cargo.toml
+
+crates/bench/src/bin/sim_validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

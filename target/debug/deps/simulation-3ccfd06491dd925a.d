@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-3ccfd06491dd925a.d: crates/bench/benches/simulation.rs
+
+/root/repo/target/debug/deps/simulation-3ccfd06491dd925a: crates/bench/benches/simulation.rs
+
+crates/bench/benches/simulation.rs:

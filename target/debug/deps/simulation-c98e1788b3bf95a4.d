@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-c98e1788b3bf95a4.d: crates/bench/benches/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-c98e1788b3bf95a4.rmeta: crates/bench/benches/simulation.rs Cargo.toml
+
+crates/bench/benches/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

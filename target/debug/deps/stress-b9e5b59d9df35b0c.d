@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-b9e5b59d9df35b0c.d: crates/sim/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-b9e5b59d9df35b0c: crates/sim/tests/stress.rs
+
+crates/sim/tests/stress.rs:

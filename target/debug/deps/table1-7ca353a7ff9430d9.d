@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-7ca353a7ff9430d9.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-7ca353a7ff9430d9.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

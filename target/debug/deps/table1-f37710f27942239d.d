@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f37710f27942239d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f37710f27942239d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/config_tuning-0c9e20a0b190898b.d: examples/config_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconfig_tuning-0c9e20a0b190898b.rmeta: examples/config_tuning.rs Cargo.toml
+
+examples/config_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_tuning-2cf400f7215e1924.d: examples/config_tuning.rs
+
+/root/repo/target/debug/examples/config_tuning-2cf400f7215e1924: examples/config_tuning.rs
+
+examples/config_tuning.rs:

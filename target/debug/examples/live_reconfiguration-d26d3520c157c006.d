@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_reconfiguration-d26d3520c157c006.d: examples/live_reconfiguration.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_reconfiguration-d26d3520c157c006.rmeta: examples/live_reconfiguration.rs Cargo.toml
+
+examples/live_reconfiguration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

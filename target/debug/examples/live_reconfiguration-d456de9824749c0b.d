@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_reconfiguration-d456de9824749c0b.d: examples/live_reconfiguration.rs
+
+/root/repo/target/debug/examples/live_reconfiguration-d456de9824749c0b: examples/live_reconfiguration.rs
+
+examples/live_reconfiguration.rs:

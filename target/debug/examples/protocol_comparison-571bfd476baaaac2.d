@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_comparison-571bfd476baaaac2.d: examples/protocol_comparison.rs
+
+/root/repo/target/debug/examples/protocol_comparison-571bfd476baaaac2: examples/protocol_comparison.rs
+
+examples/protocol_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protocol_comparison-79138fef30fd19b5.d: examples/protocol_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotocol_comparison-79138fef30fd19b5.rmeta: examples/protocol_comparison.rs Cargo.toml
+
+examples/protocol_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9d0bcfd27ca11589.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9d0bcfd27ca11589: examples/quickstart.rs
+
+examples/quickstart.rs:

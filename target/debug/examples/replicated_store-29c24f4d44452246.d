@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/replicated_store-29c24f4d44452246.d: examples/replicated_store.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreplicated_store-29c24f4d44452246.rmeta: examples/replicated_store.rs Cargo.toml
+
+examples/replicated_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replicated_store-d4965f143095343f.d: examples/replicated_store.rs
+
+/root/repo/target/debug/examples/replicated_store-d4965f143095343f: examples/replicated_store.rs
+
+examples/replicated_store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilience_report-2307ff5d26107313.d: examples/resilience_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilience_report-2307ff5d26107313.rmeta: examples/resilience_report.rs Cargo.toml
+
+examples/resilience_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilience_report-484905a909a11a64.d: examples/resilience_report.rs
+
+/root/repo/target/debug/examples/resilience_report-484905a909a11a64: examples/resilience_report.rs
+
+examples/resilience_report.rs:

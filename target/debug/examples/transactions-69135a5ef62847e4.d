@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transactions-69135a5ef62847e4.d: examples/transactions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransactions-69135a5ef62847e4.rmeta: examples/transactions.rs Cargo.toml
+
+examples/transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transactions-e6b9e6b6e4078ae0.d: examples/transactions.rs
+
+/root/repo/target/debug/examples/transactions-e6b9e6b6e4078ae0: examples/transactions.rs
+
+examples/transactions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-4d8c548f4de83bef.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-4d8c548f4de83bef: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

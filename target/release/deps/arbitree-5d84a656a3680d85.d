@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arbitree-5d84a656a3680d85.d: src/lib.rs
+
+/root/repo/target/release/deps/libarbitree-5d84a656a3680d85.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libarbitree-5d84a656a3680d85.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arbitree-c53214c4995ba09a.d: src/bin/arbitree.rs
+
+/root/repo/target/release/deps/arbitree-c53214c4995ba09a: src/bin/arbitree.rs
+
+src/bin/arbitree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/arbitree_analysis-0633d001c1ea031b.d: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+/root/repo/target/release/deps/libarbitree_analysis-0633d001c1ea031b.rlib: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+/root/repo/target/release/deps/libarbitree_analysis-0633d001c1ea031b.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/config.rs:
+crates/analysis/src/crossover.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/svg.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/arbitree_baselines-fa05d69112f81d21.d: crates/baselines/src/lib.rs crates/baselines/src/grid.rs crates/baselines/src/hqc.rs crates/baselines/src/maekawa.rs crates/baselines/src/majority.rs crates/baselines/src/rowa.rs crates/baselines/src/tree_quorum.rs crates/baselines/src/unmodified.rs crates/baselines/src/util.rs crates/baselines/src/voting.rs
+
+/root/repo/target/release/deps/libarbitree_baselines-fa05d69112f81d21.rlib: crates/baselines/src/lib.rs crates/baselines/src/grid.rs crates/baselines/src/hqc.rs crates/baselines/src/maekawa.rs crates/baselines/src/majority.rs crates/baselines/src/rowa.rs crates/baselines/src/tree_quorum.rs crates/baselines/src/unmodified.rs crates/baselines/src/util.rs crates/baselines/src/voting.rs
+
+/root/repo/target/release/deps/libarbitree_baselines-fa05d69112f81d21.rmeta: crates/baselines/src/lib.rs crates/baselines/src/grid.rs crates/baselines/src/hqc.rs crates/baselines/src/maekawa.rs crates/baselines/src/majority.rs crates/baselines/src/rowa.rs crates/baselines/src/tree_quorum.rs crates/baselines/src/unmodified.rs crates/baselines/src/util.rs crates/baselines/src/voting.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/grid.rs:
+crates/baselines/src/hqc.rs:
+crates/baselines/src/maekawa.rs:
+crates/baselines/src/majority.rs:
+crates/baselines/src/rowa.rs:
+crates/baselines/src/tree_quorum.rs:
+crates/baselines/src/unmodified.rs:
+crates/baselines/src/util.rs:
+crates/baselines/src/voting.rs:

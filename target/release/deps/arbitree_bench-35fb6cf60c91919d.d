@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arbitree_bench-35fb6cf60c91919d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libarbitree_bench-35fb6cf60c91919d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libarbitree_bench-35fb6cf60c91919d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

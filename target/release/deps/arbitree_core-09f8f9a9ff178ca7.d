@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/arbitree_core-09f8f9a9ff178ca7.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/libarbitree_core-09f8f9a9ff178ca7.rlib: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/libarbitree_core-09f8f9a9ff178ca7.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/planner.rs:
+crates/core/src/protocol.rs:
+crates/core/src/quorums.rs:
+crates/core/src/render.rs:
+crates/core/src/spec.rs:
+crates/core/src/timestamp.rs:
+crates/core/src/tree.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/arbitree_quorum-c5db1aa804c2b69a.d: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs
+
+/root/repo/target/release/deps/libarbitree_quorum-c5db1aa804c2b69a.rlib: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs
+
+/root/repo/target/release/deps/libarbitree_quorum-c5db1aa804c2b69a.rmeta: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs
+
+crates/quorum/src/lib.rs:
+crates/quorum/src/availability.rs:
+crates/quorum/src/domination.rs:
+crates/quorum/src/load.rs:
+crates/quorum/src/lp.rs:
+crates/quorum/src/quorum_set.rs:
+crates/quorum/src/resilience.rs:
+crates/quorum/src/site.rs:
+crates/quorum/src/strategy.rs:
+crates/quorum/src/system.rs:
+crates/quorum/src/traits.rs:

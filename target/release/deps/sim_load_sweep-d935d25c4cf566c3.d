@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_load_sweep-d935d25c4cf566c3.d: crates/bench/src/bin/sim_load_sweep.rs
+
+/root/repo/target/release/deps/sim_load_sweep-d935d25c4cf566c3: crates/bench/src/bin/sim_load_sweep.rs
+
+crates/bench/src/bin/sim_load_sweep.rs:

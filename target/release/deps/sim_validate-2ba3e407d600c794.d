@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_validate-2ba3e407d600c794.d: crates/bench/src/bin/sim_validate.rs
+
+/root/repo/target/release/deps/sim_validate-2ba3e407d600c794: crates/bench/src/bin/sim_validate.rs
+
+crates/bench/src/bin/sim_validate.rs:

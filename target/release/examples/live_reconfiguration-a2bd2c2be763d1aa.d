@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_reconfiguration-a2bd2c2be763d1aa.d: examples/live_reconfiguration.rs
+
+/root/repo/target/release/examples/live_reconfiguration-a2bd2c2be763d1aa: examples/live_reconfiguration.rs
+
+examples/live_reconfiguration.rs:

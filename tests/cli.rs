@@ -50,7 +50,14 @@ fn frontier_lists_extremes() {
 fn compare_shows_all_six_configurations() {
     let (ok, stdout, _) = run(&["compare", "27"]);
     assert!(ok);
-    for name in ["BINARY", "UNMODIFIED", "ARBITRARY", "HQC", "MOSTLY-READ", "MOSTLY-WRITE"] {
+    for name in [
+        "BINARY",
+        "UNMODIFIED",
+        "ARBITRARY",
+        "HQC",
+        "MOSTLY-READ",
+        "MOSTLY-WRITE",
+    ] {
         assert!(stdout.contains(name), "missing {name}");
     }
 }

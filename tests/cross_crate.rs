@@ -135,7 +135,11 @@ fn simulator_keeps_every_protocol_consistent() {
             3,
         );
         let report = run_simulation(config, proto, &schedule);
-        assert!(report.consistent, "{name}: {} violations", report.violations);
+        assert!(
+            report.consistent,
+            "{name}: {} violations",
+            report.violations
+        );
     }
 }
 
@@ -145,7 +149,10 @@ fn configurations_build_and_expose_consistent_metrics() {
         for n in [9usize, 31, 81] {
             let proto = config.build(n);
             // Loads are probabilities; availability is monotone in p.
-            assert!(proto.read_load() > 0.0 && proto.read_load() <= 1.0, "{config} n={n}");
+            assert!(
+                proto.read_load() > 0.0 && proto.read_load() <= 1.0,
+                "{config} n={n}"
+            );
             assert!(proto.write_load() > 0.0 && proto.write_load() <= 1.0);
             assert!(proto.read_availability(0.9) >= proto.read_availability(0.6) - 1e-9);
             assert!(proto.write_availability(0.9) >= proto.write_availability(0.6) - 1e-9);
@@ -165,8 +172,16 @@ fn expected_loads_interpolate_between_load_and_one() {
         for &p in &[0.5, 0.7, 0.9, 1.0] {
             let er = proto.expected_read_load(p);
             let ew = proto.expected_write_load(p);
-            assert!(er >= proto.read_load() - 1e-9 && er <= 1.0 + 1e-9, "{}", proto.name());
-            assert!(ew >= proto.write_load() - 1e-9 && ew <= 1.0 + 1e-9, "{}", proto.name());
+            assert!(
+                er >= proto.read_load() - 1e-9 && er <= 1.0 + 1e-9,
+                "{}",
+                proto.name()
+            );
+            assert!(
+                ew >= proto.write_load() - 1e-9 && ew <= 1.0 + 1e-9,
+                "{}",
+                proto.name()
+            );
         }
         assert!((proto.expected_read_load(1.0) - proto.read_load()).abs() < 1e-9);
         assert!((proto.expected_write_load(1.0) - proto.write_load()).abs() < 1e-9);

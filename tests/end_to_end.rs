@@ -57,12 +57,36 @@ fn empirical_metrics_agree_with_planner_expectations() {
     let (ar, aw) = empirical_availability(&proto, 0.85, 30_000, 1);
     let (lr, lw) = empirical_load(&proto, 30_000, 2);
     let (cr, cw) = empirical_cost(&proto, 30_000, 3);
-    assert!((ar - closed.0).abs() < 0.01, "read avail {ar} vs {}", closed.0);
-    assert!((aw - closed.1).abs() < 0.01, "write avail {aw} vs {}", closed.1);
-    assert!((lr - closed.2).abs() < 0.02, "read load {lr} vs {}", closed.2);
-    assert!((lw - closed.3).abs() < 0.02, "write load {lw} vs {}", closed.3);
-    assert!((cr - closed.4).abs() < 1e-9, "read cost {cr} vs {}", closed.4);
-    assert!((cw - closed.5).abs() < 0.2, "write cost {cw} vs {}", closed.5);
+    assert!(
+        (ar - closed.0).abs() < 0.01,
+        "read avail {ar} vs {}",
+        closed.0
+    );
+    assert!(
+        (aw - closed.1).abs() < 0.01,
+        "write avail {aw} vs {}",
+        closed.1
+    );
+    assert!(
+        (lr - closed.2).abs() < 0.02,
+        "read load {lr} vs {}",
+        closed.2
+    );
+    assert!(
+        (lw - closed.3).abs() < 0.02,
+        "write load {lw} vs {}",
+        closed.3
+    );
+    assert!(
+        (cr - closed.4).abs() < 1e-9,
+        "read cost {cr} vs {}",
+        closed.4
+    );
+    assert!(
+        (cw - closed.5).abs() < 0.2,
+        "write cost {cw} vs {}",
+        closed.5
+    );
 }
 
 #[test]

@@ -12,20 +12,35 @@ fn table_1_bookkeeping() {
     let tree = ArbitraryTree::from_spec(&TreeSpec::new(vec![
         LevelSpec::logical(1),
         LevelSpec::physical(3),
-        LevelSpec { physical: 5, logical: 4 },
+        LevelSpec {
+            physical: 5,
+            logical: 4,
+        },
     ]))
     .unwrap();
     // Table 1 rows.
     assert_eq!(
-        (tree.level_total(0), tree.level_physical(0), tree.level_logical(0)),
+        (
+            tree.level_total(0),
+            tree.level_physical(0),
+            tree.level_logical(0)
+        ),
         (1, 0, 1)
     );
     assert_eq!(
-        (tree.level_total(1), tree.level_physical(1), tree.level_logical(1)),
+        (
+            tree.level_total(1),
+            tree.level_physical(1),
+            tree.level_logical(1)
+        ),
         (3, 3, 0)
     );
     assert_eq!(
-        (tree.level_total(2), tree.level_physical(2), tree.level_logical(2)),
+        (
+            tree.level_total(2),
+            tree.level_physical(2),
+            tree.level_logical(2)
+        ),
         (9, 5, 4)
     );
     // §3.4 bullet points.
@@ -85,9 +100,7 @@ fn algorithm_1_headline_numbers() {
 
 #[test]
 fn section_3_3_availability_limits() {
-    use arbitree::core::{
-        algorithm1_read_availability_limit, algorithm1_write_availability_limit,
-    };
+    use arbitree::core::{algorithm1_read_availability_limit, algorithm1_write_availability_limit};
     // The limits are approached from the finite formulas as n grows.
     for &p in &[0.6, 0.75, 0.9] {
         let big = ArbitraryTree::from_spec(&balanced(10_000).unwrap()).unwrap();
@@ -152,6 +165,8 @@ fn bicoterie_proof_by_construction() {
     for spec in ["1-2", "1-3-5", "1-2-2-2-3", "1-4-4-4", "p:1-2-4"] {
         let tree = ArbitraryTree::parse(spec).unwrap();
         let proto = arbitree::core::ArbitraryProtocol::new(tree);
-        proto.to_bicoterie().unwrap_or_else(|e| panic!("{spec}: {e}"));
+        proto
+            .to_bicoterie()
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
     }
 }

@@ -1,0 +1,343 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop: per sample, run the routine in a batch
+//! sized to the warm-up estimate and report the median per-iteration time.
+//! No statistical analysis, plots, or baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments: any free argument is a substring
+    /// filter on benchmark names (`--bench`/`--test` harness flags are
+    /// ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self = self.sample_size(n);
+                    }
+                }
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let cfg = self.clone();
+        self.run_one(&cfg, &id.into().full_name(None), f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, cfg: &Criterion, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm up and estimate per-pass cost so each sample batches enough
+        // iterations to be measurable.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut passes = 0u64;
+        while warm_start.elapsed() < cfg.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            passes += 1;
+        }
+        let per_pass = warm_start.elapsed() / passes.max(1) as u32;
+        let budget = cfg.measurement_time / cfg.sample_size as u32;
+        let iters_per_sample = if per_pass.is_zero() {
+            1
+        } else {
+            (budget.as_nanos() / per_pass.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(cfg.sample_size);
+        for _ in 0..cfg.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed / iters_per_sample as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let low = samples[0];
+        let high = samples[samples.len() - 1];
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            format_duration(low),
+            format_duration(median),
+            format_duration(high)
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and overrides.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    fn effective_config(&self) -> Criterion {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        if let Some(d) = self.measurement_time {
+            cfg.measurement_time = d;
+        }
+        cfg
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let cfg = self.effective_config();
+        let name = id.into().full_name(Some(&self.name));
+        self.criterion.run_one(&cfg, &name, f);
+    }
+
+    /// Runs a benchmark with an input value passed to the routine.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let cfg = self.effective_config();
+        let name = id.full_name(Some(&self.name));
+        self.criterion.run_one(&cfg, &name, |b| f(b, input));
+    }
+
+    /// Finishes the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark: a function name and an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both function name and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is just a parameter (function name comes from the group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(f) = &self.function {
+            parts.push(f);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Timing handle passed to benchmark routines.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in a batch and accumulating wall-clock
+    /// time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Re-export: benches commonly use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Groups benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_pipeline_runs() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(2);
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &1u64, |b, &n| {
+            b.iter(|| n);
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn id_names() {
+        assert_eq!(BenchmarkId::new("f", 7).full_name(Some("g")), "g/f/7");
+        assert_eq!(BenchmarkId::from_parameter(7).full_name(Some("g")), "g/7");
+        assert_eq!(BenchmarkId::from("solo").full_name(None), "solo");
+    }
+}
