@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-82d5322e48e7a454.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-82d5322e48e7a454.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitree-a5fb219b234c259e.d: src/bin/arbitree.rs
+
+/root/repo/target/debug/deps/libarbitree-a5fb219b234c259e.rmeta: src/bin/arbitree.rs
+
+src/bin/arbitree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitree-d9ca1c9b0e72b586.d: src/lib.rs
+
+/root/repo/target/debug/deps/libarbitree-d9ca1c9b0e72b586.rmeta: src/lib.rs
+
+src/lib.rs:

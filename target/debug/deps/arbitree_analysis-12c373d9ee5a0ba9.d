@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arbitree_analysis-12c373d9ee5a0ba9.d: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+/root/repo/target/debug/deps/libarbitree_analysis-12c373d9ee5a0ba9.rmeta: crates/analysis/src/lib.rs crates/analysis/src/chart.rs crates/analysis/src/config.rs crates/analysis/src/crossover.rs crates/analysis/src/figures.rs crates/analysis/src/report.rs crates/analysis/src/stats.rs crates/analysis/src/svg.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/chart.rs:
+crates/analysis/src/config.rs:
+crates/analysis/src/crossover.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/svg.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/arbitree_baselines-f82db448e380f32f.d: crates/baselines/src/lib.rs crates/baselines/src/grid.rs crates/baselines/src/hqc.rs crates/baselines/src/maekawa.rs crates/baselines/src/majority.rs crates/baselines/src/rowa.rs crates/baselines/src/tree_quorum.rs crates/baselines/src/unmodified.rs crates/baselines/src/util.rs crates/baselines/src/voting.rs
+
+/root/repo/target/debug/deps/libarbitree_baselines-f82db448e380f32f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/grid.rs crates/baselines/src/hqc.rs crates/baselines/src/maekawa.rs crates/baselines/src/majority.rs crates/baselines/src/rowa.rs crates/baselines/src/tree_quorum.rs crates/baselines/src/unmodified.rs crates/baselines/src/util.rs crates/baselines/src/voting.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/grid.rs:
+crates/baselines/src/hqc.rs:
+crates/baselines/src/maekawa.rs:
+crates/baselines/src/majority.rs:
+crates/baselines/src/rowa.rs:
+crates/baselines/src/tree_quorum.rs:
+crates/baselines/src/unmodified.rs:
+crates/baselines/src/util.rs:
+crates/baselines/src/voting.rs:

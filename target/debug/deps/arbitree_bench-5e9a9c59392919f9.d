@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitree_bench-5e9a9c59392919f9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libarbitree_bench-5e9a9c59392919f9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

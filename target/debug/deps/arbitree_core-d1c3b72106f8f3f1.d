@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/arbitree_core-d1c3b72106f8f3f1.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs
+
+/root/repo/target/debug/deps/libarbitree_core-d1c3b72106f8f3f1.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/metrics.rs crates/core/src/planner.rs crates/core/src/protocol.rs crates/core/src/quorums.rs crates/core/src/render.rs crates/core/src/spec.rs crates/core/src/timestamp.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/error.rs:
+crates/core/src/metrics.rs:
+crates/core/src/planner.rs:
+crates/core/src/protocol.rs:
+crates/core/src/quorums.rs:
+crates/core/src/render.rs:
+crates/core/src/spec.rs:
+crates/core/src/timestamp.rs:
+crates/core/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/arbitree_quorum-dedc9087f2cf8e79.d: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs
+
+/root/repo/target/debug/deps/libarbitree_quorum-dedc9087f2cf8e79.rmeta: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/domination.rs crates/quorum/src/load.rs crates/quorum/src/lp.rs crates/quorum/src/quorum_set.rs crates/quorum/src/resilience.rs crates/quorum/src/site.rs crates/quorum/src/strategy.rs crates/quorum/src/system.rs crates/quorum/src/traits.rs
+
+crates/quorum/src/lib.rs:
+crates/quorum/src/availability.rs:
+crates/quorum/src/domination.rs:
+crates/quorum/src/load.rs:
+crates/quorum/src/lp.rs:
+crates/quorum/src/quorum_set.rs:
+crates/quorum/src/resilience.rs:
+crates/quorum/src/site.rs:
+crates/quorum/src/strategy.rs:
+crates/quorum/src/system.rs:
+crates/quorum/src/traits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/availability-5b7f045f1492ecd2.d: crates/bench/src/bin/availability.rs
+
+/root/repo/target/debug/deps/libavailability-5b7f045f1492ecd2.rmeta: crates/bench/src/bin/availability.rs
+
+crates/bench/src/bin/availability.rs:

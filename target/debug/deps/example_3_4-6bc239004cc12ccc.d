@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/example_3_4-6bc239004cc12ccc.d: crates/bench/src/bin/example_3_4.rs
+
+/root/repo/target/debug/deps/libexample_3_4-6bc239004cc12ccc.rmeta: crates/bench/src/bin/example_3_4.rs
+
+crates/bench/src/bin/example_3_4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-57500103abceb480.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-57500103abceb480.rmeta: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-c4e071a1dcc3ce1c.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-c4e071a1dcc3ce1c.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

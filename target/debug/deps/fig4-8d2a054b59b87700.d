@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8d2a054b59b87700.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-8d2a054b59b87700.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_report-0d41ac0e5719d646.d: crates/bench/src/bin/paper_report.rs
+
+/root/repo/target/debug/deps/libpaper_report-0d41ac0e5719d646.rmeta: crates/bench/src/bin/paper_report.rs
+
+crates/bench/src/bin/paper_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_load_sweep-ef078192b5b430a2.d: crates/bench/src/bin/sim_load_sweep.rs
+
+/root/repo/target/debug/deps/libsim_load_sweep-ef078192b5b430a2.rmeta: crates/bench/src/bin/sim_load_sweep.rs
+
+crates/bench/src/bin/sim_load_sweep.rs:

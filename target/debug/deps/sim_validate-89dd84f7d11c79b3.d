@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_validate-89dd84f7d11c79b3.d: crates/bench/src/bin/sim_validate.rs
+
+/root/repo/target/debug/deps/libsim_validate-89dd84f7d11c79b3.rmeta: crates/bench/src/bin/sim_validate.rs
+
+crates/bench/src/bin/sim_validate.rs:

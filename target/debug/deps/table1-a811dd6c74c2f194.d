@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a811dd6c74c2f194.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-a811dd6c74c2f194.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:
