@@ -95,6 +95,40 @@ pub fn monte_carlo_availability<R: Rng + ?Sized>(
     f64::from(hits) / f64::from(samples)
 }
 
+/// Steady-state per-site uptime probability for a site alternating
+/// exponential up-times (mean `mttf`) and down-times (mean `mttr`):
+/// `MTTF / (MTTF + MTTR)`. This is the `p` to feed the availability closed
+/// forms when cross-validating against a dynamic simulation driven by an
+/// MTTF/MTTR crash schedule.
+///
+/// # Panics
+///
+/// Panics unless both means are positive and finite.
+pub fn steady_state_uptime(mttf: f64, mttr: f64) -> f64 {
+    assert!(
+        mttf > 0.0 && mttf.is_finite(),
+        "mttf must be positive and finite"
+    );
+    assert!(
+        mttr > 0.0 && mttr.is_finite(),
+        "mttr must be positive and finite"
+    );
+    mttf / (mttf + mttr)
+}
+
+/// Relative error `|measured − predicted| / predicted` of a measured
+/// availability against a closed-form prediction. Falls back to the
+/// absolute error when the prediction is (numerically) zero, so a cell
+/// predicting "never available" still reports how far reality strayed.
+pub fn relative_error(measured: f64, predicted: f64) -> f64 {
+    let abs = (measured - predicted).abs();
+    if predicted.abs() < 1e-12 {
+        abs
+    } else {
+        abs / predicted.abs()
+    }
+}
+
 /// Probability that **at least `k` of `n`** independent sites are alive —
 /// the availability of a `k`-of-`n` threshold (e.g. majority) system.
 ///
@@ -232,6 +266,28 @@ mod tests {
             assert!(a >= last - 1e-12);
             last = a;
         }
+    }
+
+    #[test]
+    fn steady_state_uptime_basics() {
+        assert!((steady_state_uptime(60.0, 15.0) - 0.8).abs() < 1e-12);
+        assert!((steady_state_uptime(1.0, 1.0) - 0.5).abs() < 1e-12);
+        // More repair time → lower uptime.
+        assert!(steady_state_uptime(10.0, 5.0) > steady_state_uptime(10.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mttr")]
+    fn steady_state_rejects_zero_mttr() {
+        let _ = steady_state_uptime(10.0, 0.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.5, 0.5), 0.0);
+        // Zero prediction falls back to absolute error.
+        assert!((relative_error(0.25, 0.0) - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -64,7 +64,7 @@ mod traits;
 
 pub use availability::{
     binomial_pmf, binomial_tail, exact_availability, has_live_quorum, monte_carlo_availability,
-    EXACT_AVAILABILITY_MAX_SITES,
+    relative_error, steady_state_uptime, EXACT_AVAILABILITY_MAX_SITES,
 };
 pub use domination::{dominates, find_dominating_witness, is_dominated};
 pub use load::{certifies_lower_bound, optimal_load, uniform_load, LOAD_TOLERANCE};

@@ -24,6 +24,56 @@ impl Default for NetworkConfig {
     }
 }
 
+/// How a coordinator paces phase timeouts across retry attempts.
+///
+/// The timeout armed for a phase *is* the retry interval: when it fires the
+/// phase restarts (or, past the commit point, re-sends). Under a partition
+/// or drop burst a fixed interval produces a retry storm — every blocked
+/// coordinator re-probes at the same cadence; exponential backoff spreads
+/// and thins those probes while staying fully deterministic per seed (the
+/// jitter is drawn from the run's own RNG).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RetryPolicy {
+    /// Every attempt arms the same [`SimConfig::op_timeout`].
+    #[default]
+    Fixed,
+    /// Attempt `k` arms `min(op_timeout · 2^k, cap)`, stretched by a
+    /// deterministic seeded jitter uniform in `[0, jitter·delay]`.
+    Exponential {
+        /// Upper bound on the backed-off delay (`cap ≥ op_timeout`).
+        cap: SimDuration,
+        /// Jitter fraction in `[0, 1]`: the armed delay becomes
+        /// `delay · (1 + jitter·u)` with `u ~ U[0,1)` from the run RNG.
+        jitter: f64,
+    },
+}
+
+impl RetryPolicy {
+    /// Whether arming a timeout under this policy consumes a jitter draw
+    /// from the run's RNG.
+    pub fn uses_jitter(&self) -> bool {
+        matches!(self, RetryPolicy::Exponential { jitter, .. } if *jitter > 0.0)
+    }
+
+    /// The delay to arm for retry `attempt` (0 = first try) of a phase whose
+    /// base timeout is `base`. `u ∈ [0, 1)` is the jitter draw (ignored by
+    /// [`RetryPolicy::Fixed`]).
+    pub fn delay(&self, base: SimDuration, attempt: u32, u: f64) -> SimDuration {
+        match *self {
+            RetryPolicy::Fixed => base,
+            RetryPolicy::Exponential { cap, jitter } => {
+                let scaled = base
+                    .as_micros()
+                    .checked_shl(attempt.min(32))
+                    .unwrap_or(u64::MAX)
+                    .min(cap.as_micros());
+                let jittered = scaled.saturating_add((scaled as f64 * jitter * u) as u64);
+                SimDuration::from_micros(jittered)
+            }
+        }
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -41,6 +91,8 @@ pub struct SimConfig {
     pub op_timeout: SimDuration,
     /// Maximum quorum-assembly attempts before an operation fails.
     pub max_attempts: u32,
+    /// How retry timeouts are paced across attempts.
+    pub retry: RetryPolicy,
     /// Enable read-repair: after a read, refresh quorum members that
     /// returned a timestamp older than the winner.
     pub read_repair: bool,
@@ -78,6 +130,7 @@ impl Default for SimConfig {
             think_time: SimDuration::from_millis(2),
             op_timeout: SimDuration::from_millis(3),
             max_attempts: 4,
+            retry: RetryPolicy::Fixed,
             read_repair: false,
             record_history: false,
             auto_workload: true,
@@ -109,7 +162,19 @@ impl SimConfig {
         );
         assert!(self.clients > 0, "need at least one client");
         assert!(self.objects > 0, "need at least one object");
+        // A zero here would make every operation fail on its first timeout
+        // with no retry — silently, since the counters still tick.
         assert!(self.max_attempts > 0, "need at least one attempt");
+        if let RetryPolicy::Exponential { cap, jitter } = self.retry {
+            assert!(
+                cap >= self.op_timeout,
+                "backoff cap must be at least op_timeout"
+            );
+            assert!(
+                (0.0..=1.0).contains(&jitter),
+                "backoff jitter must be a fraction in [0, 1]"
+            );
+        }
         assert!(
             self.max_txn_ops > 0,
             "transactions need at least one operation"
@@ -152,6 +217,73 @@ mod tests {
             ..SimConfig::default()
         };
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let c = SimConfig {
+            max_attempts: 0,
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff cap")]
+    fn backoff_cap_below_timeout_rejected() {
+        let c = SimConfig {
+            retry: RetryPolicy::Exponential {
+                cap: SimDuration::from_micros(1),
+                jitter: 0.0,
+            },
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn backoff_jitter_out_of_range_rejected() {
+        let c = SimConfig {
+            retry: RetryPolicy::Exponential {
+                cap: SimDuration::from_millis(100),
+                jitter: 1.5,
+            },
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn exponential_delay_doubles_and_caps() {
+        let p = RetryPolicy::Exponential {
+            cap: SimDuration::from_micros(4_000),
+            jitter: 0.0,
+        };
+        let base = SimDuration::from_micros(1_000);
+        assert_eq!(p.delay(base, 0, 0.9).as_micros(), 1_000);
+        assert_eq!(p.delay(base, 1, 0.9).as_micros(), 2_000);
+        assert_eq!(p.delay(base, 2, 0.9).as_micros(), 4_000);
+        assert_eq!(p.delay(base, 10, 0.9).as_micros(), 4_000); // capped
+        assert_eq!(p.delay(base, 63, 0.9).as_micros(), 4_000); // no overflow
+        assert!(!p.uses_jitter());
+    }
+
+    #[test]
+    fn jitter_stretches_within_fraction() {
+        let p = RetryPolicy::Exponential {
+            cap: SimDuration::from_micros(8_000),
+            jitter: 0.5,
+        };
+        assert!(p.uses_jitter());
+        let base = SimDuration::from_micros(1_000);
+        let lo = p.delay(base, 1, 0.0).as_micros();
+        let hi = p.delay(base, 1, 0.999).as_micros();
+        assert_eq!(lo, 2_000);
+        assert!(hi > 2_000 && hi <= 3_000, "hi {hi}");
+        // Fixed ignores the draw entirely.
+        assert_eq!(RetryPolicy::Fixed.delay(base, 5, 0.7), base);
     }
 
     #[test]

@@ -33,6 +33,18 @@ use std::fmt;
 /// The boxed protocol the simulation runs — swapped live on migration.
 pub(crate) type Proto = Box<dyn ReplicaControl>;
 
+/// Why a transaction was aborted (metrics attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AbortCause {
+    /// `max_attempts` timeouts exhausted.
+    Exhausted,
+    /// Attempts exhausted on prepare vote-aborts (write-write conflict
+    /// with a leaked stage).
+    Conflict,
+    /// No quorum assemblable even against full membership.
+    NoQuorum,
+}
+
 /// The coordinator layer: clients, transactions, locks, checker, workload,
 /// and reconfiguration.
 pub struct Coordinator {
@@ -174,6 +186,7 @@ impl Coordinator {
         if self.clients[client.0 as usize].suspected.is_empty() {
             return None;
         }
+        engine.metrics.suspicions_cleared += self.clients[client.0 as usize].suspected.len() as u64;
         self.clients[client.0 as usize].suspected.clear();
         let full = AliveSet::full(engine.sites.len());
         pick(full, &mut engine.rng)
@@ -187,15 +200,27 @@ impl Coordinator {
         alive
     }
 
+    /// Arms the phase timeout under the configured [`RetryPolicy`]: attempt
+    /// `k` of a transaction waits `retry.delay(op_timeout, k, u)` with a
+    /// deterministic jitter draw `u` from the run's RNG (no draw under
+    /// [`RetryPolicy::Fixed`], keeping fixed-policy runs byte-identical to
+    /// the pre-backoff simulator).
+    ///
+    /// [`RetryPolicy`]: crate::config::RetryPolicy
+    /// [`RetryPolicy::Fixed`]: crate::config::RetryPolicy::Fixed
     fn arm_timeout(&mut self, engine: &mut Engine, op: OpId) {
+        let u = if self.config.retry.uses_jitter() {
+            engine.rng.gen::<f64>()
+        } else {
+            0.0
+        };
         let state = self.ops.get_mut(&op).expect("txn exists");
         state.phase_counter += 1;
-        engine.arm_timeout(
-            state.client,
-            op,
-            state.phase_counter,
-            self.config.op_timeout,
-        );
+        let delay = self
+            .config
+            .retry
+            .delay(self.config.op_timeout, state.attempts, u);
+        engine.arm_timeout(state.client, op, state.phase_counter, delay);
     }
 
     /// Handles a client's wake-up tick: issue the next transaction if idle.
@@ -360,7 +385,7 @@ impl Coordinator {
         };
         let quorum = self.pick_with_reprobe(engine, protocol, client, false);
         let Some(quorum) = quorum else {
-            self.fail_op(engine, protocol, op);
+            self.fail_op(engine, protocol, op, AbortCause::NoQuorum);
             return;
         };
         {
@@ -461,7 +486,7 @@ impl Coordinator {
                     quorums.insert(obj, q);
                 }
                 None => {
-                    self.fail_op(engine, protocol, op);
+                    self.fail_op(engine, protocol, op, AbortCause::NoQuorum);
                     return;
                 }
             }
@@ -516,8 +541,8 @@ impl Coordinator {
     }
 
     /// The transaction gives up: abort staged writes, release locks, count
-    /// the failure, let the client move on.
-    fn fail_op(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+    /// the failure (attributed to `cause`), let the client move on.
+    fn fail_op(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId, cause: AbortCause) {
         let state = self.ops.remove(&op).expect("txn exists");
         // Staged-but-uncommitted writes must be cleaned up.
         if state.phase == Phase::PrepareGather {
@@ -530,10 +555,16 @@ impl Coordinator {
             // Abandon the reconfiguration without swapping: everything
             // written so far went to old∪new quorums, so the old structure
             // remains fully consistent.
+            engine.metrics.aborts_reconfig += 1;
             self.clients[state.client.0 as usize].current_op = None;
             self.reconfig = None;
             self.resume_clients(engine);
             return;
+        }
+        match cause {
+            AbortCause::Exhausted => engine.metrics.aborts_exhausted += 1,
+            AbortCause::Conflict => engine.metrics.aborts_conflict += 1,
+            AbortCause::NoQuorum => engine.metrics.aborts_no_quorum += 1,
         }
         engine.metrics.reads_failed += state.reads.len() as u64;
         engine.metrics.writes_failed += state.writes.len() as u64;
@@ -767,7 +798,9 @@ impl Coordinator {
             return; // clients never message each other
         };
         // A response proves the site is alive again.
-        self.clients[client.0 as usize].suspected.remove(&from);
+        if self.clients[client.0 as usize].suspected.remove(&from) {
+            engine.metrics.suspicions_cleared += 1;
+        }
 
         let op_id = msg.payload.op();
         let Some(state) = self.ops.get_mut(&op_id) else {
@@ -813,8 +846,9 @@ impl Coordinator {
                     let bumped = Timestamp::new(ts.version() + 1, ts.sid());
                     state.write_ts.insert(*obj, bumped);
                     if state.attempts >= self.config.max_attempts {
-                        self.fail_op(engine, protocol, op_id);
+                        self.fail_op(engine, protocol, op_id, AbortCause::Conflict);
                     } else {
+                        engine.metrics.retries_prepare += 1;
                         self.start_prepare_phase(engine, protocol, op_id);
                     }
                     return;
@@ -848,6 +882,7 @@ impl Coordinator {
         if state.phase_counter != attempt || state.client != client {
             return; // stale timeout
         }
+        engine.metrics.timeouts_fired += 1;
         // Suspect every member that stayed silent.
         let silent: Vec<SiteId> = match state.phase {
             Phase::ReadGather => state.pending_sites.iter().copied().collect(),
@@ -857,15 +892,19 @@ impl Coordinator {
             Phase::LockWait => Vec::new(),
         };
         for s in &silent {
-            self.clients[client.0 as usize].suspected.insert(*s);
+            if self.clients[client.0 as usize].suspected.insert(*s) {
+                engine.metrics.suspicions_raised += 1;
+            }
         }
+        let state = self.ops.get_mut(&op).expect("checked above");
         match state.phase {
             Phase::LockWait => {}
             Phase::ReadGather => {
                 state.attempts += 1;
                 if state.attempts >= self.config.max_attempts {
-                    self.fail_op(engine, protocol, op);
+                    self.fail_op(engine, protocol, op, AbortCause::Exhausted);
                 } else {
+                    engine.metrics.retries_read += 1;
                     self.start_read_round(engine, protocol, op);
                 }
             }
@@ -873,8 +912,9 @@ impl Coordinator {
                 state.attempts += 1;
                 let old_quorums = state.write_quorums.clone();
                 if state.attempts >= self.config.max_attempts {
-                    self.fail_op(engine, protocol, op);
+                    self.fail_op(engine, protocol, op, AbortCause::Exhausted);
                 } else {
+                    engine.metrics.retries_prepare += 1;
                     // Retry with freshly picked write quorums. Stages on
                     // members of BOTH the old and new quorum are reused
                     // (same op, same ts), so we must not race an Abort
@@ -893,7 +933,11 @@ impl Coordinator {
                 }
             }
             Phase::CommitGather => {
-                // Past the commit point: 2PC phase 2 never gives up.
+                // Past the commit point: 2PC phase 2 never gives up. The
+                // attempt counter keeps climbing so the backoff policy
+                // stretches the re-send interval, but it never aborts.
+                state.attempts = state.attempts.saturating_add(1);
+                engine.metrics.retries_commit += 1;
                 let pending: Vec<(ObjectId, SiteId)> =
                     state.pending_pairs.iter().copied().collect();
                 for (obj, site) in pending {

@@ -76,6 +76,11 @@ impl Engine {
         self.network.set_partition(partition);
     }
 
+    /// Installs (`Some`) or clears (`None`) a network-behaviour override.
+    pub fn set_network_override(&mut self, override_config: Option<crate::NetworkConfig>) {
+        self.network.set_override(override_config);
+    }
+
     /// Fail-stops a site.
     pub(crate) fn crash(&mut self, site: SiteId) {
         self.sites[site.index()].crash();

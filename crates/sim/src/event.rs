@@ -3,7 +3,9 @@
 //! Events at equal timestamps are ordered by insertion sequence number, so a
 //! simulation is a pure function of its configuration and RNG seed.
 
+use crate::config::NetworkConfig;
 use crate::message::{ClientId, Message, OpId};
+use crate::network::Partition;
 use crate::time::SimTime;
 use arbitree_quorum::SiteId;
 use std::cmp::Ordering;
@@ -18,6 +20,14 @@ pub enum Event {
     Crash(SiteId),
     /// A crashed site recovers (storage intact — failures are transient).
     Recover(SiteId),
+    /// A partition is installed (or cleared, with [`Partition::none`])
+    /// mid-run — the schedulable form of
+    /// [`crate::Simulation::set_partition`].
+    SetPartition(Partition),
+    /// A temporary network-behaviour override is installed (`Some`) or
+    /// cleared (`None`): drop bursts and latency spikes are time windows
+    /// bounded by a pair of these events.
+    NetOverride(Option<NetworkConfig>),
     /// A client wakes up to issue its next operation.
     ClientTick(ClientId),
     /// A scheduled live reconfiguration begins (the simulation holds the

@@ -6,6 +6,7 @@
 
 use crate::config::SimConfig;
 use crate::failure::FailureSchedule;
+use crate::nemesis::Nemesis;
 use crate::sim::Simulation;
 use crate::txn::SimReport;
 use arbitree_quorum::{AliveSet, ReplicaControl, SiteId};
@@ -226,6 +227,8 @@ pub struct ExperimentCell {
     pub protocol: Box<dyn ReplicaControl + Send>,
     /// Crash/recovery schedule injected before the run.
     pub failures: FailureSchedule,
+    /// Adversarial nemesis script injected before the run.
+    pub nemesis: Nemesis,
 }
 
 impl ExperimentCell {
@@ -240,12 +243,19 @@ impl ExperimentCell {
             config,
             protocol: Box::new(protocol),
             failures: FailureSchedule::none(),
+            nemesis: Nemesis::none(),
         }
     }
 
     /// Sets the failure schedule.
     pub fn with_failures(mut self, failures: FailureSchedule) -> Self {
         self.failures = failures;
+        self
+    }
+
+    /// Sets the nemesis script.
+    pub fn with_nemesis(mut self, nemesis: Nemesis) -> Self {
+        self.nemesis = nemesis;
         self
     }
 }
@@ -330,11 +340,105 @@ pub fn run_cells(cells: Vec<ExperimentCell>) -> Vec<(String, SimReport)> {
             config,
             protocol,
             failures,
+            nemesis,
         } = cell;
         let mut sim = Simulation::from_boxed(config, protocol);
         failures.apply(&mut sim);
+        nemesis.apply(&mut sim);
         (label, sim.run())
     })
+}
+
+/// One cell of a chaos campaign: a simulation under adversarial faults,
+/// paired with the closed-form availability predictions to cross-validate
+/// the measured success rates against.
+pub struct ChaosCell {
+    /// The underlying simulation cell (config, protocol, churn, nemesis).
+    pub cell: ExperimentCell,
+    /// Closed-form read availability at the cell's steady-state uptime
+    /// `p = MTTF/(MTTF+MTTR)` — the paper's `∏_k (1 − (1−p)^{m_phy_k})`.
+    pub predicted_read: f64,
+    /// Closed-form write availability — `1 − ∏_k (1 − p^{m_phy_k})`.
+    pub predicted_write: f64,
+}
+
+impl fmt::Debug for ChaosCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosCell")
+            .field("cell", &self.cell)
+            .field("predicted_read", &self.predicted_read)
+            .field("predicted_write", &self.predicted_write)
+            .finish()
+    }
+}
+
+/// Outcome of one chaos cell: the full report plus measured-vs-predicted
+/// availability.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The cell's label.
+    pub label: String,
+    /// The run's report (consistency verdict, fault counters, …).
+    pub report: SimReport,
+    /// Closed-form read availability carried over from the cell.
+    pub predicted_read: f64,
+    /// Closed-form write availability carried over from the cell.
+    pub predicted_write: f64,
+}
+
+impl ChaosOutcome {
+    /// Measured read availability: `reads_ok / (reads_ok + reads_failed)`,
+    /// `None` if the run attempted no reads.
+    pub fn measured_read(&self) -> Option<f64> {
+        let m = &self.report.metrics;
+        let total = m.reads_ok + m.reads_failed;
+        (total > 0).then(|| m.reads_ok as f64 / total as f64)
+    }
+
+    /// Measured write availability: `writes_ok / (writes_ok +
+    /// writes_failed)`, `None` if the run attempted no writes.
+    pub fn measured_write(&self) -> Option<f64> {
+        let m = &self.report.metrics;
+        let total = m.writes_ok + m.writes_failed;
+        (total > 0).then(|| m.writes_ok as f64 / total as f64)
+    }
+
+    /// Relative error of the measured read availability against the closed
+    /// form.
+    pub fn read_error(&self) -> Option<f64> {
+        self.measured_read()
+            .map(|m| arbitree_quorum::relative_error(m, self.predicted_read))
+    }
+
+    /// Relative error of the measured write availability against the closed
+    /// form.
+    pub fn write_error(&self) -> Option<f64> {
+        self.measured_write()
+            .map(|m| arbitree_quorum::relative_error(m, self.predicted_write))
+    }
+}
+
+/// Runs a chaos campaign across the worker pool (via [`run_cells`]) and
+/// pairs every report with its availability cross-validation. Results come
+/// back in input order; each cell replays bit-for-bit from its config,
+/// failure schedule and nemesis script.
+pub fn run_chaos_campaign(cells: Vec<ChaosCell>) -> Vec<ChaosOutcome> {
+    let (sim_cells, predictions): (Vec<ExperimentCell>, Vec<(f64, f64)>) = cells
+        .into_iter()
+        .map(|c| (c.cell, (c.predicted_read, c.predicted_write)))
+        .unzip();
+    run_cells(sim_cells)
+        .into_iter()
+        .zip(predictions)
+        .map(
+            |((label, report), (predicted_read, predicted_write))| ChaosOutcome {
+                label,
+                report,
+                predicted_read,
+                predicted_write,
+            },
+        )
+        .collect()
 }
 
 #[cfg(test)]

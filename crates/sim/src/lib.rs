@@ -26,13 +26,23 @@
 //! * [`ConsistencyChecker`] — verifies one-copy equivalence online;
 //! * [`FailureSchedule`] — crash/recovery injection (manual or random
 //!   MTTF/MTTR);
-//! * [`Partition`] — network partition injection;
+//! * [`Partition`] — network partition injection (settable statically or
+//!   schedulable mid-run through the event queue);
+//! * [`Nemesis`] — scripted *adversarial* fault injection: partition
+//!   form/heal cycles, level-targeted correlated crashes, flapping sites,
+//!   and time-windowed network overrides (drop bursts, latency spikes),
+//!   all deterministic per seed;
+//! * [`RetryPolicy`] — fixed-interval or capped exponential backoff (with
+//!   seeded jitter) pacing of phase-timeout retries;
 //! * [`harness`] — static experiments ([`empirical_availability`],
 //!   [`empirical_load`], [`empirical_cost`]) that validate the paper's
-//!   closed forms directly, plus [`run_simulation`] and the parallel
-//!   experiment runner ([`run_cells`] over [`ExperimentCell`]s);
+//!   closed forms directly, plus [`run_simulation`], the parallel
+//!   experiment runner ([`run_cells`] over [`ExperimentCell`]s), and the
+//!   chaos campaign runner ([`run_chaos_campaign`] over [`ChaosCell`]s)
+//!   cross-validating measured availability against the closed forms;
 //! * [`SimMetrics`] — message counts, per-site hit counts (empirical load),
-//!   latencies.
+//!   latencies, and fault-facing counters (timeouts, per-phase retries,
+//!   suspicions, aborts by cause).
 //!
 //! ## Example
 //!
@@ -62,6 +72,7 @@ pub mod history;
 mod locks;
 mod message;
 mod metrics;
+mod nemesis;
 mod network;
 mod sim;
 mod site;
@@ -71,19 +82,21 @@ mod txn;
 mod workload;
 
 pub use checker::{ConsistencyChecker, Violation};
-pub use config::{NetworkConfig, SimConfig};
+pub use config::{NetworkConfig, RetryPolicy, SimConfig};
 pub use coordinator::Coordinator;
 pub use engine::Engine;
 pub use event::{Event, EventQueue};
 pub use failure::FailureSchedule;
 pub use harness::{
     cell_seed, empirical_availability, empirical_cost, empirical_cost_under_failures,
-    empirical_load, parallel_map, run_cells, run_simulation, ExperimentCell,
+    empirical_load, parallel_map, run_cells, run_chaos_campaign, run_simulation, ChaosCell,
+    ChaosOutcome, ExperimentCell,
 };
 pub use history::{History, HistoryEvent, HistoryKind, HistoryViolation};
 pub use locks::{LockManager, LockMode};
 pub use message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
 pub use metrics::{LatencyHistogram, SimMetrics};
+pub use nemesis::{build_profile, Nemesis, NemesisAction, NemesisKind};
 pub use network::{Network, Partition};
 pub use sim::Simulation;
 pub use site::Site;

@@ -81,8 +81,11 @@ impl LatencyHistogram {
 pub struct SimMetrics {
     /// Messages handed to the network.
     pub messages_sent: u64,
-    /// Messages lost to drops or partitions.
-    pub messages_dropped: u64,
+    /// Messages lost because sender and receiver were in different
+    /// partition groups.
+    pub dropped_partition: u64,
+    /// Messages lost to random link loss (`drop_probability`).
+    pub dropped_loss: u64,
     /// Messages delivered to live endpoints.
     pub messages_delivered: u64,
     /// Messages that arrived at a crashed site (discarded).
@@ -115,6 +118,29 @@ pub struct SimMetrics {
     pub reconfigurations: u64,
     /// Migration writes performed during reconfigurations.
     pub migration_writes: u64,
+    /// Phase timeouts that actually fired (stale timeouts excluded).
+    pub timeouts_fired: u64,
+    /// Read-round restarts forced by a timeout.
+    pub retries_read: u64,
+    /// 2PC prepare-phase restarts (timeouts and vote-abort re-picks).
+    pub retries_prepare: u64,
+    /// 2PC commit re-send rounds (phase 2 never gives up).
+    pub retries_commit: u64,
+    /// Site suspicions raised by silent quorum members at a timeout.
+    pub suspicions_raised: u64,
+    /// Suspicions cleared — by a later response from the site or by a
+    /// full-membership re-probe.
+    pub suspicions_cleared: u64,
+    /// Transactions aborted after exhausting `max_attempts` on timeouts.
+    pub aborts_exhausted: u64,
+    /// Transactions aborted after exhausting attempts on prepare
+    /// vote-aborts (write-write conflict with a leaked stage).
+    pub aborts_conflict: u64,
+    /// Transactions aborted because no quorum was assemblable even against
+    /// full membership.
+    pub aborts_no_quorum: u64,
+    /// Reconfiguration migrations abandoned mid-flight.
+    pub aborts_reconfig: u64,
     /// Distribution of completed-operation latencies.
     pub latency_histogram: LatencyHistogram,
     /// Sum of completed-operation latencies.
@@ -142,6 +168,11 @@ impl SimMetrics {
             .as_micros()
             .checked_div(self.latency_samples)
             .map(SimDuration::from_micros)
+    }
+
+    /// Total messages lost, to either partitions or random link loss.
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped_partition + self.dropped_loss
     }
 
     /// Total completed operations.
@@ -228,7 +259,7 @@ impl fmt::Display for SimMetrics {
             self.writes_ok,
             self.writes_ok + self.writes_failed,
             self.messages_sent,
-            self.messages_dropped
+            self.messages_dropped()
         )
     }
 }
@@ -306,5 +337,16 @@ mod tests {
         assert_eq!(m.ops_ok(), 5);
         assert_eq!(m.ops_failed(), 1);
         assert!(m.to_string().contains("writes 2/3"));
+    }
+
+    #[test]
+    fn dropped_causes_sum() {
+        let m = SimMetrics {
+            dropped_partition: 3,
+            dropped_loss: 4,
+            ..SimMetrics::default()
+        };
+        assert_eq!(m.messages_dropped(), 7);
+        assert!(m.to_string().contains("dropped 7"));
     }
 }

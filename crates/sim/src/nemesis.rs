@@ -1,0 +1,498 @@
+//! The nemesis: scripted adversarial fault injection.
+//!
+//! A [`Nemesis`] is a deterministic, time-ordered script of adversarial
+//! actions delivered through the simulation's event queue — the chaos
+//! counterpart of the benign [`crate::FailureSchedule`]. Where the failure
+//! schedule models *uncorrelated* per-site churn (the i.i.d. world the
+//! paper's availability closed forms assume), the nemesis models the
+//! correlated, time-varying faults those forms do **not** cover:
+//!
+//! * **partition form/heal cycles** — a [`Partition`] installed and cleared
+//!   mid-run via [`crate::Event::SetPartition`];
+//! * **level-targeted correlated crashes** — every physical node of one
+//!   physical level fail-stops simultaneously, the paper-specific worst
+//!   case that annihilates exactly one write quorum;
+//! * **flapping sites** — fast crash/recover oscillation stressing the
+//!   suspicion logic;
+//! * **message-drop bursts and latency spikes** — time-windowed
+//!   [`NetworkConfig`] overrides via [`crate::Event::NetOverride`].
+//!
+//! Scripts are built either explicitly (the `partition_cycles`,
+//! `level_crash`, `flapping`, `drop_burst`, `latency_spike` constructors)
+//! or from a seeded [`NemesisKind`] profile with [`build_profile`], which
+//! jitters timings and picks victims deterministically from the seed. A run
+//! with a nemesis applied is still a pure function of `(SimConfig, failure
+//! schedule, nemesis)` — chaos campaigns replay bit-for-bit.
+
+use crate::config::NetworkConfig;
+use crate::network::Partition;
+use crate::sim::Simulation;
+use crate::time::{SimDuration, SimTime};
+use arbitree_quorum::SiteId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One adversarial action at a scheduled instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NemesisAction {
+    /// Install a partition (groups per [`Partition`] semantics).
+    SetPartition(Partition),
+    /// Clear any partition (equivalent to installing [`Partition::none`]).
+    HealPartition,
+    /// Fail-stop one site.
+    Crash(SiteId),
+    /// Recover one site.
+    Recover(SiteId),
+    /// Install a temporary network-behaviour override.
+    NetworkOverride(NetworkConfig),
+    /// Clear the override, restoring the base network behaviour.
+    ClearNetworkOverride,
+}
+
+/// A scripted sequence of adversarial events, applied to a simulation by
+/// scheduling each step through the event queue.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Nemesis {
+    steps: Vec<(SimTime, NemesisAction)>,
+}
+
+impl Nemesis {
+    /// An empty (fault-free) script.
+    pub fn none() -> Self {
+        Nemesis::default()
+    }
+
+    /// Appends one action at `at` (builder style).
+    pub fn at(mut self, at: SimTime, action: NemesisAction) -> Self {
+        self.steps.push((at, action));
+        self
+    }
+
+    /// Concatenates two scripts (steps keep their own times; the event
+    /// queue orders them).
+    pub fn merge(mut self, other: Nemesis) -> Self {
+        self.steps.extend(other.steps);
+        self
+    }
+
+    /// The scripted steps, in insertion order.
+    pub fn steps(&self) -> &[(SimTime, NemesisAction)] {
+        &self.steps
+    }
+
+    /// Whether the script contains no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Schedules every step into `sim`'s event queue.
+    pub fn apply(&self, sim: &mut Simulation) {
+        for (at, action) in &self.steps {
+            match action {
+                NemesisAction::SetPartition(p) => sim.schedule_partition(*at, p.clone()),
+                NemesisAction::HealPartition => sim.schedule_partition(*at, Partition::none()),
+                NemesisAction::Crash(s) => sim.schedule_crash(*at, *s),
+                NemesisAction::Recover(s) => sim.schedule_recover(*at, *s),
+                NemesisAction::NetworkOverride(c) => sim.schedule_network_override(*at, Some(*c)),
+                NemesisAction::ClearNetworkOverride => sim.schedule_network_override(*at, None),
+            }
+        }
+    }
+
+    /// Partition form/heal cycles: starting at `start`, isolate `victims`
+    /// into their own group for `hold`, heal for `gap`, and repeat until
+    /// `horizon`.
+    pub fn partition_cycles<I: IntoIterator<Item = SiteId>>(
+        victims: I,
+        start: SimTime,
+        hold: SimDuration,
+        gap: SimDuration,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(hold.as_micros() > 0, "hold must be positive");
+        assert!(gap.as_micros() > 0, "gap must be positive");
+        let victims: Vec<SiteId> = victims.into_iter().collect();
+        let mut n = Nemesis::none();
+        let mut t = start;
+        while t < horizon {
+            n = n.at(
+                t,
+                NemesisAction::SetPartition(Partition::isolate_sites(victims.iter().copied())),
+            );
+            let heal_at = t + hold;
+            if heal_at >= horizon {
+                break; // the run ends partitioned
+            }
+            n = n.at(heal_at, NemesisAction::HealPartition);
+            t = heal_at + gap;
+        }
+        n
+    }
+
+    /// Level-targeted correlated crash: every site of `level_sites` (one
+    /// physical level of the tree) fail-stops at `at` and recovers at
+    /// `at + down_for`. For the arbitrary protocol this annihilates exactly
+    /// one write quorum while leaving read quorums a single dead member to
+    /// route around — the adversarial dual of uncorrelated churn.
+    pub fn level_crash(level_sites: &[SiteId], at: SimTime, down_for: SimDuration) -> Self {
+        let mut n = Nemesis::none();
+        for &s in level_sites {
+            n = n.at(at, NemesisAction::Crash(s));
+        }
+        for &s in level_sites {
+            n = n.at(at + down_for, NemesisAction::Recover(s));
+        }
+        n
+    }
+
+    /// Flapping: `site` oscillates crash → recover from `start` until
+    /// `horizon`, staying down `down_dwell` and up `up_dwell` per cycle —
+    /// fast enough to keep coordinators' suspicion sets churning.
+    pub fn flapping(
+        site: SiteId,
+        start: SimTime,
+        up_dwell: SimDuration,
+        down_dwell: SimDuration,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(up_dwell.as_micros() > 0, "up dwell must be positive");
+        assert!(down_dwell.as_micros() > 0, "down dwell must be positive");
+        let mut n = Nemesis::none();
+        let mut t = start;
+        let mut up = true;
+        while t < horizon {
+            n = n.at(
+                t,
+                if up {
+                    NemesisAction::Crash(site)
+                } else {
+                    NemesisAction::Recover(site)
+                },
+            );
+            t += if up { down_dwell } else { up_dwell };
+            up = !up;
+        }
+        // Never leave a flapper down at the end of its script.
+        if !up {
+            n = n.at(t, NemesisAction::Recover(site));
+        }
+        n
+    }
+
+    /// A message-drop burst: between `start` and `start + len`, messages
+    /// drop with probability `drop_probability` (latencies keep `base`'s
+    /// bounds).
+    pub fn drop_burst(
+        base: NetworkConfig,
+        drop_probability: f64,
+        start: SimTime,
+        len: SimDuration,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability must be a probability"
+        );
+        let burst = NetworkConfig {
+            drop_probability,
+            ..base
+        };
+        Nemesis::none()
+            .at(start, NemesisAction::NetworkOverride(burst))
+            .at(start + len, NemesisAction::ClearNetworkOverride)
+    }
+
+    /// A latency spike: between `start` and `start + len`, both latency
+    /// bounds stretch by `factor` (drops keep `base`'s probability).
+    pub fn latency_spike(
+        base: NetworkConfig,
+        factor: u64,
+        start: SimTime,
+        len: SimDuration,
+    ) -> Self {
+        assert!(factor >= 1, "latency factor must be at least 1");
+        let spike = NetworkConfig {
+            min_latency: SimDuration::from_micros(base.min_latency.as_micros() * factor),
+            max_latency: SimDuration::from_micros(base.max_latency.as_micros() * factor),
+            ..base
+        };
+        Nemesis::none()
+            .at(start, NemesisAction::NetworkOverride(spike))
+            .at(start + len, NemesisAction::ClearNetworkOverride)
+    }
+}
+
+/// The built-in adversarial profiles a chaos campaign sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NemesisKind {
+    /// Repeated partition form/heal cycles isolating one physical level.
+    PartitionCycles,
+    /// Simultaneous crash of every site of one physical level.
+    LevelCrash,
+    /// One site oscillating crash/recover.
+    Flapping,
+    /// A window of heavy random message loss.
+    DropBurst,
+    /// A window of multiplied network latency.
+    LatencySpike,
+}
+
+impl NemesisKind {
+    /// Every built-in profile.
+    pub const ALL: [NemesisKind; 5] = [
+        NemesisKind::PartitionCycles,
+        NemesisKind::LevelCrash,
+        NemesisKind::Flapping,
+        NemesisKind::DropBurst,
+        NemesisKind::LatencySpike,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NemesisKind::PartitionCycles => "partition-cycles",
+            NemesisKind::LevelCrash => "level-crash",
+            NemesisKind::Flapping => "flapping",
+            NemesisKind::DropBurst => "drop-burst",
+            NemesisKind::LatencySpike => "latency-spike",
+        }
+    }
+}
+
+/// Builds a seeded script of `kind` against a tree whose physical levels
+/// hold `levels[k]` sites each. Victims and timings are drawn from a
+/// dedicated RNG, so the script — and hence the whole run — is a pure
+/// function of `(kind, levels, base, horizon, seed)`.
+///
+/// # Panics
+///
+/// Panics if `levels` is empty, any level is empty, or the horizon is
+/// shorter than a millisecond (no room to schedule anything).
+pub fn build_profile(
+    kind: NemesisKind,
+    levels: &[Vec<SiteId>],
+    base: NetworkConfig,
+    horizon: SimDuration,
+    seed: u64,
+) -> Nemesis {
+    assert!(!levels.is_empty(), "need at least one physical level");
+    assert!(
+        levels.iter().all(|l| !l.is_empty()),
+        "physical levels cannot be empty"
+    );
+    let horizon_us = horizon.as_micros();
+    assert!(horizon_us >= 1_000, "horizon too short for a nemesis");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let end = SimTime::ZERO + horizon;
+    // Faults start after a warm-up tenth and a seeded jitter, so campaigns
+    // at different seeds stress different workload phases.
+    let start = SimTime::from_micros(horizon_us / 10 + rng.gen_range(0..horizon_us / 10));
+    let level = rng.gen_range(0..levels.len());
+    match kind {
+        NemesisKind::PartitionCycles => Nemesis::partition_cycles(
+            levels[level].iter().copied(),
+            start,
+            SimDuration::from_micros(horizon_us / 8),
+            SimDuration::from_micros(horizon_us / 8),
+            end,
+        ),
+        NemesisKind::LevelCrash => Nemesis::level_crash(
+            &levels[level],
+            start,
+            SimDuration::from_micros(horizon_us / 4),
+        ),
+        NemesisKind::Flapping => {
+            let l = &levels[level];
+            let site = l[rng.gen_range(0..l.len())];
+            Nemesis::flapping(
+                site,
+                start,
+                SimDuration::from_micros((horizon_us / 50).max(1)),
+                SimDuration::from_micros((horizon_us / 50).max(1)),
+                end,
+            )
+        }
+        NemesisKind::DropBurst => {
+            Nemesis::drop_burst(base, 0.5, start, SimDuration::from_micros(horizon_us / 4))
+        }
+        NemesisKind::LatencySpike => {
+            Nemesis::latency_spike(base, 3, start, SimDuration::from_micros(horizon_us / 4))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(ids: impl IntoIterator<Item = u32>) -> Vec<SiteId> {
+        ids.into_iter().map(SiteId::new).collect()
+    }
+
+    #[test]
+    fn partition_cycles_alternate_and_stay_in_horizon() {
+        let n = Nemesis::partition_cycles(
+            sites([3, 4]),
+            SimTime::from_millis(10),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(10),
+            SimTime::from_millis(100),
+        );
+        assert!(!n.is_empty());
+        let mut expect_form = true;
+        for (at, action) in n.steps() {
+            assert!(*at <= SimTime::from_millis(100));
+            match action {
+                NemesisAction::SetPartition(_) => assert!(expect_form, "double form at {at}"),
+                NemesisAction::HealPartition => assert!(!expect_form, "double heal at {at}"),
+                other => panic!("unexpected action {other:?}"),
+            }
+            expect_form = !expect_form;
+        }
+        // Cycles: form@10 heal@30 form@40 heal@60 form@70 heal@90.
+        assert_eq!(n.steps().len(), 6);
+    }
+
+    #[test]
+    fn level_crash_is_simultaneous() {
+        let level = sites([3, 4, 5, 6, 7]);
+        let n = Nemesis::level_crash(
+            &level,
+            SimTime::from_millis(5),
+            SimDuration::from_millis(10),
+        );
+        let crashes: Vec<_> = n
+            .steps()
+            .iter()
+            .filter(|(_, a)| matches!(a, NemesisAction::Crash(_)))
+            .collect();
+        assert_eq!(crashes.len(), 5);
+        assert!(crashes.iter().all(|(at, _)| *at == SimTime::from_millis(5)));
+        let recovers: Vec<_> = n
+            .steps()
+            .iter()
+            .filter(|(_, a)| matches!(a, NemesisAction::Recover(_)))
+            .collect();
+        assert_eq!(recovers.len(), 5);
+        assert!(recovers
+            .iter()
+            .all(|(at, _)| *at == SimTime::from_millis(15)));
+    }
+
+    #[test]
+    fn flapping_never_ends_down() {
+        let n = Nemesis::flapping(
+            SiteId::new(2),
+            SimTime::from_millis(1),
+            SimDuration::from_micros(700),
+            SimDuration::from_micros(300),
+            SimTime::from_millis(8),
+        );
+        let mut down = false;
+        for (_, a) in n.steps() {
+            match a {
+                NemesisAction::Crash(_) => down = true,
+                NemesisAction::Recover(_) => down = false,
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert!(!down, "script leaves the site crashed");
+        assert!(n.steps().len() >= 4, "too few oscillations");
+    }
+
+    #[test]
+    fn bursts_install_and_clear() {
+        let base = NetworkConfig::default();
+        let n = Nemesis::drop_burst(
+            base,
+            0.5,
+            SimTime::from_millis(10),
+            SimDuration::from_millis(30),
+        );
+        assert_eq!(n.steps().len(), 2);
+        match &n.steps()[0] {
+            (at, NemesisAction::NetworkOverride(c)) => {
+                assert_eq!(*at, SimTime::from_millis(10));
+                assert_eq!(c.drop_probability, 0.5);
+                assert_eq!(c.max_latency, base.max_latency);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            n.steps()[1],
+            (
+                SimTime::from_millis(40),
+                NemesisAction::ClearNetworkOverride
+            )
+        );
+
+        let spike = Nemesis::latency_spike(
+            base,
+            4,
+            SimTime::from_millis(5),
+            SimDuration::from_millis(10),
+        );
+        match &spike.steps()[0] {
+            (_, NemesisAction::NetworkOverride(c)) => {
+                assert_eq!(c.min_latency.as_micros(), base.min_latency.as_micros() * 4);
+                assert_eq!(c.max_latency.as_micros(), base.max_latency.as_micros() * 4);
+                assert_eq!(c.drop_probability, base.drop_probability);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic_per_seed() {
+        let levels = vec![sites([0, 1, 2]), sites([3, 4, 5, 6, 7])];
+        for kind in NemesisKind::ALL {
+            let a = build_profile(
+                kind,
+                &levels,
+                NetworkConfig::default(),
+                SimDuration::from_millis(200),
+                42,
+            );
+            let b = build_profile(
+                kind,
+                &levels,
+                NetworkConfig::default(),
+                SimDuration::from_millis(200),
+                42,
+            );
+            assert_eq!(a, b, "{}", kind.name());
+            assert!(!a.is_empty(), "{}", kind.name());
+            let c = build_profile(
+                kind,
+                &levels,
+                NetworkConfig::default(),
+                SimDuration::from_millis(200),
+                43,
+            );
+            assert_ne!(a, c, "{} ignored its seed", kind.name());
+        }
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = Nemesis::none().at(
+            SimTime::from_millis(1),
+            NemesisAction::Crash(SiteId::new(0)),
+        );
+        let b = Nemesis::none().at(
+            SimTime::from_millis(2),
+            NemesisAction::Recover(SiteId::new(0)),
+        );
+        assert_eq!(a.merge(b).steps().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn drop_burst_rejects_bad_probability() {
+        let _ = Nemesis::drop_burst(
+            NetworkConfig::default(),
+            1.5,
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+        );
+    }
+}

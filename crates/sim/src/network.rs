@@ -51,9 +51,14 @@ impl Partition {
 
 /// The message transport: applies latency, drops and partitions, and feeds
 /// delivery events into the queue.
+///
+/// Behaviour can be overridden mid-run (drop bursts, latency spikes): a
+/// scheduled [`crate::Event::NetOverride`] installs a temporary
+/// [`NetworkConfig`] that masks the base one until cleared.
 #[derive(Debug)]
 pub struct Network {
     config: NetworkConfig,
+    override_config: Option<NetworkConfig>,
     partition: Partition,
 }
 
@@ -62,6 +67,7 @@ impl Network {
     pub fn new(config: NetworkConfig) -> Self {
         Network {
             config,
+            override_config: None,
             partition: Partition::none(),
         }
     }
@@ -74,6 +80,17 @@ impl Network {
     /// The current partition.
     pub fn partition(&self) -> &Partition {
         &self.partition
+    }
+
+    /// Installs (`Some`) or clears (`None`) a temporary behaviour override.
+    /// While installed, the override fully replaces the base config.
+    pub fn set_override(&mut self, override_config: Option<NetworkConfig>) {
+        self.override_config = override_config;
+    }
+
+    /// The behaviour currently in force (override if installed, else base).
+    pub fn effective_config(&self) -> &NetworkConfig {
+        self.override_config.as_ref().unwrap_or(&self.config)
     }
 
     /// Sends a message: either schedules a delivery event (after a uniform
@@ -90,27 +107,27 @@ impl Network {
         metrics: &mut SimMetrics,
         rng: &mut R,
     ) -> bool {
+        let config = *self.effective_config();
         metrics.messages_sent += 1;
         if !self.partition.connected(from, to) {
-            metrics.messages_dropped += 1;
+            metrics.dropped_partition += 1;
             return false;
         }
-        if self.config.drop_probability > 0.0 && rng.gen::<f64>() < self.config.drop_probability {
-            metrics.messages_dropped += 1;
+        if config.drop_probability > 0.0 && rng.gen::<f64>() < config.drop_probability {
+            metrics.dropped_loss += 1;
             return false;
         }
-        let span = self
-            .config
+        let span = config
             .max_latency
             .as_micros()
-            .saturating_sub(self.config.min_latency.as_micros());
+            .saturating_sub(config.min_latency.as_micros());
         let jitter = if span == 0 {
             0
         } else {
             rng.gen_range(0..=span)
         };
         let latency =
-            crate::time::SimDuration::from_micros(self.config.min_latency.as_micros() + jitter);
+            crate::time::SimDuration::from_micros(config.min_latency.as_micros() + jitter);
         queue.schedule(
             now + latency,
             Event::Deliver(Message {
@@ -158,7 +175,7 @@ mod tests {
             assert!(net.send(now, client(0), site(1), payload(), &mut q, &mut m, &mut rng));
         }
         assert_eq!(m.messages_sent, 100);
-        assert_eq!(m.messages_dropped, 0);
+        assert_eq!(m.messages_dropped(), 0);
         while let Some((t, _)) = q.pop() {
             let lat = (t - now).as_micros();
             assert!((100..=500).contains(&lat), "latency {lat}");
@@ -184,8 +201,80 @@ mod tests {
             &mut m,
             &mut rng
         ));
-        assert_eq!(m.messages_dropped, 1);
+        assert_eq!(m.dropped_loss, 1);
+        assert_eq!(m.dropped_partition, 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_causes_are_split() {
+        let cfg = NetworkConfig {
+            drop_probability: 1.0,
+            ..NetworkConfig::default()
+        };
+        let mut net = Network::new(cfg);
+        net.set_partition(Partition::isolate_sites([SiteId::new(1)]));
+        let mut q = EventQueue::new();
+        let mut m = SimMetrics::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        // Cross-partition: counted as a partition drop, not a loss (the
+        // partition check comes first).
+        net.send(
+            SimTime::ZERO,
+            client(0),
+            site(1),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng,
+        );
+        // Same group: lost to the lossy link.
+        net.send(
+            SimTime::ZERO,
+            client(0),
+            site(0),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng,
+        );
+        assert_eq!(m.dropped_partition, 1);
+        assert_eq!(m.dropped_loss, 1);
+        assert_eq!(m.messages_dropped(), 2);
+    }
+
+    #[test]
+    fn override_masks_base_and_clears() {
+        let mut net = Network::new(NetworkConfig::default());
+        assert_eq!(net.effective_config().drop_probability, 0.0);
+        let burst = NetworkConfig {
+            drop_probability: 1.0,
+            ..NetworkConfig::default()
+        };
+        net.set_override(Some(burst));
+        let mut q = EventQueue::new();
+        let mut m = SimMetrics::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!net.send(
+            SimTime::ZERO,
+            client(0),
+            site(0),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng
+        ));
+        assert_eq!(m.dropped_loss, 1);
+        net.set_override(None);
+        assert!(net.send(
+            SimTime::ZERO,
+            client(0),
+            site(0),
+            payload(),
+            &mut q,
+            &mut m,
+            &mut rng
+        ));
     }
 
     #[test]

@@ -112,6 +112,31 @@ impl Simulation {
         self.engine.schedule(at, Event::Recover(site));
     }
 
+    /// Schedules a partition to be installed mid-run (clear it later by
+    /// scheduling [`Partition::none`]). This is the schedulable counterpart
+    /// of [`Simulation::set_partition`]: partitions can form and heal while
+    /// traffic is in flight.
+    pub fn schedule_partition(&mut self, at: SimTime, partition: Partition) {
+        self.engine.schedule(at, Event::SetPartition(partition));
+    }
+
+    /// Schedules a temporary network-behaviour override (drop burst,
+    /// latency spike): `Some(config)` installs it, `None` restores the base
+    /// [`crate::NetworkConfig`].
+    pub fn schedule_network_override(
+        &mut self,
+        at: SimTime,
+        override_config: Option<crate::NetworkConfig>,
+    ) {
+        self.engine
+            .schedule(at, Event::NetOverride(override_config));
+    }
+
+    /// Schedules every step of a [`crate::Nemesis`] script.
+    pub fn schedule_nemesis(&mut self, nemesis: &crate::Nemesis) {
+        nemesis.apply(self);
+    }
+
     /// Enqueues a scripted transaction for `client`, to be issued at (or
     /// after) `at` — a busy client picks it up once idle. Scripted
     /// transactions take precedence over the random workload.
@@ -174,6 +199,8 @@ impl Simulation {
                 },
                 Event::Crash(s) => self.engine.crash(s),
                 Event::Recover(s) => self.engine.recover(s),
+                Event::SetPartition(p) => self.engine.set_partition(p),
+                Event::NetOverride(o) => self.engine.set_network_override(o),
                 Event::ClientTick(c) => {
                     self.coordinator
                         .handle_client_tick(&mut self.engine, &mut self.protocol, c);
@@ -298,7 +325,7 @@ mod tests {
         let mut sim = Simulation::new(cfg, proto());
         let report = sim.run();
         assert!(report.consistent, "violations: {}", report.violations);
-        assert!(report.metrics.messages_dropped > 0);
+        assert!(report.metrics.messages_dropped() > 0);
         assert!(report.metrics.ops_ok() > 0);
     }
 

@@ -1,0 +1,278 @@
+//! Nemesis and retry-policy integration tests: scheduled partitions,
+//! correlated level crashes, flapping, drop bursts — operations fail while
+//! the fault holds, recover after it heals, and every execution stays
+//! one-copy consistent. Also pins the retry machinery: exponential backoff
+//! is deterministic per seed and strictly cheaper than fixed-interval
+//! retry under sustained faults.
+
+use arbitree_core::ArbitraryProtocol;
+use arbitree_quorum::SiteId;
+use arbitree_sim::{
+    build_profile, Nemesis, NemesisKind, NetworkConfig, Partition, RetryPolicy, SimConfig,
+    SimDuration, SimReport, SimTime, Simulation, TxnRequest,
+};
+use bytes::Bytes;
+
+fn proto() -> ArbitraryProtocol {
+    ArbitraryProtocol::parse("1-3-5").unwrap()
+}
+
+fn all_sites() -> Vec<SiteId> {
+    (0..proto().tree().replica_count() as u32)
+        .map(SiteId::new)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run partitions
+
+/// A partition formed mid-run makes operations fail while it holds; once it
+/// heals, service resumes. The never-healed control shows the heal matters.
+#[test]
+fn partition_forms_and_heals_mid_run() {
+    let run = |heal: bool| -> SimReport {
+        let config = SimConfig {
+            seed: 11,
+            duration: SimDuration::from_millis(300),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config, proto());
+        // Cut every site off from the clients (sites move to group 1,
+        // clients stay in group 0): nothing can assemble a quorum.
+        sim.schedule_partition(
+            SimTime::from_millis(20),
+            Partition::isolate_sites(all_sites()),
+        );
+        if heal {
+            sim.schedule_partition(SimTime::from_millis(120), Partition::none());
+        }
+        sim.run()
+    };
+
+    let healed = run(true);
+    let stuck = run(false);
+
+    assert!(healed.consistent && stuck.consistent);
+    // Ops failed while the partition held...
+    assert!(healed.metrics.ops_failed() > 0, "{}", healed.metrics);
+    assert!(healed.metrics.dropped_partition > 0);
+    // ...and succeeded again after the heal: the healed run completes far
+    // more work than the one that stays partitioned for 280 of 300 ms.
+    assert!(
+        healed.metrics.ops_ok() > 2 * stuck.metrics.ops_ok(),
+        "healed {} vs stuck {}",
+        healed.metrics.ops_ok(),
+        stuck.metrics.ops_ok()
+    );
+}
+
+/// Crashing one entire physical level annihilates the read quorums (a read
+/// needs one member of *every* physical level), while a fault-free control
+/// run never fails an operation.
+#[test]
+fn level_crash_blocks_operations_until_recovery() {
+    let run = |nemesis: Nemesis| -> SimReport {
+        let config = SimConfig {
+            seed: 23,
+            duration: SimDuration::from_millis(300),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config, proto());
+        sim.schedule_nemesis(&nemesis);
+        sim.run()
+    };
+
+    let p = proto();
+    let level = p.tree().physical_levels()[0];
+    let victims = p.tree().level_sites(level).to_vec();
+    let hit = run(Nemesis::level_crash(
+        &victims,
+        SimTime::from_millis(50),
+        SimDuration::from_millis(100),
+    ));
+    let control = run(Nemesis::none());
+
+    assert!(hit.consistent && control.consistent);
+    assert_eq!(control.metrics.ops_failed(), 0, "{}", control.metrics);
+    assert!(hit.metrics.ops_failed() > 0, "{}", hit.metrics);
+    // Recovery restored service: plenty of operations still succeeded.
+    assert!(hit.metrics.ops_ok() > control.metrics.ops_ok() / 2);
+}
+
+/// A flapping site keeps the coordinators' suspicion sets churning: entries
+/// are raised on timeouts and cleared again by the reprobe path. The tree
+/// is a single physical level, so the write quorum *must* include the
+/// flapper — suspecting it forces the quorum-assembly failure that
+/// triggers the clear.
+#[test]
+fn flapping_churns_suspicions() {
+    let config = SimConfig {
+        seed: 31,
+        duration: SimDuration::from_millis(300),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(config, ArbitraryProtocol::parse("1-3").unwrap());
+    sim.schedule_nemesis(&Nemesis::flapping(
+        SiteId::new(0),
+        SimTime::from_millis(20),
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(10),
+        SimTime::from_millis(280),
+    ));
+    let report = sim.run();
+    assert!(report.consistent);
+    assert!(report.metrics.suspicions_raised > 0, "{}", report.metrics);
+    assert!(report.metrics.suspicions_cleared > 0, "{}", report.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Retry policies
+
+/// Crash every site after the prepare acks land but before the commit
+/// messages deliver: phase 2 must not give up, and once the participants
+/// recover the transaction converges to commit.
+fn commit_gather_run(retry: RetryPolicy) -> SimReport {
+    let config = SimConfig {
+        seed: 5,
+        clients: 1,
+        auto_workload: false,
+        retry,
+        // Zero-jitter network: every hop is exactly 500 µs, so the 2PC
+        // timeline below is exact.
+        network: NetworkConfig {
+            min_latency: SimDuration::from_micros(500),
+            max_latency: SimDuration::from_micros(500),
+            drop_probability: 0.0,
+        },
+        duration: SimDuration::from_millis(60),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(config, proto());
+    sim.schedule_transaction(
+        SimTime::ZERO,
+        arbitree_sim::ClientId(0),
+        TxnRequest::write(arbitree_sim::ObjectId(0), Bytes::from_static(b"v")),
+    );
+    // Timeline: read round 0→1000, prepare 1000→2000 (acks back at 2000),
+    // commit sent at 2000, delivered at 2500. Crash inside (2000, 2500):
+    // every prepared participant is down when the commit arrives.
+    for s in all_sites() {
+        sim.schedule_crash(SimTime::from_micros(2300), s);
+    }
+    for s in all_sites() {
+        sim.schedule_recover(SimTime::from_millis(19), s);
+    }
+    sim.run()
+}
+
+#[test]
+fn commit_gather_converges_after_crash_recovery() {
+    let report = commit_gather_run(RetryPolicy::Fixed);
+    assert!(report.consistent);
+    assert_eq!(report.metrics.txns_ok, 1, "{}", report.metrics);
+    assert_eq!(report.ops_incomplete, 0);
+    // Phase 2 kept re-sending across the 17 ms outage (3 ms timeout).
+    assert!(
+        report.metrics.retries_commit >= 4,
+        "retries_commit = {}",
+        report.metrics.retries_commit
+    );
+}
+
+#[test]
+fn backoff_reduces_commit_resends() {
+    let fixed = commit_gather_run(RetryPolicy::Fixed);
+    let exp = commit_gather_run(RetryPolicy::Exponential {
+        cap: SimDuration::from_millis(24),
+        jitter: 0.0,
+    });
+    // Both converge to the same committed outcome...
+    for r in [&fixed, &exp] {
+        assert!(r.consistent);
+        assert_eq!(r.metrics.txns_ok, 1);
+        assert_eq!(r.ops_incomplete, 0);
+    }
+    // ...but backoff spaces the doomed re-sends out (3, 6, 12 ms instead
+    // of a 3 ms drumbeat), so it spends strictly fewer retries.
+    assert!(
+        exp.metrics.retries_commit < fixed.metrics.retries_commit,
+        "exponential {} vs fixed {}",
+        exp.metrics.retries_commit,
+        fixed.metrics.retries_commit
+    );
+    assert!(exp.metrics.retries_commit >= 1);
+}
+
+/// Under a sustained 50 % message-drop window, exponential backoff fires
+/// fewer timeouts (and sends fewer messages) than fixed-interval retry.
+#[test]
+fn backoff_is_cheaper_under_drop_burst() {
+    let run = |retry: RetryPolicy| -> SimReport {
+        let config = SimConfig {
+            seed: 41,
+            retry,
+            max_attempts: 8,
+            duration: SimDuration::from_millis(300),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config, proto());
+        let burst = Nemesis::drop_burst(
+            NetworkConfig::default(),
+            0.5,
+            SimTime::from_millis(20),
+            SimDuration::from_millis(200),
+        );
+        sim.schedule_nemesis(&burst);
+        sim.run()
+    };
+
+    let fixed = run(RetryPolicy::Fixed);
+    let exp = run(RetryPolicy::Exponential {
+        cap: SimDuration::from_millis(24),
+        jitter: 0.25,
+    });
+    assert!(fixed.consistent && exp.consistent);
+    assert!(
+        exp.metrics.timeouts_fired < fixed.metrics.timeouts_fired,
+        "exponential {} vs fixed {} timeouts",
+        exp.metrics.timeouts_fired,
+        fixed.metrics.timeouts_fired
+    );
+}
+
+/// A chaos run — churn, nemesis, exponential backoff with jitter — is a
+/// pure function of its seed: same seed, byte-identical report; different
+/// seed, different execution.
+#[test]
+fn chaos_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| -> SimReport {
+        let config = SimConfig {
+            seed,
+            retry: RetryPolicy::Exponential {
+                cap: SimDuration::from_millis(24),
+                jitter: 0.5,
+            },
+            duration: SimDuration::from_millis(200),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(config, proto());
+        let nemesis = build_profile(
+            NemesisKind::PartitionCycles,
+            &[vec![SiteId::new(1), SiteId::new(2), SiteId::new(3)]],
+            NetworkConfig::default(),
+            SimDuration::from_millis(200),
+            seed,
+        );
+        sim.schedule_nemesis(&nemesis);
+        sim.run()
+    };
+
+    let a = run(77);
+    let b = run(77);
+    assert_eq!(a, b, "same seed must replay identically");
+    let c = run(78);
+    assert_ne!(
+        a.metrics.messages_sent, c.metrics.messages_sent,
+        "different seeds should diverge"
+    );
+}

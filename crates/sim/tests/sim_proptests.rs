@@ -2,9 +2,10 @@
 //! and network behaviours — one-copy consistency must hold in every
 //! generated execution.
 
-use arbitree_core::ArbitraryProtocol;
+use arbitree_core::{ArbitraryProtocol, ArbitraryTree, TreeSpec};
 use arbitree_sim::{
-    run_simulation, FailureSchedule, NetworkConfig, SimConfig, SimDuration, SimTime, Simulation,
+    build_profile, run_simulation, FailureSchedule, NemesisKind, NetworkConfig, SimConfig,
+    SimDuration, SimTime, Simulation,
 };
 use proptest::prelude::*;
 
@@ -103,5 +104,58 @@ proptest! {
             seed
         );
         prop_assert!(report.metrics.ops_ok() > 0);
+    }
+
+    /// Randomly *generated* trees (not just the fixed spec list) under
+    /// random churn plus a random seeded nemesis profile: every execution
+    /// must stay one-copy consistent. Widths are sorted ascending so the
+    /// generated spec honours the paper's Assumption 3.1 (non-decreasing
+    /// physical level widths).
+    #[test]
+    fn random_trees_under_chaos_are_consistent(
+        seed in 0u64..10_000,
+        widths in proptest::collection::vec(1usize..=4, 1..=3),
+        fail_seed in 0u64..10_000,
+        kind_idx in 0usize..NemesisKind::ALL.len(),
+        nemesis_seed in 0u64..10_000,
+    ) {
+        let mut widths = widths;
+        widths.sort_unstable();
+        let spec = TreeSpec::logical_root(widths.iter().copied());
+        let tree = ArbitraryTree::from_spec(&spec).unwrap();
+        let proto = ArbitraryProtocol::new(tree);
+        let n = proto.tree().replica_count();
+        let levels: Vec<Vec<_>> = proto
+            .tree()
+            .physical_levels()
+            .iter()
+            .map(|&k| proto.tree().level_sites(k).to_vec())
+            .collect();
+        let duration = SimDuration::from_millis(80);
+        let config = config_from(seed, 0.6, 0.02, true);
+        let schedule = FailureSchedule::random(
+            n,
+            duration,
+            SimDuration::from_millis(25),
+            SimDuration::from_millis(8),
+            fail_seed,
+        );
+        let nemesis = build_profile(
+            NemesisKind::ALL[kind_idx],
+            &levels,
+            config.network,
+            duration,
+            nemesis_seed,
+        );
+        let mut sim = Simulation::new(config, proto);
+        schedule.apply(&mut sim);
+        sim.schedule_nemesis(&nemesis);
+        let report = sim.run();
+        prop_assert!(
+            report.consistent,
+            "widths {widths:?} seed {seed} nemesis {:?}: {} violations",
+            NemesisKind::ALL[kind_idx],
+            report.violations
+        );
     }
 }

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/arbitree_sim-78ff146298e667ac.d: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs Cargo.toml
+/root/repo/target/debug/deps/arbitree_sim-78ff146298e667ac.d: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/nemesis.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs Cargo.toml
 
-/root/repo/target/debug/deps/libarbitree_sim-78ff146298e667ac.rmeta: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs Cargo.toml
+/root/repo/target/debug/deps/libarbitree_sim-78ff146298e667ac.rmeta: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/nemesis.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/checker.rs:
@@ -14,6 +14,7 @@ crates/sim/src/history.rs:
 crates/sim/src/locks.rs:
 crates/sim/src/message.rs:
 crates/sim/src/metrics.rs:
+crates/sim/src/nemesis.rs:
 crates/sim/src/network.rs:
 crates/sim/src/sim.rs:
 crates/sim/src/site.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-2428e8d1762d542a.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-2428e8d1762d542a: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

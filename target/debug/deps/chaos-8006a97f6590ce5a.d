@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-8006a97f6590ce5a.d: crates/sim/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-8006a97f6590ce5a.rmeta: crates/sim/tests/chaos.rs Cargo.toml
+
+crates/sim/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

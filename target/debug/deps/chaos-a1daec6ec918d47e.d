@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-a1daec6ec918d47e.d: crates/bench/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-a1daec6ec918d47e.rmeta: crates/bench/src/bin/chaos.rs Cargo.toml
+
+crates/bench/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-aa9dbc6a68fa0445.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-aa9dbc6a68fa0445: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

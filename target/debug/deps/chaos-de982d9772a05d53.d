@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-de982d9772a05d53.d: crates/sim/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-de982d9772a05d53: crates/sim/tests/chaos.rs
+
+crates/sim/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_test-845399b751a569f9.d: crates/sim/tests/dbg_test.rs
+
+/root/repo/target/debug/deps/dbg_test-845399b751a569f9: crates/sim/tests/dbg_test.rs
+
+crates/sim/tests/dbg_test.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/foundations-a258f7ff141c4978.d: crates/bench/benches/foundations.rs
+
+/root/repo/target/debug/deps/foundations-a258f7ff141c4978: crates/bench/benches/foundations.rs
+
+crates/bench/benches/foundations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quorum_ops-94c3f31f7ae07761.d: crates/bench/benches/quorum_ops.rs
+
+/root/repo/target/debug/deps/quorum_ops-94c3f31f7ae07761: crates/bench/benches/quorum_ops.rs
+
+crates/bench/benches/quorum_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-c090397bcd2c3f1f.d: crates/bench/benches/simulation.rs
+
+/root/repo/target/debug/deps/simulation-c090397bcd2c3f1f: crates/bench/benches/simulation.rs
+
+crates/bench/benches/simulation.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/arbitree_sim-2d075fc123b4bd7f.d: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs
+/root/repo/target/release/deps/arbitree_sim-2d075fc123b4bd7f.d: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/nemesis.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs
 
-/root/repo/target/release/deps/libarbitree_sim-2d075fc123b4bd7f.rlib: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs
+/root/repo/target/release/deps/libarbitree_sim-2d075fc123b4bd7f.rlib: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/nemesis.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs
 
-/root/repo/target/release/deps/libarbitree_sim-2d075fc123b4bd7f.rmeta: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs
+/root/repo/target/release/deps/libarbitree_sim-2d075fc123b4bd7f.rmeta: crates/sim/src/lib.rs crates/sim/src/checker.rs crates/sim/src/config.rs crates/sim/src/coordinator.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/failure.rs crates/sim/src/harness.rs crates/sim/src/history.rs crates/sim/src/locks.rs crates/sim/src/message.rs crates/sim/src/metrics.rs crates/sim/src/nemesis.rs crates/sim/src/network.rs crates/sim/src/sim.rs crates/sim/src/site.rs crates/sim/src/storage.rs crates/sim/src/time.rs crates/sim/src/txn.rs crates/sim/src/workload.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/checker.rs:
@@ -16,6 +16,7 @@ crates/sim/src/history.rs:
 crates/sim/src/locks.rs:
 crates/sim/src/message.rs:
 crates/sim/src/metrics.rs:
+crates/sim/src/nemesis.rs:
 crates/sim/src/network.rs:
 crates/sim/src/sim.rs:
 crates/sim/src/site.rs:

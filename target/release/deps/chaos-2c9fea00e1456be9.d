@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-2c9fea00e1456be9.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-2c9fea00e1456be9: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/example_3_4-8066b86e12a1bad0.d: crates/bench/src/bin/example_3_4.rs
+
+/root/repo/target/release/deps/example_3_4-8066b86e12a1bad0: crates/bench/src/bin/example_3_4.rs
+
+crates/bench/src/bin/example_3_4.rs:

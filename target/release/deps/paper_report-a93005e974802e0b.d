@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_report-a93005e974802e0b.d: crates/bench/src/bin/paper_report.rs
+
+/root/repo/target/release/deps/paper_report-a93005e974802e0b: crates/bench/src/bin/paper_report.rs
+
+crates/bench/src/bin/paper_report.rs:

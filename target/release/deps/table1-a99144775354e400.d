@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-a99144775354e400.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-a99144775354e400: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:
