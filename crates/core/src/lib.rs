@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod builder;
+pub mod collections;
 mod error;
 mod metrics;
 pub mod planner;
@@ -65,6 +66,7 @@ mod spec;
 mod timestamp;
 mod tree;
 
+pub use collections::{DetMap, DetSet};
 pub use error::TreeError;
 pub use metrics::{
     algorithm1_read_availability_limit, algorithm1_write_availability_limit, TreeMetrics,

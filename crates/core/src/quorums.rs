@@ -93,7 +93,8 @@ impl Iterator for ReadQuorums<'_> {
                     consumed = consumed * self.tree.level_physical(k) as u128
                         + self.cursor.as_ref().expect("checked Some")[i] as u128;
                 }
-                let rem = (total - consumed) as usize;
+                let rem = usize::try_from(total - consumed)
+                    .expect("remaining count bounded by the total <= usize::MAX guard");
                 (rem, Some(rem))
             }
             _ => (usize::MAX, None),

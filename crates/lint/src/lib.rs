@@ -1,0 +1,429 @@
+//! # arbitree-lint
+//!
+//! A self-contained static-analysis pass for the workspace's determinism
+//! and quorum-math invariants. The simulator's headline guarantee — a run
+//! is a pure function of its seed, replaying byte-for-byte — is easy to
+//! break silently: one raw `HashMap` iteration in a send loop, one
+//! `Instant::now()`, one `thread_rng()`, and replays diverge while every
+//! functional test still passes. This crate turns those conventions into
+//! checked rules (see [`rules::RULES`]):
+//!
+//! | rule | catches |
+//! |------|---------|
+//! | D001 | `HashMap`/`HashSet` in replay-critical crates |
+//! | D002 | wall-clock time outside `crates/sim/src/time.rs` |
+//! | D003 | unseeded RNG (`thread_rng`, `from_entropy`) |
+//! | D004 | `as usize`/`as u32`/`as u64` casts in quorum arithmetic |
+//! | D005 | `unwrap()`/`expect()` in simulator hot paths |
+//!
+//! Findings a human has judged safe are suppressed inline — the directive
+//! **requires a reason**, so every exception is self-documenting:
+//!
+//! ```text
+//! // arbitree-lint: allow(D005) — index < len by construction two lines up
+//! ```
+//!
+//! A bare `allow(DXXX)` without a reason does not suppress and is itself
+//! reported (rule D000). The binary exits nonzero on any unsuppressed
+//! diagnostic; `--format json` emits machine-readable output for CI.
+//!
+//! Built on a hand-rolled scanner ([`scanner`]) rather than `syn`: the
+//! build environment has no registry access (see `vendor/`), and
+//! token-level matching over comment/string-stripped lines is all these
+//! rules need.
+
+pub mod rules;
+pub mod scanner;
+
+use rules::{MALFORMED_SUPPRESSION, RULES};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`D001`…, or `D000` for malformed suppressions).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    hint: {}",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Result of linting: surviving diagnostics plus suppression bookkeeping.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, in (path, line, rule) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by a well-formed `allow(...)` directive.
+    pub suppressed: usize,
+}
+
+/// A parsed `arbitree-lint:` directive.
+#[derive(Debug)]
+struct Directive {
+    rule_ids: Vec<String>,
+    has_reason: bool,
+    /// 0-based line the directive appears on.
+    line: usize,
+}
+
+/// Extracts the `arbitree-lint:` directive from one line's comment text.
+///
+/// The marker must *start* the comment (after `//`, doc-comment `/`/`!` and
+/// whitespace) — prose that merely mentions `arbitree-lint:` mid-sentence
+/// is not a directive.
+fn parse_directive(comment: &str, line: usize) -> Option<Directive> {
+    let trimmed =
+        comment.trim_start_matches(|c: char| c.is_whitespace() || c == '/' || c == '!' || c == '*');
+    let rest = trimmed.strip_prefix("arbitree-lint:")?.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Some(Directive {
+            rule_ids: Vec::new(),
+            has_reason: false,
+            line,
+        });
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(Directive {
+            rule_ids: Vec::new(),
+            has_reason: false,
+            line,
+        });
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Directive {
+            rule_ids: Vec::new(),
+            has_reason: false,
+            line,
+        });
+    };
+    let rule_ids: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    // Everything after `)` past separator punctuation must be a real reason.
+    let reason = rest[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | '.'))
+        .trim();
+    Some(Directive {
+        rule_ids,
+        has_reason: !reason.is_empty(),
+        line,
+    })
+}
+
+/// Lints a single file's source under its logical workspace path (forward
+/// slashes, e.g. `crates/sim/src/engine.rs`). Path scoping, `#[cfg(test)]`
+/// exclusion and suppression directives all apply.
+pub fn lint_source(path: &str, source: &str) -> LintReport {
+    let scanned = scanner::scan(source);
+    let mut directives: Vec<Option<Directive>> = Vec::with_capacity(scanned.comments.len());
+    for (idx, comment) in scanned.comments.iter().enumerate() {
+        directives.push(parse_directive(comment, idx));
+    }
+
+    let mut report = LintReport::default();
+
+    // A directive suppresses findings on its own line and on the line below
+    // (the idiomatic "comment above the offending statement" placement).
+    let allows = |line: usize, rule: &str| -> Option<bool> {
+        for candidate in [Some(line), line.checked_sub(1)] {
+            let d = candidate
+                .and_then(|l| directives.get(l))
+                .and_then(|d| d.as_ref());
+            if let Some(d) = d {
+                if d.rule_ids.iter().any(|id| id == rule) {
+                    return Some(d.has_reason);
+                }
+            }
+        }
+        None
+    };
+
+    for (idx, code) in scanned.code.iter().enumerate() {
+        if scanned.is_test[idx] {
+            continue;
+        }
+        for rule in RULES {
+            if !rule.in_scope(path) || !rule.matches(code) {
+                continue;
+            }
+            match allows(idx, rule.id) {
+                Some(true) => report.suppressed += 1,
+                // A reason-less allow neither suppresses nor goes unnoticed;
+                // D000 is reported once per directive below.
+                Some(false) | None => report.diagnostics.push(Diagnostic {
+                    rule: rule.id,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!("{} ({})", rule.summary, snippet(code)),
+                    hint: rule.hint,
+                }),
+            }
+        }
+    }
+
+    // Malformed directives are findings in their own right.
+    for d in directives.iter().flatten() {
+        let malformed = d.rule_ids.is_empty() || !d.has_reason;
+        if malformed {
+            report.diagnostics.push(Diagnostic {
+                rule: MALFORMED_SUPPRESSION.id,
+                path: path.to_string(),
+                line: d.line + 1,
+                message: if d.rule_ids.is_empty() {
+                    "directive is not of the form `allow(DXXX)`".to_string()
+                } else {
+                    format!(
+                        "suppression of {} has no reason — say why the finding is safe",
+                        d.rule_ids.join(", ")
+                    )
+                },
+                hint: MALFORMED_SUPPRESSION.hint,
+            });
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    report
+}
+
+/// A short excerpt of the offending line for the diagnostic message.
+fn snippet(code: &str) -> String {
+    let trimmed = code.trim();
+    let mut out: String = trimmed.chars().take(60).collect();
+    if trimmed.chars().count() > 60 {
+        out.push('…');
+    }
+    out
+}
+
+/// Directories never walked: build output, vendored stand-ins, test-only
+/// trees (integration tests, benches, and the lint's own fixtures).
+const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures", ".git"];
+
+/// Collects every in-scope `.rs` file under `root`, sorted for stable
+/// output: crate sources (`crates/*/src`), the facade crate (`src/`), and
+/// `examples/`.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for file in workspace_files(root)? {
+        let source = std::fs::read_to_string(&file)?;
+        let logical = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file_report = lint_source(&logical, &source);
+        report.diagnostics.extend(file_report.diagnostics);
+        report.suppressed += file_report.suppressed;
+    }
+    Ok(report)
+}
+
+/// Renders diagnostics as human-readable text.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{} diagnostic(s), {} suppressed\n",
+        report.diagnostics.len(),
+        report.suppressed
+    ));
+    out
+}
+
+/// Renders diagnostics as a JSON document for CI.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"hint\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message),
+            json_escape(d.hint)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"count\": {},\n  \"suppressed\": {}\n}}\n",
+        report.diagnostics.len(),
+        report.suppressed
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM_PATH: &str = "crates/sim/src/fixture.rs";
+
+    #[test]
+    fn finding_reported_with_location() {
+        let report = lint_source(SIM_PATH, "use std::collections::HashMap;\n");
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!((d.rule, d.line), ("D001", 1));
+        assert!(d.message.contains("HashMap"));
+    }
+
+    #[test]
+    fn suppression_with_reason_silences() {
+        let src = "// arbitree-lint: allow(D001) — bench-only scratch map, never iterated\n\
+                   use std::collections::HashMap;\n";
+        let report = lint_source(SIM_PATH, src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn same_line_suppression() {
+        let src = "use std::collections::HashMap; // arbitree-lint: allow(D001) — scratch\n";
+        let report = lint_source(SIM_PATH, src);
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn bare_allow_is_rejected_and_reported() {
+        let src = "// arbitree-lint: allow(D001)\nuse std::collections::HashMap;\n";
+        let report = lint_source(SIM_PATH, src);
+        let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        // The original finding survives AND the directive itself is flagged.
+        assert!(rules.contains(&"D001"), "{rules:?}");
+        assert!(rules.contains(&"D000"), "{rules:?}");
+        assert_eq!(report.suppressed, 0);
+    }
+
+    #[test]
+    fn suppression_of_other_rule_does_not_apply() {
+        let src = "// arbitree-lint: allow(D002) — wrong rule\nuse std::collections::HashMap;\n";
+        let report = lint_source(SIM_PATH, src);
+        assert!(report.diagnostics.iter().any(|d| d.rule == "D001"));
+    }
+
+    #[test]
+    fn multi_rule_directive() {
+        let src = "// arbitree-lint: allow(D001, D005) — scratch map + checked index\n\
+                   let x: HashMap<u32, u32> = scratch().unwrap();\n";
+        let report = lint_source(SIM_PATH, src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressed, 2);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { x.unwrap(); }\n}\n";
+        let report = lint_source(SIM_PATH, src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn out_of_scope_path_is_clean() {
+        let report = lint_source(
+            "crates/analysis/src/stats.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// a HashMap in prose\nlet s = \"Instant::now\";\n";
+        let report = lint_source(SIM_PATH, src);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let report = lint_source(SIM_PATH, "use std::collections::HashMap;\n");
+        let json = render_json(&report);
+        assert!(json.contains("\"rule\": \"D001\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"line\": 1"));
+        let empty = render_json(&LintReport::default());
+        assert!(empty.contains("\"count\": 0"));
+        assert!(empty.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

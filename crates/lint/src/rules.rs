@@ -1,0 +1,238 @@
+//! The determinism & quorum-math rules.
+//!
+//! Each rule matches tokens on the *sanitized* code channel produced by
+//! [`crate::scanner`], so occurrences inside comments, strings or test
+//! modules never fire. Rules are scoped by logical path (workspace-relative,
+//! forward slashes) — see [`Rule::in_scope`].
+
+/// A lint rule: identifier, what it catches, and how to fix it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable rule identifier (`D001`…).
+    pub id: &'static str,
+    /// One-line description of the defect class.
+    pub summary: &'static str,
+    /// Suggested fix, shown with every diagnostic.
+    pub hint: &'static str,
+}
+
+/// Every rule the linter knows, in report order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D001",
+        summary: "nondeterministic collection in replay-critical code",
+        hint: "use arbitree_core::DetMap / DetSet (insertion-ordered, seed-stable iteration)",
+    },
+    Rule {
+        id: "D002",
+        summary: "wall-clock time in simulated code",
+        hint: "use crate::time::SimTime / SimDuration; only crates/sim/src/time.rs may touch the host clock",
+    },
+    Rule {
+        id: "D003",
+        summary: "unseeded RNG in library code",
+        hint: "thread the run's StdRng::seed_from_u64 RNG through instead of ambient entropy",
+    },
+    Rule {
+        id: "D004",
+        summary: "narrowing `as` cast in quorum arithmetic",
+        hint: "use u128 intermediates, checked division, or TryFrom with an explicit bound",
+    },
+    Rule {
+        id: "D005",
+        summary: "unwrap/expect in simulator hot path",
+        hint: "surface the failure (SimError / saturating default) or suppress with the invariant that makes the panic unreachable",
+    },
+];
+
+/// The rule id used for malformed suppression directives (reported by the
+/// suppression layer in `lib.rs`, not matched against code).
+pub const MALFORMED_SUPPRESSION: Rule = Rule {
+    id: "D000",
+    summary: "malformed arbitree-lint suppression",
+    hint: "write `// arbitree-lint: allow(DXXX) — reason` with a non-empty reason",
+};
+
+/// Looks up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+impl Rule {
+    /// Whether this rule applies to the file at `path` (logical,
+    /// workspace-relative, forward slashes).
+    pub fn in_scope(&self, path: &str) -> bool {
+        match self.id {
+            // Replay-critical crates: the simulator and the quorum layer it
+            // drives. Iteration order there leaks into event order/metrics.
+            "D001" => path.starts_with("crates/sim/src/") || path.starts_with("crates/quorum/src/"),
+            // The simulated clock is the only legitimate time source; the
+            // one exemption is the module that defines it.
+            "D002" => path != "crates/sim/src/time.rs",
+            // All library code: an entropy-seeded RNG anywhere breaks the
+            // "run = f(seed)" contract.
+            "D003" => true,
+            // Quorum arithmetic: availability/load math where a silent
+            // truncation skews results instead of crashing.
+            "D004" => {
+                path.starts_with("crates/quorum/src/") || path == "crates/core/src/quorums.rs"
+            }
+            // Simulator hot paths should degrade into SimReport anomalies,
+            // not panics that kill a 10^6-event run.
+            "D005" => path.starts_with("crates/sim/src/"),
+            _ => false,
+        }
+    }
+
+    /// Whether this rule matches the (sanitized) code line.
+    pub fn matches(&self, code: &str) -> bool {
+        match self.id {
+            "D001" => has_ident(code, "HashMap") || has_ident(code, "HashSet"),
+            "D002" => has_path(code, "Instant", "now") || has_ident(code, "SystemTime"),
+            "D003" => has_ident(code, "thread_rng") || has_ident(code, "from_entropy"),
+            "D004" => has_narrowing_cast(code),
+            "D005" => has_method_call(code, "unwrap") || has_method_call(code, "expect"),
+            _ => false,
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Word-boundary occurrence of `word` in `code`.
+fn has_ident(code: &str, word: &str) -> bool {
+    find_ident(code, word, 0).is_some()
+}
+
+/// Byte offset of the next word-boundary occurrence of `word` at or after
+/// `from`.
+fn find_ident(code: &str, word: &str, from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(rel) = code.get(start..)?.find(word) {
+        let pos = start + rel;
+        let before_ok = pos == 0 || !code[..pos].chars().next_back().is_some_and(is_ident_char);
+        let after_ok = !code[pos + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + word.len();
+    }
+    None
+}
+
+/// Matches `first :: second` with optional whitespace around the `::`.
+fn has_path(code: &str, first: &str, second: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = find_ident(code, first, from) {
+        let rest = code[pos + first.len()..].trim_start();
+        if let Some(r) = rest.strip_prefix("::") {
+            let r = r.trim_start();
+            if r.starts_with(second) && !r[second.len()..].chars().next().is_some_and(is_ident_char)
+            {
+                return true;
+            }
+        }
+        from = pos + first.len();
+    }
+    false
+}
+
+/// Matches `. name (` — a method call, tolerating whitespace.
+fn has_method_call(code: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = find_ident(code, name, from) {
+        let before = code[..pos].trim_end();
+        let after = code[pos + name.len()..].trim_start();
+        if before.ends_with('.') && after.starts_with('(') {
+            return true;
+        }
+        from = pos + name.len();
+    }
+    false
+}
+
+/// Matches `as usize`, `as u32` or `as u64` (token-level).
+fn has_narrowing_cast(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = find_ident(code, "as", from) {
+        let after = code[pos + 2..].trim_start();
+        for ty in ["usize", "u32", "u64"] {
+            if after.starts_with(ty) && !after[ty.len()..].chars().next().is_some_and(is_ident_char)
+            {
+                return true;
+            }
+        }
+        from = pos + 2;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(id: &str) -> &'static Rule {
+        rule_by_id(id).expect("known rule")
+    }
+
+    #[test]
+    fn d001_matches_collections() {
+        assert!(rule("D001").matches("use std::collections::HashMap;"));
+        assert!(rule("D001").matches("let s: HashSet<u32> = HashSet::new();"));
+        assert!(!rule("D001").matches("let m = DetMap::new();"));
+        // Word boundaries: no firing on supersets of the name.
+        assert!(!rule("D001").matches("struct MyHashMapLike;"));
+    }
+
+    #[test]
+    fn d002_matches_wall_clock() {
+        assert!(rule("D002").matches("let t = Instant::now();"));
+        assert!(rule("D002").matches("let t = std::time::SystemTime::now();"));
+        assert!(rule("D002").matches("Instant :: now()"));
+        assert!(!rule("D002").matches("let now = engine.now;"));
+        assert!(!rule("D002").matches("instant_replay(now)"));
+    }
+
+    #[test]
+    fn d003_matches_unseeded_rng() {
+        assert!(rule("D003").matches("let mut rng = rand::thread_rng();"));
+        assert!(rule("D003").matches("let rng = StdRng::from_entropy();"));
+        assert!(!rule("D003").matches("let rng = StdRng::seed_from_u64(7);"));
+    }
+
+    #[test]
+    fn d004_matches_casts() {
+        assert!(rule("D004").matches("let x = bits() as u32;"));
+        assert!(rule("D004").matches("(total - consumed) as usize"));
+        assert!(rule("D004").matches("n as  u64"));
+        assert!(!rule("D004").matches("let x = y as u128;"));
+        assert!(!rule("D004").matches("let assume = 3;"));
+    }
+
+    #[test]
+    fn d005_matches_panicky_calls() {
+        assert!(rule("D005").matches("let v = m.get(&k).unwrap();"));
+        assert!(rule("D005").matches("state.expect(\"txn exists\")"));
+        assert!(rule("D005").matches("  .expect (\"msg\")"));
+        assert!(!rule("D005").matches("fn unwrap_all() {}"));
+        assert!(!rule("D005").matches("self.expect_more = true;"));
+    }
+
+    #[test]
+    fn scoping() {
+        assert!(rule("D001").in_scope("crates/sim/src/coordinator.rs"));
+        assert!(rule("D001").in_scope("crates/quorum/src/traits.rs"));
+        assert!(!rule("D001").in_scope("crates/analysis/src/stats.rs"));
+        assert!(rule("D002").in_scope("crates/analysis/src/stats.rs"));
+        assert!(!rule("D002").in_scope("crates/sim/src/time.rs"));
+        assert!(rule("D004").in_scope("crates/core/src/quorums.rs"));
+        assert!(!rule("D004").in_scope("crates/core/src/tree.rs"));
+        assert!(rule("D005").in_scope("crates/sim/src/engine.rs"));
+        assert!(!rule("D005").in_scope("crates/core/src/tree.rs"));
+    }
+}

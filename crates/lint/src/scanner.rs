@@ -1,0 +1,380 @@
+//! A lightweight single-pass Rust scanner.
+//!
+//! This is deliberately **not** a parser: the lint rules only need to know,
+//! per line, (a) which characters are code as opposed to comments or literal
+//! contents, (b) the text of any comments (for suppression directives), and
+//! (c) whether the line sits inside a `#[cfg(test)]`-gated item. The scanner
+//! strips comments, string/char literals and lifetimes from the code channel
+//! so that downstream token matching never fires on `"HashMap"` inside a
+//! string or on a doc-comment example.
+//!
+//! Handled: line & (nested) block comments, string literals with escapes,
+//! raw strings `r"…"`/`r#"…"#` (any hash depth), byte strings `b"…"`,
+//! byte/char literals, raw identifiers `r#foo`, and the lifetime/char-literal
+//! ambiguity (`'a` vs `'a'`).
+
+/// Per-line decomposition of a source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Line text with comments and literal contents blanked out.
+    pub code: Vec<String>,
+    /// Comment text found on each line (empty string if none).
+    pub comments: Vec<String>,
+    /// Whether the line is inside a `#[cfg(test)]`-gated braced item.
+    pub is_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scans `source` into per-line code/comment channels and test-region marks.
+pub fn scan(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    // Whether the previous code character can end an identifier (so an `r`
+    // or `b` here is part of a name, not a literal prefix).
+    let mut prev_ident = false;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push(' ');
+                    prev_ident = false;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    if let Some((new_state, consumed)) = literal_prefix(&chars, i) {
+                        state = new_state;
+                        code.push(' ');
+                        prev_ident = false;
+                        i += consumed;
+                    } else {
+                        code.push(c);
+                        prev_ident = true;
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    let lifetime =
+                        n1.is_some_and(|ch| ch.is_alphabetic() || ch == '_') && n2 != Some('\'');
+                    if lifetime {
+                        // Drop the quote; the name itself stays in the code
+                        // channel, where it is harmless.
+                        code.push(' ');
+                    } else {
+                        state = State::CharLit;
+                        code.push(' ');
+                    }
+                    prev_ident = false;
+                    i += 1;
+                } else {
+                    code.push(c);
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        code.push(' ');
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Keep a `\<newline>` continuation visible to the `\n`
+                    // branch so line numbers stay exact.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#')) {
+                    state = State::Code;
+                    code.push(' ');
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A trailing newline already flushed the final line; don't add a
+    // phantom empty one.
+    if !source.is_empty() && !source.ends_with('\n') {
+        code_lines.push(code);
+        comment_lines.push(comment);
+    }
+
+    let is_test = test_regions(&code_lines);
+    ScannedFile {
+        code: code_lines,
+        comments: comment_lines,
+        is_test,
+    }
+}
+
+/// Recognizes `r"`, `r#"…`, `b"`, `br"`, `br#"…` and `b'` at position `i`.
+/// Returns the literal state and how many chars the prefix+opener consumes.
+/// `r#ident` (raw identifiers) fall through to `None`.
+fn literal_prefix(chars: &[char], i: usize) -> Option<(State, usize)> {
+    let c = chars[i];
+    let rest = &chars[i + 1..];
+    match c {
+        'r' => raw_opener(rest).map(|(h, len)| (State::RawStr(h), 1 + len)),
+        'b' => match rest.first() {
+            Some('"') => Some((State::Str, 2)),
+            Some('\'') => Some((State::CharLit, 2)),
+            Some('r') => raw_opener(&rest[1..]).map(|(h, len)| (State::RawStr(h), 2 + len)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Matches `#…#"` (possibly zero hashes) and returns (hash count, length).
+fn raw_opener(rest: &[char]) -> Option<(u32, usize)> {
+    let hashes = rest.iter().take_while(|&&ch| ch == '#').count();
+    if rest.get(hashes) == Some(&'"') {
+        Some((hashes as u32, hashes + 1))
+    } else {
+        None
+    }
+}
+
+/// Marks every line belonging to a `#[cfg(test)]`-gated braced item (the
+/// attribute line through the matching closing brace). Works on the
+/// sanitized code channel, so braces in strings or comments cannot skew the
+/// depth count.
+fn test_regions(code_lines: &[String]) -> Vec<bool> {
+    let joined = code_lines.join("\n");
+    let chars: Vec<char> = joined.chars().collect();
+    // Offset of each line start in `joined`.
+    let mut line_starts = vec![0usize];
+    for (idx, &c) in chars.iter().enumerate() {
+        if c == '\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+    let line_of = |pos: usize| match line_starts.binary_search(&pos) {
+        Ok(l) => l,
+        Err(l) => l - 1,
+    };
+
+    let mut marks = vec![false; code_lines.len()];
+    let mut i = 0;
+    while i < chars.len() {
+        let Some(after_attr) = match_cfg_test(&chars, i) else {
+            i += 1;
+            continue;
+        };
+        let attr_line = line_of(i);
+        // Find the gated item's opening brace. A `;` at this level first
+        // means an external module (`mod tests;`) — nothing to mark here.
+        let mut j = after_attr;
+        let mut open = None;
+        while j < chars.len() {
+            match chars[j] {
+                '{' => {
+                    open = Some(j);
+                    break;
+                }
+                ';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else {
+            i = after_attr;
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut close = chars.len() - 1;
+        for (k, &ch) in chars.iter().enumerate().skip(open) {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for line in marks.iter_mut().take(line_of(close) + 1).skip(attr_line) {
+            *line = true;
+        }
+        i = close + 1;
+    }
+    marks
+}
+
+/// Matches `#[cfg(test)]` (whitespace-tolerant) starting at `i`; returns the
+/// position just past the closing `]`.
+fn match_cfg_test(chars: &[char], i: usize) -> Option<usize> {
+    if chars.get(i) != Some(&'#') {
+        return None;
+    }
+    let mut p = i + 1;
+    for part in ["[", "cfg", "(", "test", ")", "]"] {
+        while chars.get(p).is_some_and(|c| c.is_whitespace()) {
+            p += 1;
+        }
+        let pat: Vec<char> = part.chars().collect();
+        if chars[p..].starts_with(&pat[..]) {
+            p += pat.len();
+        } else {
+            return None;
+        }
+    }
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_from_code() {
+        let s = scan("let x = 1; // HashMap here\n/* HashSet\n   there */ let y = 2;\n");
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(s.comments[0].contains("HashMap here"));
+        assert!(!s.code[1].contains("HashSet"));
+        assert!(s.code[2].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let s = scan(r##"let a = "HashMap"; let b = r#"Instant::now"# ; let c = 'x';"##);
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(!s.code[0].contains("Instant"));
+        assert!(s.code[0].contains("let a ="));
+        assert!(s.code[0].contains("let c ="));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x } // thread_rng\n");
+        assert!(s.code[0].contains("fn f<"));
+        assert!(s.code[0].contains("{ x }"));
+        assert!(!s.code[0].contains("thread_rng"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("a /* one /* two */ still comment */ b\n");
+        assert!(s.code[0].contains('a'));
+        assert!(s.code[0].contains('b'));
+        assert!(!s.code[0].contains("still"));
+        assert!(s.comments[0].contains("one"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scan("let x = r##\"quote \" and HashMap\"## + 1;\n");
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(s.code[0].contains("+ 1;"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let s = scan("let v = b\"HashMap\"; let c = b'x'; let br = br#\"SystemTime\"#;\n");
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(!s.code[0].contains("SystemTime"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert_eq!(s.is_test, [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn() {
+        let src = "#[cfg(test)]\nfn helper() {\n    body();\n}\nfn live() {}\n";
+        let s = scan(src);
+        assert_eq!(s.is_test, [true, true, true, true, false]);
+    }
+
+    #[test]
+    fn external_test_mod_marks_nothing_else() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test[2]);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let s = scan("let x = \"a \\\" HashMap \\\" b\"; done();\n");
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(s.code[0].contains("done();"));
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/sim/src/fixture.rs
+use std::collections::HashMap; //~ D001
+use std::collections::HashSet; //~ D001
+
+pub fn scratch() {
+    let m: HashMap<u32, u32> = HashMap::new(); //~ D001
+    let s = HashSet::from([1u32]); //~ D001
+    drop((m, s));
+}

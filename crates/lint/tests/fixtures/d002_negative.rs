@@ -1,0 +1,8 @@
+//@ path: crates/sim/src/time.rs
+// The simulated-clock module itself is the one place allowed to touch the
+// host clock, so nothing here fires.
+use std::time::Instant;
+
+pub fn origin() -> Instant {
+    Instant::now()
+}

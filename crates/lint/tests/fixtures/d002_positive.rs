@@ -1,0 +1,7 @@
+//@ path: crates/analysis/src/stats.rs
+use std::time::{Instant, SystemTime}; //~ D002
+
+pub fn stamp() -> Instant {
+    let _wall = SystemTime::now(); //~ D002
+    Instant::now() //~ D002
+}

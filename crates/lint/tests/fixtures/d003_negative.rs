@@ -1,0 +1,10 @@
+//@ path: crates/analysis/src/fixture.rs
+// thread_rng is banned everywhere; explicit seeding is the replacement.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn seeded(seed: u64) -> StdRng {
+    let banner = "from_entropy in a string is inert";
+    let _ = banner;
+    StdRng::seed_from_u64(seed)
+}

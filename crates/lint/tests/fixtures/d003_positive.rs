@@ -1,0 +1,9 @@
+//@ path: crates/analysis/src/fixture.rs
+use rand::{thread_rng, Rng}; //~ D003
+
+pub fn ambient() -> u64 {
+    let mut rng = thread_rng(); //~ D003
+    let other = rand::rngs::StdRng::from_entropy(); //~ D003
+    drop(other);
+    rng.gen()
+}

@@ -1,0 +1,7 @@
+//@ path: crates/quorum/src/fixture.rs
+// Widening `as` casts are fine — only usize/u32/u64 narrowings fire — and
+// `as` inside an identifier (`assume`) is not a cast keyword.
+pub fn widened(n: u32, total: u64) -> u128 {
+    let assume = u128::from(n);
+    assume + total as u128
+}

@@ -1,0 +1,6 @@
+//@ path: crates/quorum/src/fixture.rs
+pub fn truncates(total: u128, bits: u64) -> usize {
+    let mask = bits as u32; //~ D004
+    let wide = total as u64; //~ D004
+    mask as usize + wide as usize //~ D004
+}

@@ -1,0 +1,15 @@
+//@ path: crates/sim/src/fixture.rs
+// Defining an `unwrap` function or an `expect_*` field is fine; only
+// method *calls* fire, and `#[cfg(test)]` code is exempt entirely.
+pub fn unwrap_all() -> bool {
+    let expect_more = true;
+    expect_more
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_may_panic() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/sim/src/fixture.rs
+use arbitree_core::DetMap;
+
+pub fn hot(map: &DetMap<u32, u32>) -> u32 {
+    let a = map.get(&1).unwrap(); //~ D005
+    let b = map.get(&2).expect("present"); //~ D005
+    *a + *b
+}

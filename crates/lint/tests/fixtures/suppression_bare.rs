@@ -1,0 +1,8 @@
+//@ path: crates/sim/src/fixture.rs
+use arbitree_core::DetMap;
+
+pub fn unjustified(map: &DetMap<u32, u32>) -> u32 {
+    //~v D000
+    // arbitree-lint: allow(D005)
+    *map.get(&1).unwrap() //~ D005
+}

@@ -1,0 +1,7 @@
+//@ path: crates/sim/src/fixture.rs
+use arbitree_core::DetMap;
+
+pub fn justified(map: &DetMap<u32, u32>) -> u32 {
+    // arbitree-lint: allow(D005) — the key is inserted unconditionally above
+    *map.get(&1).unwrap()
+}

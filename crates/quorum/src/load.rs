@@ -50,7 +50,6 @@ pub const LOAD_TOLERANCE: f64 = 1e-7;
 /// always feasible and `L ≥ 0`).
 pub fn optimal_load(system: &SetSystem) -> (f64, Strategy) {
     let m = system.len();
-    let n = system.universe().len();
     // Variables: w_0..w_{m-1}, then L.
     let mut objective = vec![0.0; m + 1];
     objective[m] = 1.0;
@@ -60,10 +59,10 @@ pub fn optimal_load(system: &SetSystem) -> (f64, Strategy) {
     norm[..m].fill(1.0);
     lp.add_constraint(norm, Relation::Eq, 1.0);
 
-    for i in 0..n {
+    for site in system.universe().sites() {
         let mut row = vec![0.0; m + 1];
         for (j, s) in system.sets().iter().enumerate() {
-            if s.contains(crate::SiteId::new(i as u32)) {
+            if s.contains(site) {
                 row[j] = 1.0;
             }
         }

@@ -223,6 +223,7 @@ impl AliveSet {
 
     /// Number of members.
     pub const fn len(self) -> usize {
+        // arbitree-lint: allow(D004) — popcount of a u128 is at most 128
         self.0.count_ones() as usize
     }
 

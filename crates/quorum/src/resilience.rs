@@ -11,8 +11,11 @@
 use crate::quorum_set::QuorumSet;
 use crate::system::SetSystem;
 
-/// Maximum universe size for the exhaustive search.
-pub const RESILIENCE_MAX_SITES: usize = 24;
+/// Maximum universe size for the exhaustive search. The search operates on
+/// full-width `u128` site masks (matching [`crate::AliveSet`]), so systems
+/// with sites beyond index 31 — which a `u32` mask would silently truncate
+/// to an empty set — are handled exactly; the cap only bounds runtime.
+pub const RESILIENCE_MAX_SITES: usize = 64;
 
 /// The smallest number of site failures that blocks every quorum of the
 /// system (the minimum hitting set size), together with one witness set of
@@ -52,22 +55,22 @@ pub fn blocking_number(system: &SetSystem) -> (usize, QuorumSet) {
         n <= RESILIENCE_MAX_SITES,
         "blocking number limited to {RESILIENCE_MAX_SITES} sites"
     );
-    let masks: Vec<u32> = system
+    let masks: Vec<u128> = system
         .sets()
         .iter()
-        .map(|s| s.to_alive_set().bits() as u32)
+        .map(|s| s.to_alive_set().bits())
         .collect();
 
     // Branch and bound: hit the first un-hit quorum by trying each of its
     // members (classic hitting-set search); quorums are small, so this is
     // fast in practice.
-    let mut best: Option<u32> = None;
+    let mut best: Option<u128> = None;
     fn search(
-        masks: &[u32],
-        hit: u32,
-        chosen: u32,
+        masks: &[u128],
+        hit: u128,
+        chosen: u128,
         size: usize,
-        best: &mut Option<u32>,
+        best: &mut Option<u128>,
         best_size: &mut usize,
     ) {
         if size >= *best_size {
@@ -91,7 +94,7 @@ pub fn blocking_number(system: &SetSystem) -> (usize, QuorumSet) {
     let mut best_size = n + 1;
     search(&masks, 0, 0, 0, &mut best, &mut best_size);
     let witness_bits = best.expect("non-empty quorums always admit a hitting set");
-    let witness = crate::quorum_set::AliveSet::from_bits(u128::from(witness_bits)).to_quorum_set();
+    let witness = crate::quorum_set::AliveSet::from_bits(witness_bits).to_quorum_set();
     (best_size, witness)
 }
 
@@ -183,9 +186,33 @@ mod tests {
     }
 
     #[test]
+    fn sites_past_u32_mask_width_are_counted() {
+        // Pins the u128-mask fix: with 33 singleton read quorums the only
+        // hitting set is all 33 sites. The former `bits() as u32` masks
+        // mapped site 32's quorum to the empty mask, which can never be
+        // hit, so the search found no hitting set at all.
+        let sets: Vec<Vec<u32>> = (0..33u32).map(|i| vec![i]).collect();
+        let refs: Vec<&[u32]> = sets.iter().map(Vec::as_slice).collect();
+        let reads = sys(33, &refs);
+        let (k, w) = blocking_number(&reads);
+        assert_eq!(k, 33);
+        assert_eq!(w.len(), 33);
+    }
+
+    #[test]
+    fn wide_two_level_write_blocking() {
+        // 40 sites split into two write levels; one failure per level
+        // blocks writes, and the high half exercises mask bits 32..40.
+        let low: Vec<u32> = (0..16).collect();
+        let high: Vec<u32> = (16..40).collect();
+        let writes = sys(40, &[&low, &high]);
+        assert_eq!(blocking_number(&writes).0, 2);
+    }
+
+    #[test]
     #[should_panic(expected = "limited to")]
     fn oversize_rejected() {
-        let big = sys(25, &[&[0]]);
+        let big = sys(65, &[&[0]]);
         let _ = blocking_number(&big);
     }
 }

@@ -29,6 +29,7 @@ impl SiteId {
 
     /// Returns the dense index of this site.
     pub const fn index(self) -> usize {
+        // arbitree-lint: allow(D004) — u32 → usize never truncates on supported targets
         self.0 as usize
     }
 
@@ -78,9 +79,15 @@ impl Universe {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`; a replicated system needs at least one replica.
+    /// Panics if `n == 0` (a replicated system needs at least one replica)
+    /// or if `n` exceeds `u32::MAX` (site indices are dense `u32`s; a larger
+    /// universe would silently wrap in [`Universe::sites`]).
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "universe must contain at least one site");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "universe of {n} sites exceeds u32 site indices"
+        );
         Universe { n }
     }
 
@@ -92,6 +99,7 @@ impl Universe {
 
     /// Iterates over every site of the universe in `SiteId` order.
     pub fn sites(self) -> impl Iterator<Item = SiteId> {
+        // arbitree-lint: allow(D004) — new() rejects universes beyond u32::MAX sites
         (0..self.n as u32).map(SiteId::new)
     }
 

@@ -200,6 +200,7 @@ pub fn pick_uniform_alive(
     if live.is_empty() {
         return None;
     }
+    // arbitree-lint: allow(D004) — idx < live.len() by the modulo; len fits u64
     let idx = (rng.next_u64() % live.len() as u64) as usize;
     Some(live[idx].clone())
 }

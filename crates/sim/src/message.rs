@@ -37,7 +37,7 @@ impl fmt::Display for OpId {
 }
 
 /// A message endpoint: a replica site or a client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Endpoint {
     /// A replica site.
     Site(SiteId),

@@ -1,7 +1,7 @@
 //! Counters collected during a simulation run.
 
 use crate::time::SimDuration;
-use std::collections::HashMap;
+use arbitree_core::DetMap;
 use std::fmt;
 
 /// A log-scale latency histogram: buckets grow by powers of two from 1 µs,
@@ -104,14 +104,14 @@ pub struct SimMetrics {
     /// Transactions aborted.
     pub txns_failed: u64,
     /// Per-site count of protocol requests served (empirical load proxy).
-    pub site_requests: HashMap<u32, u64>,
+    pub site_requests: DetMap<u32, u64>,
     /// Per-site membership count in *successful read* quorums.
-    pub read_quorum_hits: HashMap<u32, u64>,
+    pub read_quorum_hits: DetMap<u32, u64>,
     /// Per-site membership count in *successful write* quorums (the write
     /// quorum proper, excluding the version-phase read quorum).
-    pub write_quorum_hits: HashMap<u32, u64>,
+    pub write_quorum_hits: DetMap<u32, u64>,
     /// Per-site membership count in version-phase read quorums of writes.
-    pub version_quorum_hits: HashMap<u32, u64>,
+    pub version_quorum_hits: DetMap<u32, u64>,
     /// Read-repair messages sent (stale members refreshed after a read).
     pub repairs_sent: u64,
     /// Completed live reconfigurations (protocol swaps).

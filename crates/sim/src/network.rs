@@ -5,15 +5,15 @@ use crate::event::{Event, EventQueue};
 use crate::message::{Endpoint, Message, Payload};
 use crate::metrics::SimMetrics;
 use crate::time::SimTime;
+use arbitree_core::DetMap;
 use arbitree_quorum::SiteId;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// A network partition: endpoints in different groups cannot exchange
 /// messages. Endpoints not present in the map are in group 0.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Partition {
-    groups: HashMap<Endpoint, u32>,
+    groups: DetMap<Endpoint, u32>,
 }
 
 impl Partition {

@@ -5,9 +5,8 @@
 //! writes, as required for 2PC to complete after recovery).
 
 use crate::message::{ObjectId, OpId};
-use arbitree_core::Timestamp;
+use arbitree_core::{DetMap, Timestamp};
 use bytes::Bytes;
-use std::collections::HashMap;
 
 /// A committed object version.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,8 +40,8 @@ pub struct Staged {
 /// Durable replica storage.
 #[derive(Debug, Clone, Default)]
 pub struct Storage {
-    committed: HashMap<ObjectId, Version>,
-    staged: HashMap<ObjectId, Staged>,
+    committed: DetMap<ObjectId, Version>,
+    staged: DetMap<ObjectId, Staged>,
 }
 
 impl Storage {
@@ -80,9 +79,8 @@ impl Storage {
     /// exceeds the committed one (writes carry monotonically increasing
     /// timestamps).
     pub fn commit(&mut self, obj: ObjectId, op: OpId) {
-        if let Some(staged) = self.staged.get(&obj) {
-            if staged.op == op {
-                let staged = self.staged.remove(&obj).expect("just observed");
+        if self.staged.get(&obj).is_some_and(|s| s.op == op) {
+            if let Some(staged) = self.staged.remove(&obj) {
                 let current = self.read(obj);
                 if staged.ts > current.ts {
                     self.committed.insert(

@@ -11,10 +11,9 @@ use crate::locks::LockMode;
 use crate::message::{ClientId, ObjectId, OpId};
 use crate::metrics::SimMetrics;
 use crate::time::SimTime;
-use arbitree_core::Timestamp;
+use arbitree_core::{DetMap, DetSet, Timestamp};
 use arbitree_quorum::{QuorumSet, ReplicaControl, SiteId};
 use bytes::Bytes;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// What a transaction is doing right now.
@@ -53,23 +52,23 @@ pub(crate) struct TxnState {
     /// Index of the read round in progress.
     pub(crate) read_round: usize,
     /// Members of the current read round still to respond.
-    pub(crate) pending_sites: HashSet<SiteId>,
+    pub(crate) pending_sites: DetSet<SiteId>,
     /// The current read round's quorum.
     pub(crate) round_quorum: QuorumSet,
     /// Per-responder timestamps of the current round (read-repair).
     pub(crate) round_responses: Vec<(SiteId, Timestamp)>,
     /// Best (greatest-timestamp) result per object.
-    pub(crate) gathered: HashMap<ObjectId, (Timestamp, Bytes)>,
+    pub(crate) gathered: DetMap<ObjectId, (Timestamp, Bytes)>,
     /// Read quorums used, per object (flushed to metrics on success).
-    pub(crate) round_quorums: HashMap<ObjectId, QuorumSet>,
+    pub(crate) round_quorums: DetMap<ObjectId, QuorumSet>,
     /// Chosen write timestamps per object.
-    pub(crate) write_ts: HashMap<ObjectId, Timestamp>,
+    pub(crate) write_ts: DetMap<ObjectId, Timestamp>,
     /// Values to write per object.
-    pub(crate) write_values: HashMap<ObjectId, Bytes>,
+    pub(crate) write_values: DetMap<ObjectId, Bytes>,
     /// Write quorums per object (current prepare attempt).
-    pub(crate) write_quorums: HashMap<ObjectId, QuorumSet>,
+    pub(crate) write_quorums: DetMap<ObjectId, QuorumSet>,
     /// Outstanding (object, site) prepare/commit acknowledgements.
-    pub(crate) pending_pairs: HashSet<(ObjectId, SiteId)>,
+    pub(crate) pending_pairs: DetSet<(ObjectId, SiteId)>,
     /// Whether this is a reconfiguration-migration transaction.
     pub(crate) is_migration: bool,
 }
@@ -89,15 +88,15 @@ impl TxnState {
             locks_held: 0,
             read_targets: Vec::new(),
             read_round: 0,
-            pending_sites: HashSet::new(),
+            pending_sites: DetSet::new(),
             round_quorum: QuorumSet::new(),
             round_responses: Vec::new(),
-            gathered: HashMap::new(),
-            round_quorums: HashMap::new(),
-            write_ts: HashMap::new(),
-            write_values: HashMap::new(),
-            write_quorums: HashMap::new(),
-            pending_pairs: HashSet::new(),
+            gathered: DetMap::new(),
+            round_quorums: DetMap::new(),
+            write_ts: DetMap::new(),
+            write_values: DetMap::new(),
+            write_quorums: DetMap::new(),
+            pending_pairs: DetSet::new(),
             is_migration,
         }
     }
@@ -138,7 +137,7 @@ impl fmt::Debug for Reconfig {
 pub(crate) struct ClientState {
     /// SID used in this client's write timestamps (distinct from replicas).
     pub(crate) sid: SiteId,
-    pub(crate) suspected: HashSet<SiteId>,
+    pub(crate) suspected: DetSet<SiteId>,
     pub(crate) current_op: Option<OpId>,
 }
 

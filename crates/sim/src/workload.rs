@@ -87,10 +87,7 @@ impl ObjectSampler {
             return rng.gen_range(0..self.objects);
         }
         let x: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|v| v.partial_cmp(&x).expect("no NaN"))
-        {
+        match self.cdf.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) | Err(i) => (i as u32).min(self.objects - 1),
         }
     }

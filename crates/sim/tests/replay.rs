@@ -1,0 +1,86 @@
+//! Byte-level replay regression: a chaos run is a pure function of its
+//! seed. Two runs with the same seed must produce **byte-identical**
+//! serialized state — not just equal aggregate counters, but the full
+//! metrics (including per-site quorum-hit maps, whose iteration order is
+//! exactly what `DetMap` pins down) and the complete operation history,
+//! event for event, timestamp for timestamp.
+//!
+//! This is the regression net for the determinism work: if anyone
+//! reintroduces a raw `HashMap` into a send loop, an unseeded RNG, or a
+//! wall-clock read, the serialized transcripts diverge and this test
+//! fails even while every functional assertion still passes.
+
+use arbitree_core::ArbitraryProtocol;
+use arbitree_quorum::SiteId;
+use arbitree_sim::{
+    build_profile, NemesisKind, NetworkConfig, RetryPolicy, SimConfig, SimDuration, SimReport,
+    Simulation,
+};
+
+/// A full-pressure chaos run: partitions cycling over a logical level,
+/// exponential backoff with jitter (exercising the RNG on every retry),
+/// and history recording on so the transcript captures every operation.
+fn chaos_run(seed: u64) -> SimReport {
+    let config = SimConfig {
+        seed,
+        retry: RetryPolicy::Exponential {
+            cap: SimDuration::from_millis(24),
+            jitter: 0.5,
+        },
+        duration: SimDuration::from_millis(250),
+        record_history: true,
+        ..SimConfig::default()
+    };
+    let proto = ArbitraryProtocol::parse("1-3-5").expect("valid spec");
+    let mut sim = Simulation::new(config, proto);
+    let nemesis = build_profile(
+        NemesisKind::PartitionCycles,
+        &[vec![SiteId::new(1), SiteId::new(2), SiteId::new(3)]],
+        NetworkConfig::default(),
+        SimDuration::from_millis(250),
+        seed,
+    );
+    sim.schedule_nemesis(&nemesis);
+    sim.run()
+}
+
+/// Serializes everything observable about a run into one byte string.
+fn transcript(report: &SimReport) -> String {
+    format!(
+        "metrics={:#?}\nhistory={:#?}\nviolations={} consistent={} incomplete={} \
+         reads_checked={} writes_recorded={}",
+        report.metrics,
+        report.history,
+        report.violations,
+        report.consistent,
+        report.ops_incomplete,
+        report.reads_checked,
+        report.writes_recorded,
+    )
+}
+
+#[test]
+fn same_seed_replays_byte_identically() {
+    let a = transcript(&chaos_run(77));
+    let b = transcript(&chaos_run(77));
+    assert!(
+        !a.is_empty() && a.contains("history"),
+        "transcript should capture history"
+    );
+    assert_eq!(
+        a.as_bytes(),
+        b.as_bytes(),
+        "same-seed chaos runs must serialize byte-for-byte identically"
+    );
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = transcript(&chaos_run(77));
+    let c = transcript(&chaos_run(78));
+    assert_ne!(
+        a.as_bytes(),
+        c.as_bytes(),
+        "different seeds should produce different executions"
+    );
+}
