@@ -1,0 +1,162 @@
+//! `check` — runs the exhaustive-exploration suite and the mutation-kill
+//! matrix, printing the tables EXPERIMENTS.md records.
+//!
+//! Exit status is non-zero if any unmutated exploration finds a violation
+//! or any seeded mutation survives.
+
+use arbitree_check::{explore, kill_all, Budget, Scenario};
+use std::process::ExitCode;
+// arbitree-lint: allow(D002) — wall-clock timing of the checker itself, not simulated time
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: check [--smoke]");
+        println!("  --smoke   CI budget (seconds); default is the full EXPERIMENTS.md budget");
+        return ExitCode::SUCCESS;
+    }
+    let budget = if smoke {
+        Budget::smoke()
+    } else {
+        Budget::full()
+    };
+    let mut failed = false;
+
+    println!("== exhaustive exploration (unmutated) ==");
+    println!(
+        "{:<22} {:>6} {:>5} {:>9} {:>12} {:>12} {:>8} {:>10} {:>6}",
+        "scenario",
+        "spec",
+        "depth",
+        "states",
+        "dpor-scheds",
+        "naive-scheds",
+        "factor",
+        "violations",
+        "secs"
+    );
+    for scenario in Scenario::exhaustive() {
+        let depth = if smoke {
+            scenario.smoke_depth
+        } else {
+            scenario.full_depth
+        };
+        let b = budget.with_depth(depth);
+        // arbitree-lint: allow(D002) — wall-clock timing of the checker itself
+        let t0 = Instant::now();
+        let dpor = explore(&scenario, None, b);
+        let naive = explore(&scenario, None, b.naive());
+        let secs = t0.elapsed().as_secs_f64();
+        let factor = naive.stats.schedules as f64 / dpor.stats.schedules.max(1) as f64;
+        let factor = if naive.complete {
+            format!("{factor:.1}x")
+        } else {
+            format!(">={factor:.1}x")
+        };
+        let violations = u32::from(dpor.violation.is_some()) + u32::from(naive.violation.is_some());
+        println!(
+            "{:<22} {:>6} {:>5} {:>9} {:>12} {:>12} {:>8} {:>10} {:>6.1}",
+            scenario.name,
+            scenario.spec,
+            depth,
+            dpor.stats.states,
+            dpor.stats.schedules,
+            naive.stats.schedules,
+            factor,
+            violations,
+            secs
+        );
+        if !dpor.complete {
+            failed = true;
+            println!("  FAILED: exhaustive-tier dpor exploration hit the budget");
+        }
+        for outcome in [&dpor, &naive] {
+            if let Some(v) = &outcome.violation {
+                failed = true;
+                println!("  VIOLATION [{}]: {}", v.kind, v.detail);
+                for line in &v.schedule {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+
+    // Bounded tier: contended multi-client scenarios whose state space
+    // exceeds any budget — every explored schedule is still checked.
+    let bounded_budget = budget.capped(if smoke { 60_000 } else { 1_000_000 });
+    println!();
+    println!("== bounded exploration (unmutated, dpor) ==");
+    println!(
+        "{:<22} {:>6} {:>9} {:>12} {:>9} {:>10} {:>6}",
+        "scenario", "spec", "states", "schedules", "maxdepth", "violations", "secs"
+    );
+    for scenario in Scenario::bounded() {
+        // arbitree-lint: allow(D002) — wall-clock timing of the checker itself
+        let t0 = Instant::now();
+        let outcome = explore(&scenario, None, bounded_budget);
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<22} {:>6} {:>9} {:>12} {:>9} {:>10} {:>6.1}",
+            scenario.name,
+            scenario.spec,
+            outcome.stats.states,
+            outcome.stats.schedules,
+            outcome.stats.max_depth_seen,
+            u32::from(outcome.violation.is_some()),
+            secs
+        );
+        if let Some(v) = &outcome.violation {
+            failed = true;
+            println!("  VIOLATION [{}]: {}", v.kind, v.detail);
+            for line in &v.schedule {
+                println!("    {line}");
+            }
+        }
+    }
+
+    println!();
+    println!("== mutation-kill matrix ==");
+    println!(
+        "{:<20} {:<20} {:>7} {:<12} {:>10}",
+        "mutation", "scenario", "killed", "invariant", "schedules"
+    );
+    for result in kill_all(budget) {
+        println!(
+            "{:<20} {:<20} {:>7} {:<12} {:>10}",
+            result.mutation,
+            result.scenario,
+            if result.killed { "yes" } else { "NO" },
+            result.kind,
+            result.schedules
+        );
+        match &result.violation {
+            Some(v) => {
+                println!("  detail: {}", v.detail);
+                if v.schedule.is_empty() {
+                    println!("  (structural violation — no schedule needed)");
+                } else {
+                    println!("  replayable schedule:");
+                    for line in &v.schedule {
+                        println!("    {line}");
+                    }
+                }
+            }
+            None => {
+                failed = true;
+                println!("  SURVIVED — the explorer found no violation within budget");
+            }
+        }
+    }
+
+    if failed {
+        println!();
+        println!("FAILED: unmutated violation found, or a mutation survived");
+        ExitCode::FAILURE
+    } else {
+        println!();
+        println!("ok: zero violations unmutated; all mutations killed");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,323 @@
+//! Small, fully-scripted configurations for exhaustive exploration.
+//!
+//! A [`Scenario`] is a *derandomized* simulation setup: fixed latency
+//! (`min == max`), zero drop probability, fixed retry pacing, and no
+//! random workload — only scripted transactions. Under those constraints
+//! site-bound deliveries draw **zero** RNG, which is what makes the
+//! explorer's independence relation sound: the only remaining draws are
+//! coordinator-side (quorum picks, pacer jitter), and coordinator-side
+//! events are never treated as independent of each other.
+
+use crate::mutations::Mutation;
+use arbitree_sim::{
+    ClientId, NetworkConfig, RetryPolicy, SimConfig, SimDuration, SimTime, Simulation, TxnRequest,
+};
+use bytes::Bytes;
+
+/// One scripted transaction in a scenario.
+#[derive(Debug, Clone)]
+pub struct ScriptStep {
+    /// Issue time (microseconds of simulated time).
+    pub at_micros: u64,
+    /// Issuing client.
+    pub client: u32,
+    /// The transaction.
+    pub req: TxnRequest,
+}
+
+/// A small, fully-scripted configuration for the explorer.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name.
+    pub name: &'static str,
+    /// Tree spec for the [`arbitree_core::ArbitraryProtocol`] under test.
+    pub spec: &'static str,
+    /// Number of clients (each step's `client` must be below this).
+    pub clients: usize,
+    /// Number of replicated objects.
+    pub objects: usize,
+    /// Quorum-assembly attempts before an operation aborts.
+    pub max_attempts: u32,
+    /// Scripted transactions.
+    pub script: Vec<ScriptStep>,
+    /// Site crashes, as `(micros, site)` — ordered by the explorer like any
+    /// other pending event.
+    pub crashes: Vec<(u64, u32)>,
+    /// Site recoveries.
+    pub recovers: Vec<(u64, u32)>,
+    /// Depth at which the smoke budget drains this scenario's state space
+    /// (bounded-tier scenarios use the budget's own depth and never
+    /// drain).
+    pub smoke_depth: usize,
+    /// Depth for the full (EXPERIMENTS.md) budget.
+    pub full_depth: usize,
+}
+
+impl Scenario {
+    /// Builds a fresh simulation of this scenario, optionally with a
+    /// protocol mutation compiled in. Asserts the configuration is
+    /// derandomized (see module docs) — the explorer's independence
+    /// relation is only sound under those constraints.
+    pub fn build(&self, mutation: Option<&Mutation>) -> Simulation {
+        let network = NetworkConfig {
+            min_latency: SimDuration::from_micros(100),
+            max_latency: SimDuration::from_micros(100),
+            drop_probability: 0.0,
+        };
+        let config = SimConfig {
+            seed: 7,
+            clients: self.clients,
+            objects: self.objects,
+            max_attempts: self.max_attempts,
+            retry: RetryPolicy::Fixed,
+            auto_workload: false,
+            record_history: false,
+            read_repair: false,
+            network,
+            op_timeout: SimDuration::from_millis(3),
+            // Effectively unbounded: exploration is depth-limited, never
+            // wall-clock-limited, and no explored schedule gets anywhere
+            // near this horizon.
+            duration: SimDuration::from_millis(600_000),
+            fault: mutation.and_then(Mutation::fault),
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            config.network.min_latency, config.network.max_latency,
+            "explorer requires fixed latency (no per-send RNG draw)"
+        );
+        assert_eq!(
+            config.network.drop_probability, 0.0,
+            "explorer requires lossless links (no per-send RNG draw)"
+        );
+        assert!(
+            matches!(config.retry, RetryPolicy::Fixed),
+            "explorer requires fixed retry pacing (no jitter draw)"
+        );
+        assert!(
+            !config.auto_workload,
+            "explorer requires a fully scripted workload"
+        );
+        // Scripted steps must all be due at t=0: the explorer fires events
+        // out of time order and treats clock advancement as a label, which
+        // is only sound when no scripted transaction's due-time can flip
+        // from "not yet" to "due" depending on which event advanced the
+        // clock. (Crashes/recoveries are ordinary events, not due-times,
+        // so they may be scheduled later.)
+        assert!(
+            self.script.iter().all(|s| s.at_micros == 0),
+            "explorer scenarios must script every transaction at t=0"
+        );
+        let protocol = Mutation::protocol(mutation, self.spec);
+        let mut sim = Simulation::from_boxed(config, protocol);
+        for &(at, site) in &self.crashes {
+            sim.schedule_crash(SimTime::from_micros(at), arbitree_quorum::SiteId::new(site));
+        }
+        for &(at, site) in &self.recovers {
+            sim.schedule_recover(SimTime::from_micros(at), arbitree_quorum::SiteId::new(site));
+        }
+        for step in &self.script {
+            sim.schedule_transaction(
+                SimTime::from_micros(step.at_micros),
+                ClientId(step.client),
+                step.req.clone(),
+            );
+        }
+        sim
+    }
+
+    /// One client writes then reads one object on a 3-site
+    /// single-physical-level tree (`1-3`). Small enough to exhaust
+    /// completely — the single-level row of the exhaustive table — and
+    /// the scenario that catches premature commit acknowledgement (the
+    /// read must land *after* the premature completion, on a site whose
+    /// `Commit` is still in flight).
+    pub fn write_then_read() -> Scenario {
+        Scenario {
+            name: "write-then-read",
+            spec: "1-3",
+            clients: 1,
+            objects: 1,
+            max_attempts: 1,
+            script: vec![
+                step(0, 0, TxnRequest::write(obj(0), val(b"fresh"))),
+                step(0, 0, TxnRequest::read(obj(0))),
+            ],
+            crashes: vec![],
+            recovers: vec![],
+            smoke_depth: 18,
+            full_depth: 22,
+        }
+    }
+
+    /// The same sequential write-then-read on the 4-site two-level tree
+    /// (`p:1-3`): the two-physical-level row of the exhaustive table
+    /// (read quorums span both levels; write quorums are whole levels).
+    pub fn write_then_read_tree() -> Scenario {
+        Scenario {
+            name: "write-then-read-tree",
+            spec: "p:1-3",
+            clients: 1,
+            objects: 1,
+            max_attempts: 1,
+            script: vec![
+                step(0, 0, TxnRequest::write(obj(0), val(b"fresh"))),
+                step(0, 0, TxnRequest::read(obj(0))),
+            ],
+            crashes: vec![],
+            recovers: vec![],
+            smoke_depth: 26,
+            full_depth: 30,
+        }
+    }
+
+    /// Two writers race on one object over a 3-site single-physical-level tree (`1-3`).
+    pub fn writers_race() -> Scenario {
+        Scenario {
+            name: "writers-race",
+            spec: "1-3",
+            clients: 2,
+            objects: 1,
+            max_attempts: 3,
+            script: vec![
+                step(0, 0, TxnRequest::write(obj(0), val(b"alpha"))),
+                step(0, 1, TxnRequest::write(obj(0), val(b"beta"))),
+            ],
+            crashes: vec![],
+            recovers: vec![],
+            smoke_depth: 44,
+            full_depth: 60,
+        }
+    }
+
+    /// A writer races two back-to-back readers on a 3-site single-physical-level
+    /// tree — the scenario that catches premature lock release and
+    /// premature commit acknowledgement.
+    pub fn write_read_race() -> Scenario {
+        Scenario {
+            name: "write-read-race",
+            spec: "1-3",
+            clients: 2,
+            objects: 1,
+            max_attempts: 3,
+            script: vec![
+                step(0, 0, TxnRequest::write(obj(0), val(b"fresh"))),
+                step(0, 1, TxnRequest::read(obj(0))),
+                step(0, 1, TxnRequest::read(obj(0))),
+            ],
+            crashes: vec![],
+            recovers: vec![],
+            smoke_depth: 44,
+            full_depth: 60,
+        }
+    }
+
+    /// A crash starves write quorums while two writers contend, forcing
+    /// aborts (`max_attempts = 1`) — the scenario that catches leaked
+    /// locks on the abort path.
+    pub fn crash_abort() -> Scenario {
+        Scenario {
+            name: "crash-abort",
+            spec: "1-3",
+            clients: 2,
+            objects: 1,
+            max_attempts: 1,
+            script: vec![
+                step(0, 0, TxnRequest::write(obj(0), val(b"doomed"))),
+                step(0, 1, TxnRequest::write(obj(0), val(b"queued"))),
+            ],
+            crashes: vec![(0, 2)],
+            recovers: vec![],
+            smoke_depth: 44,
+            full_depth: 60,
+        }
+    }
+
+    /// A writer and a reader race across a crash/recovery of a leaf on a
+    /// 4-site two-level tree (`p:1-3`) — the two-physical-level
+    /// configuration required for exhaustive exploration, and the one the
+    /// quorum-structure mutations target.
+    pub fn write_crash_recover() -> Scenario {
+        Scenario {
+            name: "write-crash-recover",
+            spec: "p:1-3",
+            clients: 2,
+            objects: 1,
+            max_attempts: 3,
+            script: vec![
+                step(0, 0, TxnRequest::write(obj(0), val(b"durable"))),
+                step(0, 1, TxnRequest::read(obj(0))),
+            ],
+            crashes: vec![(0, 3)],
+            recovers: vec![(200, 3)],
+            smoke_depth: 44,
+            full_depth: 60,
+        }
+    }
+
+    /// The exhaustive tier: one configuration per required tree shape,
+    /// small enough for the explorer to drain the whole state space
+    /// within budget (in both DPOR and naive modes, so the pruning
+    /// factor is exact).
+    pub fn exhaustive() -> Vec<Scenario> {
+        vec![
+            Scenario::write_then_read(),
+            Scenario::write_then_read_tree(),
+        ]
+    }
+
+    /// The bounded tier: contended multi-client scenarios whose full
+    /// state space exceeds any practical budget. Explored
+    /// budget-bounded (still useful: every explored schedule is
+    /// invariant-checked), and used as mutation-kill targets, where
+    /// exploration stops at the first violation anyway.
+    pub fn bounded() -> Vec<Scenario> {
+        vec![
+            Scenario::writers_race(),
+            Scenario::write_read_race(),
+            Scenario::crash_abort(),
+            Scenario::write_crash_recover(),
+        ]
+    }
+
+    /// Every scenario, in report order.
+    pub fn all() -> Vec<Scenario> {
+        let mut v = Scenario::exhaustive();
+        v.extend(Scenario::bounded());
+        v
+    }
+}
+
+fn step(at_micros: u64, client: u32, req: TxnRequest) -> ScriptStep {
+    ScriptStep {
+        at_micros,
+        client,
+        req,
+    }
+}
+
+fn obj(i: u32) -> arbitree_sim::ObjectId {
+    arbitree_sim::ObjectId(i)
+}
+
+fn val(v: &[u8]) -> Bytes {
+    Bytes::copy_from_slice(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build_and_run_seeded() {
+        for s in Scenario::all() {
+            let mut sim = s.build(None);
+            let report = sim.run();
+            assert!(
+                report.consistent,
+                "{}: {} violations",
+                s.name, report.violations
+            );
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //! | D003 | unseeded RNG (`thread_rng`, `from_entropy`) |
 //! | D004 | `as usize`/`as u32`/`as u64` casts in quorum arithmetic |
 //! | D005 | `unwrap()`/`expect()` in simulator hot paths |
+//! | D006 | exact float `==`/`!=` in availability/load math |
+//! | D007 | direct event scheduling that bypasses the coordinator/Scheduler seam |
 //!
 //! Findings a human has judged safe are suppressed inline — the directive
 //! **requires a reason**, so every exception is self-documenting:

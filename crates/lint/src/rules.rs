@@ -43,6 +43,16 @@ pub const RULES: &[Rule] = &[
         summary: "unwrap/expect in simulator hot path",
         hint: "surface the failure (SimError / saturating default) or suppress with the invariant that makes the panic unreachable",
     },
+    Rule {
+        id: "D006",
+        summary: "exact float comparison in availability/load math",
+        hint: "compare against an epsilon (`(a - b).abs() <= EPS`) or use total_cmp; exact `==`/`!=` on floats is order-of-operations-fragile",
+    },
+    Rule {
+        id: "D007",
+        summary: "direct event scheduling from protocol-layer code",
+        hint: "route through the Coordinator (or the Scheduler seam); only the engine/coordinator layers may enqueue events",
+    },
 ];
 
 /// The rule id used for malformed suppression directives (reported by the
@@ -80,6 +90,29 @@ impl Rule {
             // Simulator hot paths should degrade into SimReport anomalies,
             // not panics that kill a 10^6-event run.
             "D005" => path.starts_with("crates/sim/src/"),
+            // Availability/load math: probabilities accumulate rounding, so
+            // exact float equality silently flips branches between runs of
+            // the same analysis on different optimization levels.
+            "D006" => {
+                path.starts_with("crates/quorum/src/") || path.starts_with("crates/analysis/src/")
+            }
+            // Only the engine itself, the coordinator (transaction layer)
+            // and the Simulation facade may enqueue events; anything else
+            // scheduling directly bypasses the Scheduler seam the model
+            // checker controls, so explored branches would go unobserved.
+            "D007" => {
+                const ENQUEUE_LAYERS: &[&str] = &[
+                    "crates/sim/src/engine.rs",
+                    "crates/sim/src/event.rs",
+                    "crates/sim/src/network.rs",
+                    "crates/sim/src/coordinator.rs",
+                    "crates/sim/src/sim.rs",
+                ];
+                (path.starts_with("crates/sim/src/")
+                    || path.starts_with("crates/quorum/src/")
+                    || path.starts_with("crates/core/src/"))
+                    && !ENQUEUE_LAYERS.contains(&path)
+            }
             _ => false,
         }
     }
@@ -92,6 +125,8 @@ impl Rule {
             "D003" => has_ident(code, "thread_rng") || has_ident(code, "from_entropy"),
             "D004" => has_narrowing_cast(code),
             "D005" => has_method_call(code, "unwrap") || has_method_call(code, "expect"),
+            "D006" => has_float_equality(code),
+            "D007" => has_method_call(code, "schedule") || has_path(code, "Engine", "schedule"),
             _ => false,
         }
     }
@@ -172,6 +207,57 @@ fn has_narrowing_cast(code: &str) -> bool {
     false
 }
 
+/// Matches `==` / `!=` with a float literal on either side (`x != 0.0`,
+/// `0.5 == y`). Token-level, so typed-but-literal-free float comparisons
+/// escape; in practice the fragile comparisons are against literals.
+fn has_float_equality(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'=' {
+            // Skip `<=` / `>=` (their `=` never sits first here) and avoid
+            // treating `x == =` oddities: both operands are inspected as
+            // trimmed neighbor tokens.
+            let before = code[..i].trim_end();
+            let after = code[i + 2..].trim_start();
+            if ends_with_float_literal(before) || starts_with_float_literal(after) {
+                return true;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Whether `s` begins with a float literal like `0.0`, `-1.5` or `3.`.
+fn starts_with_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').map(str::trim_start).unwrap_or(s);
+    let digits = s.chars().take_while(char::is_ascii_digit).count();
+    digits > 0 && s[digits..].starts_with('.') && !s[digits..].starts_with("..")
+}
+
+/// Whether `s` ends with a float literal (`factor != 0.0` — the `0.0` side
+/// may also appear on the left: `0.0 != factor`). A digit run reached
+/// through a `.` that hangs off an identifier (`tuple.0`) does not count.
+fn ends_with_float_literal(s: &str) -> bool {
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|&c| c.is_ascii_digit() || c == '.')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    let head = &s[..s.len() - tail.len()];
+    if head.chars().next_back().is_some_and(is_ident_char) || head.trim_end().ends_with('.') {
+        return false;
+    }
+    let digits = tail.chars().take_while(char::is_ascii_digit).count();
+    digits > 0 && tail[digits..].starts_with('.') && !tail[digits..].starts_with("..")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +310,29 @@ mod tests {
     }
 
     #[test]
+    fn d006_matches_float_equality() {
+        assert!(rule("D006").matches("if factor != 0.0 {"));
+        assert!(rule("D006").matches("if avail == 1.0 {"));
+        assert!(rule("D006").matches("assert!(0.5 == load);"));
+        assert!(rule("D006").matches("while x != -1.0 {"));
+        assert!(!rule("D006").matches("if count == 10 {"));
+        assert!(!rule("D006").matches("if (a - b).abs() <= EPS {"));
+        assert!(!rule("D006").matches("if pair.0 == pair.1 {"));
+        assert!(!rule("D006").matches("let in_range = i == 1..2;"));
+        assert!(!rule("D006").matches("a.total_cmp(&b)"));
+    }
+
+    #[test]
+    fn d007_matches_direct_scheduling() {
+        assert!(rule("D007").matches("engine.schedule(at, Event::ClientTick(c));"));
+        assert!(rule("D007").matches("self.queue .schedule (at, ev)"));
+        assert!(rule("D007").matches("Engine::schedule(&mut engine, at, ev)"));
+        assert!(!rule("D007").matches("self.schedule_crash(at, site);"));
+        assert!(!rule("D007").matches("let schedule = plan();"));
+        assert!(!rule("D007").matches("reschedule(op)"));
+    }
+
+    #[test]
     fn scoping() {
         assert!(rule("D001").in_scope("crates/sim/src/coordinator.rs"));
         assert!(rule("D001").in_scope("crates/quorum/src/traits.rs"));
@@ -234,5 +343,14 @@ mod tests {
         assert!(!rule("D004").in_scope("crates/core/src/tree.rs"));
         assert!(rule("D005").in_scope("crates/sim/src/engine.rs"));
         assert!(!rule("D005").in_scope("crates/core/src/tree.rs"));
+        assert!(rule("D006").in_scope("crates/quorum/src/lp.rs"));
+        assert!(rule("D006").in_scope("crates/analysis/src/stats.rs"));
+        assert!(!rule("D006").in_scope("crates/sim/src/metrics.rs"));
+        assert!(rule("D007").in_scope("crates/sim/src/site.rs"));
+        assert!(rule("D007").in_scope("crates/quorum/src/strategy.rs"));
+        assert!(rule("D007").in_scope("crates/core/src/tree.rs"));
+        assert!(!rule("D007").in_scope("crates/sim/src/engine.rs"));
+        assert!(!rule("D007").in_scope("crates/sim/src/coordinator.rs"));
+        assert!(!rule("D007").in_scope("crates/check/src/explore.rs"));
     }
 }

@@ -276,14 +276,21 @@ fn test_regions(code_lines: &[String]) -> Vec<bool> {
     marks
 }
 
-/// Matches `#[cfg(test)]` (whitespace-tolerant) starting at `i`; returns the
-/// position just past the closing `]`.
+/// Matches a `#[cfg(...)]` attribute whose predicate gates on `test`
+/// (whitespace-tolerant) starting at `i`; returns the position just past
+/// the closing `]`.
+///
+/// Recognizes the bare form `#[cfg(test)]` as well as combinators like
+/// `#[cfg(any(test, feature = "slow"))]` and `#[cfg(all(test, unix))]`.
+/// A `test` directly under `not(...)` does **not** count — that gates the
+/// *non*-test build. Feature strings can't confuse the match: this runs
+/// on the sanitized code channel, where literal contents are blanked.
 fn match_cfg_test(chars: &[char], i: usize) -> Option<usize> {
     if chars.get(i) != Some(&'#') {
         return None;
     }
     let mut p = i + 1;
-    for part in ["[", "cfg", "(", "test", ")", "]"] {
+    for part in ["[", "cfg", "("] {
         while chars.get(p).is_some_and(|c| c.is_whitespace()) {
             p += 1;
         }
@@ -294,7 +301,69 @@ fn match_cfg_test(chars: &[char], i: usize) -> Option<usize> {
             return None;
         }
     }
-    Some(p)
+    // Capture the predicate up to the matching close paren.
+    let start = p;
+    let mut depth = 1u32;
+    while p < chars.len() {
+        match chars[p] {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        p += 1;
+    }
+    if depth != 0 {
+        return None;
+    }
+    let predicate: String = chars[start..p].iter().collect();
+    p += 1;
+    while chars.get(p).is_some_and(|c| c.is_whitespace()) {
+        p += 1;
+    }
+    if chars.get(p) != Some(&']') {
+        return None;
+    }
+    if predicate_gates_on_test(&predicate) {
+        Some(p + 1)
+    } else {
+        None
+    }
+}
+
+/// Whether a `cfg` predicate contains `test` as a standalone token that is
+/// not directly wrapped in `not(...)`.
+fn predicate_gates_on_test(predicate: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(rel) = predicate[from..].find("test") {
+        let pos = from + rel;
+        let before = &predicate[..pos];
+        let after = &predicate[pos + 4..];
+        let bounded = !before.chars().next_back().is_some_and(is_ident)
+            && !after.chars().next().is_some_and(is_ident);
+        if bounded {
+            let negated = before
+                .trim_end()
+                .strip_suffix('(')
+                .map(str::trim_end)
+                .is_some_and(|head| {
+                    head.ends_with("not") && {
+                        let stem = &head[..head.len() - 3];
+                        !stem.chars().next_back().is_some_and(is_ident)
+                    }
+                });
+            if !negated {
+                return true;
+            }
+        }
+        from = pos + 4;
+    }
+    false
 }
 
 #[cfg(test)]
@@ -362,6 +431,44 @@ mod tests {
         let src = "#[cfg(test)]\nfn helper() {\n    body();\n}\nfn live() {}\n";
         let s = scan(src);
         assert_eq!(s.is_test, [true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_any_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(any(test, feature = \"slow-tests\"))]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert_eq!(s.is_test, [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_region_is_marked() {
+        let src = "#[cfg(all(test, unix))]\nmod tests {\n    fn t() {}\n}\n";
+        let s = scan(src);
+        assert_eq!(s.is_test, [true, true, true, true]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn live() {\n    body();\n}\n";
+        let s = scan(src);
+        assert_eq!(s.is_test, [false, false, false, false]);
+    }
+
+    #[test]
+    fn cfg_feature_string_mentioning_test_is_live_code() {
+        // The literal contents are blanked before region marking, so a
+        // feature *named* test cannot gate a lint exemption.
+        let src = "#[cfg(feature = \"test\")]\nfn live() {\n    body();\n}\n";
+        let s = scan(src);
+        assert_eq!(s.is_test, [false, false, false, false]);
+    }
+
+    #[test]
+    fn cfg_ident_superset_of_test_is_live_code() {
+        let src =
+            "#[cfg(testing)]\nfn live() {\n    body();\n}\n#[cfg(attest)]\nfn also_live() {}\n";
+        let s = scan(src);
+        assert!(s.is_test.iter().all(|&m| !m));
     }
 
     #[test]

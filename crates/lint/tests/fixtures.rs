@@ -114,6 +114,34 @@ fn d005_negative() {
     check("d005_negative.rs");
 }
 
+#[test]
+fn d006_positive() {
+    check("d006_positive.rs");
+}
+
+#[test]
+fn d006_negative() {
+    check("d006_negative.rs");
+}
+
+#[test]
+fn d007_positive() {
+    check("d007_positive.rs");
+}
+
+#[test]
+fn d007_negative() {
+    check("d007_negative.rs");
+}
+
+/// Scanner regressions: tokens in comments/strings never fire, and
+/// `#[cfg(any(test, ...))]` exempts its region while `#[cfg(not(test))]`
+/// does not.
+#[test]
+fn cfg_gated_regions() {
+    check("cfg_gated.rs");
+}
+
 /// A well-formed directive (with a reason) silences the finding.
 #[test]
 fn suppression_with_reason() {
@@ -144,6 +172,11 @@ fn all_fixtures_are_covered() {
         "d004_negative.rs",
         "d005_positive.rs",
         "d005_negative.rs",
+        "d006_positive.rs",
+        "d006_negative.rs",
+        "d007_positive.rs",
+        "d007_negative.rs",
+        "cfg_gated.rs",
         "suppression_ok.rs",
         "suppression_bare.rs",
     ];

@@ -1,0 +1,28 @@
+//@ path: crates/sim/src/fixture.rs
+// Scanner regression fixture: rule tokens inside comments and string
+// literals never fire, `#[cfg(any(test, ...))]`-gated regions are exempt
+// like plain `#[cfg(test)]`, and `#[cfg(not(test))]` stays *live* code.
+
+// A HashMap and Instant::now() in prose are harmless.
+pub fn strings_only() -> &'static str {
+    "HashMap, Instant::now() and thread_rng() in a string"
+}
+
+/* Block comments are stripped too: SystemTime::now() never fires. */
+
+#[cfg(any(test, feature = "slow-tests"))]
+mod gated_helpers {
+    use std::collections::HashMap;
+
+    pub fn scratch() -> HashMap<u32, u32> {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        m
+    }
+}
+
+#[cfg(not(test))]
+pub fn live_despite_not_test() {
+    let t = Instant::now(); //~ D002
+    let _ = t;
+}

@@ -1,0 +1,14 @@
+//@ path: crates/quorum/src/availability.rs
+const EPS: f64 = 1e-9;
+
+// Prose mentioning `avail == 1.0` never fires, and neither do the
+// epsilon-based comparisons below.
+pub fn classify(avail: f64, load: f64, count: usize, pair: (u32, u32)) -> bool {
+    let banner = "avail == 1.0 in a string";
+    let exact_int = count == 10;
+    let tuple_fields = pair.0 == pair.1;
+    let epsilon = (avail - 1.0).abs() <= EPS;
+    let ordered = load.total_cmp(&avail).is_lt();
+    let _ = banner;
+    exact_int && tuple_fields && epsilon && ordered
+}

@@ -1,0 +1,11 @@
+//@ path: crates/quorum/src/availability.rs
+pub fn classify(avail: f64, load: f64) -> u8 {
+    if avail == 1.0 { //~ D006
+        return 2;
+    }
+    if 0.0 != load { //~ D006
+        return 1;
+    }
+    let saturated = load != -1.0; //~ D006
+    u8::from(saturated)
+}

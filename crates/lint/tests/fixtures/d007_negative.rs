@@ -1,0 +1,13 @@
+//@ path: crates/sim/src/site.rs
+// Mentioning `engine.schedule(...)` in prose never fires; neither do the
+// coordinator-routed facades or idents that merely contain `schedule`.
+pub fn routed(sim: &mut Simulation, at: SimTime) {
+    sim.schedule_crash(at, SiteId::new(0));
+    sim.schedule_recover(at, SiteId::new(0));
+    let schedule = "engine.schedule(at, ev) in a string";
+    let _ = (schedule, reschedule_budget());
+}
+
+fn reschedule_budget() -> u32 {
+    7
+}

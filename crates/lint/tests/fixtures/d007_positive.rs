@@ -1,0 +1,12 @@
+//@ path: crates/sim/src/site.rs
+pub fn sneak(engine: &mut Engine, at: SimTime, ev: Event) {
+    engine.schedule(at, ev); //~ D007
+}
+
+pub fn sneak_ufcs(engine: &mut Engine, at: SimTime, ev: Event) {
+    Engine::schedule(engine, at, ev); //~ D007
+}
+
+pub fn sneak_spaced(queue: &mut EventQueue, at: SimTime, ev: Event) {
+    queue . schedule (at, ev); //~ D007
+}

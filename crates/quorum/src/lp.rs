@@ -224,7 +224,7 @@ impl Tableau {
                 continue;
             }
             let factor = current[col];
-            if factor != 0.0 {
+            if factor.abs() > EPS {
                 for (v, pv) in current.iter_mut().zip(&pivot_row) {
                     *v -= factor * pv;
                 }

@@ -118,6 +118,10 @@ pub struct SimConfig {
     pub network: NetworkConfig,
     /// Total simulated duration.
     pub duration: SimDuration,
+    /// Compiled-in protocol mutation for the model checker's mutation-kill
+    /// harness. `None` (the default) leaves the coordinator unmodified;
+    /// production code never sets this.
+    pub fault: Option<crate::fault::FaultInjection>,
 }
 
 impl Default for SimConfig {
@@ -139,6 +143,7 @@ impl Default for SimConfig {
             arrival_pattern: ArrivalPattern::Steady,
             network: NetworkConfig::default(),
             duration: SimDuration::from_millis(500),
+            fault: None,
         }
     }
 }

@@ -17,6 +17,7 @@ use crate::checker::ConsistencyChecker;
 use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::event::Event;
+use crate::fault::FaultInjection;
 use crate::history::{History, HistoryEvent, HistoryKind};
 use crate::locks::{LockManager, LockMode};
 use crate::message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
@@ -112,6 +113,65 @@ impl Coordinator {
     /// Transactions currently in flight.
     pub fn ops_in_flight(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Streams the coordinator's behavioural state into `h` (see
+    /// [`crate::fingerprint`] for the inclusion rules). `now` is the engine
+    /// clock, used only to reduce pending scripted transactions to
+    /// due-flags — the single place the clock value feeds behaviour.
+    pub(crate) fn fingerprint_into(&self, h: &mut crate::fingerprint::Fnv, now: SimTime) {
+        h.debug(&self.clients);
+        h.debug(&self.locks);
+        h.debug(&self.checker);
+        h.debug(&self.pacers);
+        h.u64(self.next_op);
+        h.u64(self.queued_reconfigs.len() as u64);
+        h.debug(&self.reconfig);
+        for (op, s) in self.ops.iter() {
+            h.debug(op);
+            // Every TxnState field except `started`, which only feeds the
+            // latency metric and history stamps (observational).
+            h.debug(&s.client);
+            h.debug(&s.phase);
+            h.u64(s.phase_counter);
+            h.u64(u64::from(s.attempts));
+            h.debug(&s.reads);
+            h.debug(&s.writes);
+            h.debug(&s.lock_plan);
+            h.u64(s.locks_held as u64);
+            h.debug(&s.read_targets);
+            h.u64(s.read_round as u64);
+            h.debug(&s.pending_sites);
+            h.debug(&s.round_quorum);
+            h.debug(&s.round_responses);
+            h.debug(&s.gathered);
+            h.debug(&s.round_quorums);
+            h.debug(&s.write_ts);
+            h.debug(&s.write_values);
+            h.debug(&s.write_quorums);
+            h.debug(&s.pending_pairs);
+            h.debug(&s.is_migration);
+        }
+        for (client, queue) in self.scripted.iter() {
+            h.debug(client);
+            for (at, req) in queue {
+                h.debug(&(*at <= now));
+                h.debug(req);
+            }
+        }
+    }
+
+    /// Whether an [`Event::OpTimeout`] with this `(op, attempt)` pair is
+    /// *permanently* stale: the operation has completed (ids are never
+    /// reused) or the phase counter has moved past the armed attempt
+    /// (counters only advance). A permanently-stale timeout is a pure
+    /// no-op under every future schedule, which is what lets the model
+    /// checker treat it as independent of all other events.
+    pub(crate) fn timeout_is_stale(&self, op: OpId, attempt: u64) -> bool {
+        match self.ops.get(&op) {
+            None => true,
+            Some(s) => attempt < s.phase_counter,
+        }
     }
 
     /// The reserved migration coordinator's id.
@@ -454,11 +514,15 @@ impl Coordinator {
             // arbitree-lint: allow(D005) — the record was alive a few lines up and nothing here removes it
             let client_idx = self.ops.get(&op).expect("txn exists").client.0 as usize;
             let sid = self.clients[client_idx].sid;
+            // Mutation hook: SkipVersionBump reuses the gathered timestamp
+            // verbatim, so committed versions stop advancing.
+            let skip_bump = matches!(self.config.fault, Some(FaultInjection::SkipVersionBump));
             // arbitree-lint: allow(D005) — re-lookup to upgrade the borrow; the op is still live
             let s = self.ops.get_mut(&op).expect("txn exists");
             for obj in s.writes.clone() {
                 let base = s.gathered.get(&obj).map_or(Timestamp::ZERO, |(t, _)| *t);
-                s.write_ts.insert(obj, base.next(sid));
+                let ts = if skip_bump { base } else { base.next(sid) };
+                s.write_ts.insert(obj, ts);
             }
             self.start_prepare_phase(engine, protocol, op);
         } else {
@@ -537,7 +601,24 @@ impl Coordinator {
     }
 
     /// Crossing the commit point: send `Commit` to every participant.
-    fn start_commit_phase(&mut self, engine: &mut Engine, op: OpId) {
+    fn start_commit_phase(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+        // Mutation hook: EarlyLockRelease frees every lock at the commit
+        // *point* instead of after the acknowledgements, admitting readers
+        // while the commits are still in flight.
+        if matches!(self.config.fault, Some(FaultInjection::EarlyLockRelease)) {
+            let lock_plan = self
+                .ops
+                .get(&op)
+                .map(|s| s.lock_plan.clone())
+                .unwrap_or_default();
+            let mut granted_all = Vec::new();
+            for (obj, _) in lock_plan {
+                granted_all.extend(self.locks.release(op, obj));
+            }
+            for granted in granted_all {
+                self.on_lock_granted(engine, protocol, granted);
+            }
+        }
         let (client, quorums) = {
             // arbitree-lint: allow(D005) — the prepare gather just proved the op live before crossing the commit point
             let s = self.ops.get_mut(&op).expect("txn exists");
@@ -586,7 +667,10 @@ impl Coordinator {
         engine.metrics.reads_failed += state.reads.len() as u64;
         engine.metrics.writes_failed += state.writes.len() as u64;
         engine.metrics.txns_failed += 1;
-        self.finish_client_txn(engine, protocol, &state, op);
+        // Mutation hook: KeepLocksOnAbort leaks the aborted transaction's
+        // strict-2PL locks forever.
+        let release = !matches!(self.config.fault, Some(FaultInjection::KeepLocksOnAbort));
+        self.finish_client_txn(engine, protocol, &state, op, release);
     }
 
     /// Completes a transaction successfully.
@@ -665,7 +749,7 @@ impl Coordinator {
             }
         }
         engine.metrics.txns_ok += 1;
-        self.finish_client_txn(engine, protocol, &state, op);
+        self.finish_client_txn(engine, protocol, &state, op, true);
     }
 
     /// Advances the migration state machine after one of its transactions
@@ -786,7 +870,8 @@ impl Coordinator {
         }
     }
 
-    /// Releases every lock the transaction held or queued for, resumes
+    /// Releases every lock the transaction held or queued for (unless
+    /// `release_locks` is off — the `KeepLocksOnAbort` mutation), resumes
     /// granted waiters, schedules the client's next think-time tick.
     fn finish_client_txn(
         &mut self,
@@ -794,15 +879,18 @@ impl Coordinator {
         protocol: &mut Proto,
         state: &TxnState,
         op: OpId,
+        release_locks: bool,
     ) {
         let client = state.client;
         self.clients[client.0 as usize].current_op = None;
-        let mut granted_all = Vec::new();
-        for &(obj, _) in &state.lock_plan {
-            granted_all.extend(self.locks.release(op, obj));
-        }
-        for granted in granted_all {
-            self.on_lock_granted(engine, protocol, granted);
+        if release_locks {
+            let mut granted_all = Vec::new();
+            for &(obj, _) in &state.lock_plan {
+                granted_all.extend(self.locks.release(op, obj));
+            }
+            for granted in granted_all {
+                self.on_lock_granted(engine, protocol, granted);
+            }
         }
         let jitter: f64 = engine.rng.gen();
         let delay = self.pacers[client.0 as usize].next_delay(jitter);
@@ -876,13 +964,17 @@ impl Coordinator {
                 }
                 state.pending_pairs.remove(&(*obj, from));
                 if state.pending_pairs.is_empty() {
-                    self.start_commit_phase(engine, op_id);
+                    self.start_commit_phase(engine, protocol, op_id);
                 }
             }
-            (Payload::CommitAck { obj, .. }, Phase::CommitGather)
-                if state.pending_pairs.remove(&(*obj, from)) && state.pending_pairs.is_empty() =>
-            {
-                self.complete_op(engine, protocol, op_id);
+            (Payload::CommitAck { obj, .. }, Phase::CommitGather) => {
+                let acked = state.pending_pairs.remove(&(*obj, from));
+                // Mutation hook: StaleCommitAck declares victory on the first
+                // acknowledgement instead of waiting for the full quorum.
+                let premature = matches!(self.config.fault, Some(FaultInjection::StaleCommitAck));
+                if acked && (state.pending_pairs.is_empty() || premature) {
+                    self.complete_op(engine, protocol, op_id);
+                }
             }
             _ => {} // stale message from an earlier phase
         }

@@ -66,6 +66,12 @@ impl Engine {
         &self.metrics
     }
 
+    /// The pending-event queue (inspection — schedulers enumerate the
+    /// enabled set through this).
+    pub fn queue(&self) -> &EventQueue {
+        &self.queue
+    }
+
     /// Schedules an event at `at`.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         self.queue.schedule(at, event);

@@ -2,14 +2,20 @@
 //!
 //! Events at equal timestamps are ordered by insertion sequence number, so a
 //! simulation is a pure function of its configuration and RNG seed.
+//!
+//! The queue is the simulator's *nondeterminism point*: the default
+//! [`crate::SeededScheduler`] always takes the earliest [`EventKey`]
+//! (reproducing the classic seeded run), while a model checker may select
+//! **any** pending key — every pending event is considered enabled under the
+//! explorer's time abstraction — which is what
+//! [`EventQueue::keys`]/[`EventQueue::take`] exist for.
 
 use crate::config::NetworkConfig;
 use crate::message::{ClientId, Message, OpId};
 use crate::network::Partition;
 use crate::time::SimTime;
 use arbitree_quorum::SiteId;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 
 /// Events driving the simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,41 +51,29 @@ pub enum Event {
     },
 }
 
-#[derive(Debug)]
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// Identity of a pending event: its scheduled firing time plus the insertion
+/// sequence number that breaks ties FIFO.
+///
+/// Keys are totally ordered (`at` first, then `seq`) and stable: a pending
+/// event keeps its key until it is taken, and re-executing the same prefix
+/// of choices reproduces the same keys — which is what lets a stateless
+/// model checker name "the same event" across re-executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Scheduled firing time.
+    pub at: SimTime,
+    /// Insertion sequence number (unique per queue).
+    pub seq: u64,
 }
 
 /// Deterministic future-event queue.
+///
+/// Backed by an ordered map keyed by [`EventKey`], so the earliest-first
+/// order of the seeded path and arbitrary-key removal for the model checker
+/// are the same structure.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    pending: BTreeMap<EventKey, Event>,
     next_seq: u64,
 }
 
@@ -93,27 +87,52 @@ impl EventQueue {
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.pending.insert(EventKey { at, seq }, event);
     }
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        self.pending.pop_first().map(|(k, e)| (k.at, e))
+    }
+
+    /// Removes and returns the pending event with `key`, if present.
+    pub fn take(&mut self, key: EventKey) -> Option<(SimTime, Event)> {
+        self.pending.remove(&key).map(|e| (key.at, e))
+    }
+
+    /// The earliest pending key (what the seeded scheduler selects).
+    pub fn next_key(&self) -> Option<EventKey> {
+        self.pending.keys().next().copied()
+    }
+
+    /// All pending keys in `(at, seq)` order.
+    pub fn keys(&self) -> impl Iterator<Item = EventKey> + '_ {
+        self.pending.keys().copied()
+    }
+
+    /// All pending events in `(at, seq)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventKey, &Event)> + '_ {
+        self.pending.iter().map(|(k, e)| (*k, e))
+    }
+
+    /// The pending event with `key`, if present.
+    pub fn get(&self, key: EventKey) -> Option<&Event> {
+        self.pending.get(&key)
     }
 
     /// Time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.pending.keys().next().map(|k| k.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.pending.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.pending.is_empty()
     }
 }
 
@@ -159,5 +178,43 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn take_removes_by_key_without_disturbing_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), Event::Crash(SiteId::new(0)));
+        q.schedule(SimTime::from_micros(20), Event::Crash(SiteId::new(1)));
+        q.schedule(SimTime::from_micros(20), Event::Crash(SiteId::new(2)));
+        let keys: Vec<EventKey> = q.keys().collect();
+        assert_eq!(keys.len(), 3);
+        // Take the middle event (first of the two at t=20).
+        let (t, e) = q.take(keys[1]).unwrap();
+        assert_eq!(t.as_micros(), 20);
+        assert_eq!(e, Event::Crash(SiteId::new(1)));
+        // Its key is gone; the others still pop in order.
+        assert!(q.take(keys[1]).is_none());
+        assert!(q.get(keys[0]).is_some());
+        let rest: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Crash(s) => s.as_u32(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rest, vec![0, 2]);
+    }
+
+    #[test]
+    fn next_key_is_earliest_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(7), Event::Reconfigure);
+        q.schedule(SimTime::from_micros(3), Event::Reconfigure);
+        q.schedule(SimTime::from_micros(3), Event::Reconfigure);
+        let k = q.next_key().unwrap();
+        assert_eq!(k.at.as_micros(), 3);
+        assert_eq!(k.seq, 1);
+        // Keys are stable: peeking does not change anything.
+        assert_eq!(q.next_key(), Some(k));
+        assert_eq!(q.len(), 3);
     }
 }

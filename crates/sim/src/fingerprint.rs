@@ -1,0 +1,181 @@
+//! State fingerprinting for the model checker.
+//!
+//! [`Simulation::fingerprint`] reduces the *logical* simulation state to a
+//! 64-bit FNV-1a hash. Two states with equal fingerprints behave
+//! identically under every future schedule (modulo hash collisions), which
+//! is what lets `arbitree-check` prune branches that re-converge to a
+//! visited state.
+//!
+//! What goes in — everything future behaviour can depend on:
+//!
+//! * per-site storage and liveness (the replicas' durable state);
+//! * the run RNG (quorum picks and pacer jitter draw from it);
+//! * the coordinator's transaction machine: per-client state, every
+//!   in-flight [`crate::txn::TxnState`], the lock tables, the consistency
+//!   checker's model, the arrival pacers, and the reconfiguration machine;
+//! * the pending scripted transactions, each tagged with whether it is
+//!   already *due* (`at ≤ now`) — the only way the clock feeds behaviour;
+//! * the multiset of pending events, hashed **content-only** and combined
+//!   order-independently.
+//!
+//! What stays out: event scheduling times and message `sent_at` stamps
+//! (under a controlled scheduler, time is a label — only the order chosen
+//! by the scheduler matters), sequence numbers (two interleavings that
+//! reach the same state label their pending events differently), and the
+//! observational channels (metrics, history, per-op `started` stamps) that
+//! never feed back into a decision.
+
+use crate::event::Event;
+use crate::sim::Simulation;
+use std::fmt::{self, Write as _};
+
+/// FNV-1a (64-bit) accumulator that hashes anything `Debug`-printable
+/// without allocating: it implements [`fmt::Write`], so `write!` streams
+/// the formatted bytes straight into the hash.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Streams `v`'s `Debug` form into the hash.
+    pub(crate) fn debug(&mut self, v: &dyn fmt::Debug) {
+        // Infallible: Fnv::write_str never errors.
+        let _ = write!(self, "{v:?}");
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+        Ok(())
+    }
+}
+
+/// Hashes an event's *content*, excluding its scheduling time and (for
+/// deliveries) the message's `sent_at` stamp — both are labels under a
+/// controlled scheduler, not state.
+pub(crate) fn event_shape(h: &mut Fnv, event: &Event) {
+    match event {
+        Event::Deliver(msg) => {
+            h.u64(1);
+            h.debug(&msg.from);
+            h.debug(&msg.to);
+            h.debug(&msg.payload);
+        }
+        other => {
+            h.u64(2);
+            h.debug(other);
+        }
+    }
+}
+
+impl Simulation {
+    /// A 64-bit fingerprint of the logical simulation state (see the
+    /// module docs for exactly what it covers). Used by the model checker
+    /// to detect schedules that re-converge to an already-explored state.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        let engine = self.engine();
+        // Replica fabric: storage, staged writes, liveness — and the run
+        // RNG, which future quorum picks and pacer jitter will consume.
+        for site in engine.sites() {
+            h.debug(site);
+        }
+        h.debug(&engine.rng);
+        // Network behaviour that future sends depend on (partition and
+        // override state; the static base config hashes along harmlessly).
+        h.debug(&engine.network);
+        // The transaction machine (per-op state, locks, checker model,
+        // scripted-due flags).
+        self.coordinator().fingerprint_into(&mut h, engine.now());
+        // Pending events: a content-only multiset. Each event hashes to an
+        // independent value; `wrapping_add` combines them so two
+        // interleavings whose queues hold the same events under different
+        // sequence numbers (or times) fingerprint identically.
+        let mut pending: u64 = 0;
+        for (_, event) in engine.queue.iter() {
+            let mut eh = Fnv::new();
+            event_shape(&mut eh, event);
+            pending = pending.wrapping_add(eh.finish());
+        }
+        h.u64(pending);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
+    use crate::time::SimTime;
+    use arbitree_core::ArbitraryProtocol;
+
+    #[test]
+    fn fnv_distinguishes_inputs() {
+        let mut a = Fnv::new();
+        a.debug(&(1u32, "x"));
+        let mut b = Fnv::new();
+        b.debug(&(2u32, "x"));
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    fn deliver_at(sent_at: SimTime) -> Event {
+        Event::Deliver(Message {
+            from: Endpoint::Client(ClientId(0)),
+            to: Endpoint::Site(arbitree_quorum::SiteId::new(0)),
+            payload: Payload::ReadReq {
+                op: OpId(3),
+                obj: ObjectId(1),
+            },
+            sent_at,
+        })
+    }
+
+    #[test]
+    fn event_shape_ignores_sent_at() {
+        let mut a = Fnv::new();
+        event_shape(&mut a, &deliver_at(SimTime::ZERO));
+        let mut b = Fnv::new();
+        event_shape(&mut b, &deliver_at(SimTime::from_millis(9)));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fresh_sims_with_equal_configs_fingerprint_equal() {
+        let cfg = SimConfig::default();
+        let a = Simulation::new(cfg.clone(), ArbitraryProtocol::parse("1-3").unwrap());
+        let b = Simulation::new(cfg, ArbitraryProtocol::parse("1-3").unwrap());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Simulation::new(
+            SimConfig {
+                seed: 99,
+                ..SimConfig::default()
+            },
+            ArbitraryProtocol::parse("1-3").unwrap(),
+        );
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

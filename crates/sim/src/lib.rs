@@ -67,6 +67,8 @@ mod coordinator;
 mod engine;
 mod event;
 mod failure;
+mod fault;
+mod fingerprint;
 pub mod harness;
 pub mod history;
 mod locks;
@@ -74,6 +76,7 @@ mod message;
 mod metrics;
 mod nemesis;
 mod network;
+mod scheduler;
 mod sim;
 mod site;
 mod storage;
@@ -85,8 +88,9 @@ pub use checker::{ConsistencyChecker, Violation};
 pub use config::{NetworkConfig, RetryPolicy, SimConfig};
 pub use coordinator::Coordinator;
 pub use engine::Engine;
-pub use event::{Event, EventQueue};
+pub use event::{Event, EventKey, EventQueue};
 pub use failure::FailureSchedule;
+pub use fault::FaultInjection;
 pub use harness::{
     cell_seed, empirical_availability, empirical_cost, empirical_cost_under_failures,
     empirical_load, parallel_map, run_cells, run_chaos_campaign, run_simulation, ChaosCell,
@@ -98,6 +102,7 @@ pub use message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
 pub use metrics::{LatencyHistogram, SimMetrics};
 pub use nemesis::{build_profile, Nemesis, NemesisAction, NemesisKind};
 pub use network::{Network, Partition};
+pub use scheduler::{Scheduler, SeededScheduler};
 pub use sim::Simulation;
 pub use site::Site;
 pub use storage::{Staged, Storage, Version};

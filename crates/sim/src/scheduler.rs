@@ -1,0 +1,63 @@
+//! The scheduler seam: who decides which pending event fires next.
+//!
+//! [`Simulation::run`] always asked the event queue for its earliest entry;
+//! that policy is now one implementation — [`SeededScheduler`] — of the
+//! [`Scheduler`] trait, and [`crate::Simulation::run_with`] accepts any
+//! other. A model checker implements [`Scheduler`] to turn the queue into a
+//! controlled nondeterminism point: at every step it may select *any*
+//! pending [`EventKey`] (same-time deliveries, timeout-vs-delivery races,
+//! crash-vs-commit races), driving the simulation down one branch of the
+//! schedule tree per run.
+//!
+//! Contract: `select` must return a key currently pending in
+//! `sim.engine().queue()`; returning `None` ends the run (the natural end
+//! is an empty queue). The seeded path is bit-for-bit identical to the
+//! pre-seam simulator, which `crates/sim/tests/replay.rs` pins down.
+//!
+//! [`Simulation::run`]: crate::Simulation::run
+
+use crate::event::EventKey;
+use crate::sim::Simulation;
+
+/// Chooses the next event to fire from the pending set.
+pub trait Scheduler {
+    /// Selects the key of the next event to execute, or `None` to stop.
+    ///
+    /// Called once per step with the simulation state *before* the event
+    /// executes; implementations may inspect the queue
+    /// ([`crate::Engine::queue`]), the clock, and the coordinator, and may
+    /// fingerprint the state ([`Simulation::fingerprint`]).
+    fn select(&mut self, sim: &Simulation) -> Option<EventKey>;
+}
+
+/// The default policy: always fire the earliest pending event.
+///
+/// This reproduces the classic discrete-event order `(at, seq)` exactly, so
+/// `run_with(&mut SeededScheduler)` is byte-identical to the historical
+/// `run()` loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeededScheduler;
+
+impl Scheduler for SeededScheduler {
+    fn select(&mut self, sim: &Simulation) -> Option<EventKey> {
+        sim.engine().queue().next_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use arbitree_core::ArbitraryProtocol;
+
+    #[test]
+    fn seeded_scheduler_selects_earliest() {
+        let config = SimConfig {
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(config, ArbitraryProtocol::parse("1-3").unwrap());
+        // Before priming, the queue is empty: nothing to select.
+        assert!(SeededScheduler.select(&sim).is_none());
+    }
+}

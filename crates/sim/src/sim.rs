@@ -25,7 +25,7 @@
 use crate::config::SimConfig;
 use crate::coordinator::Coordinator;
 use crate::engine::Engine;
-use crate::event::Event;
+use crate::event::{Event, EventKey};
 use crate::message::{ClientId, Endpoint};
 use crate::network::Partition;
 use crate::site::Site;
@@ -171,59 +171,118 @@ impl Simulation {
         &self.coordinator
     }
 
-    /// Runs the simulation to its configured end time and reports.
+    /// Whether the pending event at `key` is a *permanent* no-op: executing
+    /// it now — or after any sequence of other events — changes nothing but
+    /// the queue. Today this identifies permanently-stale
+    /// [`Event::OpTimeout`]s (the operation completed, or its phase counter
+    /// moved past the armed attempt; both conditions are irreversible).
+    /// A model checker may treat such an event as independent of every
+    /// other event.
+    pub fn event_is_noop(&self, key: EventKey) -> bool {
+        match self.engine.queue.get(key) {
+            Some(Event::OpTimeout { op, attempt, .. }) => {
+                self.coordinator.timeout_is_stale(*op, *attempt)
+            }
+            _ => false,
+        }
+    }
+
+    /// Runs the simulation to its configured end time and reports, firing
+    /// events in the classic seeded order (earliest first).
     pub fn run(&mut self) -> SimReport {
+        self.run_with(&mut crate::scheduler::SeededScheduler)
+    }
+
+    /// Runs the simulation with `scheduler` deciding which pending event
+    /// fires at each step — the controlled-nondeterminism entry point used
+    /// by the model checker. `run_with(&mut SeededScheduler)` is
+    /// byte-identical to [`Simulation::run`].
+    ///
+    /// The run ends when the scheduler returns `None`, the queue is empty,
+    /// or the selected event lies past the configured end time.
+    pub fn run_with(&mut self, scheduler: &mut dyn crate::scheduler::Scheduler) -> SimReport {
         // Stagger initial client ticks so they do not synchronize.
         for c in 0..self.coordinator.config.clients as u32 {
             let offset = crate::time::SimDuration::from_micros(u64::from(c) * 37);
             self.engine
                 .schedule(SimTime::ZERO + offset, Event::ClientTick(ClientId(c)));
         }
-        while let Some((at, event)) = self.engine.queue.pop() {
-            if at > self.engine.end {
+        while let Some(key) = scheduler.select(&*self) {
+            if !self.step(key) {
                 break;
             }
-            self.engine.now = at;
-            match event {
-                Event::Deliver(msg) => match msg.to {
-                    Endpoint::Site(sid) => self.engine.deliver_to_site(sid, msg),
-                    Endpoint::Client(cid) => {
-                        self.engine.metrics.messages_delivered += 1;
-                        self.coordinator.on_client_message(
-                            &mut self.engine,
-                            &mut self.protocol,
-                            cid,
-                            msg,
-                        );
-                    }
-                },
-                Event::Crash(s) => self.engine.crash(s),
-                Event::Recover(s) => self.engine.recover(s),
-                Event::SetPartition(p) => self.engine.set_partition(p),
-                Event::NetOverride(o) => self.engine.set_network_override(o),
-                Event::ClientTick(c) => {
-                    self.coordinator
-                        .handle_client_tick(&mut self.engine, &mut self.protocol, c);
+        }
+        self.coordinator.report(&self.engine)
+    }
+
+    /// Executes the pending event identified by `key`. Returns `false` (and
+    /// consumes the event) when the event lies past the configured end time
+    /// or the key is not pending — both end the run.
+    ///
+    /// When events fire out of time order (a model-checking scheduler), the
+    /// clock never moves backwards: simulated time is an abstraction there,
+    /// only the *order* of events matters. On the seeded path keys are taken
+    /// in `(at, seq)` order, so `max` is the identity and the clock advances
+    /// exactly as before.
+    fn step(&mut self, key: EventKey) -> bool {
+        let Some((at, event)) = self.engine.queue.take(key) else {
+            return false;
+        };
+        if at > self.engine.end {
+            return false;
+        }
+        self.engine.now = self.engine.now.max(at);
+        self.dispatch(event);
+        true
+    }
+
+    /// Routes one event to the engine or the coordinator.
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Deliver(msg) => match msg.to {
+                Endpoint::Site(sid) => self.engine.deliver_to_site(sid, msg),
+                Endpoint::Client(cid) => {
+                    self.engine.metrics.messages_delivered += 1;
+                    self.coordinator.on_client_message(
+                        &mut self.engine,
+                        &mut self.protocol,
+                        cid,
+                        msg,
+                    );
                 }
-                Event::Reconfigure => {
-                    self.coordinator
-                        .on_reconfigure_event(&mut self.engine, &mut self.protocol);
-                }
-                Event::OpTimeout {
+            },
+            Event::Crash(s) => self.engine.crash(s),
+            Event::Recover(s) => self.engine.recover(s),
+            Event::SetPartition(p) => self.engine.set_partition(p),
+            Event::NetOverride(o) => self.engine.set_network_override(o),
+            Event::ClientTick(c) => {
+                self.coordinator
+                    .handle_client_tick(&mut self.engine, &mut self.protocol, c);
+            }
+            Event::Reconfigure => {
+                self.coordinator
+                    .on_reconfigure_event(&mut self.engine, &mut self.protocol);
+            }
+            Event::OpTimeout {
+                client,
+                op,
+                attempt,
+            } => {
+                self.coordinator.on_timeout(
+                    &mut self.engine,
+                    &mut self.protocol,
                     client,
                     op,
                     attempt,
-                } => {
-                    self.coordinator.on_timeout(
-                        &mut self.engine,
-                        &mut self.protocol,
-                        client,
-                        op,
-                        attempt,
-                    );
-                }
+                );
             }
         }
+    }
+
+    /// Snapshot of the run's outcome so far (what [`Simulation::run`]
+    /// returns at the end; schedulers that stop a run early can still
+    /// report it).
+    pub fn report(&self) -> SimReport {
         self.coordinator.report(&self.engine)
     }
 

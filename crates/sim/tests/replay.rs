@@ -13,9 +13,10 @@
 use arbitree_core::ArbitraryProtocol;
 use arbitree_quorum::SiteId;
 use arbitree_sim::{
-    build_profile, NemesisKind, NetworkConfig, RetryPolicy, SimConfig, SimDuration, SimReport,
-    Simulation,
+    build_profile, NemesisKind, NetworkConfig, RetryPolicy, SeededScheduler, SimConfig,
+    SimDuration, SimReport, Simulation,
 };
+use proptest::prelude::*;
 
 /// A full-pressure chaos run: partitions cycling over a logical level,
 /// exponential backoff with jitter (exercising the RNG on every retry),
@@ -72,6 +73,69 @@ fn same_seed_replays_byte_identically() {
         b.as_bytes(),
         "same-seed chaos runs must serialize byte-for-byte identically"
     );
+}
+
+/// The scheduler seam must be invisible on the default path:
+/// `run_with(&mut SeededScheduler)` is the policy `run()` always had, so
+/// over random small trees, seeds and network shapes the two must produce
+/// byte-identical transcripts — not merely equivalent reports.
+mod scheduler_seam {
+    use super::*;
+
+    const SPECS: [&str; 6] = ["1-3", "1-5", "1-2-3", "1-3-5", "p:1-3", "p:1-2-4"];
+
+    fn run_pair(spec: &str, seed: u64, drop: f64, jitter: bool) -> (String, String) {
+        let config = |s| SimConfig {
+            seed: s,
+            clients: 2,
+            objects: 2,
+            retry: if jitter {
+                RetryPolicy::Exponential {
+                    cap: SimDuration::from_millis(24),
+                    jitter: 0.5,
+                }
+            } else {
+                RetryPolicy::Fixed
+            },
+            network: NetworkConfig {
+                drop_probability: drop,
+                ..NetworkConfig::default()
+            },
+            duration: SimDuration::from_millis(60),
+            record_history: true,
+            ..SimConfig::default()
+        };
+        let proto = || ArbitraryProtocol::parse(spec).expect("valid spec");
+        let baseline = Simulation::new(config(seed), proto()).run();
+        let mut sim = Simulation::new(config(seed), proto());
+        let seamed = sim.run_with(&mut SeededScheduler);
+        (transcript(&baseline), transcript(&seamed))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn seeded_scheduler_is_byte_identical_to_run(
+            spec_idx in 0usize..SPECS.len(),
+            seed in 0u64..10_000,
+            drop in 0.0f64..0.1,
+            jitter in any::<bool>(),
+        ) {
+            let (baseline, seamed) = run_pair(SPECS[spec_idx], seed, drop, jitter);
+            prop_assert!(
+                baseline.contains("history"),
+                "transcript should capture history"
+            );
+            prop_assert_eq!(
+                baseline,
+                seamed,
+                "scheduler seam changed behavior on the default path: spec {} seed {}",
+                SPECS[spec_idx],
+                seed
+            );
+        }
+    }
 }
 
 #[test]
