@@ -57,6 +57,11 @@ pub struct Budget {
     /// `true` = sleep-set DPOR; `false` = naive DFS (measurement
     /// baseline).
     pub dpor: bool,
+    /// `true` = same-site deliveries for different objects are
+    /// independent (the sharded-keyspace refinement); `false` = the
+    /// coarser site-only relation (ablation baseline for measuring what
+    /// the refinement buys on cross-shard workloads).
+    pub object_independence: bool,
 }
 
 impl Budget {
@@ -67,6 +72,7 @@ impl Budget {
             max_states: 400_000,
             max_schedules: 400_000,
             dpor: true,
+            object_independence: true,
         }
     }
 
@@ -77,6 +83,7 @@ impl Budget {
             max_states: 4_000_000,
             max_schedules: 4_000_000,
             dpor: true,
+            object_independence: true,
         }
     }
 
@@ -84,6 +91,16 @@ impl Budget {
     pub fn naive(self) -> Budget {
         Budget {
             dpor: false,
+            ..self
+        }
+    }
+
+    /// The same budget with the object-level independence refinement
+    /// disabled (same-site deliveries always conflict) — the ablation
+    /// baseline for the sharded-keyspace scenarios.
+    pub fn coarse(self) -> Budget {
+        Budget {
+            object_independence: false,
             ..self
         }
     }
@@ -154,8 +171,12 @@ pub struct ExploreOutcome {
 /// Event class for the independence relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Class {
-    /// Delivery handled entirely by one replica site.
-    Site(u32),
+    /// Delivery handled entirely by one replica site, tagged with the
+    /// object it touches (`None` for a batch envelope, which may span
+    /// several). Same-site deliveries for *different* objects operate on
+    /// disjoint per-object storage and commute — the refinement that makes
+    /// transactions on different shards independent below the coordinator.
+    Site(u32, Option<u32>),
     /// Crash or recovery of one site.
     Fault(u32),
     /// Anything the coordinator layer handles (client deliveries, ticks,
@@ -177,7 +198,7 @@ fn classify(sim: &Simulation, key: EventKey, event: &Event) -> Class {
     }
     match event {
         Event::Deliver(m) => match m.to {
-            Endpoint::Site(s) => Class::Site(s.as_u32()),
+            Endpoint::Site(s) => Class::Site(s.as_u32(), m.payload.object().map(|o| o.0)),
             Endpoint::Client(_) => Class::Coordinator,
         },
         Event::Crash(s) | Event::Recover(s) => Class::Fault(s.as_u32()),
@@ -190,10 +211,14 @@ fn classify(sim: &Simulation, key: EventKey, event: &Event) -> Class {
 /// same logical state and neither disables the other). Site-local work
 /// commutes across distinct sites and with coordinator-side work (a
 /// site's handler touches only that site's storage plus the message
-/// fabric; under a derandomized scenario it draws no RNG). Coordinator
-/// events share the lock tables and the run RNG, so they never commute
-/// with each other; global events commute with nothing; permanent no-ops
-/// commute with everything.
+/// fabric; under a derandomized scenario it draws no RNG). Two deliveries
+/// to the *same* site commute when they touch different objects — per-site
+/// storage and staging are keyed by object, so the handlers read and write
+/// disjoint state (a batch envelope, tagged `None`, may span objects and
+/// stays dependent). A site's crash/recovery conflicts with every delivery
+/// to that site regardless of object. Coordinator events share the lock
+/// tables and the run RNG, so they never commute with each other; global
+/// events commute with nothing; permanent no-ops commute with everything.
 ///
 /// Classes are sampled when an event first becomes pending at a frame; a
 /// live timeout may *become* a no-op deeper in the tree, which only makes
@@ -201,9 +226,12 @@ fn classify(sim: &Simulation, key: EventKey, event: &Event) -> Class {
 fn independent(a: Class, b: Class) -> bool {
     match (a, b) {
         (Class::NoOp, _) | (_, Class::NoOp) => true,
-        (Class::Site(x) | Class::Fault(x), Class::Site(y) | Class::Fault(y)) => x != y,
-        (Class::Site(_) | Class::Fault(_), Class::Coordinator)
-        | (Class::Coordinator, Class::Site(_) | Class::Fault(_)) => true,
+        (Class::Site(x, ox), Class::Site(y, oy)) => {
+            x != y || matches!((ox, oy), (Some(o1), Some(o2)) if o1 != o2)
+        }
+        (Class::Site(x, _) | Class::Fault(x), Class::Site(y, _) | Class::Fault(y)) => x != y,
+        (Class::Site(..) | Class::Fault(_), Class::Coordinator)
+        | (Class::Coordinator, Class::Site(..) | Class::Fault(_)) => true,
         _ => false,
     }
 }
@@ -354,7 +382,18 @@ impl Scheduler for RunScheduler<'_> {
         self.core.stats.states = self.core.entries as u64;
         let classes: Vec<Class> = enabled
             .iter()
-            .map(|k| classify(sim, *k, queue.get(*k).expect("key just enumerated")))
+            .map(|k| {
+                let class = classify(sim, *k, queue.get(*k).expect("key just enumerated"));
+                match class {
+                    // Ablation mode: drop the object tag, so same-site
+                    // deliveries always conflict (the pre-sharding
+                    // relation).
+                    Class::Site(s, Some(_)) if !self.core.budget.object_independence => {
+                        Class::Site(s, None)
+                    }
+                    c => c,
+                }
+            })
             .collect();
         let sleeping: Vec<bool> = enabled.iter().map(|k| sleep.contains(k)).collect();
         let Some(index) = sleeping.iter().position(|s| !s) else {
@@ -545,8 +584,10 @@ mod tests {
     #[test]
     fn independence_is_symmetric_and_site_local() {
         let cases = [
-            Class::Site(0),
-            Class::Site(1),
+            Class::Site(0, Some(0)),
+            Class::Site(0, Some(1)),
+            Class::Site(0, None),
+            Class::Site(1, Some(0)),
             Class::Fault(0),
             Class::Fault(1),
             Class::Coordinator,
@@ -558,17 +599,41 @@ mod tests {
                 assert_eq!(independent(a, b), independent(b, a), "{a:?} {b:?}");
             }
         }
-        assert!(independent(Class::Site(0), Class::Site(1)));
-        assert!(!independent(Class::Site(0), Class::Site(0)));
-        assert!(!independent(Class::Site(0), Class::Fault(0)));
-        assert!(independent(Class::Fault(0), Class::Site(1)));
-        assert!(independent(Class::Site(0), Class::Coordinator));
+        assert!(independent(
+            Class::Site(0, Some(0)),
+            Class::Site(1, Some(0))
+        ));
+        assert!(!independent(
+            Class::Site(0, Some(0)),
+            Class::Site(0, Some(0))
+        ));
+        assert!(!independent(Class::Site(0, Some(0)), Class::Fault(0)));
+        assert!(independent(Class::Fault(0), Class::Site(1, Some(0))));
+        assert!(independent(Class::Site(0, Some(0)), Class::Coordinator));
         assert!(!independent(Class::Coordinator, Class::Coordinator));
-        assert!(!independent(Class::Global, Class::Site(0)));
+        assert!(!independent(Class::Global, Class::Site(0, Some(0))));
         assert!(!independent(Class::Global, Class::Global));
         assert!(independent(Class::NoOp, Class::Global));
         assert!(independent(Class::NoOp, Class::Coordinator));
         assert!(independent(Class::NoOp, Class::NoOp));
+    }
+
+    #[test]
+    fn same_site_independence_keys_on_the_object() {
+        // Different objects on one site touch disjoint storage: commute.
+        assert!(independent(
+            Class::Site(0, Some(0)),
+            Class::Site(0, Some(1))
+        ));
+        // A batch envelope may span objects: dependent with everything on
+        // its site, whatever the other event's object tag.
+        assert!(!independent(Class::Site(0, None), Class::Site(0, Some(1))));
+        assert!(!independent(Class::Site(0, None), Class::Site(0, None)));
+        // A crash conflicts with every delivery to its site regardless of
+        // object.
+        assert!(!independent(Class::Fault(0), Class::Site(0, Some(1))));
+        // Across sites the object tag is irrelevant.
+        assert!(independent(Class::Site(0, None), Class::Site(1, None)));
     }
 
     #[test]

@@ -84,34 +84,94 @@ fn main() -> ExitCode {
     }
 
     // Bounded tier: contended multi-client scenarios whose state space
-    // exceeds any budget — every explored schedule is still checked.
+    // exceeds any budget — every explored schedule is still checked. Both
+    // modes run at the same schedule cap, so the coverage factor
+    // (dpor-states / naive-states) measures how many more *distinct*
+    // states DPOR reaches per schedule; independence-rich scenarios
+    // (cross-shard keys) push it up.
     let bounded_budget = budget.capped(if smoke { 60_000 } else { 1_000_000 });
     println!();
-    println!("== bounded exploration (unmutated, dpor) ==");
+    println!("== bounded exploration (unmutated, dpor vs naive at equal budget) ==");
     println!(
-        "{:<22} {:>6} {:>9} {:>12} {:>9} {:>10} {:>6}",
-        "scenario", "spec", "states", "schedules", "maxdepth", "violations", "secs"
+        "{:<22} {:>6} {:>9} {:>12} {:>12} {:>9} {:>8} {:>10} {:>6}",
+        "scenario",
+        "spec",
+        "states",
+        "schedules",
+        "naive-states",
+        "maxdepth",
+        "coverage",
+        "violations",
+        "secs"
     );
     for scenario in Scenario::bounded() {
         // arbitree-lint: allow(D002) — wall-clock timing of the checker itself
         let t0 = Instant::now();
         let outcome = explore(&scenario, None, bounded_budget);
+        let naive = explore(&scenario, None, bounded_budget.naive());
         let secs = t0.elapsed().as_secs_f64();
+        let coverage = outcome.stats.states as f64 / naive.stats.states.max(1) as f64;
         println!(
-            "{:<22} {:>6} {:>9} {:>12} {:>9} {:>10} {:>6.1}",
+            "{:<22} {:>6} {:>9} {:>12} {:>12} {:>9} {:>7.1}x {:>10} {:>6.1}",
             scenario.name,
             scenario.spec,
             outcome.stats.states,
             outcome.stats.schedules,
+            naive.stats.states,
             outcome.stats.max_depth_seen,
-            u32::from(outcome.violation.is_some()),
+            coverage,
+            u32::from(outcome.violation.is_some()) + u32::from(naive.violation.is_some()),
             secs
         );
-        if let Some(v) = &outcome.violation {
-            failed = true;
-            println!("  VIOLATION [{}]: {}", v.kind, v.detail);
-            for line in &v.schedule {
-                println!("    {line}");
+        for out in [&outcome, &naive] {
+            if let Some(v) = &out.violation {
+                failed = true;
+                println!("  VIOLATION [{}]: {}", v.kind, v.detail);
+                for line in &v.schedule {
+                    println!("    {line}");
+                }
+            }
+        }
+        // Sharded scenarios: ablate the object-level independence
+        // refinement (same-site deliveries always conflict) at the
+        // scenario's *drain depth*, where refined DPOR, site-only DPOR,
+        // and naive DFS all exhaust the prefix tree — so the comparison
+        // is exact schedules-to-drain, not a budget-censored count.
+        // (The deep bounded run above never revisits the shallow frames
+        // where the two clients interleave, so measuring there would
+        // show nothing; see DESIGN.md §10.)
+        if scenario.shards > 1 {
+            let depth = if smoke {
+                scenario.smoke_depth
+            } else {
+                scenario.full_depth
+            };
+            let ab = budget.with_depth(depth);
+            let refined = explore(&scenario, None, ab);
+            let coarse = explore(&scenario, None, ab.coarse());
+            let ab_naive = explore(&scenario, None, ab.naive());
+            let drained = refined.complete && coarse.complete && ab_naive.complete;
+            println!(
+                "  object-independence ablation (drain depth {depth}): schedules-to-drain \
+                 {} refined vs {} site-only vs {} naive ({:.2}x / {:.2}x)",
+                refined.stats.schedules,
+                coarse.stats.schedules,
+                ab_naive.stats.schedules,
+                coarse.stats.schedules as f64 / refined.stats.schedules.max(1) as f64,
+                ab_naive.stats.schedules as f64 / refined.stats.schedules.max(1) as f64,
+            );
+            if !drained {
+                failed = true;
+                println!("  FAILED: ablation did not drain at depth {depth} — counts are censored");
+            }
+            for out in [&refined, &coarse, &ab_naive] {
+                if let Some(v) = &out.violation {
+                    failed = true;
+                    println!("  VIOLATION [{}]: {}", v.kind, v.detail);
+                    for line in &v.schedule {
+                        println!("    {line}");
+                    }
+                }
             }
         }
     }

@@ -15,6 +15,7 @@ fn test_budget(depth: usize) -> Budget {
         max_states: 1_000_000,
         max_schedules: 1_000_000,
         dpor: true,
+        object_independence: true,
     }
 }
 
@@ -117,5 +118,40 @@ fn stale_commit_ack_kill_reports_a_stale_read() {
     assert!(
         v.schedule.iter().any(|l| l.contains("CommitAck")),
         "schedule should show the premature acknowledgement path"
+    );
+}
+
+#[test]
+fn cross_shard_ablation_drains_with_refined_fewest_schedules() {
+    let s = Scenario::cross_shard();
+    let b = test_budget(s.smoke_depth);
+    let refined = explore(&s, None, b);
+    let coarse = explore(&s, None, b.coarse());
+    let naive = explore(&s, None, b.naive());
+    for (name, out) in [
+        ("refined", &refined),
+        ("coarse", &coarse),
+        ("naive", &naive),
+    ] {
+        assert!(
+            out.complete,
+            "{name} must drain at the scenario's drain depth"
+        );
+        assert!(out.violation.is_none(), "{name}: {:?}", out.violation);
+    }
+    // The object-tagged relation commutes strictly more event pairs than
+    // the site-only one, which commutes strictly more than none — so the
+    // drain costs must be strictly ordered.
+    assert!(
+        refined.stats.schedules < coarse.stats.schedules,
+        "object tags must prune schedules: {} vs {}",
+        refined.stats.schedules,
+        coarse.stats.schedules
+    );
+    assert!(
+        coarse.stats.schedules < naive.stats.schedules,
+        "dpor must prune schedules: {} vs {}",
+        coarse.stats.schedules,
+        naive.stats.schedules
     );
 }

@@ -57,6 +57,7 @@ pub mod load;
 pub mod lp;
 mod quorum_set;
 pub mod resilience;
+mod shard;
 mod site;
 mod strategy;
 mod system;
@@ -70,6 +71,7 @@ pub use domination::{dominates, find_dominating_witness, is_dominated};
 pub use load::{certifies_lower_bound, optimal_load, uniform_load, LOAD_TOLERANCE};
 pub use quorum_set::{AliveSet, QuorumSet};
 pub use resilience::{blocking_number, fault_tolerance, RESILIENCE_MAX_SITES};
+pub use shard::{shard_index, ShardMap};
 pub use site::{SiteId, Universe};
 pub use strategy::{Strategy, StrategyError, PROBABILITY_TOLERANCE};
 pub use system::{Bicoterie, QuorumError, SetSystem};

@@ -110,6 +110,17 @@ pub struct SimConfig {
     /// ordered strict-2PL locking and a single 2PC across every written
     /// object (§2.2's transaction model).
     pub max_txn_ops: usize,
+    /// Number of independent protocol shards the keyspace is hashed
+    /// across. 1 (the default) is the classic single-tree simulator;
+    /// larger values require constructing the run with
+    /// [`crate::Simulation::from_shards`], one protocol instance per
+    /// shard over the same replica set.
+    pub shards: usize,
+    /// Coalesce same-destination protocol messages issued while handling
+    /// one event into a single [`crate::Payload::Batch`] envelope (one
+    /// network round-trip amortized across keys). Off by default: the
+    /// unbatched path is byte-identical to the pre-batching simulator.
+    pub batching: bool,
     /// How clients pick objects.
     pub object_distribution: ObjectDistribution,
     /// How clients pace operations.
@@ -139,6 +150,8 @@ impl Default for SimConfig {
             record_history: false,
             auto_workload: true,
             max_txn_ops: 1,
+            shards: 1,
+            batching: false,
             object_distribution: ObjectDistribution::Uniform,
             arrival_pattern: ArrivalPattern::Steady,
             network: NetworkConfig::default(),
@@ -183,6 +196,11 @@ impl SimConfig {
         assert!(
             self.max_txn_ops > 0,
             "transactions need at least one operation"
+        );
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(
+            self.shards <= self.objects,
+            "more shards than objects leaves shards idle; lower the shard count"
         );
         assert!(
             self.network.min_latency <= self.network.max_latency,
@@ -289,6 +307,38 @@ mod tests {
         assert!(hi > 2_000 && hi <= 3_000, "hi {hi}");
         // Fixed ignores the draw entirely.
         assert_eq!(RetryPolicy::Fixed.delay(base, 5, 0.7), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let c = SimConfig {
+            shards: 0,
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards than objects")]
+    fn more_shards_than_objects_rejected() {
+        let c = SimConfig {
+            shards: 8,
+            objects: 4,
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn sharded_batching_config_is_valid() {
+        let c = SimConfig {
+            shards: 4,
+            objects: 64,
+            batching: true,
+            ..SimConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

@@ -9,7 +9,13 @@
 //! reconfiguration possible (the migration target is an arbitrary boxed
 //! protocol, not "another tree").
 //!
-//! Methods take the [`Engine`] and the active protocol as explicit
+//! The keyspace is *sharded*: objects hash across the
+//! [`ShardMap`]'s independent protocol instances, each object's quorum
+//! decisions go to its own shard, and reconfiguration migrates one shard
+//! at a time. With one shard this degenerates to the classic
+//! single-protocol simulator, draw for draw.
+//!
+//! Methods take the [`Engine`] and the active [`ShardMap`] as explicit
 //! parameters: the three layers are sibling fields of
 //! [`crate::Simulation`], so the borrow checker can see they are disjoint.
 
@@ -25,7 +31,7 @@ use crate::time::SimTime;
 use crate::txn::{ClientState, MigrationPhase, Phase, Reconfig, SimReport, TxnRequest, TxnState};
 use crate::workload::{ArrivalPacer, ObjectSampler};
 use arbitree_core::{DetMap, DetSet, Timestamp};
-use arbitree_quorum::{AliveSet, QuorumSet, ReplicaControl, SiteId};
+use arbitree_quorum::{shard_index, AliveSet, QuorumSet, ReplicaControl, ShardMap, SiteId};
 use bytes::Bytes;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -55,7 +61,7 @@ pub struct Coordinator {
     clients: Vec<ClientState>,
     ops: DetMap<OpId, TxnState>,
     next_op: u64,
-    queued_reconfigs: VecDeque<Proto>,
+    queued_reconfigs: VecDeque<(usize, Proto)>,
     reconfig: Option<Reconfig>,
     history: History,
     object_sampler: ObjectSampler,
@@ -88,7 +94,9 @@ impl Coordinator {
             })
             .collect();
         Coordinator {
-            locks: LockManager::new(),
+            // One lock stripe per shard, same hash: lock traffic on
+            // different shards never meets in one table.
+            locks: LockManager::striped(config.shards),
             checker: ConsistencyChecker::new(),
             clients,
             ops: DetMap::new(),
@@ -126,6 +134,9 @@ impl Coordinator {
         h.debug(&self.pacers);
         h.u64(self.next_op);
         h.u64(self.queued_reconfigs.len() as u64);
+        for (shard, _) in &self.queued_reconfigs {
+            h.u64(*shard as u64);
+        }
         h.debug(&self.reconfig);
         for (op, s) in self.ops.iter() {
             h.debug(op);
@@ -150,6 +161,8 @@ impl Coordinator {
             h.debug(&s.write_values);
             h.debug(&s.write_quorums);
             h.debug(&s.pending_pairs);
+            h.debug(&s.read_pending_pairs);
+            h.debug(&s.gather_responses);
             h.debug(&s.is_migration);
         }
         for (client, queue) in self.scripted.iter() {
@@ -179,10 +192,10 @@ impl Coordinator {
         ClientId(self.config.clients as u32)
     }
 
-    /// Enqueues a reconfiguration target (popped by the next
+    /// Enqueues a reconfiguration target for `shard` (popped by the next
     /// [`Event::Reconfigure`]).
-    pub(crate) fn queue_reconfigure(&mut self, target: Proto) {
-        self.queued_reconfigs.push_back(target);
+    pub(crate) fn queue_reconfigure(&mut self, shard: usize, target: Proto) {
+        self.queued_reconfigs.push_back((shard, target));
     }
 
     /// Enqueues a scripted transaction; see
@@ -288,19 +301,19 @@ impl Coordinator {
     pub(crate) fn handle_client_tick(
         &mut self,
         engine: &mut Engine,
-        protocol: &mut Proto,
+        shards: &mut ShardMap,
         client: ClientId,
     ) {
         if (client.0 as usize) < self.config.clients
             && self.clients[client.0 as usize].current_op.is_none()
         {
-            self.issue_op(engine, protocol, client);
+            self.issue_op(engine, shards, client);
         }
     }
 
     /// Issues a fresh transaction for `client` (assumes it is idle):
     /// scripted requests first, then — if enabled — the random workload.
-    fn issue_op(&mut self, engine: &mut Engine, protocol: &mut Proto, client: ClientId) {
+    fn issue_op(&mut self, engine: &mut Engine, shards: &mut ShardMap, client: ClientId) {
         if self.reconfig.is_some() {
             return;
         }
@@ -321,7 +334,7 @@ impl Coordinator {
                 write_values.insert(obj, value);
                 writes.push(obj);
             }
-            self.insert_txn(engine, protocol, client, reads, writes, write_values);
+            self.insert_txn(engine, shards, client, reads, writes, write_values);
             return;
         }
         if engine.now >= engine.end || !self.config.auto_workload {
@@ -359,14 +372,14 @@ impl Coordinator {
                 writes.push(obj);
             }
         }
-        self.insert_txn(engine, protocol, client, reads, writes, write_values);
+        self.insert_txn(engine, shards, client, reads, writes, write_values);
     }
 
     /// Registers a transaction's state and starts its lock acquisition.
     fn insert_txn(
         &mut self,
         engine: &mut Engine,
-        protocol: &mut Proto,
+        shards: &mut ShardMap,
         client: ClientId,
         reads: Vec<ObjectId>,
         writes: Vec<ObjectId>,
@@ -393,12 +406,12 @@ impl Coordinator {
         state.write_values = write_values;
         self.ops.insert(id, state);
         self.clients[client.0 as usize].current_op = Some(id);
-        self.advance_locks(engine, protocol, id);
+        self.advance_locks(engine, shards, id);
     }
 
     /// Acquires the next planned lock(s); when all are held, starts the
     /// first read round (or the prepare phase for read-less migrations).
-    fn advance_locks(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+    fn advance_locks(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
         loop {
             let next = {
                 // arbitree-lint: allow(D005) — advance_locks runs strictly between insert_txn and the fail/complete removal
@@ -414,9 +427,9 @@ impl Coordinator {
                         !s.read_targets.is_empty()
                     };
                     if has_reads {
-                        self.start_read_round(engine, protocol, op);
+                        self.begin_reads(engine, shards, op);
                     } else {
-                        self.start_prepare_phase(engine, protocol, op);
+                        self.start_prepare_phase(engine, shards, op);
                     }
                     return;
                 }
@@ -433,24 +446,36 @@ impl Coordinator {
     }
 
     /// Called when the lock manager grants a queued request of `op`.
-    fn on_lock_granted(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+    fn on_lock_granted(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
         if let Some(state) = self.ops.get_mut(&op) {
             state.locks_held += 1;
-            self.advance_locks(engine, protocol, op);
+            self.advance_locks(engine, shards, op);
         }
     }
 
-    /// Starts (or restarts) the current read round.
-    fn start_read_round(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+    /// Enters the read phase: one object-at-a-time round in sequential
+    /// mode, or — with [`SimConfig::batching`] on — one parallel gather
+    /// over every read target so same-destination requests coalesce.
+    fn begin_reads(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
+        if self.config.batching {
+            self.start_read_gather(engine, shards, op);
+        } else {
+            self.start_read_round(engine, shards, op);
+        }
+    }
+
+    /// Starts (or restarts) the current read round (sequential mode).
+    fn start_read_round(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
         let (client, obj) = {
             // arbitree-lint: allow(D005) — start_read_round is reached only with a live op
             let s = self.ops.get(&op).expect("txn exists");
             // arbitree-lint: allow(D005) — the caller advances read_round only while it points into read_targets
             (s.client, s.current_read_target().expect("round in range"))
         };
-        let quorum = self.pick_with_reprobe(engine, protocol, client, false);
+        let quorum =
+            self.pick_with_reprobe(engine, shards.for_key(u64::from(obj.0)), client, false);
         let Some(quorum) = quorum else {
-            self.fail_op(engine, protocol, op, AbortCause::NoQuorum);
+            self.fail_op(engine, shards, op, AbortCause::NoQuorum);
             return;
         };
         {
@@ -465,9 +490,113 @@ impl Coordinator {
         self.arm_timeout(engine, op);
     }
 
+    /// Starts (or restarts) the batched read gather: every read target is
+    /// queried in one parallel round, its quorum picked from its own shard
+    /// up front (in `read_targets` order — deterministic). The engine's
+    /// outbox then coalesces the requests sharing a destination site into
+    /// one envelope.
+    fn start_read_gather(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
+        let (client, targets) = {
+            // arbitree-lint: allow(D005) — start_read_gather is reached only with a live op
+            let s = self.ops.get(&op).expect("txn exists");
+            (s.client, s.read_targets.clone())
+        };
+        let mut quorums: Vec<(ObjectId, QuorumSet)> = Vec::with_capacity(targets.len());
+        for &obj in &targets {
+            let q = self.pick_with_reprobe(engine, shards.for_key(u64::from(obj.0)), client, false);
+            let Some(q) = q else {
+                self.fail_op(engine, shards, op, AbortCause::NoQuorum);
+                return;
+            };
+            quorums.push((obj, q));
+        }
+        {
+            // arbitree-lint: allow(D005) — re-lookup after quorum picking, which never mutates ops
+            let s = self.ops.get_mut(&op).expect("txn exists");
+            s.phase = Phase::ReadGather;
+            s.read_pending_pairs.clear();
+            s.gather_responses.clear();
+            for (obj, q) in &quorums {
+                s.round_quorums.insert(*obj, q.clone());
+                for site in q.iter() {
+                    s.read_pending_pairs.insert((*obj, site));
+                }
+            }
+        }
+        for (obj, q) in quorums {
+            engine.send_to_sites(client, &q, |_| Payload::ReadReq { op, obj });
+        }
+        self.arm_timeout(engine, op);
+    }
+
+    /// The batched gather finished: repair stale responders per object,
+    /// then stamp writes / complete exactly as the sequential path does.
+    fn finish_read_gather(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
+        let (client, targets, responses) = {
+            // arbitree-lint: allow(D005) — finish_read_gather fires off a ReadGather response for a live op
+            let s = self.ops.get_mut(&op).expect("txn exists");
+            // All rounds done at once.
+            s.read_round = s.read_targets.len();
+            (s.client, s.read_targets.clone(), s.gather_responses.clone())
+        };
+        if self.config.read_repair {
+            for &obj in &targets {
+                let best = self
+                    .ops
+                    .get(&op)
+                    .and_then(|s| s.gathered.get(&obj).cloned())
+                    .unwrap_or((Timestamp::ZERO, Bytes::new()));
+                let stale: Vec<SiteId> = responses
+                    .iter()
+                    .filter(|(o, _, seen)| *o == obj && *seen < best.0)
+                    .map(|(_, site, _)| *site)
+                    .collect();
+                if !stale.is_empty() {
+                    let members = QuorumSet::from_sites(stale);
+                    engine.metrics.repairs_sent += members.len() as u64;
+                    let (ts, value) = best;
+                    engine.send_to_sites(client, &members, |_| Payload::Repair {
+                        op,
+                        obj,
+                        value: value.clone(),
+                        ts,
+                    });
+                }
+            }
+        }
+        self.after_read_rounds(engine, shards, op);
+    }
+
+    /// Every read round is done: stamp the written objects' timestamps
+    /// from their gathered versions and enter the prepare phase, or
+    /// complete a read-only transaction. Shared tail of the sequential and
+    /// batched read paths.
+    fn after_read_rounds(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
+        // arbitree-lint: allow(D005) — both read paths just observed the live record
+        let has_writes = !self.ops.get(&op).expect("txn exists").writes.is_empty();
+        if has_writes {
+            // arbitree-lint: allow(D005) — the record was alive a line up and nothing here removes it
+            let client_idx = self.ops.get(&op).expect("txn exists").client.0 as usize;
+            let sid = self.clients[client_idx].sid;
+            // Mutation hook: SkipVersionBump reuses the gathered timestamp
+            // verbatim, so committed versions stop advancing.
+            let skip_bump = matches!(self.config.fault, Some(FaultInjection::SkipVersionBump));
+            // arbitree-lint: allow(D005) — re-lookup to upgrade the borrow; the op is still live
+            let s = self.ops.get_mut(&op).expect("txn exists");
+            for obj in s.writes.clone() {
+                let base = s.gathered.get(&obj).map_or(Timestamp::ZERO, |(t, _)| *t);
+                let ts = if skip_bump { base } else { base.next(sid) };
+                s.write_ts.insert(obj, ts);
+            }
+            self.start_prepare_phase(engine, shards, op);
+        } else {
+            self.complete_op(engine, shards, op);
+        }
+    }
+
     /// The current read round finished: record its result, maybe repair,
     /// then move to the next round, the prepare phase, or completion.
-    fn finish_read_round(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+    fn finish_read_round(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
         let (obj, best, responses, client) = {
             // arbitree-lint: allow(D005) — finish_read_round fires off a ReadGather response for a live op
             let s = self.ops.get_mut(&op).expect("txn exists");
@@ -502,37 +631,21 @@ impl Coordinator {
                 });
             }
         }
-        let (more_rounds, has_writes) = {
+        let more_rounds = {
             // arbitree-lint: allow(D005) — still inside finish_read_round's borrow-split sequence; the op stays live
             let s = self.ops.get(&op).expect("txn exists");
-            (s.read_round < s.read_targets.len(), !s.writes.is_empty())
+            s.read_round < s.read_targets.len()
         };
         if more_rounds {
-            self.start_read_round(engine, protocol, op);
-        } else if has_writes {
-            // Stamp every written object from its gathered version.
-            // arbitree-lint: allow(D005) — the record was alive a few lines up and nothing here removes it
-            let client_idx = self.ops.get(&op).expect("txn exists").client.0 as usize;
-            let sid = self.clients[client_idx].sid;
-            // Mutation hook: SkipVersionBump reuses the gathered timestamp
-            // verbatim, so committed versions stop advancing.
-            let skip_bump = matches!(self.config.fault, Some(FaultInjection::SkipVersionBump));
-            // arbitree-lint: allow(D005) — re-lookup to upgrade the borrow; the op is still live
-            let s = self.ops.get_mut(&op).expect("txn exists");
-            for obj in s.writes.clone() {
-                let base = s.gathered.get(&obj).map_or(Timestamp::ZERO, |(t, _)| *t);
-                let ts = if skip_bump { base } else { base.next(sid) };
-                s.write_ts.insert(obj, ts);
-            }
-            self.start_prepare_phase(engine, protocol, op);
+            self.start_read_round(engine, shards, op);
         } else {
-            self.complete_op(engine, protocol, op);
+            self.after_read_rounds(engine, shards, op);
         }
     }
 
     /// Starts (or restarts) the 2PC prepare phase across every written
-    /// object's write quorum.
-    fn start_prepare_phase(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+    /// object's write quorum (picked from the object's own shard).
+    fn start_prepare_phase(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
         let (client, writes, is_migration) = {
             // arbitree-lint: allow(D005) — start_prepare_phase is reached only with a live record
             let s = self.ops.get(&op).expect("txn exists");
@@ -544,7 +657,8 @@ impl Coordinator {
                 // Migration writes go to the union of an old-structure and a
                 // new-structure write quorum so the value is visible
                 // whichever structure serves later reads.
-                let old_q = self.pick_with_reprobe(engine, protocol, client, true);
+                let old_q =
+                    self.pick_with_reprobe(engine, shards.for_key(u64::from(obj.0)), client, true);
                 let alive = self.believed_alive(engine, client);
                 let new_q = match (&self.reconfig, old_q.as_ref()) {
                     (Some(rc), Some(_)) => rc.target.pick_write_quorum(alive, &mut engine.rng),
@@ -555,14 +669,14 @@ impl Coordinator {
                     _ => None,
                 }
             } else {
-                self.pick_with_reprobe(engine, protocol, client, true)
+                self.pick_with_reprobe(engine, shards.for_key(u64::from(obj.0)), client, true)
             };
             match q {
                 Some(q) => {
                     quorums.insert(obj, q);
                 }
                 None => {
-                    self.fail_op(engine, protocol, op, AbortCause::NoQuorum);
+                    self.fail_op(engine, shards, op, AbortCause::NoQuorum);
                     return;
                 }
             }
@@ -601,7 +715,7 @@ impl Coordinator {
     }
 
     /// Crossing the commit point: send `Commit` to every participant.
-    fn start_commit_phase(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+    fn start_commit_phase(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
         // Mutation hook: EarlyLockRelease frees every lock at the commit
         // *point* instead of after the acknowledgements, admitting readers
         // while the commits are still in flight.
@@ -616,7 +730,7 @@ impl Coordinator {
                 granted_all.extend(self.locks.release(op, obj));
             }
             for granted in granted_all {
-                self.on_lock_granted(engine, protocol, granted);
+                self.on_lock_granted(engine, shards, granted);
             }
         }
         let (client, quorums) = {
@@ -639,7 +753,7 @@ impl Coordinator {
 
     /// The transaction gives up: abort staged writes, release locks, count
     /// the failure (attributed to `cause`), let the client move on.
-    fn fail_op(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId, cause: AbortCause) {
+    fn fail_op(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId, cause: AbortCause) {
         // arbitree-lint: allow(D005) — fail_op runs at most once per op, from paths that just observed the record
         let state = self.ops.remove(&op).expect("txn exists");
         // Staged-but-uncommitted writes must be cleaned up.
@@ -670,16 +784,16 @@ impl Coordinator {
         // Mutation hook: KeepLocksOnAbort leaks the aborted transaction's
         // strict-2PL locks forever.
         let release = !matches!(self.config.fault, Some(FaultInjection::KeepLocksOnAbort));
-        self.finish_client_txn(engine, protocol, &state, op, release);
+        self.finish_client_txn(engine, shards, &state, op, release);
     }
 
     /// Completes a transaction successfully.
-    fn complete_op(&mut self, engine: &mut Engine, protocol: &mut Proto, op: OpId) {
+    fn complete_op(&mut self, engine: &mut Engine, shards: &mut ShardMap, op: OpId) {
         // arbitree-lint: allow(D005) — complete_op runs at most once per op, from paths that just observed the record
         let state = self.ops.remove(&op).expect("txn exists");
         if state.is_migration {
             self.clients[state.client.0 as usize].current_op = None;
-            self.complete_migration_op(engine, protocol, op, state);
+            self.complete_migration_op(engine, shards, op, state);
             return;
         }
         let latency = engine.now - state.started;
@@ -749,7 +863,31 @@ impl Coordinator {
             }
         }
         engine.metrics.txns_ok += 1;
-        self.finish_client_txn(engine, protocol, &state, op, true);
+        self.finish_client_txn(engine, shards, &state, op, true);
+    }
+
+    /// The first object at or after `from` that hashes to `shard` under
+    /// `shard_count` shards — the migration scan order. With one shard
+    /// every object matches, reproducing the classic 0,1,2,… sweep.
+    fn next_object_in_shard(
+        &self,
+        from: u32,
+        shard: usize,
+        shard_count: usize,
+    ) -> Option<ObjectId> {
+        (from..self.config.objects as u32)
+            .find(|&o| shard_index(u64::from(o), shard_count) == shard)
+            .map(ObjectId)
+    }
+
+    /// Completes a shard migration: swap in the target protocol and wake
+    /// the workload clients back up.
+    fn swap_migrated_shard(&mut self, engine: &mut Engine, shards: &mut ShardMap) {
+        // arbitree-lint: allow(D005) — callers only swap while a reconfiguration is active
+        let rc = self.reconfig.take().expect("migration in progress");
+        let _retired = shards.set(rc.shard, rc.target);
+        engine.metrics.reconfigurations += 1;
+        self.resume_clients(engine);
     }
 
     /// Advances the migration state machine after one of its transactions
@@ -757,7 +895,7 @@ impl Coordinator {
     fn complete_migration_op(
         &mut self,
         engine: &mut Engine,
-        protocol: &mut Proto,
+        shards: &mut ShardMap,
         op: OpId,
         state: TxnState,
     ) {
@@ -772,7 +910,7 @@ impl Coordinator {
                 .unwrap_or((Timestamp::ZERO, Bytes::new()));
             self.checker.check_read(op, obj, &value, ts);
             let sid = self.clients[self.migration_client().0 as usize].sid;
-            self.issue_migration_write(engine, protocol, obj, value, ts.next(sid));
+            self.issue_migration_write(engine, shards, obj, value, ts.next(sid));
         } else {
             let obj = state.writes[0];
             // arbitree-lint: allow(D005) — migration writes stamp write_ts at issue time
@@ -791,16 +929,11 @@ impl Coordinator {
             }
             self.checker.record_write(op, obj, value, ts);
             engine.metrics.migration_writes += 1;
-            let next_obj = obj.0 + 1;
-            if (next_obj as usize) < self.config.objects {
-                self.issue_migration_read(engine, protocol, ObjectId(next_obj));
-            } else {
-                // Every object migrated: swap the live protocol and resume.
-                // arbitree-lint: allow(D005) — migration ops exist only while a reconfiguration is active
-                let rc = self.reconfig.take().expect("migration in progress");
-                *protocol = rc.target;
-                engine.metrics.reconfigurations += 1;
-                self.resume_clients(engine);
+            let shard = self.reconfig.as_ref().map_or(0, |rc| rc.shard);
+            match self.next_object_in_shard(obj.0 + 1, shard, shards.shard_count()) {
+                Some(next_obj) => self.issue_migration_read(engine, shards, next_obj),
+                // Every object of the shard migrated: swap and resume.
+                None => self.swap_migrated_shard(engine, shards),
             }
         }
     }
@@ -813,20 +946,20 @@ impl Coordinator {
         id
     }
 
-    fn issue_migration_read(&mut self, engine: &mut Engine, protocol: &mut Proto, obj: ObjectId) {
+    fn issue_migration_read(&mut self, engine: &mut Engine, shards: &mut ShardMap, obj: ObjectId) {
         let client = self.migration_client();
         let id = self.blank_migration_txn(engine, client);
         // arbitree-lint: allow(D005) — blank_migration_txn inserted the record on the line above
         let s = self.ops.get_mut(&id).expect("txn exists");
         s.reads = vec![obj];
         s.read_targets = vec![obj];
-        self.start_read_round(engine, protocol, id);
+        self.begin_reads(engine, shards, id);
     }
 
     fn issue_migration_write(
         &mut self,
         engine: &mut Engine,
-        protocol: &mut Proto,
+        shards: &mut ShardMap,
         obj: ObjectId,
         value: Bytes,
         ts: Timestamp,
@@ -838,11 +971,11 @@ impl Coordinator {
         s.writes = vec![obj];
         s.write_ts.insert(obj, ts);
         s.write_values.insert(obj, value);
-        self.start_prepare_phase(engine, protocol, id);
+        self.start_prepare_phase(engine, shards, id);
     }
 
     /// Begins the migration once every in-flight client transaction drained.
-    fn try_advance_reconfig(&mut self, engine: &mut Engine, protocol: &mut Proto) {
+    fn try_advance_reconfig(&mut self, engine: &mut Engine, shards: &mut ShardMap) {
         let draining = matches!(
             self.reconfig,
             Some(Reconfig {
@@ -851,10 +984,15 @@ impl Coordinator {
             })
         );
         if draining && self.ops.is_empty() {
+            let shard = self.reconfig.as_ref().map_or(0, |rc| rc.shard);
             if let Some(rc) = self.reconfig.as_mut() {
                 rc.phase = MigrationPhase::Migrating;
             }
-            self.issue_migration_read(engine, protocol, ObjectId(0));
+            match self.next_object_in_shard(0, shard, shards.shard_count()) {
+                Some(obj) => self.issue_migration_read(engine, shards, obj),
+                // No object hashes to this shard: nothing to migrate.
+                None => self.swap_migrated_shard(engine, shards),
+            }
         }
     }
 
@@ -876,7 +1014,7 @@ impl Coordinator {
     fn finish_client_txn(
         &mut self,
         engine: &mut Engine,
-        protocol: &mut Proto,
+        shards: &mut ShardMap,
         state: &TxnState,
         op: OpId,
         release_locks: bool,
@@ -889,24 +1027,38 @@ impl Coordinator {
                 granted_all.extend(self.locks.release(op, obj));
             }
             for granted in granted_all {
-                self.on_lock_granted(engine, protocol, granted);
+                self.on_lock_granted(engine, shards, granted);
             }
         }
         let jitter: f64 = engine.rng.gen();
         let delay = self.pacers[client.0 as usize].next_delay(jitter);
         engine.schedule(engine.now + delay, Event::ClientTick(client));
         // A pending reconfiguration may now be able to start.
-        self.try_advance_reconfig(engine, protocol);
+        self.try_advance_reconfig(engine, shards);
     }
 
     /// Handles a client-bound message from a site.
     pub(crate) fn on_client_message(
         &mut self,
         engine: &mut Engine,
-        protocol: &mut Proto,
+        shards: &mut ShardMap,
         client: ClientId,
         msg: Message,
     ) {
+        // A coalesced reply envelope: handle each inner payload in order
+        // (batches are never nested, so this recurses at most once).
+        if let Payload::Batch(inner) = msg.payload {
+            for payload in inner {
+                let m = Message {
+                    from: msg.from,
+                    to: msg.to,
+                    payload,
+                    sent_at: msg.sent_at,
+                };
+                self.on_client_message(engine, shards, client, m);
+            }
+            return;
+        }
         let Endpoint::Site(from) = msg.from else {
             return; // clients never message each other
         };
@@ -924,11 +1076,30 @@ impl Coordinator {
         }
         match (&msg.payload, &state.phase) {
             (Payload::ReadResp { obj, value, ts, .. }, Phase::ReadGather) => {
+                let candidate = (*ts, value.clone());
+                if self.config.batching {
+                    // Batched gather: all targets outstanding at once,
+                    // matched by (object, site) pair.
+                    if !state.read_pending_pairs.remove(&(*obj, from)) {
+                        return; // stale gather, duplicate, or out-of-quorum
+                    }
+                    state.gather_responses.push((*obj, from, *ts));
+                    match state.gathered.get_mut(obj) {
+                        Some(best) if candidate.0 > best.0 => *best = candidate,
+                        Some(_) => {}
+                        None => {
+                            state.gathered.insert(*obj, candidate);
+                        }
+                    }
+                    if state.read_pending_pairs.is_empty() {
+                        self.finish_read_gather(engine, shards, op_id);
+                    }
+                    return;
+                }
                 if state.current_read_target() != Some(*obj) || !state.pending_sites.remove(&from) {
                     return; // stale round, duplicate, or out-of-quorum
                 }
                 state.round_responses.push((from, *ts));
-                let candidate = (*ts, value.clone());
                 match state.gathered.get_mut(obj) {
                     Some(best) if candidate.0 > best.0 => *best = candidate,
                     Some(_) => {}
@@ -937,7 +1108,7 @@ impl Coordinator {
                     }
                 }
                 if state.pending_sites.is_empty() {
-                    self.finish_read_round(engine, protocol, op_id);
+                    self.finish_read_round(engine, shards, op_id);
                 }
             }
             (Payload::PrepareAck { obj, ok, ts, .. }, Phase::PrepareGather) => {
@@ -955,16 +1126,16 @@ impl Coordinator {
                     let bumped = Timestamp::new(ts.version() + 1, ts.sid());
                     state.write_ts.insert(*obj, bumped);
                     if state.attempts >= self.config.max_attempts {
-                        self.fail_op(engine, protocol, op_id, AbortCause::Conflict);
+                        self.fail_op(engine, shards, op_id, AbortCause::Conflict);
                     } else {
                         engine.metrics.retries_prepare += 1;
-                        self.start_prepare_phase(engine, protocol, op_id);
+                        self.start_prepare_phase(engine, shards, op_id);
                     }
                     return;
                 }
                 state.pending_pairs.remove(&(*obj, from));
                 if state.pending_pairs.is_empty() {
-                    self.start_commit_phase(engine, protocol, op_id);
+                    self.start_commit_phase(engine, shards, op_id);
                 }
             }
             (Payload::CommitAck { obj, .. }, Phase::CommitGather) => {
@@ -973,7 +1144,7 @@ impl Coordinator {
                 // acknowledgement instead of waiting for the full quorum.
                 let premature = matches!(self.config.fault, Some(FaultInjection::StaleCommitAck));
                 if acked && (state.pending_pairs.is_empty() || premature) {
-                    self.complete_op(engine, protocol, op_id);
+                    self.complete_op(engine, shards, op_id);
                 }
             }
             _ => {} // stale message from an earlier phase
@@ -984,7 +1155,7 @@ impl Coordinator {
     pub(crate) fn on_timeout(
         &mut self,
         engine: &mut Engine,
-        protocol: &mut Proto,
+        shards: &mut ShardMap,
         client: ClientId,
         op: OpId,
         attempt: u64,
@@ -998,6 +1169,9 @@ impl Coordinator {
         engine.metrics.timeouts_fired += 1;
         // Suspect every member that stayed silent.
         let silent: Vec<SiteId> = match state.phase {
+            Phase::ReadGather if self.config.batching => {
+                state.read_pending_pairs.iter().map(|&(_, s)| s).collect()
+            }
             Phase::ReadGather => state.pending_sites.iter().copied().collect(),
             Phase::PrepareGather | Phase::CommitGather => {
                 state.pending_pairs.iter().map(|&(_, s)| s).collect()
@@ -1017,17 +1191,19 @@ impl Coordinator {
             Phase::ReadGather => {
                 state.attempts += 1;
                 if state.attempts >= self.config.max_attempts {
-                    self.fail_op(engine, protocol, op, AbortCause::Exhausted);
+                    self.fail_op(engine, shards, op, AbortCause::Exhausted);
                 } else {
                     engine.metrics.retries_read += 1;
-                    self.start_read_round(engine, protocol, op);
+                    // Sequential mode restarts the current round; batched
+                    // mode restarts the whole parallel gather.
+                    self.begin_reads(engine, shards, op);
                 }
             }
             Phase::PrepareGather => {
                 state.attempts += 1;
                 let old_quorums = state.write_quorums.clone();
                 if state.attempts >= self.config.max_attempts {
-                    self.fail_op(engine, protocol, op, AbortCause::Exhausted);
+                    self.fail_op(engine, shards, op, AbortCause::Exhausted);
                 } else {
                     engine.metrics.retries_prepare += 1;
                     // Retry with freshly picked write quorums. Stages on
@@ -1035,7 +1211,7 @@ impl Coordinator {
                     // (same op, same ts), so we must not race an Abort
                     // against the re-Prepare; only members dropped from a
                     // quorum get an Abort for that object.
-                    self.start_prepare_phase(engine, protocol, op);
+                    self.start_prepare_phase(engine, shards, op);
                     if let Some(state) = self.ops.get(&op) {
                         let new_quorums = state.write_quorums.clone();
                         for (obj, old_q) in old_quorums {
@@ -1066,24 +1242,26 @@ impl Coordinator {
 
     /// Handles a [`Event::Reconfigure`]: pop the next queued target and
     /// start draining towards it.
-    pub(crate) fn on_reconfigure_event(&mut self, engine: &mut Engine, protocol: &mut Proto) {
+    pub(crate) fn on_reconfigure_event(&mut self, engine: &mut Engine, shards: &mut ShardMap) {
         if self.reconfig.is_some() {
             // A reconfiguration is already in flight; retry shortly.
             engine.schedule(engine.now + self.config.op_timeout, Event::Reconfigure);
             return;
         }
-        let Some(target) = self.queued_reconfigs.pop_front() else {
+        let Some((shard, target)) = self.queued_reconfigs.pop_front() else {
             return;
         };
+        assert!(shard < shards.shard_count(), "reconfiguration shard index");
         assert!(
             target.universe().len() == engine.sites.len(),
             "reconfiguration must keep the replica set"
         );
         self.reconfig = Some(Reconfig {
             target,
+            shard,
             phase: MigrationPhase::Draining,
         });
-        self.try_advance_reconfig(engine, protocol);
+        self.try_advance_reconfig(engine, shards);
     }
 
     /// Snapshot of the run's outcome.

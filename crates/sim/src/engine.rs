@@ -28,6 +28,15 @@ pub struct Engine {
     pub(crate) rng: StdRng,
     pub(crate) now: SimTime,
     pub(crate) end: SimTime,
+    /// Whether client→site traffic is coalesced per destination
+    /// ([`SimConfig::batching`]).
+    batching: bool,
+    /// Per-destination payload buffer, filled by [`Engine::send_to_sites`]
+    /// while handling one event and drained by [`Engine::flush_outbox`]
+    /// afterwards. Insertion-ordered (deterministic: it follows the
+    /// coordinator's own send order); tiny — one event touches a handful
+    /// of destinations.
+    outbox: Vec<(ClientId, SiteId, Vec<Payload>)>,
 }
 
 impl Engine {
@@ -43,6 +52,8 @@ impl Engine {
             rng: StdRng::seed_from_u64(config.seed),
             now: SimTime::ZERO,
             end: SimTime::ZERO + config.duration,
+            batching: config.batching,
+            outbox: Vec::new(),
         }
     }
 
@@ -110,15 +121,54 @@ impl Engine {
         );
     }
 
-    /// Sends `mk(site)` from `client` to every member of `members`.
+    /// Sends `mk(site)` from `client` to every member of `members`. With
+    /// [`SimConfig::batching`] on, the payloads are buffered per
+    /// destination instead and coalesced into one envelope per site when
+    /// [`Engine::flush_outbox`] runs at the end of the current event.
     pub(crate) fn send_to_sites(
         &mut self,
         client: ClientId,
         members: &QuorumSet,
         mk: impl Fn(SiteId) -> Payload,
     ) {
-        for s in members.iter() {
-            self.send(Endpoint::Client(client), Endpoint::Site(s), mk(s));
+        if self.batching {
+            for s in members.iter() {
+                let payload = mk(s);
+                match self
+                    .outbox
+                    .iter_mut()
+                    .find(|(c, dst, _)| *c == client && *dst == s)
+                {
+                    Some((_, _, buffered)) => buffered.push(payload),
+                    None => self.outbox.push((client, s, vec![payload])),
+                }
+            }
+        } else {
+            for s in members.iter() {
+                self.send(Endpoint::Client(client), Endpoint::Site(s), mk(s));
+            }
+        }
+    }
+
+    /// Drains the per-destination buffer: a destination with one pending
+    /// payload gets a plain message; two or more are coalesced into a
+    /// single [`Payload::Batch`] envelope — one network round-trip (one
+    /// latency/drop draw) amortized across every payload inside.
+    pub(crate) fn flush_outbox(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let outbox = std::mem::take(&mut self.outbox);
+        for (client, site, mut payloads) in outbox {
+            let payload = if payloads.len() == 1 {
+                // arbitree-lint: allow(D005) — len() == 1 was just checked
+                payloads.pop().expect("one payload")
+            } else {
+                self.metrics.batches_sent += 1;
+                self.metrics.batched_payloads += payloads.len() as u64;
+                Payload::Batch(payloads)
+            };
+            self.send(Endpoint::Client(client), Endpoint::Site(site), payload);
         }
     }
 
@@ -143,17 +193,43 @@ impl Engine {
 
     /// Delivers a site-bound message: the site handles it and any reply is
     /// sent back through the network. Messages to crashed sites are counted
-    /// and dropped.
+    /// and dropped. A [`Payload::Batch`] envelope is unwrapped here — each
+    /// inner payload is handled (and counted as a site request)
+    /// individually, and the replies travel back coalesced into one
+    /// envelope as well.
     pub(crate) fn deliver_to_site(&mut self, sid: SiteId, msg: Message) {
-        let site = &mut self.sites[sid.index()];
-        if !site.is_up() {
+        if !self.sites[sid.index()].is_up() {
             self.metrics.messages_to_dead += 1;
             return;
         }
         self.metrics.messages_delivered += 1;
-        self.metrics.record_site_request(sid.as_u32());
-        if let Some((_, reply)) = site.handle(&msg.payload) {
-            self.send(Endpoint::Site(sid), msg.from, reply);
+        match msg.payload {
+            Payload::Batch(inner) => {
+                let mut replies = Vec::with_capacity(inner.len());
+                for payload in inner {
+                    self.metrics.record_site_request(sid.as_u32());
+                    if let Some((_, reply)) = self.sites[sid.index()].handle(&payload) {
+                        replies.push(reply);
+                    }
+                }
+                let reply = match replies.len() {
+                    0 => return,
+                    // arbitree-lint: allow(D005) — len() == 1 was just matched
+                    1 => replies.pop().expect("one reply"),
+                    n => {
+                        self.metrics.batches_sent += 1;
+                        self.metrics.batched_payloads += n as u64;
+                        Payload::Batch(replies)
+                    }
+                };
+                self.send(Endpoint::Site(sid), msg.from, reply);
+            }
+            ref payload => {
+                self.metrics.record_site_request(sid.as_u32());
+                if let Some((_, reply)) = self.sites[sid.index()].handle(payload) {
+                    self.send(Endpoint::Site(sid), msg.from, reply);
+                }
+            }
         }
     }
 }

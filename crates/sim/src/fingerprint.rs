@@ -104,6 +104,11 @@ impl Simulation {
             h.debug(site);
         }
         h.debug(&engine.rng);
+        // The live per-shard protocols (a completed reconfiguration swaps
+        // one, with no other trace in the coordinator state).
+        for i in 0..self.shards().shard_count() {
+            h.debug(&self.shards().get(i).describe());
+        }
         // Network behaviour that future sends depend on (partition and
         // override state; the static base config hashes along harmlessly).
         h.debug(&engine.network);

@@ -1,9 +1,18 @@
 //! The centralized concurrency control of §2.2: a strict two-phase-locking
 //! lock manager shared by all clients, with FIFO queueing (no starvation)
 //! and shared read locks.
+//!
+//! The table is *striped*: objects hash onto per-shard lock tables with the
+//! same [`arbitree_quorum::shard_index`] map the coordinator uses for
+//! protocol routing, so transactions on different shards never contend on
+//! shared lock state. Striping is purely an indexing layout — grant/queue
+//! semantics are those of one global table, and deadlock freedom still
+//! comes from the coordinator acquiring locks in globally ascending object
+//! order (a total order across every stripe).
 
 use crate::message::{ObjectId, OpId};
 use arbitree_core::DetMap;
+use arbitree_quorum::shard_index;
 use std::collections::VecDeque;
 
 /// Lock mode requested by an operation.
@@ -30,16 +39,60 @@ impl LockState {
     }
 }
 
-/// The global lock table.
+/// One stripe's lock table.
 #[derive(Debug, Default)]
-pub struct LockManager {
+struct LockTable {
     objects: DetMap<ObjectId, LockState>,
 }
 
+/// The lock manager: one [`LockTable`] per stripe.
+#[derive(Debug)]
+pub struct LockManager {
+    stripes: Vec<LockTable>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new()
+    }
+}
+
 impl LockManager {
-    /// Creates an empty lock table.
+    /// Creates an unstriped (single-table) lock manager.
     pub fn new() -> Self {
-        LockManager::default()
+        LockManager::striped(1)
+    }
+
+    /// Creates a lock manager with `stripes` independent tables, objects
+    /// hashed across them by [`shard_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes == 0`.
+    pub fn striped(stripes: usize) -> Self {
+        assert!(stripes > 0, "need at least one stripe");
+        LockManager {
+            stripes: (0..stripes).map(|_| LockTable::default()).collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe `obj` hashes to.
+    pub fn stripe_of(&self, obj: ObjectId) -> usize {
+        shard_index(u64::from(obj.0), self.stripes.len())
+    }
+
+    fn table_mut(&mut self, obj: ObjectId) -> &mut LockTable {
+        let idx = self.stripe_of(obj);
+        &mut self.stripes[idx]
+    }
+
+    fn table(&self, obj: ObjectId) -> &LockTable {
+        &self.stripes[self.stripe_of(obj)]
     }
 
     /// Requests a lock. Returns `true` if granted immediately; otherwise the
@@ -49,7 +102,7 @@ impl LockManager {
     /// A read request is only granted immediately when nothing is queued
     /// ahead of it, so writers are never starved by a stream of readers.
     pub fn acquire(&mut self, op: OpId, obj: ObjectId, mode: LockMode) -> bool {
-        let state = self.objects.entry(obj).or_default();
+        let state = self.table_mut(obj).objects.entry(obj).or_default();
         debug_assert!(
             !state.holders.iter().any(|(o, _)| *o == op),
             "operation already holds this lock"
@@ -67,7 +120,8 @@ impl LockManager {
     /// operations whose queued requests are granted as a result, in FIFO
     /// order.
     pub fn release(&mut self, op: OpId, obj: ObjectId) -> Vec<OpId> {
-        let Some(state) = self.objects.get_mut(&obj) else {
+        let table = self.table_mut(obj);
+        let Some(state) = table.objects.get_mut(&obj) else {
             return Vec::new();
         };
         state.holders.retain(|(o, _)| *o != op);
@@ -87,21 +141,31 @@ impl LockManager {
             }
         }
         if state.holders.is_empty() && state.queue.is_empty() {
-            self.objects.remove(&obj);
+            table.objects.remove(&obj);
         }
         granted
     }
 
     /// Whether `op` currently holds a lock on `obj`.
     pub fn holds(&self, op: OpId, obj: ObjectId) -> bool {
-        self.objects
+        self.table(obj)
+            .objects
             .get(&obj)
             .is_some_and(|s| s.holders.iter().any(|(o, _)| *o == op))
     }
 
     /// Number of operations waiting on `obj`.
     pub fn queue_len(&self, obj: ObjectId) -> usize {
-        self.objects.get(&obj).map_or(0, |s| s.queue.len())
+        self.table(obj)
+            .objects
+            .get(&obj)
+            .map_or(0, |s| s.queue.len())
+    }
+
+    /// Total number of objects with live lock state, across all stripes
+    /// (tests, invariants).
+    pub fn locked_objects(&self) -> usize {
+        self.stripes.iter().map(|t| t.objects.len()).sum()
     }
 }
 
@@ -174,6 +238,29 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(OpId(1), OBJ, LockMode::Write);
         lm.release(OpId(1), OBJ);
-        assert!(lm.objects.is_empty());
+        assert_eq!(lm.locked_objects(), 0);
+    }
+
+    #[test]
+    fn striping_routes_objects_consistently() {
+        let mut lm = LockManager::striped(4);
+        assert_eq!(lm.stripe_count(), 4);
+        for o in 0..64u32 {
+            let obj = ObjectId(o);
+            assert_eq!(lm.stripe_of(obj), shard_index(u64::from(o), 4));
+            assert!(lm.acquire(OpId(u64::from(o)), obj, LockMode::Write));
+            assert!(lm.holds(OpId(u64::from(o)), obj));
+        }
+        assert_eq!(lm.locked_objects(), 64);
+        for o in 0..64u32 {
+            assert!(lm.release(OpId(u64::from(o)), ObjectId(o)).is_empty());
+        }
+        assert_eq!(lm.locked_objects(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stripe")]
+    fn zero_stripes_rejected() {
+        let _ = LockManager::striped(0);
     }
 }

@@ -133,10 +133,18 @@ pub enum Payload {
         /// Its timestamp.
         ts: Timestamp,
     },
+    /// A coalesced envelope: several same-destination payloads sharing one
+    /// network round-trip (see [`crate::SimConfig::batching`]). Never
+    /// nested and never empty by construction — the engine builds batches
+    /// only from two or more buffered payloads.
+    Batch(Vec<Payload>),
 }
 
 impl Payload {
-    /// The operation this payload belongs to.
+    /// The operation this payload belongs to. For a [`Payload::Batch`] the
+    /// first inner payload's operation (batches are non-empty by
+    /// construction; inner payloads may span several operations, so
+    /// batch-aware handlers should iterate the envelope instead).
     pub fn op(&self) -> OpId {
         match self {
             Payload::ReadReq { op, .. }
@@ -147,6 +155,26 @@ impl Payload {
             | Payload::Abort { op, .. }
             | Payload::CommitAck { op, .. }
             | Payload::Repair { op, .. } => *op,
+            Payload::Batch(inner) => inner.first().map_or(OpId(u64::MAX), Payload::op),
+        }
+    }
+
+    /// The single object this payload touches, or `None` for a
+    /// [`Payload::Batch`] (an envelope may span several objects). The model
+    /// checker's independence relation keys on this: same-site deliveries
+    /// for *different* objects touch disjoint per-object storage and
+    /// commute.
+    pub fn object(&self) -> Option<ObjectId> {
+        match self {
+            Payload::ReadReq { obj, .. }
+            | Payload::ReadResp { obj, .. }
+            | Payload::Prepare { obj, .. }
+            | Payload::PrepareAck { obj, .. }
+            | Payload::Commit { obj, .. }
+            | Payload::Abort { obj, .. }
+            | Payload::CommitAck { obj, .. }
+            | Payload::Repair { obj, .. } => Some(*obj),
+            Payload::Batch(_) => None,
         }
     }
 }
@@ -205,6 +233,22 @@ mod tests {
         for m in msgs {
             assert_eq!(m.op(), op);
         }
+    }
+
+    #[test]
+    fn batch_op_is_first_inner() {
+        let batch = Payload::Batch(vec![
+            Payload::ReadReq {
+                op: OpId(3),
+                obj: ObjectId(0),
+            },
+            Payload::ReadReq {
+                op: OpId(9),
+                obj: ObjectId(1),
+            },
+        ]);
+        assert_eq!(batch.op(), OpId(3));
+        assert_eq!(Payload::Batch(Vec::new()).op(), OpId(u64::MAX));
     }
 
     #[test]

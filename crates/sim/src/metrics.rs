@@ -112,6 +112,12 @@ pub struct SimMetrics {
     pub write_quorum_hits: DetMap<u32, u64>,
     /// Per-site membership count in version-phase read quorums of writes.
     pub version_quorum_hits: DetMap<u32, u64>,
+    /// Batch envelopes sent — network messages that carried two or more
+    /// coalesced payloads ([`crate::SimConfig::batching`]).
+    pub batches_sent: u64,
+    /// Protocol payloads that travelled inside batch envelopes (each
+    /// envelope contributes its inner count).
+    pub batched_payloads: u64,
     /// Read-repair messages sent (stale members refreshed after a read).
     pub repairs_sent: u64,
     /// Completed live reconfigurations (protocol swaps).

@@ -6,11 +6,13 @@
 //!   transaction model: strict-2PL locking, quorum read rounds with
 //!   read-repair, two-phase commit, the one-copy checker, and the live
 //!   reconfiguration state machine;
-//! * the **protocol**, held as a `Box<dyn ReplicaControl>` — any quorum
-//!   protocol, swappable at runtime, which is what lets
-//!   [`Simulation::schedule_reconfigure`] migrate between protocol
-//!   *families* (ARBITRARY ↔ ROWA ↔ tree-quorum ↔ HQC), not just between
-//!   tree shapes.
+//! * the **protocols**, held as a [`ShardMap`] of boxed
+//!   `dyn ReplicaControl` instances — objects hash across the shards, each
+//!   shard is any quorum protocol, swappable at runtime per shard, which
+//!   is what lets [`Simulation::schedule_reconfigure`] migrate between
+//!   protocol *families* (ARBITRARY ↔ ROWA ↔ tree-quorum ↔ HQC), not just
+//!   between tree shapes. The classic single-protocol simulator is the
+//!   one-shard special case.
 //!
 //! [`Simulation::run`] is the event loop: it pops events and dispatches
 //! pure engine events (crash/recover/site delivery) to the engine and
@@ -31,7 +33,7 @@ use crate::network::Partition;
 use crate::site::Site;
 use crate::time::SimTime;
 use crate::txn::{SimReport, TxnRequest};
-use arbitree_quorum::{AliveSet, ReplicaControl, SiteId};
+use arbitree_quorum::{AliveSet, ReplicaControl, ShardMap, SiteId};
 use std::fmt;
 
 /// The simulation: construct, optionally inject failures, then [`run`].
@@ -40,13 +42,13 @@ use std::fmt;
 pub struct Simulation {
     engine: Engine,
     coordinator: Coordinator,
-    protocol: Box<dyn ReplicaControl>,
+    shards: ShardMap,
 }
 
 impl fmt::Debug for Simulation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
-            .field("protocol", &self.protocol.describe())
+            .field("shards", &self.shards)
             .field("engine", &self.engine)
             .field("coordinator", &self.coordinator)
             .finish()
@@ -69,10 +71,36 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`Simulation::new`].
+    /// Panics under the same conditions as [`Simulation::new`], or if the
+    /// config asks for more than one shard (use [`Simulation::from_shards`]
+    /// to supply one protocol instance per shard).
     pub fn from_boxed(config: SimConfig, protocol: Box<dyn ReplicaControl>) -> Self {
+        assert!(
+            config.shards == 1,
+            "config wants {} shards; construct with Simulation::from_shards",
+            config.shards
+        );
+        Simulation::from_shards(config, vec![protocol])
+    }
+
+    /// Creates a sharded simulation: objects hash across `protocols`, one
+    /// independent protocol instance per shard (they must share one replica
+    /// universe). `protocols.len()` must equal `config.shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid, the shard counts disagree, the
+    /// universes differ, or the universe exceeds 128 sites.
+    pub fn from_shards(config: SimConfig, protocols: Vec<Box<dyn ReplicaControl>>) -> Self {
         config.validate();
-        let n = protocol.universe().len();
+        assert!(
+            protocols.len() == config.shards,
+            "config wants {} shards but {} protocols were supplied",
+            config.shards,
+            protocols.len()
+        );
+        let shards = ShardMap::new(protocols);
+        let n = shards.universe().len();
         assert!(
             n <= AliveSet::MAX_SITES,
             "simulator supports up to 128 sites"
@@ -80,7 +108,7 @@ impl Simulation {
         Simulation {
             engine: Engine::new(n, &config),
             coordinator: Coordinator::new(config, n),
-            protocol,
+            shards,
         }
     }
 
@@ -96,9 +124,27 @@ impl Simulation {
         self.schedule_reconfigure_boxed(at, Box::new(target));
     }
 
-    /// Boxed form of [`Simulation::schedule_reconfigure`].
+    /// Boxed form of [`Simulation::schedule_reconfigure`]. Targets shard 0
+    /// — the whole keyspace in an unsharded simulation.
     pub fn schedule_reconfigure_boxed(&mut self, at: SimTime, target: Box<dyn ReplicaControl>) {
-        self.coordinator.queue_reconfigure(target);
+        self.schedule_reconfigure_shard(at, 0, target);
+    }
+
+    /// Schedules a live reconfiguration of one shard: only the objects
+    /// hashing to `shard` are migrated, and only that shard's protocol
+    /// instance is swapped. Other shards resume serving as soon as the
+    /// drain-and-migrate completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at event time) if `shard` is out of range.
+    pub fn schedule_reconfigure_shard(
+        &mut self,
+        at: SimTime,
+        shard: usize,
+        target: Box<dyn ReplicaControl>,
+    ) {
+        self.coordinator.queue_reconfigure(shard, target);
         self.engine.schedule(at, Event::Reconfigure);
     }
 
@@ -155,10 +201,15 @@ impl Simulation {
         self.engine.set_partition(partition);
     }
 
-    /// The protocol under simulation (after a completed reconfiguration,
-    /// the migration target).
+    /// The protocol of shard 0 — *the* protocol of an unsharded simulation
+    /// (after a completed reconfiguration, the migration target).
     pub fn protocol(&self) -> &dyn ReplicaControl {
-        &*self.protocol
+        self.shards.get(0)
+    }
+
+    /// The sharded protocol map (inspection).
+    pub fn shards(&self) -> &ShardMap {
+        &self.shards
     }
 
     /// The engine layer (inspection).
@@ -236,7 +287,10 @@ impl Simulation {
         true
     }
 
-    /// Routes one event to the engine or the coordinator.
+    /// Routes one event to the engine or the coordinator, then flushes any
+    /// payloads the coordinator buffered for batching — every message
+    /// issued while handling one event to one destination shares one
+    /// envelope (a no-op with batching off).
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::Deliver(msg) => match msg.to {
@@ -245,7 +299,7 @@ impl Simulation {
                     self.engine.metrics.messages_delivered += 1;
                     self.coordinator.on_client_message(
                         &mut self.engine,
-                        &mut self.protocol,
+                        &mut self.shards,
                         cid,
                         msg,
                     );
@@ -257,11 +311,11 @@ impl Simulation {
             Event::NetOverride(o) => self.engine.set_network_override(o),
             Event::ClientTick(c) => {
                 self.coordinator
-                    .handle_client_tick(&mut self.engine, &mut self.protocol, c);
+                    .handle_client_tick(&mut self.engine, &mut self.shards, c);
             }
             Event::Reconfigure => {
                 self.coordinator
-                    .on_reconfigure_event(&mut self.engine, &mut self.protocol);
+                    .on_reconfigure_event(&mut self.engine, &mut self.shards);
             }
             Event::OpTimeout {
                 client,
@@ -270,13 +324,14 @@ impl Simulation {
             } => {
                 self.coordinator.on_timeout(
                     &mut self.engine,
-                    &mut self.protocol,
+                    &mut self.shards,
                     client,
                     op,
                     attempt,
                 );
             }
         }
+        self.engine.flush_outbox();
     }
 
     /// Snapshot of the run's outcome so far (what [`Simulation::run`]
@@ -499,6 +554,88 @@ mod tests {
             per_op.values().any(|&c| c > 1),
             "some txn wrote several objects"
         );
+    }
+
+    fn shard_protos(n: usize) -> Vec<Box<dyn ReplicaControl>> {
+        (0..n)
+            .map(|_| Box::new(proto()) as Box<dyn ReplicaControl>)
+            .collect()
+    }
+
+    #[test]
+    fn sharded_run_is_consistent_and_deterministic() {
+        let mut cfg = small_config(51);
+        cfg.objects = 64;
+        cfg.shards = 4;
+        cfg.max_txn_ops = 3;
+        let r1 = Simulation::from_shards(cfg.clone(), shard_protos(4)).run();
+        let r2 = Simulation::from_shards(cfg, shard_protos(4)).run();
+        assert!(r1.consistent, "violations: {}", r1.violations);
+        assert!(r1.metrics.txns_ok > 10, "{}", r1.metrics);
+        assert_eq!(r1.metrics, r2.metrics);
+    }
+
+    #[test]
+    fn batched_run_is_consistent_and_coalesces() {
+        let mut cfg = small_config(53);
+        cfg.objects = 64;
+        cfg.shards = 4;
+        cfg.batching = true;
+        cfg.max_txn_ops = 4;
+        cfg.record_history = true;
+        let report = Simulation::from_shards(cfg, shard_protos(4)).run();
+        assert!(report.consistent, "violations: {}", report.violations);
+        assert!(report.metrics.txns_ok > 10, "{}", report.metrics);
+        assert!(report.metrics.batches_sent > 0, "{}", report.metrics);
+        // Every batch coalesces at least two payloads by construction.
+        assert!(report.metrics.batched_payloads >= 2 * report.metrics.batches_sent);
+        assert!(report.history.check_linearizable().is_empty());
+    }
+
+    #[test]
+    fn batched_lossy_churny_run_stays_consistent() {
+        for seed in 0..4u64 {
+            let mut cfg = small_config(seed);
+            cfg.objects = 16;
+            cfg.shards = 2;
+            cfg.batching = true;
+            cfg.max_txn_ops = 3;
+            cfg.network.drop_probability = 0.05;
+            let mut sim = Simulation::from_shards(cfg, shard_protos(2));
+            sim.schedule_crash(SimTime::from_millis(20), SiteId::new(2));
+            sim.schedule_recover(SimTime::from_millis(80), SiteId::new(2));
+            let report = sim.run();
+            assert!(
+                report.consistent,
+                "seed {seed}: {} violations",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_reconfigure_swaps_only_the_target_shard() {
+        let mut cfg = small_config(57);
+        cfg.objects = 32;
+        cfg.shards = 2;
+        cfg.duration = SimDuration::from_millis(300);
+        let mut sim = Simulation::from_shards(cfg, shard_protos(2));
+        let target = ArbitraryProtocol::parse("1-4-4").unwrap();
+        let target_desc = target.describe();
+        let original_desc = sim.protocol().describe();
+        sim.schedule_reconfigure_shard(SimTime::from_millis(50), 1, Box::new(target));
+        let report = sim.run();
+        assert!(report.consistent, "violations: {}", report.violations);
+        assert_eq!(report.metrics.reconfigurations, 1, "{}", report.metrics);
+        assert_eq!(sim.shards().get(0).describe(), original_desc);
+        assert_eq!(sim.shards().get(1).describe(), target_desc);
+    }
+
+    #[test]
+    fn unbatched_single_shard_emits_no_batches() {
+        let report = Simulation::new(small_config(1), proto()).run();
+        assert_eq!(report.metrics.batches_sent, 0);
+        assert_eq!(report.metrics.batched_payloads, 0);
     }
 
     #[test]

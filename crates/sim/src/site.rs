@@ -100,10 +100,12 @@ impl Site {
                 self.storage.repair(*obj, value.clone(), *ts);
                 None
             }
-            // Sites never receive coordinator-bound payloads.
-            Payload::ReadResp { .. } | Payload::PrepareAck { .. } | Payload::CommitAck { .. } => {
-                None
-            }
+            // Sites never receive coordinator-bound payloads, and the
+            // engine unwraps batch envelopes before calling handle().
+            Payload::ReadResp { .. }
+            | Payload::PrepareAck { .. }
+            | Payload::CommitAck { .. }
+            | Payload::Batch(..) => None,
         }
     }
 }

@@ -69,6 +69,13 @@ pub(crate) struct TxnState {
     pub(crate) write_quorums: DetMap<ObjectId, QuorumSet>,
     /// Outstanding (object, site) prepare/commit acknowledgements.
     pub(crate) pending_pairs: DetSet<(ObjectId, SiteId)>,
+    /// Outstanding (object, site) read responses of a *batched* gather
+    /// (all read targets queried in one parallel round; empty in
+    /// sequential mode).
+    pub(crate) read_pending_pairs: DetSet<(ObjectId, SiteId)>,
+    /// Per-responder timestamps of a batched gather (read-repair; empty in
+    /// sequential mode).
+    pub(crate) gather_responses: Vec<(ObjectId, SiteId, Timestamp)>,
     /// Whether this is a reconfiguration-migration transaction.
     pub(crate) is_migration: bool,
 }
@@ -97,6 +104,8 @@ impl TxnState {
             write_values: DetMap::new(),
             write_quorums: DetMap::new(),
             pending_pairs: DetSet::new(),
+            read_pending_pairs: DetSet::new(),
+            gather_responses: Vec::new(),
             is_migration,
         }
     }
@@ -115,11 +124,14 @@ pub(crate) enum MigrationPhase {
     Migrating,
 }
 
-/// An in-progress live reconfiguration towards `target` — any
+/// An in-progress live reconfiguration of one shard towards `target` — any
 /// [`ReplicaControl`] implementation, so a run can migrate between protocol
-/// *families* (e.g. ARBITRARY → ROWA), not just between trees.
+/// *families* (e.g. ARBITRARY → ROWA), not just between trees. Only the
+/// objects hashing to `shard` are migrated; the other shards keep serving
+/// once the drain completes.
 pub(crate) struct Reconfig {
     pub(crate) target: Box<dyn ReplicaControl>,
+    pub(crate) shard: usize,
     pub(crate) phase: MigrationPhase,
 }
 
@@ -127,6 +139,7 @@ impl fmt::Debug for Reconfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Reconfig")
             .field("target", &self.target.describe())
+            .field("shard", &self.shard)
             .field("phase", &self.phase)
             .finish()
     }

@@ -182,6 +182,49 @@ mod tests {
     }
 
     #[test]
+    fn zipfian_sampler_is_seed_deterministic() {
+        // The sampler sits on the deterministic replay surface: the same
+        // seed must yield the same draw sequence, and the recorded pins
+        // below must fail if the CDF construction or the inverse-transform
+        // search ever silently changes.
+        let s = ObjectSampler::new(1024, ObjectDistribution::Zipfian { exponent: 1.0 });
+        let draw = |seed: u64| -> Vec<u32> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..12).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(0x5EED), draw(0x5EED), "same seed, same sequence");
+        assert_ne!(draw(0x5EED), draw(0x5EEE), "different seeds diverge");
+        // Values recorded at introduction.
+        assert_eq!(draw(0x5EED)[..4], [625, 423, 322, 846]);
+    }
+
+    #[test]
+    fn zipfian_frequencies_match_closed_form() {
+        // Inverse-transform sampling must reproduce the closed-form pmf
+        // p_i = (1/(i+1)^s) / H_{n,s}. 200k samples over 64 objects keep
+        // the relative error of the head terms well under 10%; the tail
+        // gets an absolute floor because its expected counts are tiny.
+        let n = 64usize;
+        let exponent = 1.0f64;
+        let samples = 200_000u32;
+        let s = ObjectSampler::new(n, ObjectDistribution::Zipfian { exponent });
+        let mut rng = StdRng::seed_from_u64(0x21FF);
+        let mut hist = vec![0u32; n];
+        for _ in 0..samples {
+            hist[s.sample(&mut rng) as usize] += 1;
+        }
+        let harmonic: f64 = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).sum();
+        for (i, &h) in hist.iter().enumerate() {
+            let expected = (1.0 / ((i + 1) as f64).powf(exponent)) / harmonic;
+            let observed = f64::from(h) / f64::from(samples);
+            assert!(
+                (observed - expected).abs() <= 0.10 * expected + 0.002,
+                "object {i}: observed {observed:.5}, closed form {expected:.5}"
+            );
+        }
+    }
+
+    #[test]
     fn sample_never_out_of_range() {
         let s = ObjectSampler::new(3, ObjectDistribution::Zipfian { exponent: 2.0 });
         let mut rng = StdRng::seed_from_u64(4);
