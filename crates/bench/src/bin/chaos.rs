@@ -137,6 +137,7 @@ fn main() {
                 "aborts",
                 "suspects",
                 "dropped",
+                "rejoins",
                 "1SR",
             ],
             &rows
@@ -152,8 +153,28 @@ fn main() {
         );
         std::process::exit(1);
     }
+    // Staged-rejoin gates: no reply was ever served by a non-`Serving`
+    // site, and the amnesia profile actually completed its rejoins.
+    let sync_violations: u64 = outcomes
+        .iter()
+        .map(|o| o.report.metrics.sync_violations)
+        .sum();
+    if sync_violations > 0 {
+        println!("\nFAIL: {sync_violations} replies served by non-Serving sites");
+        std::process::exit(1);
+    }
+    let amnesia_rejoins: u64 = outcomes
+        .iter()
+        .filter(|o| o.label.starts_with("amnesia-cold-start"))
+        .map(|o| o.report.metrics.rejoins_completed)
+        .sum();
+    if amnesia_rejoins == 0 {
+        println!("\nFAIL: no amnesia-cold-start cell completed a rejoin");
+        std::process::exit(1);
+    }
     println!(
-        "\nOK: zero one-copy violations across all {} cells",
+        "\nOK: zero one-copy violations, zero syncing-serve violations, \
+         {amnesia_rejoins} staged rejoins across all {} cells",
         outcomes.len()
     );
 }
@@ -173,6 +194,7 @@ fn row(o: &ChaosOutcome) -> Vec<String> {
             .to_string(),
         m.suspicions_raised.to_string(),
         m.messages_dropped().to_string(),
+        m.rejoins_completed.to_string(),
         if o.report.consistent {
             "yes".into()
         } else {

@@ -198,10 +198,40 @@ fn classify(sim: &Simulation, key: EventKey, event: &Event) -> Class {
     }
     match event {
         Event::Deliver(m) => match m.to {
+            // Anti-entropy *responses* terminate at the rejoin manager:
+            // they mutate rejoin state and can flip a site to `Serving`,
+            // which coordinator-side quorum picks observe — global. (The
+            // requests are ordinary site-local deliveries: the source
+            // answers from its own storage.)
+            Endpoint::Site(_)
+                if matches!(
+                    m.payload,
+                    arbitree_sim::Payload::RangeHashResp { .. }
+                        | arbitree_sim::Payload::RangeFill { .. }
+                ) =>
+            {
+                Class::Global
+            }
             Endpoint::Site(s) => Class::Site(s.as_u32(), m.payload.object().map(|o| o.0)),
             Endpoint::Client(_) => Class::Coordinator,
         },
-        Event::Crash(s) | Event::Recover(s) => Class::Fault(s.as_u32()),
+        Event::Crash(s) | Event::AmnesiaCrash(s) => Class::Fault(s.as_u32()),
+        // Once any amnesia crash is scheduled (a run property fixed at
+        // schedule time, stable across re-executions), a recovery may start
+        // a rejoin: it draws the run RNG for source quorums and changes
+        // coordinator-visible serving state — global. Without amnesia it
+        // stays the site-local fault it always was.
+        Event::Recover(s) => {
+            if sim.engine().amnesia_scheduled() {
+                Class::Global
+            } else {
+                Class::Fault(s.as_u32())
+            }
+        }
+        // A live rejoin retry resends probes or restarts the rejoin
+        // (fresh source quorums from the run RNG) — global. Stale ones
+        // were already classified `NoOp` above.
+        Event::SyncRetry { .. } => Class::Global,
         Event::ClientTick(_) | Event::OpTimeout { .. } => Class::Coordinator,
         Event::SetPartition(_) | Event::NetOverride(_) | Event::Reconfigure => Class::Global,
     }
@@ -440,7 +470,15 @@ fn describe_event(event: &Event) -> String {
     match event {
         Event::Deliver(m) => format!("deliver {} -> {}: {:?}", m.from, m.to, m.payload),
         Event::Crash(s) => format!("crash {s}"),
+        Event::AmnesiaCrash(s) => format!("amnesia-crash {s}"),
         Event::Recover(s) => format!("recover {s}"),
+        Event::SyncRetry {
+            site,
+            attempt,
+            epoch,
+        } => {
+            format!("sync-retry {site} attempt {attempt} epoch {epoch}")
+        }
         Event::ClientTick(c) => format!("tick {c}"),
         Event::OpTimeout {
             client,

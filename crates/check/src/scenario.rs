@@ -46,6 +46,9 @@ pub struct Scenario {
     /// Site crashes, as `(micros, site)` — ordered by the explorer like any
     /// other pending event.
     pub crashes: Vec<(u64, u32)>,
+    /// Amnesia crashes: storage wiped, recovery re-enters through the
+    /// staged `Syncing` rejoin instead of serving directly.
+    pub amnesia: Vec<(u64, u32)>,
     /// Site recoveries.
     pub recovers: Vec<(u64, u32)>,
     /// Depth at which the smoke budget drains this scenario's state space
@@ -119,6 +122,12 @@ impl Scenario {
         for &(at, site) in &self.crashes {
             sim.schedule_crash(SimTime::from_micros(at), arbitree_quorum::SiteId::new(site));
         }
+        for &(at, site) in &self.amnesia {
+            sim.schedule_amnesia_crash(
+                SimTime::from_micros(at),
+                arbitree_quorum::SiteId::new(site),
+            );
+        }
         for &(at, site) in &self.recovers {
             sim.schedule_recover(SimTime::from_micros(at), arbitree_quorum::SiteId::new(site));
         }
@@ -151,6 +160,7 @@ impl Scenario {
                 step(0, 0, TxnRequest::read(obj(0))),
             ],
             crashes: vec![],
+            amnesia: vec![],
             recovers: vec![],
             smoke_depth: 18,
             full_depth: 22,
@@ -173,6 +183,7 @@ impl Scenario {
                 step(0, 0, TxnRequest::read(obj(0))),
             ],
             crashes: vec![],
+            amnesia: vec![],
             recovers: vec![],
             smoke_depth: 26,
             full_depth: 30,
@@ -193,6 +204,7 @@ impl Scenario {
                 step(0, 1, TxnRequest::write(obj(0), val(b"beta"))),
             ],
             crashes: vec![],
+            amnesia: vec![],
             recovers: vec![],
             smoke_depth: 44,
             full_depth: 60,
@@ -216,6 +228,7 @@ impl Scenario {
                 step(0, 1, TxnRequest::read(obj(0))),
             ],
             crashes: vec![],
+            amnesia: vec![],
             recovers: vec![],
             smoke_depth: 44,
             full_depth: 60,
@@ -238,6 +251,7 @@ impl Scenario {
                 step(0, 1, TxnRequest::write(obj(0), val(b"queued"))),
             ],
             crashes: vec![(0, 2)],
+            amnesia: vec![],
             recovers: vec![],
             smoke_depth: 44,
             full_depth: 60,
@@ -261,6 +275,7 @@ impl Scenario {
                 step(0, 1, TxnRequest::read(obj(0))),
             ],
             crashes: vec![(0, 3)],
+            amnesia: vec![],
             recovers: vec![(200, 3)],
             smoke_depth: 44,
             full_depth: 60,
@@ -292,9 +307,40 @@ impl Scenario {
                 step(0, 1, TxnRequest::write(obj(2), val(b"right"))),
             ],
             crashes: vec![],
+            amnesia: vec![],
             recovers: vec![],
             smoke_depth: 8,
             full_depth: 10,
+        }
+    }
+
+    /// A writer and a reader race across an *amnesia* crash of a leaf on
+    /// the 4-site two-level tree (`p:1-3`): the recovery re-enters through
+    /// the staged `Syncing` rejoin, so exploration covers every
+    /// interleaving of the 2PC rounds with the range-hash probe/fill
+    /// exchange and the serving flip. The explorer may also fire the
+    /// recovery *before* the amnesia crash, covering the degenerate
+    /// recover-while-up and down-until-horizon orders. The invariants
+    /// under test: no schedule lets the syncing site answer a quorum
+    /// message, and no schedule reads stale data after the rejoin
+    /// completes.
+    pub fn amnesia_rejoin() -> Scenario {
+        Scenario {
+            name: "amnesia-rejoin",
+            spec: "p:1-3",
+            clients: 2,
+            objects: 1,
+            shards: 1,
+            max_attempts: 3,
+            script: vec![
+                step(0, 0, TxnRequest::write(obj(0), val(b"durable"))),
+                step(0, 1, TxnRequest::read(obj(0))),
+            ],
+            crashes: vec![],
+            amnesia: vec![(0, 3)],
+            recovers: vec![(300, 3)],
+            smoke_depth: 44,
+            full_depth: 60,
         }
     }
 
@@ -320,6 +366,7 @@ impl Scenario {
             Scenario::write_read_race(),
             Scenario::crash_abort(),
             Scenario::write_crash_recover(),
+            Scenario::amnesia_rejoin(),
             Scenario::cross_shard(),
         ]
     }

@@ -17,6 +17,7 @@
 //! | D005 | `unwrap()`/`expect()` in simulator hot paths |
 //! | D006 | exact float `==`/`!=` in availability/load math |
 //! | D007 | direct event scheduling that bypasses the coordinator/Scheduler seam |
+//! | D008 | `Payload` variants missing an explicit `Payload::object()` arm (file-level) |
 //!
 //! Findings a human has judged safe are suppressed inline — the directive
 //! **requires a reason**, so every exception is self-documenting:
@@ -182,6 +183,26 @@ pub fn lint_source(path: &str, source: &str) -> LintReport {
         }
     }
 
+    // D008 is a file-level rule: it relates the `Payload` enum to the
+    // `object()` accessor across lines, so it cannot run in the per-line
+    // loop above.
+    if let Some(d008) = rules::rule_by_id("D008") {
+        if d008.in_scope(path) {
+            for (idx, variant) in payload_variants_missing_from_object(&scanned) {
+                match allows(idx, d008.id) {
+                    Some(true) => report.suppressed += 1,
+                    Some(false) | None => report.diagnostics.push(Diagnostic {
+                        rule: d008.id,
+                        path: path.to_string(),
+                        line: idx + 1,
+                        message: format!("{} ({variant})", d008.summary),
+                        hint: d008.hint,
+                    }),
+                }
+            }
+        }
+    }
+
     // Malformed directives are findings in their own right.
     for d in directives.iter().flatten() {
         let malformed = d.rule_ids.is_empty() || !d.has_reason;
@@ -207,6 +228,114 @@ pub fn lint_source(path: &str, source: &str) -> LintReport {
         .diagnostics
         .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     report
+}
+
+/// `Payload` enum variants never named inside `fn object`'s body, as
+/// `(0-based line of the variant, variant name)`.
+///
+/// Runs on the sanitized code channel, so names in comments or strings
+/// don't count and brace counting can't be confused by braces in strings.
+/// The parse is shape-based, matching the workspace style: one variant
+/// declared per line at enum-body depth, arms naming variants as
+/// `Payload::Name` or `Self::Name`. A variant hidden behind a wildcard
+/// arm (or simply missing while a `_ => ...` keeps the match compiling)
+/// is exactly what gets reported.
+fn payload_variants_missing_from_object(scanned: &scanner::ScannedFile) -> Vec<(usize, String)> {
+    let variants = enum_body_variants(&scanned.code, "enum Payload");
+    if variants.is_empty() {
+        return Vec::new();
+    }
+    let named = names_in_fn_body(&scanned.code, "fn object");
+    variants
+        .into_iter()
+        .filter(|(_, v)| !named.contains(v))
+        .collect()
+}
+
+/// Leading identifier of `s`, if it starts with an ASCII-alphabetic char.
+fn leading_ident(s: &str) -> Option<&str> {
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(s.len());
+    (end > 0 && s.as_bytes()[0].is_ascii_alphabetic()).then(|| &s[..end])
+}
+
+/// Variant names (with 0-based lines) declared at depth 1 of the first
+/// `{`-delimited body following a line that contains `opener`.
+fn enum_body_variants(code: &[String], opener: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth: Option<i32> = None;
+    let mut entered = false;
+    for (idx, line) in code.iter().enumerate() {
+        if depth.is_none() {
+            if line.contains(opener) {
+                depth = Some(0);
+            } else {
+                continue;
+            }
+        }
+        let at_body_top = depth == Some(1);
+        let trimmed = line.trim_start();
+        if at_body_top && !trimmed.starts_with('}') {
+            if let Some(name) = leading_ident(trimmed) {
+                out.push((idx, name.to_string()));
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth = depth.map(|d| d + 1);
+                    entered = true;
+                }
+                '}' => depth = depth.map(|d| d - 1),
+                _ => {}
+            }
+        }
+        if entered && depth == Some(0) {
+            break;
+        }
+    }
+    out
+}
+
+/// Identifiers following `Payload::` or `Self::` inside the first
+/// `{`-delimited body after a line containing `opener`.
+fn names_in_fn_body(code: &[String], opener: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth: Option<i32> = None;
+    let mut entered = false;
+    for line in code {
+        if depth.is_none() {
+            if line.contains(opener) {
+                depth = Some(0);
+            } else {
+                continue;
+            }
+        }
+        for qualifier in ["Payload::", "Self::"] {
+            let mut rest = line.as_str();
+            while let Some(pos) = rest.find(qualifier) {
+                rest = &rest[pos + qualifier.len()..];
+                if let Some(name) = leading_ident(rest) {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth = depth.map(|d| d + 1);
+                    entered = true;
+                }
+                '}' => depth = depth.map(|d| d - 1),
+                _ => {}
+            }
+        }
+        if entered && depth == Some(0) {
+            break;
+        }
+    }
+    out
 }
 
 /// A short excerpt of the offending line for the diagnostic message.

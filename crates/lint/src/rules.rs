@@ -53,6 +53,11 @@ pub const RULES: &[Rule] = &[
         summary: "direct event scheduling from protocol-layer code",
         hint: "route through the Coordinator (or the Scheduler seam); only the engine/coordinator layers may enqueue events",
     },
+    Rule {
+        id: "D008",
+        summary: "Payload variant not named in Payload::object()",
+        hint: "add an explicit arm (Some(obj) or None) — the model checker's independence relation keys on object(), so a variant swallowed by a wildcard silently gets the wrong class",
+    },
 ];
 
 /// The rule id used for malformed suppression directives (reported by the
@@ -73,9 +78,15 @@ impl Rule {
     /// workspace-relative, forward slashes).
     pub fn in_scope(&self, path: &str) -> bool {
         match self.id {
-            // Replay-critical crates: the simulator and the quorum layer it
-            // drives. Iteration order there leaks into event order/metrics.
-            "D001" => path.starts_with("crates/sim/src/") || path.starts_with("crates/quorum/src/"),
+            // Replay-critical crates: the simulator, the quorum layer it
+            // drives, and the anti-entropy tree (digests and probe order
+            // must be seed-stable). Iteration order there leaks into event
+            // order/metrics.
+            "D001" => {
+                path.starts_with("crates/sim/src/")
+                    || path.starts_with("crates/quorum/src/")
+                    || path.starts_with("crates/sync/src/")
+            }
             // The simulated clock is the only legitimate time source; the
             // one exemption is the module that defines it.
             "D002" => path != "crates/sim/src/time.rs",
@@ -113,6 +124,10 @@ impl Rule {
                     || path.starts_with("crates/core/src/"))
                     && !ENQUEUE_LAYERS.contains(&path)
             }
+            // The message-type module: every Payload variant must appear
+            // explicitly in `Payload::object()`. File-level rule — matched
+            // by the coverage pass in `lib.rs`, not line by line.
+            "D008" => path.ends_with("/message.rs") && path.starts_with("crates/sim/src/"),
             _ => false,
         }
     }
@@ -346,11 +361,21 @@ mod tests {
         assert!(rule("D006").in_scope("crates/quorum/src/lp.rs"));
         assert!(rule("D006").in_scope("crates/analysis/src/stats.rs"));
         assert!(!rule("D006").in_scope("crates/sim/src/metrics.rs"));
+        assert!(rule("D001").in_scope("crates/sync/src/lib.rs"));
         assert!(rule("D007").in_scope("crates/sim/src/site.rs"));
         assert!(rule("D007").in_scope("crates/quorum/src/strategy.rs"));
         assert!(rule("D007").in_scope("crates/core/src/tree.rs"));
         assert!(!rule("D007").in_scope("crates/sim/src/engine.rs"));
         assert!(!rule("D007").in_scope("crates/sim/src/coordinator.rs"));
         assert!(!rule("D007").in_scope("crates/check/src/explore.rs"));
+        assert!(rule("D008").in_scope("crates/sim/src/message.rs"));
+        assert!(!rule("D008").in_scope("crates/sim/src/engine.rs"));
+        assert!(!rule("D008").in_scope("crates/check/src/message.rs"));
+    }
+
+    #[test]
+    fn d008_never_fires_line_level() {
+        // D008 is matched by the file-level coverage pass in `lib.rs`.
+        assert!(!rule("D008").matches("Payload::ReadReq { obj, .. } => None,"));
     }
 }

@@ -134,6 +134,16 @@ fn d007_negative() {
     check("d007_negative.rs");
 }
 
+#[test]
+fn d008_positive() {
+    check("d008_positive.rs");
+}
+
+#[test]
+fn d008_negative() {
+    check("d008_negative.rs");
+}
+
 /// Scanner regressions: tokens in comments/strings never fire, and
 /// `#[cfg(any(test, ...))]` exempts its region while `#[cfg(not(test))]`
 /// does not.
@@ -176,6 +186,8 @@ fn all_fixtures_are_covered() {
         "d006_negative.rs",
         "d007_positive.rs",
         "d007_negative.rs",
+        "d008_positive.rs",
+        "d008_negative.rs",
         "cfg_gated.rs",
         "suppression_ok.rs",
         "suppression_bare.rs",

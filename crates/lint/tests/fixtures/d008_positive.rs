@@ -1,0 +1,23 @@
+//@ path: crates/sim/src/message.rs
+// A Payload enum whose object() accessor hides two variants behind a
+// wildcard: both must be flagged, at their declaration lines.
+
+pub enum Payload {
+    ReadReq { //~ D008
+        op: u32,
+        obj: u32,
+    },
+    Commit { obj: u32 },
+    Batch(Vec<u8>), //~ D008
+    RangeFill { keys: Vec<u32> },
+}
+
+impl Payload {
+    pub fn object(&self) -> Option<u32> {
+        match self {
+            Payload::Commit { obj } => Some(*obj),
+            Self::RangeFill { .. } => None,
+            _ => None,
+        }
+    }
+}

@@ -261,7 +261,12 @@ impl Coordinator {
         }
         engine.metrics.suspicions_cleared += self.clients[client.0 as usize].suspected.len() as u64;
         self.clients[client.0 as usize].suspected.clear();
-        let full = AliveSet::full(engine.sites.len());
+        // Suspicions reset, but Syncing sites stay excluded: their refusal
+        // is advertised state, not a guess to re-test.
+        let mut full = AliveSet::full(engine.sites.len());
+        for s in engine.syncing_sites().iter() {
+            full.remove(s);
+        }
         pick(full, &mut engine.rng)
     }
 
@@ -269,6 +274,13 @@ impl Coordinator {
         let mut alive = AliveSet::full(engine.sites.len());
         for s in &self.clients[client.0 as usize].suspected {
             alive.remove(*s);
+        }
+        // Mid-rejoin (`Syncing`) sites advertise their state — quorums route
+        // around them instead of timing out against their health gate.
+        // (Down sites are *not* excluded here: the failure detector has to
+        // discover those the hard way, through suspicion.)
+        for s in engine.syncing_sites().iter() {
+            alive.remove(s);
         }
         alive
     }
@@ -733,20 +745,35 @@ impl Coordinator {
                 self.on_lock_granted(engine, shards, granted);
             }
         }
-        let (client, quorums) = {
+        let (client, sends) = {
             // arbitree-lint: allow(D005) — the prepare gather just proved the op live before crossing the commit point
             let s = self.ops.get_mut(&op).expect("txn exists");
             s.phase = Phase::CommitGather;
             s.pending_pairs.clear();
+            let mut sends: Vec<(ObjectId, QuorumSet, Bytes, Timestamp)> = Vec::new();
             for (&obj, q) in &s.write_quorums {
                 for site in q.iter() {
                     s.pending_pairs.insert((obj, site));
                 }
+                sends.push((
+                    obj,
+                    q.clone(),
+                    // arbitree-lint: allow(D005) — write_values holds an entry for every object in writes since insert time
+                    s.write_values.get(&obj).expect("value exists").clone(),
+                    // arbitree-lint: allow(D005) — write_ts was stamped for every written object before the prepare phase
+                    *s.write_ts.get(&obj).expect("ts stamped"),
+                ));
             }
-            (s.client, s.write_quorums.clone())
+            (s.client, sends)
         };
-        for (obj, q) in quorums {
-            engine.send_to_sites(client, &q, |_| Payload::Commit { op, obj });
+        for (obj, q, value, ts) in sends {
+            let v = value;
+            engine.send_to_sites(client, &q, |_| Payload::Commit {
+                op,
+                obj,
+                value: v.clone(),
+                ts,
+            });
         }
         self.arm_timeout(engine, op);
     }
@@ -1229,11 +1256,32 @@ impl Coordinator {
                 // stretches the re-send interval, but it never aborts.
                 state.attempts = state.attempts.saturating_add(1);
                 engine.metrics.retries_commit += 1;
-                let pending: Vec<(ObjectId, SiteId)> =
-                    state.pending_pairs.iter().copied().collect();
-                for (obj, site) in pending {
+                // Re-send carries the decided value and timestamp: the
+                // participant may have lost its stage to an amnesia crash
+                // since the prepare, and the commit must still apply.
+                let pending: Vec<(ObjectId, SiteId, Bytes, Timestamp)> = state
+                    .pending_pairs
+                    .iter()
+                    .map(|&(obj, site)| {
+                        (
+                            obj,
+                            site,
+                            // arbitree-lint: allow(D005) — write_values holds an entry for every object in writes since insert time
+                            state.write_values.get(&obj).expect("value exists").clone(),
+                            // arbitree-lint: allow(D005) — write_ts was stamped for every written object before the prepare phase
+                            *state.write_ts.get(&obj).expect("ts stamped"),
+                        )
+                    })
+                    .collect();
+                for (obj, site, value, ts) in pending {
                     let members = QuorumSet::from_sites([site]);
-                    engine.send_to_sites(client, &members, |_| Payload::Commit { op, obj });
+                    let v = value;
+                    engine.send_to_sites(client, &members, |_| Payload::Commit {
+                        op,
+                        obj,
+                        value: v.clone(),
+                        ts,
+                    });
                 }
                 self.arm_timeout(engine, op);
             }

@@ -12,9 +12,9 @@ use crate::event::{Event, EventQueue};
 use crate::message::{ClientId, Endpoint, Message, OpId, Payload};
 use crate::metrics::SimMetrics;
 use crate::network::{Network, Partition};
-use crate::site::Site;
+use crate::site::{CrashMode, Site, SiteHealth};
 use crate::time::SimTime;
-use arbitree_quorum::{QuorumSet, SiteId};
+use arbitree_quorum::{AliveSet, QuorumSet, SiteId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,6 +37,15 @@ pub struct Engine {
     /// coordinator's own send order); tiny — one event touches a handful
     /// of destinations.
     outbox: Vec<(ClientId, SiteId, Vec<Payload>)>,
+    /// How each site last went down ([`CrashMode::Transient`] until a crash
+    /// says otherwise) — recovery needs to know what state the site kept.
+    crash_modes: Vec<CrashMode>,
+    /// Set as soon as any [`Event::AmnesiaCrash`] is scheduled. The model
+    /// checker reads it to decide whether `Recover` events can have global
+    /// effects (starting a rejoin touches coordinator-visible state);
+    /// schedule-time stability keeps the classification identical across an
+    /// exploration.
+    amnesia_scheduled: bool,
 }
 
 impl Engine {
@@ -54,6 +63,8 @@ impl Engine {
             end: SimTime::ZERO + config.duration,
             batching: config.batching,
             outbox: Vec::new(),
+            crash_modes: vec![CrashMode::Transient; n_sites],
+            amnesia_scheduled: false,
         }
     }
 
@@ -98,14 +109,78 @@ impl Engine {
         self.network.set_override(override_config);
     }
 
-    /// Fail-stops a site.
-    pub(crate) fn crash(&mut self, site: SiteId) {
-        self.sites[site.index()].crash();
+    /// Fail-stops a site. [`CrashMode::Transient`] keeps its storage;
+    /// [`CrashMode::Amnesia`] wipes it, and the eventual recovery will
+    /// re-enter through the `Syncing` state instead of serving directly.
+    pub(crate) fn crash(&mut self, site: SiteId, mode: CrashMode) {
+        self.crash_modes[site.index()] = mode;
+        self.sites[site.index()].crash(mode);
     }
 
-    /// Recovers a site (storage intact — failures are transient).
-    pub(crate) fn recover(&mut self, site: SiteId) {
-        self.sites[site.index()].recover();
+    /// Recovers a site, passing it the mode of the crash that took it down
+    /// so it knows whether its storage survived. Returns the resulting
+    /// health: `Serving` after a transient crash, `Syncing` after an
+    /// amnesia crash (the caller starts the rejoin protocol).
+    pub(crate) fn recover(&mut self, site: SiteId) -> SiteHealth {
+        let mode = self.crash_modes[site.index()];
+        self.sites[site.index()].recover(mode)
+    }
+
+    /// Marks that an amnesia crash has been scheduled for this run (read by
+    /// the model checker's event classification; see
+    /// [`Engine::amnesia_scheduled`]).
+    pub(crate) fn note_amnesia_scheduled(&mut self) {
+        self.amnesia_scheduled = true;
+    }
+
+    /// Whether any amnesia crash was ever scheduled. Monotonic and set at
+    /// *schedule* time, so it is stable across a model checker's
+    /// re-executions of the same scenario.
+    pub fn amnesia_scheduled(&self) -> bool {
+        self.amnesia_scheduled
+    }
+
+    /// The sites currently serving quorum traffic (up and not mid-rejoin).
+    pub fn serving_sites(&self) -> AliveSet {
+        let mut alive = AliveSet::empty();
+        for s in &self.sites {
+            if s.is_serving() {
+                alive.insert(s.id());
+            }
+        }
+        alive
+    }
+
+    /// The sites currently mid-rejoin (`Syncing`): up, reachable, but
+    /// refusing quorum traffic — the coordinator routes around them.
+    pub fn syncing_sites(&self) -> AliveSet {
+        let mut syncing = AliveSet::empty();
+        for s in &self.sites {
+            if s.health() == SiteHealth::Syncing {
+                syncing.insert(s.id());
+            }
+        }
+        syncing
+    }
+
+    /// Arms the rejoin retry timer for a syncing site. Scheduling stays
+    /// inside the engine (the designated enqueue layer) — the rejoin
+    /// manager calls this instead of touching the queue directly.
+    pub(crate) fn arm_sync_retry(
+        &mut self,
+        site: SiteId,
+        attempt: u32,
+        epoch: u64,
+        delay: crate::time::SimDuration,
+    ) {
+        self.queue.schedule(
+            self.now + delay,
+            Event::SyncRetry {
+                site,
+                attempt,
+                epoch,
+            },
+        );
     }
 
     /// Sends one message through the simulated network.
@@ -193,24 +268,36 @@ impl Engine {
 
     /// Delivers a site-bound message: the site handles it and any reply is
     /// sent back through the network. Messages to crashed sites are counted
-    /// and dropped. A [`Payload::Batch`] envelope is unwrapped here — each
-    /// inner payload is handled (and counted as a site request)
-    /// individually, and the replies travel back coalesced into one
-    /// envelope as well.
+    /// and dropped; a `Syncing` site receives the message but its health
+    /// gate refuses everything (counted as `messages_refused_syncing`). A
+    /// [`Payload::Batch`] envelope is unwrapped here — each inner payload
+    /// is handled (and counted as a site request) individually, and the
+    /// replies travel back coalesced into one envelope as well.
+    ///
+    /// Every reply is checked against the site's health *at serve time*:
+    /// a reply from a non-`Serving` site counts as a `sync_violations` —
+    /// structurally unreachable while the health gate holds, and asserted
+    /// zero by the chaos gates.
     pub(crate) fn deliver_to_site(&mut self, sid: SiteId, msg: Message) {
         if !self.sites[sid.index()].is_up() {
             self.metrics.messages_to_dead += 1;
             return;
         }
+        let serving = self.sites[sid.index()].is_serving();
         self.metrics.messages_delivered += 1;
         match msg.payload {
             Payload::Batch(inner) => {
                 let mut replies = Vec::with_capacity(inner.len());
                 for payload in inner {
                     self.metrics.record_site_request(sid.as_u32());
-                    if let Some((_, reply)) = self.sites[sid.index()].handle(&payload) {
+                    if let Some((_, reply)) =
+                        self.sites[sid.index()].handle(&payload, &mut self.metrics)
+                    {
                         replies.push(reply);
                     }
+                }
+                if !serving {
+                    self.metrics.sync_violations += replies.len() as u64;
                 }
                 let reply = match replies.len() {
                     0 => return,
@@ -226,7 +313,11 @@ impl Engine {
             }
             ref payload => {
                 self.metrics.record_site_request(sid.as_u32());
-                if let Some((_, reply)) = self.sites[sid.index()].handle(payload) {
+                if let Some((_, reply)) = self.sites[sid.index()].handle(payload, &mut self.metrics)
+                {
+                    if !serving {
+                        self.metrics.sync_violations += 1;
+                    }
                     self.send(Endpoint::Site(sid), msg.from, reply);
                 }
             }

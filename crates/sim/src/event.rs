@@ -22,10 +22,30 @@ use std::collections::BTreeMap;
 pub enum Event {
     /// A message arrives at its destination.
     Deliver(Message),
-    /// A site fail-stops.
+    /// A site fail-stops, storage intact ([`crate::CrashMode::Transient`]).
     Crash(SiteId),
-    /// A crashed site recovers (storage intact — failures are transient).
+    /// A site fail-stops *and loses its storage*
+    /// ([`crate::CrashMode::Amnesia`]): on recovery it returns empty and
+    /// must resynchronize before serving quorum traffic again.
+    AmnesiaCrash(SiteId),
+    /// A crashed site comes back. How it comes back depends on how it went
+    /// down: a transient crash resumes serving with its durable state
+    /// intact, while an amnesia crash re-enters as
+    /// [`crate::SiteHealth::Syncing`] and runs anti-entropy before serving.
     Recover(SiteId),
+    /// The rejoin manager's retry timer for a syncing site fires: resend
+    /// outstanding range probes (or restart the rejoin if the sync source
+    /// went away). Tagged with the rejoin `epoch` so timers armed before
+    /// the last progress are ignored as stale.
+    SyncRetry {
+        /// The syncing site.
+        site: SiteId,
+        /// Retry attempt counter (drives the backoff policy).
+        attempt: u32,
+        /// Rejoin epoch the timer was armed in (globally monotonic; a
+        /// mismatch means progress happened since and the timer is stale).
+        epoch: u64,
+    },
     /// A partition is installed (or cleared, with [`Partition::none`])
     /// mid-run — the schedulable form of
     /// [`crate::Simulation::set_partition`].

@@ -8,9 +8,17 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A crash/recovery schedule for one simulation run.
+///
+/// Crashes come in two flavours: *transient* (durable storage intact,
+/// tracked in `events`) and *amnesia* (storage lost; the site rejoins
+/// through staged anti-entropy — see [`crate::CrashMode`]). Amnesia
+/// crashes live in a separate list so the long-standing `events()` tuple
+/// shape — and the byte-identical determinism of [`FailureSchedule::random`]
+/// for existing seeds — is preserved.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FailureSchedule {
     events: Vec<(SimTime, SiteId, bool)>, // true = crash, false = recover
+    amnesia: Vec<(SimTime, SiteId)>,
 }
 
 impl FailureSchedule {
@@ -19,9 +27,17 @@ impl FailureSchedule {
         FailureSchedule::default()
     }
 
-    /// Adds a crash.
+    /// Adds a transient crash (storage intact).
     pub fn crash(&mut self, at: SimTime, site: SiteId) -> &mut Self {
         self.events.push((at, site, true));
+        self
+    }
+
+    /// Adds an amnesia crash: the site's storage is lost, and the matching
+    /// recovery re-enters through the `Syncing` state (anti-entropy rejoin)
+    /// instead of serving directly.
+    pub fn amnesia_crash(&mut self, at: SimTime, site: SiteId) -> &mut Self {
+        self.amnesia.push((at, site));
         self
     }
 
@@ -33,7 +49,9 @@ impl FailureSchedule {
 
     /// Generates alternating crash/recover events per site: exponential-ish
     /// up-times with mean `mttf` and down-times with mean `mttr`, over
-    /// `horizon`. Deterministic for a given seed.
+    /// `horizon`. Deterministic for a given seed. Every crash is transient;
+    /// use [`FailureSchedule::random_with_amnesia`] to make a fraction of
+    /// them wipe storage.
     ///
     /// # Panics
     ///
@@ -45,8 +63,32 @@ impl FailureSchedule {
         mttr: SimDuration,
         seed: u64,
     ) -> Self {
+        Self::random_with_amnesia(n_sites, horizon, mttf, mttr, 0.0, seed)
+    }
+
+    /// Like [`FailureSchedule::random`], but each crash independently wipes
+    /// the site's storage with probability `amnesia_probability`. With
+    /// probability `0.0` no extra randomness is drawn, so the schedule is
+    /// byte-identical to the plain `random` for the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mttf` or `mttr` is zero, or if `amnesia_probability` is
+    /// outside `[0, 1]`.
+    pub fn random_with_amnesia(
+        n_sites: usize,
+        horizon: SimDuration,
+        mttf: SimDuration,
+        mttr: SimDuration,
+        amnesia_probability: f64,
+        seed: u64,
+    ) -> Self {
         assert!(mttf.as_micros() > 0, "mttf must be positive");
         assert!(mttr.as_micros() > 0, "mttr must be positive");
+        assert!(
+            (0.0..=1.0).contains(&amnesia_probability),
+            "amnesia probability must be in [0, 1]"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut schedule = FailureSchedule::none();
         for site in 0..n_sites as u32 {
@@ -67,7 +109,13 @@ impl FailureSchedule {
                 }
                 let at = SimTime::from_micros(t);
                 if up {
-                    schedule.crash(at, SiteId::new(site));
+                    // Guarded draw: probability 0.0 consumes no RNG, keeping
+                    // pre-amnesia schedules bit-for-bit reproducible.
+                    if amnesia_probability > 0.0 && rng.gen_bool(amnesia_probability) {
+                        schedule.amnesia_crash(at, SiteId::new(site));
+                    } else {
+                        schedule.crash(at, SiteId::new(site));
+                    }
                 } else {
                     schedule.recover(at, SiteId::new(site));
                 }
@@ -77,9 +125,14 @@ impl FailureSchedule {
         schedule
     }
 
-    /// The scheduled events.
+    /// The scheduled transient crash/recover events.
     pub fn events(&self) -> &[(SimTime, SiteId, bool)] {
         &self.events
+    }
+
+    /// The scheduled amnesia crashes.
+    pub fn amnesia_events(&self) -> &[(SimTime, SiteId)] {
+        &self.amnesia
     }
 
     /// Installs the schedule into a simulation.
@@ -90,6 +143,9 @@ impl FailureSchedule {
             } else {
                 sim.schedule_recover(at, site);
             }
+        }
+        for &(at, site) in &self.amnesia {
+            sim.schedule_amnesia_crash(at, site);
         }
     }
 }
@@ -174,5 +230,133 @@ mod tests {
             SimDuration::from_millis(1),
             0,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "mttr")]
+    fn zero_mttr_rejected() {
+        let _ = FailureSchedule::random(
+            1,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+            0,
+        );
+    }
+
+    #[test]
+    fn one_tick_mttf_and_mttr_still_alternate_and_terminate() {
+        // Degenerate means: one microsecond up, one microsecond down. The
+        // dwell floor (`max(1)`) guarantees progress, so generation
+        // terminates, and the per-site alternation invariant must hold
+        // even at saturation density.
+        let horizon = SimDuration::from_micros(200);
+        let s = FailureSchedule::random(
+            2,
+            horizon,
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            3,
+        );
+        assert!(!s.events().is_empty());
+        for site in 0..2u32 {
+            let mine: Vec<(u64, bool)> = s
+                .events()
+                .iter()
+                .filter(|(_, sid, _)| sid.as_u32() == site)
+                .map(|&(at, _, c)| (at.as_micros(), c))
+                .collect();
+            for (i, &(at, c)) in mine.iter().enumerate() {
+                assert_eq!(c, i % 2 == 0, "site {site} event {i}");
+                assert!(at < horizon.as_micros());
+                if i > 0 {
+                    assert!(at > mine[i - 1].0, "events strictly advance");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_with_amnesia_zero_probability_matches_plain_random() {
+        // The amnesia draw is guarded, so probability 0.0 must reproduce
+        // the pre-amnesia schedule bit for bit.
+        let args = (
+            4,
+            SimDuration::from_millis(80),
+            SimDuration::from_millis(9),
+            SimDuration::from_millis(3),
+            21u64,
+        );
+        let plain = FailureSchedule::random(args.0, args.1, args.2, args.3, args.4);
+        let zero =
+            FailureSchedule::random_with_amnesia(args.0, args.1, args.2, args.3, 0.0, args.4);
+        assert_eq!(plain, zero);
+        assert!(zero.amnesia_events().is_empty());
+    }
+
+    #[test]
+    fn random_with_amnesia_is_deterministic_and_splits_crashes() {
+        let mk = || {
+            FailureSchedule::random_with_amnesia(
+                5,
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(8),
+                SimDuration::from_millis(2),
+                0.5,
+                13,
+            )
+        };
+        let a = mk();
+        assert_eq!(a, mk());
+        // Half-and-half probability over this many crash slots: both lists
+        // must be populated.
+        assert!(!a.amnesia_events().is_empty(), "no amnesia crashes drawn");
+        assert!(
+            a.events().iter().any(|&(_, _, c)| c),
+            "no transient crashes drawn"
+        );
+    }
+
+    #[test]
+    fn all_amnesia_probability_puts_every_crash_in_the_amnesia_list() {
+        let s = FailureSchedule::random_with_amnesia(
+            3,
+            SimDuration::from_millis(60),
+            SimDuration::from_millis(6),
+            SimDuration::from_millis(2),
+            1.0,
+            17,
+        );
+        assert!(!s.amnesia_events().is_empty());
+        assert!(
+            s.events().iter().all(|&(_, _, c)| !c),
+            "a transient crash slipped through at probability 1.0"
+        );
+    }
+
+    #[test]
+    fn recover_without_prior_crash_is_harmless() {
+        // A manual schedule can order a recovery before any crash of that
+        // site (or with no crash at all). Recovering an up site must be a
+        // no-op: the run completes, consistent, with normal progress.
+        use crate::config::SimConfig;
+        use crate::sim::Simulation;
+        use arbitree_core::ArbitraryProtocol;
+        let mut s = FailureSchedule::none();
+        s.recover(SimTime::from_millis(5), SiteId::new(2))
+            .crash(SimTime::from_millis(50), SiteId::new(2))
+            .recover(SimTime::from_millis(90), SiteId::new(2));
+        let cfg = SimConfig {
+            seed: 5,
+            clients: 2,
+            objects: 2,
+            duration: SimDuration::from_millis(200),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, ArbitraryProtocol::parse("1-3-5").unwrap());
+        s.apply(&mut sim);
+        let report = sim.run();
+        assert!(report.consistent, "violations: {}", report.violations);
+        assert!(report.metrics.ops_ok() > 0);
     }
 }

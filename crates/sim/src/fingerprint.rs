@@ -115,6 +115,8 @@ impl Simulation {
         // The transaction machine (per-op state, locks, checker model,
         // scripted-due flags).
         self.coordinator().fingerprint_into(&mut h, engine.now());
+        // In-flight rejoins (sources, session progress, epochs).
+        self.rejoin().fingerprint_into(&mut h);
         // Pending events: a content-only multiset. Each event hashes to an
         // independent value; `wrapping_add` combines them so two
         // interleavings whose queues hold the same events under different

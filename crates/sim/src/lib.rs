@@ -2,8 +2,10 @@
 //!
 //! A deterministic discrete-event simulator for quorum-based replica control
 //! protocols — the executable form of the paper's §2.2 system model. Sites
-//! fail by stopping (transiently, with durable storage), links delay, drop
-//! and partition, clients synchronize through a centralized strict-2PL lock
+//! fail by stopping — transiently (durable storage intact) or with
+//! *amnesia* (storage lost; the site rejoins through staged anti-entropy,
+//! see [`CrashMode`] and [`RejoinManager`]) — links delay, drop and
+//! partition, clients synchronize through a centralized strict-2PL lock
 //! manager, and writes commit through two-phase commit.
 //!
 //! Every run is a pure function of its [`SimConfig`] (seed included) and
@@ -76,6 +78,7 @@ mod message;
 mod metrics;
 mod nemesis;
 mod network;
+mod recovery;
 mod scheduler;
 mod sim;
 mod site;
@@ -98,13 +101,14 @@ pub use harness::{
 };
 pub use history::{History, HistoryEvent, HistoryKind, HistoryViolation};
 pub use locks::{LockManager, LockMode};
-pub use message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload};
+pub use message::{ClientId, Endpoint, Message, ObjectId, OpId, Payload, RangeVerdict};
 pub use metrics::{LatencyHistogram, SimMetrics};
 pub use nemesis::{build_profile, Nemesis, NemesisAction, NemesisKind};
 pub use network::{Network, Partition};
+pub use recovery::RejoinManager;
 pub use scheduler::{Scheduler, SeededScheduler};
 pub use sim::Simulation;
-pub use site::Site;
+pub use site::{CrashMode, Site, SiteHealth};
 pub use storage::{Staged, Storage, Version};
 pub use time::{SimDuration, SimTime};
 pub use txn::{SimReport, TxnRequest};

@@ -3,6 +3,7 @@
 use crate::time::SimTime;
 use arbitree_core::Timestamp;
 use arbitree_quorum::SiteId;
+use arbitree_sync::{NodeAgg, Range};
 use bytes::Bytes;
 use std::fmt;
 
@@ -99,12 +100,21 @@ pub enum Payload {
         /// The timestamp of the `Prepare` this vote answers.
         ts: Timestamp,
     },
-    /// Client → site (2PC phase 2): apply the staged write.
+    /// Client → site (2PC phase 2): apply the staged write. Carries the
+    /// decided value and timestamp so a participant that lost its stage to
+    /// an amnesia crash (and has since resynced from a quorum that may not
+    /// include this write) can still apply the retried commit — without
+    /// them, a valueless commit retry would be acknowledged with nothing
+    /// installed, leaving a write quorum that never converges.
     Commit {
         /// Operation.
         op: OpId,
         /// Target object.
         obj: ObjectId,
+        /// The decided value (identical to the prepared one).
+        value: Bytes,
+        /// The decided timestamp.
+        ts: Timestamp,
     },
     /// Client → site: discard the staged write.
     Abort {
@@ -138,6 +148,42 @@ pub enum Payload {
     /// nested and never empty by construction — the engine builds batches
     /// only from two or more buffered payloads.
     Batch(Vec<Payload>),
+    /// Syncing site → source site (anti-entropy): compare your digest for
+    /// `range` against mine.
+    RangeHashReq {
+        /// The keyspace range being compared.
+        range: Range,
+        /// The requester's digest for that range.
+        peer: NodeAgg,
+    },
+    /// Source site → syncing site: the digests matched, or here are my
+    /// child digests so you can descend into the mismatching subtrees.
+    RangeHashResp {
+        /// The range the request named.
+        range: Range,
+        /// Match, or one digest per child range.
+        verdict: RangeVerdict,
+    },
+    /// Source site → syncing site: full contents of a mismatching leaf
+    /// range — the receiver installs whatever is newer than its own copy.
+    RangeFill {
+        /// The (leaf) range the request named.
+        range: Range,
+        /// Every committed `(object, value, timestamp)` in the range.
+        items: Vec<(ObjectId, Bytes, Timestamp)>,
+    },
+}
+
+/// The source side's answer to a [`Payload::RangeHashReq`] over an internal
+/// (non-leaf) range: either the digests agree or the requester should
+/// descend. Mismatching *leaf* ranges are answered with
+/// [`Payload::RangeFill`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RangeVerdict {
+    /// Digests agree — the whole range is already in sync.
+    Match,
+    /// Digests disagree — one digest per child range, in child order.
+    Children(Vec<NodeAgg>),
 }
 
 impl Payload {
@@ -145,6 +191,8 @@ impl Payload {
     /// first inner payload's operation (batches are non-empty by
     /// construction; inner payloads may span several operations, so
     /// batch-aware handlers should iterate the envelope instead).
+    /// Anti-entropy payloads belong to no client operation and report the
+    /// same `OpId(u64::MAX)` sentinel as an empty batch.
     pub fn op(&self) -> OpId {
         match self {
             Payload::ReadReq { op, .. }
@@ -156,6 +204,9 @@ impl Payload {
             | Payload::CommitAck { op, .. }
             | Payload::Repair { op, .. } => *op,
             Payload::Batch(inner) => inner.first().map_or(OpId(u64::MAX), Payload::op),
+            Payload::RangeHashReq { .. }
+            | Payload::RangeHashResp { .. }
+            | Payload::RangeFill { .. } => OpId(u64::MAX),
         }
     }
 
@@ -175,6 +226,10 @@ impl Payload {
             | Payload::CommitAck { obj, .. }
             | Payload::Repair { obj, .. } => Some(*obj),
             Payload::Batch(_) => None,
+            // Anti-entropy payloads span whole key ranges, never one object.
+            Payload::RangeHashReq { .. } => None,
+            Payload::RangeHashResp { .. } => None,
+            Payload::RangeFill { .. } => None,
         }
     }
 }
@@ -220,7 +275,12 @@ mod tests {
                 ok: true,
                 ts: Timestamp::ZERO,
             },
-            Payload::Commit { op, obj },
+            Payload::Commit {
+                op,
+                obj,
+                value: Bytes::new(),
+                ts: Timestamp::ZERO,
+            },
             Payload::Abort { op, obj },
             Payload::CommitAck { op, obj },
             Payload::Repair {
@@ -249,6 +309,28 @@ mod tests {
         ]);
         assert_eq!(batch.op(), OpId(3));
         assert_eq!(Payload::Batch(Vec::new()).op(), OpId(u64::MAX));
+    }
+
+    #[test]
+    fn sync_payloads_have_no_op_or_object() {
+        let probes = [
+            Payload::RangeHashReq {
+                range: Range::ROOT,
+                peer: NodeAgg::EMPTY,
+            },
+            Payload::RangeHashResp {
+                range: Range::ROOT,
+                verdict: RangeVerdict::Match,
+            },
+            Payload::RangeFill {
+                range: Range::of(0, arbitree_sync::LEAF_DEPTH),
+                items: vec![(ObjectId(0), Bytes::new(), Timestamp::ZERO)],
+            },
+        ];
+        for p in probes {
+            assert_eq!(p.op(), OpId(u64::MAX));
+            assert_eq!(p.object(), None);
+        }
     }
 
     #[test]

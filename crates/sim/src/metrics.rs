@@ -120,6 +120,38 @@ pub struct SimMetrics {
     pub batched_payloads: u64,
     /// Read-repair messages sent (stale members refreshed after a read).
     pub repairs_sent: u64,
+    /// Repair installs that actually applied (the carried value was newer
+    /// than the receiver's committed copy).
+    pub repairs_applied: u64,
+    /// Repair installs ignored because the receiver already held an
+    /// equal-or-newer version (a racing repair or a delayed duplicate).
+    pub repairs_ignored_stale: u64,
+    /// Quorum-protocol messages refused by a `Syncing` site: a rejoining
+    /// replica's storage is not trustworthy until anti-entropy completes,
+    /// so it answers nothing (the coordinator routes around it).
+    pub messages_refused_syncing: u64,
+    /// Quorum-protocol replies produced by a non-`Serving` site. The
+    /// health gate inside `Site::handle` makes this impossible; the engine
+    /// still checks every reply against the site's health at serve time so
+    /// chaos gates can assert the invariant end-to-end (must stay 0).
+    pub sync_violations: u64,
+    /// Per-source anti-entropy sessions started (a rejoin runs one session
+    /// per sync source).
+    pub sync_sessions: u64,
+    /// Rejoins restarted from scratch because a sync source stopped
+    /// serving mid-session.
+    pub sync_restarts: u64,
+    /// Range-hash probes sent (each compares one range digest pair).
+    pub sync_ranges_compared: u64,
+    /// Keys shipped in `RangeFill` payloads during anti-entropy.
+    pub sync_keys_transferred: u64,
+    /// Sync retry timers that fired and re-sent outstanding probes.
+    pub sync_retries: u64,
+    /// Rejoins that completed: the site returned to `Serving`.
+    pub rejoins_completed: u64,
+    /// Total wall-clock (simulated) time spent between recovery and
+    /// re-entering service, summed over completed rejoins.
+    pub rejoin_time_total: SimDuration,
     /// Completed live reconfigurations (protocol swaps).
     pub reconfigurations: u64,
     /// Migration writes performed during reconfigurations.
@@ -179,6 +211,14 @@ impl SimMetrics {
     /// Total messages lost, to either partitions or random link loss.
     pub fn messages_dropped(&self) -> u64 {
         self.dropped_partition + self.dropped_loss
+    }
+
+    /// Mean recovery-to-serving latency over completed rejoins.
+    pub fn mean_rejoin_latency(&self) -> Option<SimDuration> {
+        self.rejoin_time_total
+            .as_micros()
+            .checked_div(self.rejoins_completed)
+            .map(SimDuration::from_micros)
     }
 
     /// Total completed operations.
@@ -343,6 +383,15 @@ mod tests {
         assert_eq!(m.ops_ok(), 5);
         assert_eq!(m.ops_failed(), 1);
         assert!(m.to_string().contains("writes 2/3"));
+    }
+
+    #[test]
+    fn rejoin_latency_mean() {
+        let mut m = SimMetrics::default();
+        assert!(m.mean_rejoin_latency().is_none());
+        m.rejoins_completed = 2;
+        m.rejoin_time_total = SimDuration::from_micros(600);
+        assert_eq!(m.mean_rejoin_latency().unwrap().as_micros(), 300);
     }
 
     #[test]

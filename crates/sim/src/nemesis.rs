@@ -39,8 +39,12 @@ pub enum NemesisAction {
     SetPartition(Partition),
     /// Clear any partition (equivalent to installing [`Partition::none`]).
     HealPartition,
-    /// Fail-stop one site.
+    /// Fail-stop one site, storage intact.
     Crash(SiteId),
+    /// Fail-stop one site *and wipe its storage*: the matching `Recover`
+    /// re-enters through the `Syncing` state and runs the anti-entropy
+    /// rejoin before serving again (see [`crate::CrashMode::Amnesia`]).
+    AmnesiaCrash(SiteId),
     /// Recover one site.
     Recover(SiteId),
     /// Install a temporary network-behaviour override.
@@ -92,6 +96,7 @@ impl Nemesis {
                 NemesisAction::SetPartition(p) => sim.schedule_partition(*at, p.clone()),
                 NemesisAction::HealPartition => sim.schedule_partition(*at, Partition::none()),
                 NemesisAction::Crash(s) => sim.schedule_crash(*at, *s),
+                NemesisAction::AmnesiaCrash(s) => sim.schedule_amnesia_crash(*at, *s),
                 NemesisAction::Recover(s) => sim.schedule_recover(*at, *s),
                 NemesisAction::NetworkOverride(c) => sim.schedule_network_override(*at, Some(*c)),
                 NemesisAction::ClearNetworkOverride => sim.schedule_network_override(*at, None),
@@ -219,6 +224,34 @@ impl Nemesis {
             .at(start, NemesisAction::NetworkOverride(spike))
             .at(start + len, NemesisAction::ClearNetworkOverride)
     }
+
+    /// One *long* partition: `victims` are isolated at `start` and the
+    /// partition heals only after `hold` — a single outage long enough for
+    /// suspicion, backoff, and (once healed) the full catch-up tail, where
+    /// [`Nemesis::partition_cycles`] stresses rapid form/heal churn.
+    pub fn long_partition<I: IntoIterator<Item = SiteId>>(
+        victims: I,
+        start: SimTime,
+        hold: SimDuration,
+    ) -> Self {
+        assert!(hold.as_micros() > 0, "hold must be positive");
+        Nemesis::none()
+            .at(
+                start,
+                NemesisAction::SetPartition(Partition::isolate_sites(victims)),
+            )
+            .at(start + hold, NemesisAction::HealPartition)
+    }
+
+    /// An amnesia cold start: `site` loses its storage at `start` and comes
+    /// back empty at `start + down_for`, rejoining through staged
+    /// anti-entropy while the workload keeps running.
+    pub fn amnesia_cold_start(site: SiteId, start: SimTime, down_for: SimDuration) -> Self {
+        assert!(down_for.as_micros() > 0, "downtime must be positive");
+        Nemesis::none()
+            .at(start, NemesisAction::AmnesiaCrash(site))
+            .at(start + down_for, NemesisAction::Recover(site))
+    }
 }
 
 /// The built-in adversarial profiles a chaos campaign sweeps over.
@@ -234,16 +267,25 @@ pub enum NemesisKind {
     DropBurst,
     /// A window of multiplied network latency.
     LatencySpike,
+    /// One long partition isolating a level, healed late in the run — the
+    /// outage-and-catch-up scenario (vs. the rapid churn of
+    /// `PartitionCycles`).
+    LongPartition,
+    /// One site amnesia-crashes and cold-starts empty mid-run, rejoining
+    /// through staged anti-entropy under live traffic.
+    AmnesiaColdStart,
 }
 
 impl NemesisKind {
     /// Every built-in profile.
-    pub const ALL: [NemesisKind; 5] = [
+    pub const ALL: [NemesisKind; 7] = [
         NemesisKind::PartitionCycles,
         NemesisKind::LevelCrash,
         NemesisKind::Flapping,
         NemesisKind::DropBurst,
         NemesisKind::LatencySpike,
+        NemesisKind::LongPartition,
+        NemesisKind::AmnesiaColdStart,
     ];
 
     /// Stable display name.
@@ -254,6 +296,8 @@ impl NemesisKind {
             NemesisKind::Flapping => "flapping",
             NemesisKind::DropBurst => "drop-burst",
             NemesisKind::LatencySpike => "latency-spike",
+            NemesisKind::LongPartition => "long-partition",
+            NemesisKind::AmnesiaColdStart => "amnesia-cold-start",
         }
     }
 }
@@ -316,6 +360,18 @@ pub fn build_profile(
         }
         NemesisKind::LatencySpike => {
             Nemesis::latency_spike(base, 3, start, SimDuration::from_micros(horizon_us / 4))
+        }
+        NemesisKind::LongPartition => Nemesis::long_partition(
+            levels[level].iter().copied(),
+            start,
+            // Roughly half the run partitioned: long enough that clients
+            // fully give up on the victims, with a healed tail to catch up.
+            SimDuration::from_micros(horizon_us / 2),
+        ),
+        NemesisKind::AmnesiaColdStart => {
+            let l = &levels[level];
+            let site = l[rng.gen_range(0..l.len())];
+            Nemesis::amnesia_cold_start(site, start, SimDuration::from_micros(horizon_us / 5))
         }
     }
 }
@@ -470,6 +526,67 @@ mod tests {
             );
             assert_ne!(a, c, "{} ignored its seed", kind.name());
         }
+    }
+
+    #[test]
+    fn long_partition_forms_once_and_heals_once() {
+        let n = Nemesis::long_partition(
+            sites([3, 4, 5]),
+            SimTime::from_millis(10),
+            SimDuration::from_millis(80),
+        );
+        assert_eq!(n.steps().len(), 2);
+        assert!(matches!(n.steps()[0], (_, NemesisAction::SetPartition(_))));
+        assert_eq!(
+            n.steps()[1],
+            (SimTime::from_millis(90), NemesisAction::HealPartition)
+        );
+    }
+
+    #[test]
+    fn amnesia_cold_start_crashes_then_recovers() {
+        let n = Nemesis::amnesia_cold_start(
+            SiteId::new(6),
+            SimTime::from_millis(5),
+            SimDuration::from_millis(20),
+        );
+        assert_eq!(
+            n.steps(),
+            &[
+                (
+                    SimTime::from_millis(5),
+                    NemesisAction::AmnesiaCrash(SiteId::new(6))
+                ),
+                (
+                    SimTime::from_millis(25),
+                    NemesisAction::Recover(SiteId::new(6))
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn amnesia_profile_targets_a_real_site() {
+        let levels = vec![sites([0, 1, 2]), sites([3, 4, 5, 6, 7])];
+        let n = build_profile(
+            NemesisKind::AmnesiaColdStart,
+            &levels,
+            NetworkConfig::default(),
+            SimDuration::from_millis(200),
+            9,
+        );
+        let all: Vec<SiteId> = levels.concat();
+        let victim = n.steps().iter().find_map(|(_, a)| match a {
+            NemesisAction::AmnesiaCrash(s) => Some(*s),
+            _ => None,
+        });
+        let victim = victim.expect("profile schedules an amnesia crash");
+        assert!(all.contains(&victim));
+        // And it is brought back up before the script ends.
+        assert!(n
+            .steps()
+            .iter()
+            .any(|(_, a)| *a == NemesisAction::Recover(victim)));
     }
 
     #[test]

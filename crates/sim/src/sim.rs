@@ -28,9 +28,10 @@ use crate::config::SimConfig;
 use crate::coordinator::Coordinator;
 use crate::engine::Engine;
 use crate::event::{Event, EventKey};
-use crate::message::{ClientId, Endpoint};
+use crate::message::{ClientId, Endpoint, Payload};
 use crate::network::Partition;
-use crate::site::Site;
+use crate::recovery::RejoinManager;
+use crate::site::{CrashMode, Site, SiteHealth};
 use crate::time::SimTime;
 use crate::txn::{SimReport, TxnRequest};
 use arbitree_quorum::{AliveSet, ReplicaControl, ShardMap, SiteId};
@@ -43,6 +44,7 @@ pub struct Simulation {
     engine: Engine,
     coordinator: Coordinator,
     shards: ShardMap,
+    rejoin: RejoinManager,
 }
 
 impl fmt::Debug for Simulation {
@@ -105,10 +107,12 @@ impl Simulation {
             n <= AliveSet::MAX_SITES,
             "simulator supports up to 128 sites"
         );
+        let rejoin = RejoinManager::new(&config);
         Simulation {
             engine: Engine::new(n, &config),
             coordinator: Coordinator::new(config, n),
             shards,
+            rejoin,
         }
     }
 
@@ -156,6 +160,15 @@ impl Simulation {
     /// Schedules a site recovery.
     pub fn schedule_recover(&mut self, at: SimTime, site: SiteId) {
         self.engine.schedule(at, Event::Recover(site));
+    }
+
+    /// Schedules an *amnesia* crash: the site fail-stops and loses its
+    /// storage. On the matching [`Simulation::schedule_recover`] it returns
+    /// empty, enters [`SiteHealth::Syncing`], and runs the anti-entropy
+    /// rejoin protocol before serving quorum traffic again.
+    pub fn schedule_amnesia_crash(&mut self, at: SimTime, site: SiteId) {
+        self.engine.note_amnesia_scheduled();
+        self.engine.schedule(at, Event::AmnesiaCrash(site));
     }
 
     /// Schedules a partition to be installed mid-run (clear it later by
@@ -222,6 +235,11 @@ impl Simulation {
         &self.coordinator
     }
 
+    /// The rejoin manager (inspection).
+    pub fn rejoin(&self) -> &RejoinManager {
+        &self.rejoin
+    }
+
     /// Whether the pending event at `key` is a *permanent* no-op: executing
     /// it now — or after any sequence of other events — changes nothing but
     /// the queue. Today this identifies permanently-stale
@@ -234,6 +252,7 @@ impl Simulation {
             Some(Event::OpTimeout { op, attempt, .. }) => {
                 self.coordinator.timeout_is_stale(*op, *attempt)
             }
+            Some(Event::SyncRetry { site, epoch, .. }) => self.rejoin.retry_is_stale(*site, *epoch),
             _ => false,
         }
     }
@@ -294,6 +313,23 @@ impl Simulation {
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::Deliver(msg) => match msg.to {
+                // Anti-entropy replies terminate at the rejoin manager, not
+                // the site's quorum handler (whose health gate would refuse
+                // them while `Syncing`).
+                Endpoint::Site(sid)
+                    if matches!(
+                        msg.payload,
+                        Payload::RangeHashResp { .. } | Payload::RangeFill { .. }
+                    ) =>
+                {
+                    if !self.engine.sites[sid.index()].is_up() {
+                        self.engine.metrics.messages_to_dead += 1;
+                    } else {
+                        self.engine.metrics.messages_delivered += 1;
+                        self.rejoin
+                            .on_message(&mut self.engine, &self.shards, sid, msg);
+                    }
+                }
                 Endpoint::Site(sid) => self.engine.deliver_to_site(sid, msg),
                 Endpoint::Client(cid) => {
                     self.engine.metrics.messages_delivered += 1;
@@ -305,8 +341,17 @@ impl Simulation {
                     );
                 }
             },
-            Event::Crash(s) => self.engine.crash(s),
-            Event::Recover(s) => self.engine.recover(s),
+            Event::Crash(s) => self.engine.crash(s, CrashMode::Transient),
+            Event::AmnesiaCrash(s) => self.engine.crash(s, CrashMode::Amnesia),
+            Event::Recover(s) => {
+                if self.engine.recover(s) == SiteHealth::Syncing {
+                    self.rejoin.on_recover(&mut self.engine, &self.shards, s);
+                }
+            }
+            Event::SyncRetry { site, epoch, .. } => {
+                self.rejoin
+                    .on_retry(&mut self.engine, &self.shards, site, epoch);
+            }
             Event::SetPartition(p) => self.engine.set_partition(p),
             Event::NetOverride(o) => self.engine.set_network_override(o),
             Event::ClientTick(c) => {

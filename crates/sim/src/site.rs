@@ -1,15 +1,50 @@
 //! Replica sites: fail-stop processes holding durable [`Storage`] and
 //! answering protocol requests.
+//!
+//! A site is in one of three health states ([`SiteHealth`]): `Serving`
+//! (normal operation), `Down` (crashed — silent), or `Syncing` (recovered
+//! from an amnesia crash, running anti-entropy; it refuses quorum traffic
+//! until its storage is rebuilt, because a wiped replica acknowledging
+//! reads or prepares would silently break quorum intersection).
 
-use crate::message::{Endpoint, Payload};
+use crate::message::{Endpoint, Payload, RangeVerdict};
+use crate::metrics::SimMetrics;
 use crate::storage::Storage;
 use arbitree_quorum::SiteId;
+use arbitree_sync::{respond, Response};
+
+/// How a site went down — and therefore what it holds when it comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Fail-stop with durable storage intact (the paper's §2.2 model).
+    Transient,
+    /// Fail-stop that loses all durable state: the site recovers empty and
+    /// must resynchronize from its peers before serving again.
+    Amnesia,
+}
+
+/// A site's liveness/service state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteHealth {
+    /// Up and serving quorum traffic.
+    Serving,
+    /// Crashed: receives nothing, answers nothing.
+    Down,
+    /// Up but mid-rejoin: receives anti-entropy traffic only; quorum
+    /// requests are refused until the sync completes.
+    Syncing,
+}
 
 /// A replica site.
 #[derive(Debug, Clone)]
 pub struct Site {
     id: SiteId,
-    up: bool,
+    health: SiteHealth,
+    /// Set by an amnesia crash and cleared only when a rejoin completes —
+    /// it survives *transient* crashes in between, so a site that crashes
+    /// again mid-sync still comes back as `Syncing`, never as `Serving`
+    /// with half-rebuilt storage.
+    needs_sync: bool,
     storage: Storage,
 }
 
@@ -18,7 +53,8 @@ impl Site {
     pub fn new(id: SiteId) -> Self {
         Site {
             id,
-            up: true,
+            health: SiteHealth::Serving,
+            needs_sync: false,
             storage: Storage::new(),
         }
     }
@@ -28,20 +64,53 @@ impl Site {
         self.id
     }
 
-    /// Whether the site is currently up.
+    /// The site's current health state.
+    pub fn health(&self) -> SiteHealth {
+        self.health
+    }
+
+    /// Whether the site is reachable at all (`Serving` or `Syncing`).
     pub fn is_up(&self) -> bool {
-        self.up
+        self.health != SiteHealth::Down
     }
 
-    /// Fail-stop: the site goes silent. Storage is retained (failures are
-    /// transient per §2.2).
-    pub fn crash(&mut self) {
-        self.up = false;
+    /// Whether the site serves quorum traffic (strictly stronger than
+    /// [`Site::is_up`]: a `Syncing` site is up but does not serve).
+    pub fn is_serving(&self) -> bool {
+        self.health == SiteHealth::Serving
     }
 
-    /// The site resumes processing with its durable state intact.
-    pub fn recover(&mut self) {
-        self.up = true;
+    /// Fail-stop: the site goes silent. A [`CrashMode::Transient`] crash
+    /// retains storage (failures are transient per §2.2); a
+    /// [`CrashMode::Amnesia`] crash wipes it and flags the site for
+    /// anti-entropy on recovery.
+    pub fn crash(&mut self, mode: CrashMode) {
+        self.health = SiteHealth::Down;
+        if mode == CrashMode::Amnesia {
+            self.storage.wipe();
+            self.needs_sync = true;
+        }
+    }
+
+    /// The site resumes processing. After a transient crash it serves
+    /// immediately with its durable state intact; after an amnesia crash —
+    /// or a transient crash that interrupted an unfinished rejoin — it
+    /// comes back `Syncing` and must complete anti-entropy first. Returns
+    /// the resulting health so the caller can start the rejoin protocol.
+    pub fn recover(&mut self, mode: CrashMode) -> SiteHealth {
+        self.health = if mode == CrashMode::Amnesia || self.needs_sync {
+            SiteHealth::Syncing
+        } else {
+            SiteHealth::Serving
+        };
+        self.health
+    }
+
+    /// The rejoin completed: every shard's sync sources have been drained,
+    /// the site's storage again holds everything a quorum member must.
+    pub(crate) fn mark_serving(&mut self) {
+        self.needs_sync = false;
+        self.health = SiteHealth::Serving;
     }
 
     /// Read access to the site's storage (tests, invariants).
@@ -49,17 +118,33 @@ impl Site {
         &self.storage
     }
 
+    /// Mutable storage access for the rejoin manager (installing range
+    /// fills on the syncing site itself).
+    pub(crate) fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
     /// Handles an incoming protocol request, returning the reply to send
     /// back to the requesting endpoint, or `None` for one-way messages.
     ///
-    /// A crashed site returns `None` for everything (the caller should not
-    /// even deliver messages to it; this is a second line of defence).
-    pub fn handle(&mut self, payload: &Payload) -> Option<(Endpoint, Payload)> {
-        if !self.up {
-            return None;
+    /// A `Down` site returns `None` for everything (the engine does not
+    /// even deliver to it; this is a second line of defence). A `Syncing`
+    /// site refuses *every* payload — quorum requests because its storage
+    /// is not trustworthy yet, and anti-entropy requests because an
+    /// incomplete replica must not serve as a sync source.
+    pub fn handle(
+        &mut self,
+        payload: &Payload,
+        metrics: &mut SimMetrics,
+    ) -> Option<(Endpoint, Payload)> {
+        match self.health {
+            SiteHealth::Down => return None,
+            SiteHealth::Syncing => {
+                metrics.messages_refused_syncing += 1;
+                return None;
+            }
+            SiteHealth::Serving => {}
         }
-        let me = Endpoint::Site(self.id);
-        let _ = me; // reply routing is by the caller; we return payloads only
         match payload {
             Payload::ReadReq { op, obj } => {
                 let v = self.storage.read(*obj);
@@ -85,8 +170,8 @@ impl Site {
                     },
                 ))
             }
-            Payload::Commit { op, obj } => {
-                self.storage.commit(*obj, *op);
+            Payload::Commit { op, obj, value, ts } => {
+                self.storage.commit(*obj, *op, value.clone(), *ts);
                 Some((
                     Endpoint::Site(self.id),
                     Payload::CommitAck { op: *op, obj: *obj },
@@ -97,14 +182,49 @@ impl Site {
                 None
             }
             Payload::Repair { obj, value, ts, .. } => {
-                self.storage.repair(*obj, value.clone(), *ts);
+                if self.storage.repair(*obj, value.clone(), *ts) {
+                    metrics.repairs_applied += 1;
+                } else {
+                    metrics.repairs_ignored_stale += 1;
+                }
                 None
             }
-            // Sites never receive coordinator-bound payloads, and the
-            // engine unwraps batch envelopes before calling handle().
+            // Anti-entropy source side: compare the requester's digest with
+            // ours and answer with a verdict (internal range) or the full
+            // leaf contents (leaf range).
+            Payload::RangeHashReq { range, peer } => {
+                let reply = match respond(self.storage.htree(), *range, *peer) {
+                    Response::Match => Payload::RangeHashResp {
+                        range: *range,
+                        verdict: RangeVerdict::Match,
+                    },
+                    Response::Children(digests) => Payload::RangeHashResp {
+                        range: *range,
+                        verdict: RangeVerdict::Children(digests),
+                    },
+                    Response::Fill(keys) => Payload::RangeFill {
+                        range: *range,
+                        items: keys
+                            .into_iter()
+                            .map(|k| {
+                                let obj = crate::message::ObjectId(k);
+                                let v = self.storage.read(obj);
+                                (obj, v.value, v.ts)
+                            })
+                            .collect(),
+                    },
+                };
+                Some((Endpoint::Site(self.id), reply))
+            }
+            // Sites never receive coordinator-bound payloads, anti-entropy
+            // responses travel to the rejoin manager (intercepted in the
+            // simulation's dispatch), and the engine unwraps batch
+            // envelopes before calling handle().
             Payload::ReadResp { .. }
             | Payload::PrepareAck { .. }
             | Payload::CommitAck { .. }
+            | Payload::RangeHashResp { .. }
+            | Payload::RangeFill { .. }
             | Payload::Batch(..) => None,
         }
     }
@@ -115,6 +235,7 @@ mod tests {
     use super::*;
     use crate::message::{ObjectId, OpId};
     use arbitree_core::Timestamp;
+    use arbitree_sync::{NodeAgg, Range};
     use bytes::Bytes;
 
     fn read_req() -> Payload {
@@ -124,34 +245,46 @@ mod tests {
         }
     }
 
-    #[test]
-    fn crashed_site_is_silent() {
-        let mut s = Site::new(SiteId::new(0));
-        assert!(s.is_up());
-        s.crash();
-        assert!(!s.is_up());
-        assert!(s.handle(&read_req()).is_none());
-        s.recover();
-        assert!(s.handle(&read_req()).is_some());
+    fn commit(op: OpId, obj: ObjectId, value: &'static [u8], ts: Timestamp) -> Payload {
+        Payload::Commit {
+            op,
+            obj,
+            value: Bytes::from_static(value),
+            ts,
+        }
     }
 
     #[test]
-    fn storage_survives_crash() {
+    fn crashed_site_is_silent() {
+        let mut m = SimMetrics::default();
+        let mut s = Site::new(SiteId::new(0));
+        assert!(s.is_up());
+        s.crash(CrashMode::Transient);
+        assert!(!s.is_up());
+        assert!(s.handle(&read_req(), &mut m).is_none());
+        assert_eq!(s.recover(CrashMode::Transient), SiteHealth::Serving);
+        assert!(s.handle(&read_req(), &mut m).is_some());
+        assert_eq!(m.messages_refused_syncing, 0);
+    }
+
+    #[test]
+    fn storage_survives_transient_crash() {
+        let mut m = SimMetrics::default();
         let mut s = Site::new(SiteId::new(1));
         let ts = Timestamp::new(1, SiteId::new(1));
-        s.handle(&Payload::Prepare {
-            op: OpId(1),
-            obj: ObjectId(0),
-            value: Bytes::from_static(b"v"),
-            ts,
-        });
-        s.handle(&Payload::Commit {
-            op: OpId(1),
-            obj: ObjectId(0),
-        });
-        s.crash();
-        s.recover();
-        match s.handle(&read_req()) {
+        s.handle(
+            &Payload::Prepare {
+                op: OpId(1),
+                obj: ObjectId(0),
+                value: Bytes::from_static(b"v"),
+                ts,
+            },
+            &mut m,
+        );
+        s.handle(&commit(OpId(1), ObjectId(0), b"v", ts), &mut m);
+        s.crash(CrashMode::Transient);
+        s.recover(CrashMode::Transient);
+        match s.handle(&read_req(), &mut m) {
             Some((_, Payload::ReadResp { ts: got, value, .. })) => {
                 assert_eq!(got, ts);
                 assert_eq!(value, Bytes::from_static(b"v"));
@@ -161,38 +294,173 @@ mod tests {
     }
 
     #[test]
+    fn amnesia_crash_wipes_storage_and_gates_service() {
+        let mut m = SimMetrics::default();
+        let mut s = Site::new(SiteId::new(1));
+        let ts = Timestamp::new(1, SiteId::new(1));
+        s.handle(
+            &Payload::Prepare {
+                op: OpId(1),
+                obj: ObjectId(0),
+                value: Bytes::from_static(b"v"),
+                ts,
+            },
+            &mut m,
+        );
+        s.handle(&commit(OpId(1), ObjectId(0), b"v", ts), &mut m);
+        s.crash(CrashMode::Amnesia);
+        assert_eq!(s.recover(CrashMode::Amnesia), SiteHealth::Syncing);
+        // Storage is gone and quorum requests are refused, not answered
+        // with the (now zero) version.
+        assert_eq!(s.storage().read(ObjectId(0)).ts, Timestamp::ZERO);
+        assert!(s.handle(&read_req(), &mut m).is_none());
+        assert_eq!(m.messages_refused_syncing, 1);
+        // A transient crash mid-sync must not shortcut back to Serving.
+        s.crash(CrashMode::Transient);
+        assert_eq!(s.recover(CrashMode::Transient), SiteHealth::Syncing);
+        s.mark_serving();
+        assert!(s.handle(&read_req(), &mut m).is_some());
+    }
+
+    #[test]
     fn prepared_state_survives_crash_for_2pc_completion() {
+        let mut m = SimMetrics::default();
         let mut s = Site::new(SiteId::new(2));
         let ts = Timestamp::new(1, SiteId::new(2));
-        s.handle(&Payload::Prepare {
-            op: OpId(7),
-            obj: ObjectId(3),
-            value: Bytes::from_static(b"w"),
-            ts,
-        });
-        s.crash();
-        s.recover();
+        s.handle(
+            &Payload::Prepare {
+                op: OpId(7),
+                obj: ObjectId(3),
+                value: Bytes::from_static(b"w"),
+                ts,
+            },
+            &mut m,
+        );
+        s.crash(CrashMode::Transient);
+        s.recover(CrashMode::Transient);
         // The retried commit still applies.
-        s.handle(&Payload::Commit {
-            op: OpId(7),
-            obj: ObjectId(3),
-        });
+        s.handle(&commit(OpId(7), ObjectId(3), b"w", ts), &mut m);
         assert_eq!(s.storage().read(ObjectId(3)).ts, ts);
     }
 
     #[test]
-    fn replies_have_expected_shapes() {
+    fn commit_applies_after_amnesia_without_a_stage() {
+        // The stage was lost to an amnesia crash, the site resynced (from
+        // sources that may not hold this in-flight write), and the
+        // coordinator retries the commit: the carried value must install.
+        let mut m = SimMetrics::default();
+        let mut s = Site::new(SiteId::new(2));
+        let ts = Timestamp::new(3, SiteId::new(2));
+        s.handle(
+            &Payload::Prepare {
+                op: OpId(7),
+                obj: ObjectId(3),
+                value: Bytes::from_static(b"w"),
+                ts,
+            },
+            &mut m,
+        );
+        s.crash(CrashMode::Amnesia);
+        s.recover(CrashMode::Amnesia);
+        s.mark_serving();
+        match s.handle(&commit(OpId(7), ObjectId(3), b"w", ts), &mut m) {
+            Some((_, Payload::CommitAck { op, .. })) => assert_eq!(op, OpId(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.storage().read(ObjectId(3)).ts, ts);
+        assert_eq!(
+            s.storage().read(ObjectId(3)).value,
+            Bytes::from_static(b"w")
+        );
+    }
+
+    #[test]
+    fn serving_site_answers_range_hash_requests() {
+        let mut m = SimMetrics::default();
         let mut s = Site::new(SiteId::new(0));
-        match s.handle(&read_req()) {
+        let ts = Timestamp::new(1, SiteId::new(0));
+        s.handle(
+            &Payload::Prepare {
+                op: OpId(1),
+                obj: ObjectId(5),
+                value: Bytes::from_static(b"v"),
+                ts,
+            },
+            &mut m,
+        );
+        s.handle(&commit(OpId(1), ObjectId(5), b"v", ts), &mut m);
+        // Empty requester at the root: digests mismatch, children returned.
+        let req = Payload::RangeHashReq {
+            range: Range::ROOT,
+            peer: NodeAgg::EMPTY,
+        };
+        match s.handle(&req, &mut m) {
+            Some((
+                _,
+                Payload::RangeHashResp {
+                    verdict: RangeVerdict::Children(d),
+                    ..
+                },
+            )) => {
+                assert_eq!(d.len(), 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Matching digest: Match.
+        let here = s.storage().htree().digest(Range::ROOT);
+        match s.handle(
+            &Payload::RangeHashReq {
+                range: Range::ROOT,
+                peer: here,
+            },
+            &mut m,
+        ) {
+            Some((
+                _,
+                Payload::RangeHashResp {
+                    verdict: RangeVerdict::Match,
+                    ..
+                },
+            )) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Mismatching leaf: the full contents come back.
+        let leaf = Range::of(5, arbitree_sync::LEAF_DEPTH);
+        match s.handle(
+            &Payload::RangeHashReq {
+                range: leaf,
+                peer: NodeAgg::EMPTY,
+            },
+            &mut m,
+        ) {
+            Some((_, Payload::RangeFill { items, .. })) => {
+                assert_eq!(items, vec![(ObjectId(5), Bytes::from_static(b"v"), ts)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A syncing site refuses to serve as a source.
+        s.crash(CrashMode::Amnesia);
+        s.recover(CrashMode::Amnesia);
+        assert!(s.handle(&req, &mut m).is_none());
+    }
+
+    #[test]
+    fn replies_have_expected_shapes() {
+        let mut m = SimMetrics::default();
+        let mut s = Site::new(SiteId::new(0));
+        match s.handle(&read_req(), &mut m) {
             Some((_, Payload::ReadResp { op, .. })) => assert_eq!(op, OpId(1)),
             other => panic!("unexpected {other:?}"),
         }
-        match s.handle(&Payload::Prepare {
-            op: OpId(2),
-            obj: ObjectId(0),
-            value: Bytes::new(),
-            ts: Timestamp::ZERO,
-        }) {
+        match s.handle(
+            &Payload::Prepare {
+                op: OpId(2),
+                obj: ObjectId(0),
+                value: Bytes::new(),
+                ts: Timestamp::ZERO,
+            },
+            &mut m,
+        ) {
             Some((_, Payload::PrepareAck { op, obj, ok, ts })) => {
                 assert_eq!(op, OpId(2));
                 assert_eq!(obj, ObjectId(0));
@@ -202,17 +470,23 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(s
-            .handle(&Payload::Abort {
-                op: OpId(2),
-                obj: ObjectId(0)
-            })
+            .handle(
+                &Payload::Abort {
+                    op: OpId(2),
+                    obj: ObjectId(0)
+                },
+                &mut m
+            )
             .is_none());
         // Coordinator payloads are ignored.
         assert!(s
-            .handle(&Payload::CommitAck {
-                op: OpId(2),
-                obj: ObjectId(0)
-            })
+            .handle(
+                &Payload::CommitAck {
+                    op: OpId(2),
+                    obj: ObjectId(0)
+                },
+                &mut m
+            )
             .is_none());
     }
 }

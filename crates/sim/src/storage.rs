@@ -1,11 +1,18 @@
 //! Per-site durable storage: committed versions plus 2PC-staged writes.
 //!
-//! Storage survives crashes (the paper's failures are transient: a site
-//! that recovers still holds its data, including prepared-but-uncommitted
-//! writes, as required for 2PC to complete after recovery).
+//! Storage survives *transient* crashes (a site that recovers still holds
+//! its data, including prepared-but-uncommitted writes, as required for
+//! 2PC to complete after recovery). An amnesia crash calls
+//! [`Storage::wipe`] — everything is lost and the site must resync.
+//!
+//! Alongside the committed map, storage maintains an incremental
+//! [`HTree`] — a cumulated-hash range tree over the committed keyspace —
+//! so anti-entropy can locate a diff in O(diff · log n) range-hash
+//! comparisons instead of scanning (or shipping) the full store.
 
 use crate::message::{ObjectId, OpId};
 use arbitree_core::{DetMap, Timestamp};
+use arbitree_sync::{item_hash, HTree};
 use bytes::Bytes;
 
 /// A committed object version.
@@ -42,6 +49,10 @@ pub struct Staged {
 pub struct Storage {
     committed: DetMap<ObjectId, Version>,
     staged: DetMap<ObjectId, Staged>,
+    /// Range-hash tree over `committed`, maintained incrementally by every
+    /// committed-map mutation (staged writes are invisible to it: only
+    /// durable, committed state takes part in anti-entropy).
+    htree: HTree,
 }
 
 impl Storage {
@@ -53,6 +64,22 @@ impl Storage {
     /// The committed version of `obj` (zero version if never written).
     pub fn read(&self, obj: ObjectId) -> Version {
         self.committed.get(&obj).cloned().unwrap_or_default()
+    }
+
+    /// The cumulated-hash range tree over the committed keyspace.
+    pub fn htree(&self) -> &HTree {
+        &self.htree
+    }
+
+    /// Installs `value` at `ts` into the committed map and mirrors the
+    /// mutation into the range tree. Every committed-map write funnels
+    /// through here so the tree can never drift from the store.
+    fn install(&mut self, obj: ObjectId, value: Bytes, ts: Timestamp) {
+        self.htree.insert(
+            obj.0,
+            item_hash(obj.0, ts.version(), ts.sid().as_u32(), &value),
+        );
+        self.committed.insert(obj, Version { value, ts });
     }
 
     /// Stages a write (2PC phase 1). Re-staging by the same operation is
@@ -73,25 +100,24 @@ impl Storage {
         }
     }
 
-    /// Applies the staged write of `op` (2PC phase 2). Idempotent: if the
-    /// stage was already applied (or never existed here), the call succeeds
-    /// without changing state. The write is applied only when its timestamp
-    /// exceeds the committed one (writes carry monotonically increasing
-    /// timestamps).
-    pub fn commit(&mut self, obj: ObjectId, op: OpId) {
+    /// Applies the decided write of `op` (2PC phase 2). Idempotent: replays
+    /// succeed without changing state. Normally the staged entry is
+    /// consumed; when no matching stage exists — it was lost to an amnesia
+    /// crash, or already consumed by an earlier delivery — the carried
+    /// `(value, ts)` is installed directly. Either way the write lands only
+    /// when its timestamp exceeds the committed one, so stale replays and
+    /// pre-resync'd newer values are never regressed.
+    pub fn commit(&mut self, obj: ObjectId, op: OpId, value: Bytes, ts: Timestamp) {
         if self.staged.get(&obj).is_some_and(|s| s.op == op) {
             if let Some(staged) = self.staged.remove(&obj) {
-                let current = self.read(obj);
-                if staged.ts > current.ts {
-                    self.committed.insert(
-                        obj,
-                        Version {
-                            value: staged.value,
-                            ts: staged.ts,
-                        },
-                    );
+                if staged.ts > self.read(obj).ts {
+                    self.install(obj, staged.value, staged.ts);
                 }
+                return;
             }
+        }
+        if ts > self.read(obj).ts {
+            self.install(obj, value, ts);
         }
     }
 
@@ -104,14 +130,26 @@ impl Storage {
         }
     }
 
-    /// Read-repair: directly installs `value` at `ts` when it is newer than
-    /// the committed version. Used only for values that are already durable
-    /// on a full write quorum elsewhere.
-    pub fn repair(&mut self, obj: ObjectId, value: Bytes, ts: Timestamp) {
-        let current = self.read(obj);
-        if ts > current.ts {
-            self.committed.insert(obj, Version { value, ts });
+    /// Read-repair / anti-entropy install: directly applies `value` at `ts`
+    /// when it is newer than the committed version. Used only for values
+    /// that are already durable on a full write quorum elsewhere. Returns
+    /// whether the value was applied (`false`: the local copy was already
+    /// at least as new).
+    pub fn repair(&mut self, obj: ObjectId, value: Bytes, ts: Timestamp) -> bool {
+        if ts > self.read(obj).ts {
+            self.install(obj, value, ts);
+            true
+        } else {
+            false
         }
+    }
+
+    /// An amnesia crash: all durable state — committed versions, staged
+    /// writes, and the range tree over them — is lost.
+    pub fn wipe(&mut self) {
+        self.committed = DetMap::default();
+        self.staged = DetMap::default();
+        self.htree.clear();
     }
 
     /// The staged write for `obj`, if any (used by tests and invariants).
@@ -124,6 +162,7 @@ impl Storage {
 mod tests {
     use super::*;
     use arbitree_quorum::SiteId;
+    use arbitree_sync::Range;
 
     fn ts(v: u64) -> Timestamp {
         Timestamp::new(v, SiteId::new(0))
@@ -135,6 +174,7 @@ mod tests {
         let v = s.read(ObjectId(0));
         assert_eq!(v.ts, Timestamp::ZERO);
         assert!(v.value.is_empty());
+        assert!(s.htree().is_empty());
     }
 
     #[test]
@@ -143,12 +183,14 @@ mod tests {
         let obj = ObjectId(1);
         assert!(s.prepare(obj, OpId(1), Bytes::from_static(b"a"), ts(1)));
         assert!(s.staged(obj).is_some());
-        // Value not visible before commit.
+        // Value not visible before commit — and invisible to the range tree.
         assert_eq!(s.read(obj).ts, Timestamp::ZERO);
-        s.commit(obj, OpId(1));
+        assert!(s.htree().is_empty());
+        s.commit(obj, OpId(1), Bytes::from_static(b"a"), ts(1));
         assert_eq!(s.read(obj).ts, ts(1));
         assert_eq!(s.read(obj).value, Bytes::from_static(b"a"));
         assert!(s.staged(obj).is_none());
+        assert_eq!(s.htree().len(), 1);
     }
 
     #[test]
@@ -167,15 +209,26 @@ mod tests {
     }
 
     #[test]
-    fn commit_is_idempotent_and_op_scoped() {
+    fn commit_is_idempotent() {
         let mut s = Storage::new();
         let obj = ObjectId(0);
         s.prepare(obj, OpId(1), Bytes::from_static(b"x"), ts(3));
-        // Commit for a different op does nothing.
-        s.commit(obj, OpId(9));
-        assert!(s.staged(obj).is_some());
-        s.commit(obj, OpId(1));
-        s.commit(obj, OpId(1)); // replay
+        s.commit(obj, OpId(1), Bytes::from_static(b"x"), ts(3));
+        s.commit(obj, OpId(1), Bytes::from_static(b"x"), ts(3)); // replay
+        assert_eq!(s.read(obj).ts, ts(3));
+        assert!(s.staged(obj).is_none());
+    }
+
+    #[test]
+    fn commit_without_stage_installs_carried_value() {
+        // The stage is gone (amnesia crash or prior consumption): the
+        // commit's own value installs, ts-guarded.
+        let mut s = Storage::new();
+        let obj = ObjectId(0);
+        s.commit(obj, OpId(1), Bytes::from_static(b"x"), ts(3));
+        assert_eq!(s.read(obj).value, Bytes::from_static(b"x"));
+        // A stale carried value does not regress a newer committed one.
+        s.commit(obj, OpId(2), Bytes::from_static(b"old"), ts(2));
         assert_eq!(s.read(obj).ts, ts(3));
     }
 
@@ -184,10 +237,10 @@ mod tests {
         let mut s = Storage::new();
         let obj = ObjectId(0);
         s.prepare(obj, OpId(1), Bytes::from_static(b"new"), ts(5));
-        s.commit(obj, OpId(1));
+        s.commit(obj, OpId(1), Bytes::from_static(b"new"), ts(5));
         // A delayed lower-timestamp write must not clobber the newer value.
         s.prepare(obj, OpId(2), Bytes::from_static(b"old"), ts(2));
-        s.commit(obj, OpId(2));
+        s.commit(obj, OpId(2), Bytes::from_static(b"old"), ts(2));
         assert_eq!(s.read(obj).ts, ts(5));
         assert_eq!(s.read(obj).value, Bytes::from_static(b"new"));
     }
@@ -201,8 +254,6 @@ mod tests {
         assert!(s.staged(obj).is_some());
         s.abort(obj, OpId(1));
         assert!(s.staged(obj).is_none());
-        s.commit(obj, OpId(1)); // nothing to apply
-        assert_eq!(s.read(obj).ts, Timestamp::ZERO);
     }
 
     #[test]
@@ -210,8 +261,39 @@ mod tests {
         let mut s = Storage::new();
         s.prepare(ObjectId(0), OpId(1), Bytes::from_static(b"a"), ts(1));
         s.prepare(ObjectId(1), OpId(2), Bytes::from_static(b"b"), ts(1));
-        s.commit(ObjectId(0), OpId(1));
+        s.commit(ObjectId(0), OpId(1), Bytes::from_static(b"a"), ts(1));
         assert_eq!(s.read(ObjectId(0)).value, Bytes::from_static(b"a"));
         assert_eq!(s.read(ObjectId(1)).ts, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn htree_tracks_every_committed_mutation() {
+        let mut a = Storage::new();
+        let mut b = Storage::new();
+        // a: commit path; b: repair path — same final state, same digests.
+        a.prepare(ObjectId(3), OpId(1), Bytes::from_static(b"v"), ts(2));
+        a.commit(ObjectId(3), OpId(1), Bytes::from_static(b"v"), ts(2));
+        assert!(b.repair(ObjectId(3), Bytes::from_static(b"v"), ts(2)));
+        assert_eq!(a.htree(), b.htree());
+        // Overwrite changes the digest; a refused stale repair does not.
+        let before = a.htree().digest(Range::ROOT);
+        assert!(a.repair(ObjectId(3), Bytes::from_static(b"w"), ts(5)));
+        assert_ne!(a.htree().digest(Range::ROOT), before);
+        let after = a.htree().digest(Range::ROOT);
+        assert!(!a.repair(ObjectId(3), Bytes::from_static(b"z"), ts(4)));
+        assert_eq!(a.htree().digest(Range::ROOT), after);
+        assert_eq!(a.htree().len(), 1);
+    }
+
+    #[test]
+    fn wipe_loses_everything() {
+        let mut s = Storage::new();
+        s.prepare(ObjectId(0), OpId(1), Bytes::from_static(b"a"), ts(1));
+        s.commit(ObjectId(0), OpId(1), Bytes::from_static(b"a"), ts(1));
+        s.prepare(ObjectId(1), OpId(2), Bytes::from_static(b"b"), ts(1));
+        s.wipe();
+        assert_eq!(s.read(ObjectId(0)).ts, Timestamp::ZERO);
+        assert!(s.staged(ObjectId(1)).is_none());
+        assert!(s.htree().is_empty());
     }
 }

@@ -8,8 +8,8 @@
 use arbitree_core::ArbitraryProtocol;
 use arbitree_quorum::SiteId;
 use arbitree_sim::{
-    build_profile, Nemesis, NemesisKind, NetworkConfig, Partition, RetryPolicy, SimConfig,
-    SimDuration, SimReport, SimTime, Simulation, TxnRequest,
+    build_profile, Nemesis, NemesisKind, NetworkConfig, ObjectDistribution, Partition, RetryPolicy,
+    SimConfig, SimDuration, SimReport, SimTime, Simulation, TxnRequest,
 };
 use bytes::Bytes;
 
@@ -275,4 +275,146 @@ fn chaos_runs_are_deterministic_per_seed() {
         a.metrics.messages_sent, c.metrics.messages_sent,
         "different seeds should diverge"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy chaos cells: long partition + heal, amnesia cold start
+
+/// The long-partition profile: one level is cut off for half the run and
+/// healed late. Operations fail while it holds, service resumes after the
+/// heal, and the whole execution stays one-copy consistent with no reply
+/// ever served by a non-`Serving` site.
+#[test]
+fn long_partition_heals_and_recovers_service() {
+    for seed in 0..3u64 {
+        let config = SimConfig {
+            seed: 900 + seed,
+            duration: SimDuration::from_millis(400),
+            ..SimConfig::default()
+        };
+        let p = proto();
+        let levels: Vec<Vec<_>> = p
+            .tree()
+            .physical_levels()
+            .iter()
+            .map(|&k| p.tree().level_sites(k).to_vec())
+            .collect();
+        let nemesis = build_profile(
+            NemesisKind::LongPartition,
+            &levels,
+            NetworkConfig::default(),
+            SimDuration::from_millis(400),
+            seed,
+        );
+        let mut sim = Simulation::new(config, proto());
+        sim.schedule_nemesis(&nemesis);
+        let report = sim.run();
+        assert!(
+            report.consistent,
+            "seed {seed}: {} violations",
+            report.violations
+        );
+        assert_eq!(report.metrics.sync_violations, 0, "seed {seed}");
+        assert!(
+            report.metrics.dropped_partition > 0,
+            "seed {seed}: partition never bit ({})",
+            report.metrics
+        );
+        assert!(report.metrics.ops_ok() > 0, "seed {seed}");
+    }
+}
+
+/// The amnesia-cold-start profile under live Zipfian traffic: a site loses
+/// its storage mid-run, rejoins through staged anti-entropy while hot-key
+/// writes keep flowing, completes the rejoin, and serves again — zero 1SR
+/// violations, zero replies from a non-`Serving` site, and the `Syncing`
+/// health gate visibly exercised across the cells.
+#[test]
+fn amnesia_cold_start_under_zipfian_traffic() {
+    let mut total_rejoins = 0;
+    let mut total_refused = 0;
+    for seed in 0..4u64 {
+        let config = SimConfig {
+            seed: 1300 + seed,
+            objects: 8,
+            object_distribution: ObjectDistribution::Zipfian { exponent: 1.0 },
+            read_fraction: 0.4,
+            duration: SimDuration::from_millis(500),
+            ..SimConfig::default()
+        };
+        let p = proto();
+        let levels: Vec<Vec<_>> = p
+            .tree()
+            .physical_levels()
+            .iter()
+            .map(|&k| p.tree().level_sites(k).to_vec())
+            .collect();
+        let nemesis = build_profile(
+            NemesisKind::AmnesiaColdStart,
+            &levels,
+            NetworkConfig::default(),
+            SimDuration::from_millis(500),
+            seed,
+        );
+        let mut sim = Simulation::new(config, proto());
+        sim.schedule_nemesis(&nemesis);
+        let report = sim.run();
+        assert!(
+            report.consistent,
+            "seed {seed}: {} violations",
+            report.violations
+        );
+        assert_eq!(report.metrics.sync_violations, 0, "seed {seed}");
+        assert_eq!(
+            report.metrics.rejoins_completed, 1,
+            "seed {seed}: {}",
+            report.metrics
+        );
+        assert!(report.metrics.sync_keys_transferred > 0, "seed {seed}");
+        total_rejoins += report.metrics.rejoins_completed;
+        total_refused += report.metrics.messages_refused_syncing;
+    }
+    assert!(total_rejoins >= 4);
+    // At least one cell caught in-flight quorum traffic against the
+    // Syncing health gate (routed around, not served).
+    assert!(
+        total_refused > 0,
+        "no cell ever exercised the Syncing refusal gate"
+    );
+}
+
+/// Amnesia cold start layered over uncorrelated churn (the chaos-campaign
+/// composition): still consistent, still no service from Syncing sites.
+#[test]
+fn amnesia_cold_start_with_background_churn() {
+    use arbitree_sim::FailureSchedule;
+    for seed in 0..3u64 {
+        let duration = SimDuration::from_millis(500);
+        let config = SimConfig {
+            seed: 1700 + seed,
+            duration,
+            ..SimConfig::default()
+        };
+        let churn = FailureSchedule::random(
+            8,
+            duration,
+            SimDuration::from_millis(240),
+            SimDuration::from_millis(60),
+            seed ^ 0xF417,
+        );
+        let mut sim = Simulation::new(config, proto());
+        churn.apply(&mut sim);
+        sim.schedule_nemesis(&Nemesis::amnesia_cold_start(
+            SiteId::new(4),
+            SimTime::from_millis(100),
+            SimDuration::from_millis(80),
+        ));
+        let report = sim.run();
+        assert!(
+            report.consistent,
+            "seed {seed}: {} violations",
+            report.violations
+        );
+        assert_eq!(report.metrics.sync_violations, 0, "seed {seed}");
+    }
 }

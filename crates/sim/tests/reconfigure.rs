@@ -124,6 +124,46 @@ fn read_repair_refreshes_stale_members() {
         "expected repairs after recovery ({})",
         report.metrics
     );
+    // The stale member actually installed repaired versions; any repair
+    // that raced a newer commit was discarded by the timestamp guard, not
+    // applied over it.
+    assert!(
+        report.metrics.repairs_applied > 0,
+        "expected applied repairs ({})",
+        report.metrics
+    );
+    assert!(
+        report.metrics.repairs_applied + report.metrics.repairs_ignored_stale
+            <= report.metrics.repairs_sent,
+        "every applied/ignored repair was sent ({})",
+        report.metrics
+    );
+}
+
+#[test]
+fn stale_read_repairs_are_counted_not_applied() {
+    // With repair traffic racing live writes under loss, at least some
+    // repairs arrive carrying a timestamp the site has already passed —
+    // those must be counted as ignored, and never regress the store.
+    let mut cfg = config(9);
+    cfg.read_repair = true;
+    cfg.network = NetworkConfig {
+        drop_probability: 0.10,
+        ..NetworkConfig::default()
+    };
+    cfg.read_fraction = 0.5;
+    let mut sim = Simulation::new(cfg, ArbitraryProtocol::parse("1-3-5").unwrap());
+    sim.schedule_crash(SimTime::from_millis(20), SiteId::new(3));
+    sim.schedule_recover(SimTime::from_millis(80), SiteId::new(3));
+    sim.schedule_crash(SimTime::from_millis(120), SiteId::new(4));
+    sim.schedule_recover(SimTime::from_millis(180), SiteId::new(4));
+    let report = sim.run();
+    assert!(report.consistent, "violations: {}", report.violations);
+    assert!(
+        report.metrics.repairs_applied > 0,
+        "expected applied repairs ({})",
+        report.metrics
+    );
 }
 
 #[test]
