@@ -1,0 +1,140 @@
+//! Criterion benches for the audit-facing sim machinery: the three
+//! fingerprint widths (64-bit narrow, 128-bit wide, canonical
+//! sorted-storage) hashed over a mid-run state, and the cost of replaying
+//! a recorded schedule through [`ReplayScheduler`] against the seeded
+//! run that produced it. The checker's walk fingerprints every visited
+//! state and the audit replays two schedules per claimed-independent
+//! pair, so both costs multiply directly into exploration throughput.
+
+use arbitree_core::ArbitraryProtocol;
+use arbitree_sim::{
+    EventKey, ReplayScheduler, Scheduler, SeededScheduler, SimConfig, SimDuration, Simulation,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fast-but-meaningful defaults so the full suite finishes in minutes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+        .configure_from_args()
+}
+
+fn config() -> SimConfig {
+    SimConfig {
+        seed: 7,
+        clients: 4,
+        objects: 4,
+        duration: SimDuration::from_millis(50),
+        ..SimConfig::default()
+    }
+}
+
+fn fresh_sim() -> Simulation {
+    Simulation::new(
+        config(),
+        ArbitraryProtocol::parse("1-3-5").expect("valid spec"),
+    )
+}
+
+/// Delegates to the seeded policy but stops after `left` steps — the
+/// cheapest way to park a simulation in a representative mid-run state
+/// (staged writes, in-flight quorum rounds, pending timers).
+struct Capped {
+    inner: SeededScheduler,
+    left: usize,
+}
+
+impl Scheduler for Capped {
+    fn select(&mut self, sim: &Simulation) -> Option<EventKey> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.inner.select(sim)
+    }
+}
+
+/// Records the seeded choice sequence while executing it, so the same
+/// run can be replayed key-for-key.
+struct Recording {
+    inner: Capped,
+    keys: Vec<EventKey>,
+}
+
+impl Scheduler for Recording {
+    fn select(&mut self, sim: &Simulation) -> Option<EventKey> {
+        let key = self.inner.select(sim)?;
+        self.keys.push(key);
+        Some(key)
+    }
+}
+
+const STEPS: usize = 500;
+
+fn mid_run_sim() -> Simulation {
+    let mut sim = fresh_sim();
+    sim.run_with(&mut Capped {
+        inner: SeededScheduler,
+        left: STEPS,
+    });
+    sim
+}
+
+fn bench_fingerprint_widths(c: &mut Criterion) {
+    let sim = mid_run_sim();
+    let mut group = c.benchmark_group("fingerprint");
+    group.bench_function("narrow_64", |b| b.iter(|| black_box(sim.fingerprint())));
+    group.bench_function("wide_128", |b| b.iter(|| black_box(sim.fingerprint_wide())));
+    group.bench_function("canonical_128", |b| {
+        b.iter(|| black_box(sim.fingerprint_canonical()))
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut recording = Recording {
+        inner: Capped {
+            inner: SeededScheduler,
+            left: STEPS,
+        },
+        keys: Vec::with_capacity(STEPS),
+    };
+    fresh_sim().run_with(&mut recording);
+    let schedule = recording.keys;
+    assert_eq!(schedule.len(), STEPS, "seeded run must supply every step");
+
+    let mut group = c.benchmark_group("replay");
+    // Baseline: the same number of steps under the seeded policy,
+    // including simulation construction (replay always pays that).
+    group.bench_function("seeded_500_steps", |b| {
+        b.iter(|| {
+            let mut sim = fresh_sim();
+            sim.run_with(&mut Capped {
+                inner: SeededScheduler,
+                left: STEPS,
+            });
+            black_box(sim.fingerprint())
+        })
+    });
+    group.bench_function("replay_500_steps", |b| {
+        b.iter(|| {
+            let mut sim = fresh_sim();
+            let mut replay = ReplayScheduler::new(&schedule);
+            sim.run_with(&mut replay);
+            assert!(replay.missing().is_none(), "recorded schedule must replay");
+            black_box(sim.fingerprint())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_fingerprint_widths, bench_replay
+}
+criterion_main!(benches);

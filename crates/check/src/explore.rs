@@ -41,8 +41,9 @@
 
 use crate::mutations::Mutation;
 use crate::scenario::Scenario;
-use arbitree_sim::{Endpoint, Event, EventKey, Scheduler, SimReport, Simulation};
+use arbitree_sim::{Endpoint, Event, EventKey, Payload, Scheduler, SimReport, Simulation};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Exploration budgets and mode.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +63,13 @@ pub struct Budget {
     /// coarser site-only relation (ablation baseline for measuring what
     /// the refinement buys on cross-shard workloads).
     pub object_independence: bool,
+    /// `true` = the visited table keys on the 128-bit fingerprint lane
+    /// instead of the historical 64-bit one. Sleep-set subset matching
+    /// prunes on fingerprint equality, so a 64-bit collision between two
+    /// *distinct* states silently merges their subtrees; running the same
+    /// exploration in both widths and comparing state/schedule counts is
+    /// the collision audit (`arbitree-audit`).
+    pub wide: bool,
 }
 
 impl Budget {
@@ -73,6 +81,7 @@ impl Budget {
             max_schedules: 400_000,
             dpor: true,
             object_independence: true,
+            wide: false,
         }
     }
 
@@ -84,6 +93,7 @@ impl Budget {
             max_schedules: 4_000_000,
             dpor: true,
             object_independence: true,
+            wide: false,
         }
     }
 
@@ -124,6 +134,12 @@ impl Budget {
             ..self
         }
     }
+
+    /// The same budget with the visited table keyed on the 128-bit
+    /// fingerprint lane (collision-audit mode).
+    pub fn wide(self) -> Budget {
+        Budget { wide: true, ..self }
+    }
 }
 
 /// Counters reported by [`explore`].
@@ -155,6 +171,36 @@ pub struct ViolationReport {
     pub schedule: Vec<String>,
 }
 
+/// How an exploration ended. A censored (budget-cut) run must never read
+/// as "explored": callers that want to claim exhaustiveness check for
+/// [`Termination::Drained`] *and* `stats.truncated == 0`, not merely the
+/// absence of a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The DFS tree was exhausted within the state/schedule budgets.
+    /// Individual runs may still have been cut at the depth bound —
+    /// `stats.truncated` counts those — so a drain is a *clean* drain only
+    /// when `truncated == 0`.
+    Drained,
+    /// Stopped at the first invariant violation.
+    Violation,
+    /// Stopped after [`Budget::max_schedules`] re-executions.
+    ScheduleBudget,
+    /// Stopped when the visited table reached [`Budget::max_states`].
+    StateBudget,
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Termination::Drained => "drained",
+            Termination::Violation => "violation",
+            Termination::ScheduleBudget => "schedule-budget",
+            Termination::StateBudget => "state-budget",
+        })
+    }
+}
+
 /// Result of exploring one (scenario, mutation) pair.
 #[derive(Debug, Clone)]
 pub struct ExploreOutcome {
@@ -166,11 +212,25 @@ pub struct ExploreOutcome {
     /// `true` if the state space was exhausted within the state/schedule
     /// budgets (depth truncation is reported separately in `stats`).
     pub complete: bool,
+    /// Which condition ended the exploration (refines `complete`: a
+    /// budget cut says *which* budget, a violation is its own kind).
+    pub termination: Termination,
 }
 
-/// Event class for the independence relation.
+impl ExploreOutcome {
+    /// `true` when the exploration drained the whole tree *and* no run was
+    /// cut at the depth bound: every schedule of the scenario was executed
+    /// to quiescence or pruned soundly.
+    pub fn clean_drain(&self) -> bool {
+        self.termination == Termination::Drained && self.stats.truncated == 0
+    }
+}
+
+/// Event class for the independence relation. `pub(crate)` so the audit
+/// module can classify the same events the explorer does — and deliberately
+/// over-coarsen the result to seed unsound relations for the oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Class {
+pub(crate) enum Class {
     /// Delivery handled entirely by one replica site, tagged with the
     /// object it touches (`None` for a batch envelope, which may span
     /// several). Same-site deliveries for *different* objects operate on
@@ -192,27 +252,48 @@ enum Class {
     NoOp,
 }
 
-fn classify(sim: &Simulation, key: EventKey, event: &Event) -> Class {
+/// Classifies a delivery bound for site `site` by its payload.
+///
+/// Exhaustive **by name**: every [`Payload`] variant appears literally in
+/// this match, and lint rule D009 cross-references the list against the
+/// `Payload` enum declaration in `crates/sim/src/message.rs` — a new
+/// payload variant cannot silently fall into a default class, which is how
+/// an independence relation quietly becomes unsound.
+pub(crate) fn payload_class(site: u32, payload: &Payload) -> Class {
+    match payload {
+        // Anti-entropy *responses* terminate at the rejoin manager: they
+        // mutate rejoin state and can flip a site to `Serving`, which
+        // coordinator-side quorum picks observe — global.
+        Payload::RangeHashResp { .. } | Payload::RangeFill { .. } => Class::Global,
+        // Single-object quorum traffic, tagged with its object: same-site
+        // deliveries for different objects touch disjoint per-object
+        // storage and commute.
+        Payload::ReadReq { obj, .. }
+        | Payload::ReadResp { obj, .. }
+        | Payload::Prepare { obj, .. }
+        | Payload::PrepareAck { obj, .. }
+        | Payload::Commit { obj, .. }
+        | Payload::Abort { obj, .. }
+        | Payload::CommitAck { obj, .. }
+        | Payload::Repair { obj, .. } => Class::Site(site, Some(obj.0)),
+        // An envelope may span several objects: the conservative `None`
+        // tag keeps it dependent on every same-site delivery (the
+        // invariant documented on `Payload::object`).
+        Payload::Batch(_) => Class::Site(site, None),
+        // The request side of anti-entropy is an ordinary site-local
+        // delivery — the source answers from its own storage — but it
+        // reads the whole committed range, so no single-object tag.
+        Payload::RangeHashReq { .. } => Class::Site(site, None),
+    }
+}
+
+pub(crate) fn classify(sim: &Simulation, key: EventKey, event: &Event) -> Class {
     if sim.event_is_noop(key) {
         return Class::NoOp;
     }
     match event {
         Event::Deliver(m) => match m.to {
-            // Anti-entropy *responses* terminate at the rejoin manager:
-            // they mutate rejoin state and can flip a site to `Serving`,
-            // which coordinator-side quorum picks observe — global. (The
-            // requests are ordinary site-local deliveries: the source
-            // answers from its own storage.)
-            Endpoint::Site(_)
-                if matches!(
-                    m.payload,
-                    arbitree_sim::Payload::RangeHashResp { .. }
-                        | arbitree_sim::Payload::RangeFill { .. }
-                ) =>
-            {
-                Class::Global
-            }
-            Endpoint::Site(s) => Class::Site(s.as_u32(), m.payload.object().map(|o| o.0)),
+            Endpoint::Site(s) => payload_class(s.as_u32(), &m.payload),
             Endpoint::Client(_) => Class::Coordinator,
         },
         Event::Crash(s) | Event::AmnesiaCrash(s) => Class::Fault(s.as_u32()),
@@ -253,7 +334,7 @@ fn classify(sim: &Simulation, key: EventKey, event: &Event) -> Class {
 /// Classes are sampled when an event first becomes pending at a frame; a
 /// live timeout may *become* a no-op deeper in the tree, which only makes
 /// the relation conservative (less pruning, never unsound).
-fn independent(a: Class, b: Class) -> bool {
+pub(crate) fn independent(a: Class, b: Class) -> bool {
     match (a, b) {
         (Class::NoOp, _) | (_, Class::NoOp) => true,
         (Class::Site(x, ox), Class::Site(y, oy)) => {
@@ -288,8 +369,11 @@ struct Core {
     /// the sleep sets (as sorted event-shape hashes) it was explored
     /// under. A revisit may be pruned only if some stored sleep set is a
     /// **subset** of the current one — the earlier exploration then
-    /// covered strictly more successors than this visit would.
-    visited: HashMap<u64, Vec<Box<[u64]>>>,
+    /// covered strictly more successors than this visit would. Keyed
+    /// `u128`: in narrow mode the historical 64-bit fingerprint is
+    /// zero-extended, in [`Budget::wide`] mode the full 128-bit lane is
+    /// used (the collision audit compares the two).
+    visited: HashMap<u128, Vec<Box<[u64]>>>,
     /// Total stored `(state, sleep-set)` entries, against
     /// [`Budget::max_states`].
     entries: usize,
@@ -315,7 +399,7 @@ impl Core {
     /// set `sleep` (sorted). Returns `true` if the visit is subsumed by an
     /// earlier one; otherwise records it (dropping any stored supersets it
     /// subsumes in turn) and returns `false`.
-    fn subsumed_or_record(&mut self, fp: u64, sleep: Box<[u64]>) -> bool {
+    fn subsumed_or_record(&mut self, fp: u128, sleep: Box<[u64]>) -> bool {
         let stored = self.visited.entry(fp).or_default();
         if stored.iter().any(|s| is_subset(s, &sleep)) {
             return true;
@@ -401,9 +485,15 @@ impl Scheduler for RunScheduler<'_> {
             self.end = RunEnd::Budget;
             return None;
         }
+        let (fp64, fp128) = sim.fingerprint_wide();
+        let fp = if self.core.budget.wide {
+            fp128
+        } else {
+            u128::from(fp64)
+        };
         if self
             .core
-            .subsumed_or_record(sim.fingerprint(), sleep_shapes.into_boxed_slice())
+            .subsumed_or_record(fp, sleep_shapes.into_boxed_slice())
         {
             self.end = RunEnd::Pruned;
             self.core.stats.pruned_visited += 1;
@@ -458,7 +548,7 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// Hashes an event's content, ignoring scheduling time and `sent_at` —
 /// the same abstraction [`Simulation::fingerprint`] uses for the pending
 /// multiset.
-fn shape_hash(event: &Event) -> u64 {
+pub(crate) fn shape_hash(event: &Event) -> u64 {
     let s = match event {
         Event::Deliver(m) => format!("D|{:?}|{:?}|{:?}", m.from, m.to, m.payload),
         other => format!("E|{other:?}"),
@@ -466,7 +556,7 @@ fn shape_hash(event: &Event) -> u64 {
     fnv(s.as_bytes())
 }
 
-fn describe_event(event: &Event) -> String {
+pub(crate) fn describe_event(event: &Event) -> String {
     match event {
         Event::Deliver(m) => format!("deliver {} -> {}: {:?}", m.from, m.to, m.payload),
         Event::Crash(s) => format!("crash {s}"),
@@ -568,6 +658,7 @@ pub fn explore(scenario: &Scenario, mutation: Option<&Mutation>, budget: Budget)
                 schedule: Vec::new(),
             }),
             complete: true,
+            termination: Termination::Violation,
         };
     }
     let mut core = Core {
@@ -579,6 +670,7 @@ pub fn explore(scenario: &Scenario, mutation: Option<&Mutation>, budget: Budget)
     };
     let mut violation = None;
     let mut hit_budget = false;
+    let mut termination = Termination::Drained;
     loop {
         let mut sim = scenario.build(mutation);
         // Starts as Truncated: if the run ends without `select` saying why
@@ -598,10 +690,17 @@ pub fn explore(scenario: &Scenario, mutation: Option<&Mutation>, budget: Budget)
                 detail,
                 schedule: trace(scenario, mutation, &core.stack),
             });
+            termination = Termination::Violation;
             break;
         }
-        if end == RunEnd::Budget || core.stats.schedules >= budget.max_schedules {
+        if end == RunEnd::Budget {
             hit_budget = true;
+            termination = Termination::StateBudget;
+            break;
+        }
+        if core.stats.schedules >= budget.max_schedules {
+            hit_budget = true;
+            termination = Termination::ScheduleBudget;
             break;
         }
         if !core.advance() {
@@ -612,6 +711,7 @@ pub fn explore(scenario: &Scenario, mutation: Option<&Mutation>, budget: Budget)
         stats: core.stats,
         violation,
         complete: !hit_budget,
+        termination,
     }
 }
 
@@ -672,6 +772,44 @@ mod tests {
         assert!(!independent(Class::Fault(0), Class::Site(0, Some(1))));
         // Across sites the object tag is irrelevant.
         assert!(independent(Class::Site(0, None), Class::Site(1, None)));
+    }
+
+    #[test]
+    fn payload_class_names_every_variant() {
+        use arbitree_sim::{ObjectId, OpId};
+        // Tagged single-object traffic.
+        let read = Payload::ReadReq {
+            op: OpId(1),
+            obj: ObjectId(7),
+        };
+        assert_eq!(payload_class(2, &read), Class::Site(2, Some(7)));
+        // Envelopes and range requests are site-local with the
+        // conservative `None` tag.
+        assert_eq!(
+            payload_class(2, &Payload::Batch(vec![read])),
+            Class::Site(2, None)
+        );
+        assert_eq!(
+            payload_class(
+                2,
+                &Payload::RangeHashReq {
+                    range: arbitree_sync::Range::ROOT,
+                    peer: arbitree_sync::NodeAgg::EMPTY,
+                }
+            ),
+            Class::Site(2, None)
+        );
+        // Anti-entropy responses are global (they flip serving state).
+        assert_eq!(
+            payload_class(
+                2,
+                &Payload::RangeHashResp {
+                    range: arbitree_sync::Range::ROOT,
+                    verdict: arbitree_sim::RangeVerdict::Match,
+                }
+            ),
+            Class::Global
+        );
     }
 
     #[test]

@@ -30,14 +30,27 @@
 //! vacuous: six seeded protocol mutations (two quorum-structure wrappers,
 //! four coordinator faults from [`arbitree_sim::FaultInjection`]) must
 //! *each* produce a violation.
+//!
+//! The [`audit`] module turns the same machinery on the checker itself:
+//! a commutativity oracle replays claimed-independent event pairs in both
+//! orders and demands canonically identical states, a second mutation
+//! harness seeds over-coarsened independence relations the oracle must
+//! refute, and a collision audit measures how often distinct canonical
+//! states share a 64-bit fingerprint (the [`Budget::wide`] flag runs the
+//! explorer's visited set on the 128-bit lane for comparison).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod explore;
 pub mod mutations;
 pub mod scenario;
 
-pub use explore::{explore, Budget, ExploreOutcome, ExploreStats, ViolationReport};
+pub use audit::{
+    audit_scenario, relation_kill_all, relation_kill_one, AuditBudget, AuditOutcome, AuditStats,
+    PairMismatch, RelationKill, RelationMutation,
+};
+pub use explore::{explore, Budget, ExploreOutcome, ExploreStats, Termination, ViolationReport};
 pub use mutations::{kill_all, kill_one, KillResult, Mutation};
 pub use scenario::{Scenario, ScriptStep};

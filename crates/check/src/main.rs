@@ -1,21 +1,40 @@
 //! `check` — runs the exhaustive-exploration suite and the mutation-kill
-//! matrix, printing the tables EXPERIMENTS.md records.
+//! matrix, printing the tables EXPERIMENTS.md records. The `audit`
+//! subcommand instead runs the soundness audit of the checker itself:
+//! the commutativity oracle over the independence relation, the seeded
+//! relation-mutation kill matrix, and the fingerprint collision audit
+//! (optionally written as a JSON report for CI artifacts).
 //!
 //! Exit status is non-zero if any unmutated exploration finds a violation
-//! or any seeded mutation survives.
+//! or any seeded mutation survives — and, under `audit`, if the oracle
+//! refutes the real relation or a seeded relation mutation survives.
 
 use arbitree_check::{explore, kill_all, Budget, Scenario};
 use std::process::ExitCode;
 // arbitree-lint: allow(D002) — wall-clock timing of the checker itself, not simulated time
 use std::time::Instant;
 
+mod audit_cli;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("usage: check [--smoke]");
-        println!("  --smoke   CI budget (seconds); default is the full EXPERIMENTS.md budget");
+        println!("       check audit [--smoke] [--json PATH]");
+        println!("  --smoke       CI budget (seconds); default is the full EXPERIMENTS.md budget");
+        println!("  audit         audit the checker itself: commutativity oracle, relation-");
+        println!("                mutation kills, fingerprint collision audit");
+        println!("  --json PATH   (audit) also write the report as JSON");
         return ExitCode::SUCCESS;
+    }
+    if args.first().is_some_and(|a| a == "audit") {
+        let json = args
+            .iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        return audit_cli::run(smoke, json.as_deref());
     }
     let budget = if smoke {
         Budget::smoke()
@@ -93,7 +112,7 @@ fn main() -> ExitCode {
     println!();
     println!("== bounded exploration (unmutated, dpor vs naive at equal budget) ==");
     println!(
-        "{:<22} {:>6} {:>9} {:>12} {:>12} {:>9} {:>8} {:>10} {:>6}",
+        "{:<22} {:>6} {:>9} {:>12} {:>12} {:>9} {:>8} {:>10} {:>15} {:>6}",
         "scenario",
         "spec",
         "states",
@@ -102,6 +121,7 @@ fn main() -> ExitCode {
         "maxdepth",
         "coverage",
         "violations",
+        "end",
         "secs"
     );
     for scenario in Scenario::bounded() {
@@ -112,7 +132,7 @@ fn main() -> ExitCode {
         let secs = t0.elapsed().as_secs_f64();
         let coverage = outcome.stats.states as f64 / naive.stats.states.max(1) as f64;
         println!(
-            "{:<22} {:>6} {:>9} {:>12} {:>12} {:>9} {:>7.1}x {:>10} {:>6.1}",
+            "{:<22} {:>6} {:>9} {:>12} {:>12} {:>9} {:>7.1}x {:>10} {:>15} {:>6.1}",
             scenario.name,
             scenario.spec,
             outcome.stats.states,
@@ -121,6 +141,7 @@ fn main() -> ExitCode {
             outcome.stats.max_depth_seen,
             coverage,
             u32::from(outcome.violation.is_some()) + u32::from(naive.violation.is_some()),
+            outcome.termination.to_string(),
             secs
         );
         for out in [&outcome, &naive] {

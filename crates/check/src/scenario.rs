@@ -57,6 +57,16 @@ pub struct Scenario {
     pub smoke_depth: usize,
     /// Depth for the full (EXPERIMENTS.md) budget.
     pub full_depth: usize,
+    /// Engine-level coalescing of same-tick same-destination payloads into
+    /// [`arbitree_sim::Payload::Batch`] envelopes. Off for the historical
+    /// scenarios (their pinned schedule counts predate batching); on where
+    /// the scenario exists to put a `Batch` on the wire.
+    pub batching: bool,
+    /// Coordinator read-repair: stale read-quorum members receive
+    /// [`arbitree_sim::Payload::Repair`] pushes. Off for the historical
+    /// scenarios; on where the scenario needs fire-and-forget repairs
+    /// co-pending with other site traffic.
+    pub read_repair: bool,
 }
 
 impl Scenario {
@@ -79,7 +89,8 @@ impl Scenario {
             retry: RetryPolicy::Fixed,
             auto_workload: false,
             record_history: false,
-            read_repair: false,
+            read_repair: self.read_repair,
+            batching: self.batching,
             network,
             op_timeout: SimDuration::from_millis(3),
             // Effectively unbounded: exploration is depth-limited, never
@@ -164,6 +175,8 @@ impl Scenario {
             recovers: vec![],
             smoke_depth: 18,
             full_depth: 22,
+            batching: false,
+            read_repair: false,
         }
     }
 
@@ -187,6 +200,8 @@ impl Scenario {
             recovers: vec![],
             smoke_depth: 26,
             full_depth: 30,
+            batching: false,
+            read_repair: false,
         }
     }
 
@@ -208,6 +223,8 @@ impl Scenario {
             recovers: vec![],
             smoke_depth: 44,
             full_depth: 60,
+            batching: false,
+            read_repair: false,
         }
     }
 
@@ -232,6 +249,8 @@ impl Scenario {
             recovers: vec![],
             smoke_depth: 44,
             full_depth: 60,
+            batching: false,
+            read_repair: false,
         }
     }
 
@@ -255,6 +274,8 @@ impl Scenario {
             recovers: vec![],
             smoke_depth: 44,
             full_depth: 60,
+            batching: false,
+            read_repair: false,
         }
     }
 
@@ -279,6 +300,8 @@ impl Scenario {
             recovers: vec![(200, 3)],
             smoke_depth: 44,
             full_depth: 60,
+            batching: false,
+            read_repair: false,
         }
     }
 
@@ -311,6 +334,8 @@ impl Scenario {
             recovers: vec![],
             smoke_depth: 8,
             full_depth: 10,
+            batching: false,
+            read_repair: false,
         }
     }
 
@@ -341,6 +366,51 @@ impl Scenario {
             recovers: vec![(300, 3)],
             smoke_depth: 44,
             full_depth: 60,
+            batching: false,
+            read_repair: false,
+        }
+    }
+
+    /// A writer, a repairing reader, and a multi-object reader on the
+    /// 4-site two-level tree (`p:1-3`), with engine batching *and*
+    /// coordinator read-repair enabled. On this tree a write quorum is one
+    /// whole physical level, so the other level is always stale and client
+    /// 0's follow-up read triggers a `Repair` push to it; meanwhile client
+    /// 1's two-object read gather coalesces its same-destination
+    /// `ReadReq`s into a `Batch` envelope (the root is in *every* read
+    /// quorum, so the envelope always exists). That makes a
+    /// fire-and-forget `Repair {obj 1}` co-pend with a `Batch` at the same
+    /// site — exactly the `None`-tagged-vs-`Some`-tagged same-site pair
+    /// the independence relation must keep *dependent*, and the pair the
+    /// `object-tag-unguarded` and `batch-first-object` relation mutations
+    /// wrongly split. The audit oracle kills both here.
+    pub fn batched_repair() -> Scenario {
+        Scenario {
+            name: "batched-repair",
+            spec: "p:1-3",
+            clients: 2,
+            objects: 2,
+            shards: 1,
+            max_attempts: 3,
+            script: vec![
+                step(0, 0, TxnRequest::write(obj(1), val(b"fresh"))),
+                step(0, 0, TxnRequest::read(obj(1))),
+                step(
+                    0,
+                    1,
+                    TxnRequest {
+                        reads: vec![obj(0), obj(1)],
+                        writes: Vec::new(),
+                    },
+                ),
+            ],
+            crashes: vec![],
+            amnesia: vec![],
+            recovers: vec![],
+            smoke_depth: 44,
+            full_depth: 60,
+            batching: true,
+            read_repair: true,
         }
     }
 
@@ -367,6 +437,7 @@ impl Scenario {
             Scenario::crash_abort(),
             Scenario::write_crash_recover(),
             Scenario::amnesia_rejoin(),
+            Scenario::batched_repair(),
             Scenario::cross_shard(),
         ]
     }

@@ -16,6 +16,7 @@ fn test_budget(depth: usize) -> Budget {
         max_schedules: 1_000_000,
         dpor: true,
         object_independence: true,
+        wide: false,
     }
 }
 

@@ -18,6 +18,8 @@
 //! | D006 | exact float `==`/`!=` in availability/load math |
 //! | D007 | direct event scheduling that bypasses the coordinator/Scheduler seam |
 //! | D008 | `Payload` variants missing an explicit `Payload::object()` arm (file-level) |
+//! | D009 | `Payload` variants missing from the checker's `payload_class` mapping (cross-file) |
+//! | D010 | `LockManager::acquire` with no prior stripe-order sort (file-level) |
 //!
 //! Findings a human has judged safe are suppressed inline — the directive
 //! **requires a reason**, so every exception is self-documenting:
@@ -132,24 +134,38 @@ fn parse_directive(comment: &str, line: usize) -> Option<Directive> {
     })
 }
 
-/// Lints a single file's source under its logical workspace path (forward
-/// slashes, e.g. `crates/sim/src/engine.rs`). Path scoping, `#[cfg(test)]`
-/// exclusion and suppression directives all apply.
-pub fn lint_source(path: &str, source: &str) -> LintReport {
-    let scanned = scanner::scan(source);
-    let mut directives: Vec<Option<Directive>> = Vec::with_capacity(scanned.comments.len());
-    for (idx, comment) in scanned.comments.iter().enumerate() {
-        directives.push(parse_directive(comment, idx));
+/// One file prepared for linting: its logical path plus the scanner's
+/// channel view and the parsed suppression directives. Per-file passes
+/// take one of these; cross-file passes take the whole batch.
+struct FileCtx {
+    path: String,
+    scanned: scanner::ScannedFile,
+    directives: Vec<Option<Directive>>,
+}
+
+impl FileCtx {
+    fn new(path: &str, source: &str) -> Self {
+        let scanned = scanner::scan(source);
+        let mut directives: Vec<Option<Directive>> = Vec::with_capacity(scanned.comments.len());
+        for (idx, comment) in scanned.comments.iter().enumerate() {
+            directives.push(parse_directive(comment, idx));
+        }
+        FileCtx {
+            path: path.to_string(),
+            scanned,
+            directives,
+        }
     }
 
-    let mut report = LintReport::default();
-
-    // A directive suppresses findings on its own line and on the line below
-    // (the idiomatic "comment above the offending statement" placement).
-    let allows = |line: usize, rule: &str| -> Option<bool> {
+    /// Whether a directive covers `rule` on the (0-based) `line` — a
+    /// directive suppresses findings on its own line and on the line below
+    /// (the idiomatic "comment above the offending statement" placement).
+    /// `Some(has_reason)` if covered; reason-less directives don't
+    /// suppress (and are reported as D000).
+    fn allows(&self, line: usize, rule: &str) -> Option<bool> {
         for candidate in [Some(line), line.checked_sub(1)] {
             let d = candidate
-                .and_then(|l| directives.get(l))
+                .and_then(|l| self.directives.get(l))
                 .and_then(|d| d.as_ref());
             if let Some(d) = d {
                 if d.rule_ids.iter().any(|id| id == rule) {
@@ -158,28 +174,42 @@ pub fn lint_source(path: &str, source: &str) -> LintReport {
             }
         }
         None
-    };
+    }
 
-    for (idx, code) in scanned.code.iter().enumerate() {
-        if scanned.is_test[idx] {
+    /// Routes one finding through the suppression layer.
+    fn emit(&self, report: &mut LintReport, rule: &rules::Rule, idx: usize, message: String) {
+        match self.allows(idx, rule.id) {
+            Some(true) => report.suppressed += 1,
+            // A reason-less allow neither suppresses nor goes unnoticed;
+            // D000 is reported once per directive separately.
+            Some(false) | None => report.diagnostics.push(Diagnostic {
+                rule: rule.id,
+                path: self.path.clone(),
+                line: idx + 1,
+                message,
+                hint: rule.hint,
+            }),
+        }
+    }
+}
+
+/// All single-file passes: per-line rules, the D008 coverage pass, the
+/// D010 lock-order pass, and malformed-directive reporting.
+fn lint_file(ctx: &FileCtx, report: &mut LintReport) {
+    for (idx, code) in ctx.scanned.code.iter().enumerate() {
+        if ctx.scanned.is_test[idx] {
             continue;
         }
         for rule in RULES {
-            if !rule.in_scope(path) || !rule.matches(code) {
+            if !rule.in_scope(&ctx.path) || !rule.matches(code) {
                 continue;
             }
-            match allows(idx, rule.id) {
-                Some(true) => report.suppressed += 1,
-                // A reason-less allow neither suppresses nor goes unnoticed;
-                // D000 is reported once per directive below.
-                Some(false) | None => report.diagnostics.push(Diagnostic {
-                    rule: rule.id,
-                    path: path.to_string(),
-                    line: idx + 1,
-                    message: format!("{} ({})", rule.summary, snippet(code)),
-                    hint: rule.hint,
-                }),
-            }
+            ctx.emit(
+                report,
+                rule,
+                idx,
+                format!("{} ({})", rule.summary, snippet(code)),
+            );
         }
     }
 
@@ -187,29 +217,49 @@ pub fn lint_source(path: &str, source: &str) -> LintReport {
     // `object()` accessor across lines, so it cannot run in the per-line
     // loop above.
     if let Some(d008) = rules::rule_by_id("D008") {
-        if d008.in_scope(path) {
-            for (idx, variant) in payload_variants_missing_from_object(&scanned) {
-                match allows(idx, d008.id) {
-                    Some(true) => report.suppressed += 1,
-                    Some(false) | None => report.diagnostics.push(Diagnostic {
-                        rule: d008.id,
-                        path: path.to_string(),
-                        line: idx + 1,
-                        message: format!("{} ({variant})", d008.summary),
-                        hint: d008.hint,
-                    }),
+        if d008.in_scope(&ctx.path) {
+            for (idx, variant) in payload_variants_missing_from_object(&ctx.scanned) {
+                ctx.emit(report, d008, idx, format!("{} ({variant})", d008.summary));
+            }
+        }
+    }
+
+    // D010 is a file-level ordering rule: a non-test `.acquire(` call is
+    // only safe after the lock plan was put into canonical stripe order,
+    // so the pass tracks whether a sort has appeared on an earlier
+    // non-test line. Token-level approximation: the sort and the acquire
+    // are related by position, not dataflow — the workspace convention
+    // (one lock plan, sorted where it is built) makes that sufficient,
+    // and a false positive is one reasoned suppression away.
+    if let Some(d010) = rules::rule_by_id("D010") {
+        if d010.in_scope(&ctx.path) {
+            let mut sorted_above = false;
+            for (idx, code) in ctx.scanned.code.iter().enumerate() {
+                if ctx.scanned.is_test[idx] {
+                    continue;
+                }
+                if rules::has_sort_method_call(code) {
+                    sorted_above = true;
+                }
+                if rules::has_acquire_call(code) && !sorted_above {
+                    ctx.emit(
+                        report,
+                        d010,
+                        idx,
+                        format!("{} ({})", d010.summary, snippet(code)),
+                    );
                 }
             }
         }
     }
 
     // Malformed directives are findings in their own right.
-    for d in directives.iter().flatten() {
+    for d in ctx.directives.iter().flatten() {
         let malformed = d.rule_ids.is_empty() || !d.has_reason;
         if malformed {
             report.diagnostics.push(Diagnostic {
                 rule: MALFORMED_SUPPRESSION.id,
-                path: path.to_string(),
+                path: ctx.path.clone(),
                 line: d.line + 1,
                 message: if d.rule_ids.is_empty() {
                     "directive is not of the form `allow(DXXX)`".to_string()
@@ -223,11 +273,87 @@ pub fn lint_source(path: &str, source: &str) -> LintReport {
             });
         }
     }
+}
 
+/// The D009 cross-file pass: every variant of the sim crate's `Payload`
+/// enum must be named inside the checker's `fn payload_class` body —
+/// that mapping decides which event pairs DPOR may commute, so a variant
+/// swallowed by a wildcard silently inherits the fallback's independence
+/// class. Runs only when the batch contains both sides (the enum in
+/// `crates/sim/src/message.rs`, the mapping in
+/// `crates/check/src/explore.rs`); diagnostics anchor at the mapping.
+fn cross_file_payload_class(ctxs: &[FileCtx], report: &mut LintReport) {
+    let Some(d009) = rules::rule_by_id("D009") else {
+        return;
+    };
+    let Some(mapping) = ctxs.iter().find(|c| d009.in_scope(&c.path)) else {
+        return;
+    };
+    let Some(message) = ctxs
+        .iter()
+        .find(|c| c.path.starts_with("crates/sim/src/") && c.path.ends_with("/message.rs"))
+    else {
+        return;
+    };
+    let variants = enum_body_variants(&message.scanned.code, "enum Payload");
+    if variants.is_empty() {
+        return;
+    }
+    let Some(anchor) = mapping
+        .scanned
+        .code
+        .iter()
+        .position(|line| line.contains("fn payload_class"))
+    else {
+        // The enum exists but the mapping function is gone entirely —
+        // renamed or deleted. Report once, at the top of the file, so the
+        // lint stays wired to the function it audits.
+        mapping.emit(
+            report,
+            d009,
+            0,
+            format!("{} (no `fn payload_class` found)", d009.summary),
+        );
+        return;
+    };
+    let named = names_in_fn_body(&mapping.scanned.code, "fn payload_class");
+    for (_, variant) in variants {
+        if !named.contains(&variant) {
+            mapping.emit(
+                report,
+                d009,
+                anchor,
+                format!("{} ({variant})", d009.summary),
+            );
+        }
+    }
+}
+
+/// Lints a batch of files given as `(logical path, source)` pairs —
+/// logical paths are workspace-relative with forward slashes, e.g.
+/// `crates/sim/src/engine.rs`. All single-file passes run per file, then
+/// the cross-file passes (D009 relates the sim crate's `Payload` enum to
+/// the checker's class mapping) run over the whole batch.
+pub fn lint_files(files: &[(String, String)]) -> LintReport {
+    let ctxs: Vec<FileCtx> = files.iter().map(|(p, s)| FileCtx::new(p, s)).collect();
+    let mut report = LintReport::default();
+    for ctx in &ctxs {
+        lint_file(ctx, &mut report);
+    }
+    cross_file_payload_class(&ctxs, &mut report);
     report
         .diagnostics
-        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     report
+}
+
+/// Lints a single file's source under its logical workspace path (forward
+/// slashes, e.g. `crates/sim/src/engine.rs`). Path scoping, `#[cfg(test)]`
+/// exclusion and suppression directives all apply. Cross-file rules
+/// (D009) need both sides of the relation in one batch, so they can only
+/// fire through [`lint_files`] / [`lint_workspace`].
+pub fn lint_source(path: &str, source: &str) -> LintReport {
+    lint_files(&[(path.to_string(), source.to_string())])
 }
 
 /// `Payload` enum variants never named inside `fn object`'s body, as
@@ -384,9 +510,10 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root`.
+/// Lints the whole workspace rooted at `root` — all files in one batch,
+/// so the cross-file rules see both sides of their relations.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
-    let mut report = LintReport::default();
+    let mut files = Vec::new();
     for file in workspace_files(root)? {
         let source = std::fs::read_to_string(&file)?;
         let logical = file
@@ -394,11 +521,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let file_report = lint_source(&logical, &source);
-        report.diagnostics.extend(file_report.diagnostics);
-        report.suppressed += file_report.suppressed;
+        files.push((logical, source));
     }
-    Ok(report)
+    Ok(lint_files(&files))
 }
 
 /// Renders diagnostics as human-readable text.
@@ -556,5 +681,127 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    const MESSAGE_SRC: &str = "pub enum Payload {\n\
+        \x20   ReadReq { obj: u32 },\n\
+        \x20   Batch(Vec<Payload>),\n\
+        }\n\
+        impl Payload {\n\
+        \x20   pub fn object(&self) -> Option<u32> {\n\
+        \x20       match self {\n\
+        \x20           Payload::ReadReq { obj } => Some(*obj),\n\
+        \x20           Payload::Batch(_) => None,\n\
+        \x20       }\n\
+        \x20   }\n\
+        }\n";
+
+    fn pair(message_src: &str, explore_src: &str) -> Vec<(String, String)> {
+        vec![
+            (
+                "crates/sim/src/message.rs".to_string(),
+                message_src.to_string(),
+            ),
+            (
+                "crates/check/src/explore.rs".to_string(),
+                explore_src.to_string(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn d009_cross_file_flags_variant_missing_from_class_mapping() {
+        // `Batch` is swallowed by the wildcard: the checker would give it
+        // whatever class the fallback picks.
+        let explore = "fn payload_class(site: u32, p: &Payload) -> Class {\n\
+            \x20   match p {\n\
+            \x20       Payload::ReadReq { .. } => Class::Site(site, None),\n\
+            \x20       _ => Class::Site(site, None),\n\
+            \x20   }\n\
+            }\n";
+        let report = lint_files(&pair(MESSAGE_SRC, explore));
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.rule, "D009");
+        assert_eq!(d.path, "crates/check/src/explore.rs");
+        assert_eq!(d.line, 1, "anchored at the mapping function");
+        assert!(d.message.contains("Batch"));
+    }
+
+    #[test]
+    fn d009_silent_when_mapping_is_exhaustive_or_enum_absent() {
+        let explore = "fn payload_class(site: u32, p: &Payload) -> Class {\n\
+            \x20   match p {\n\
+            \x20       Payload::ReadReq { .. } => Class::Site(site, None),\n\
+            \x20       Payload::Batch(_) => Class::Site(site, None),\n\
+            \x20   }\n\
+            }\n";
+        assert!(lint_files(&pair(MESSAGE_SRC, explore))
+            .diagnostics
+            .is_empty());
+        // Either side alone cannot be judged.
+        assert!(lint_source("crates/check/src/explore.rs", explore)
+            .diagnostics
+            .is_empty());
+        assert!(lint_source("crates/sim/src/message.rs", MESSAGE_SRC)
+            .diagnostics
+            .is_empty());
+    }
+
+    #[test]
+    fn d009_reports_a_missing_mapping_function() {
+        let report = lint_files(&pair(MESSAGE_SRC, "fn other_mapping() {}\n"));
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].rule, "D009");
+        assert!(report.diagnostics[0]
+            .message
+            .contains("no `fn payload_class`"));
+    }
+
+    #[test]
+    fn d009_suppressible_at_the_mapping() {
+        let explore =
+            "// arbitree-lint: allow(D009) — Batch handled by the engine before classify\n\
+            fn payload_class(site: u32, p: &Payload) -> Class {\n\
+            \x20   match p {\n\
+            \x20       Payload::ReadReq { .. } => Class::Site(site, None),\n\
+            \x20       _ => Class::Site(site, None),\n\
+            \x20   }\n\
+            }\n";
+        let report = lint_files(&pair(MESSAGE_SRC, explore));
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn d010_flags_acquire_without_prior_sort() {
+        let src = "fn lock_all(&mut self) {\n\
+            \x20   self.locks.acquire(op, obj, mode);\n\
+            }\n";
+        let report = lint_source("crates/sim/src/coordinator.rs", src);
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(
+            (report.diagnostics[0].rule, report.diagnostics[0].line),
+            ("D010", 2)
+        );
+    }
+
+    #[test]
+    fn d010_accepts_sorted_plan_and_exempts_tests() {
+        let src = "fn lock_all(&mut self) {\n\
+            \x20   plan.sort_by_key(|&(o, _)| o);\n\
+            \x20   self.locks.acquire(op, obj, mode);\n\
+            }\n\
+            #[cfg(test)]\n\
+            mod tests {\n\
+            \x20   fn unordered_is_fine_here(lm: &mut LockManager) {\n\
+            \x20       lm.acquire(op, obj, mode);\n\
+            \x20   }\n\
+            }\n";
+        let report = lint_source("crates/sim/src/coordinator.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        // Out of scope entirely outside the simulator.
+        let report = lint_source("crates/quorum/src/traits.rs", "x.acquire(a);\n");
+        assert!(report.diagnostics.is_empty());
     }
 }

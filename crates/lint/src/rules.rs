@@ -58,6 +58,16 @@ pub const RULES: &[Rule] = &[
         summary: "Payload variant not named in Payload::object()",
         hint: "add an explicit arm (Some(obj) or None) — the model checker's independence relation keys on object(), so a variant swallowed by a wildcard silently gets the wrong class",
     },
+    Rule {
+        id: "D009",
+        summary: "Payload variant not named in the checker's Class mapping",
+        hint: "add an explicit arm in `fn payload_class` — a variant swallowed by a wildcard silently inherits whatever class the fallback picks, and an over-coarse class unsounds the DPOR reduction (see the audit module)",
+    },
+    Rule {
+        id: "D010",
+        summary: "lock acquisition with no prior stripe-order sort",
+        hint: "sort the lock plan by object/stripe index before acquiring (`lock_plan.sort_by_key(...)`) — two transactions walking the same stripes in different orders can deadlock under 2PL",
+    },
 ];
 
 /// The rule id used for malformed suppression directives (reported by the
@@ -128,6 +138,16 @@ impl Rule {
             // explicitly in `Payload::object()`. File-level rule — matched
             // by the coverage pass in `lib.rs`, not line by line.
             "D008" => path.ends_with("/message.rs") && path.starts_with("crates/sim/src/"),
+            // The checker's independence relation: every Payload variant
+            // must appear explicitly in `fn payload_class`. Cross-file rule
+            // (the enum lives in the sim crate, the mapping in the checker)
+            // — matched by the cross-file pass in `lib.rs`; diagnostics
+            // anchor at the mapping, which is where the fix goes.
+            "D009" => path == "crates/check/src/explore.rs",
+            // Lock-order discipline: any non-test `.acquire(` in the
+            // simulator must be preceded by a sort of the lock plan.
+            // File-level rule — matched by the ordering pass in `lib.rs`.
+            "D010" => path.starts_with("crates/sim/src/"),
             _ => false,
         }
     }
@@ -204,6 +224,28 @@ fn has_method_call(code: &str, name: &str) -> bool {
         from = pos + name.len();
     }
     false
+}
+
+/// Matches any slice-sorting method call (`.sort()`, `.sort_by_key(...)`,
+/// `.sort_unstable_by(...)` …) — used by the D010 ordering pass in
+/// `lib.rs` to recognise a lock plan being put into canonical stripe
+/// order before acquisition.
+pub(crate) fn has_sort_method_call(code: &str) -> bool {
+    const SORTS: &[&str] = &[
+        "sort",
+        "sort_by",
+        "sort_by_key",
+        "sort_unstable",
+        "sort_unstable_by",
+        "sort_unstable_by_key",
+    ];
+    SORTS.iter().any(|name| has_method_call(code, name))
+}
+
+/// Matches a `.acquire(` method call — the `LockManager` entry point the
+/// D010 ordering pass keys on.
+pub(crate) fn has_acquire_call(code: &str) -> bool {
+    has_method_call(code, "acquire")
 }
 
 /// Matches `as usize`, `as u32` or `as u64` (token-level).
@@ -371,11 +413,39 @@ mod tests {
         assert!(rule("D008").in_scope("crates/sim/src/message.rs"));
         assert!(!rule("D008").in_scope("crates/sim/src/engine.rs"));
         assert!(!rule("D008").in_scope("crates/check/src/message.rs"));
+        assert!(rule("D009").in_scope("crates/check/src/explore.rs"));
+        assert!(!rule("D009").in_scope("crates/check/src/audit.rs"));
+        assert!(!rule("D009").in_scope("crates/sim/src/message.rs"));
+        assert!(rule("D010").in_scope("crates/sim/src/coordinator.rs"));
+        assert!(rule("D010").in_scope("crates/sim/src/locks.rs"));
+        assert!(!rule("D010").in_scope("crates/quorum/src/traits.rs"));
     }
 
     #[test]
     fn d008_never_fires_line_level() {
         // D008 is matched by the file-level coverage pass in `lib.rs`.
         assert!(!rule("D008").matches("Payload::ReadReq { obj, .. } => None,"));
+    }
+
+    #[test]
+    fn d009_and_d010_never_fire_line_level() {
+        // D009 is matched by the cross-file pass, D010 by the ordering
+        // pass — both in `lib.rs`.
+        assert!(!rule("D009").matches("Payload::Batch(_) => Class::Site(site, None),"));
+        assert!(!rule("D010").matches("self.locks.acquire(op, obj, mode)"));
+    }
+
+    #[test]
+    fn sort_and_acquire_detection() {
+        assert!(has_sort_method_call("lock_plan.sort_by_key(|&(o, _)| o);"));
+        assert!(has_sort_method_call("plan.sort();"));
+        assert!(has_sort_method_call("v.sort_unstable_by(|a, b| a.cmp(b));"));
+        // A sort in name only — no call, or a non-method ident — is not
+        // an ordering pass.
+        assert!(!has_sort_method_call("let sort = plan();"));
+        assert!(!has_sort_method_call("self.sorted = true;"));
+        assert!(has_acquire_call("if self.locks.acquire(op, obj, mode) {"));
+        assert!(!has_acquire_call("fn acquire(&mut self, op: OpId) {}"));
+        assert!(!has_acquire_call("self.acquired += 1;"));
     }
 }

@@ -7,9 +7,10 @@
 //! `//~v DXXX` on the line below (for diagnostics attached to a comment,
 //! where a trailing marker would change the comment's meaning). The
 //! harness lints each fixture and requires the diagnostic set to match the
-//! annotations exactly — no missing findings, no extras.
+//! annotations exactly — no missing findings, no extras. Cross-file rules
+//! (D009) are exercised by linting a fixture *pair* in one batch.
 
-use arbitree_lint::{lint_source, lint_workspace, LintReport};
+use arbitree_lint::{lint_files, lint_workspace, LintReport};
 use std::path::{Path, PathBuf};
 
 fn fixture_dir() -> PathBuf {
@@ -44,24 +45,42 @@ fn expected_diagnostics(source: &str) -> Vec<(usize, String)> {
     out
 }
 
-/// Lints one fixture and checks its diagnostics against the markers.
-fn check(name: &str) -> LintReport {
-    let source = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
-    let logical = source
-        .lines()
-        .next()
-        .and_then(|l| l.strip_prefix("//@ path:"))
-        .expect("fixture declares `//@ path:` on line 1")
-        .trim();
-    let report = lint_source(logical, &source);
-    let mut got: Vec<(usize, String)> = report
+/// Lints a batch of fixtures in one [`lint_files`] call and checks the
+/// combined diagnostics against the markers of every file in the batch.
+/// Single-file rules behave exactly as before; cross-file rules (D009)
+/// see both sides of their relation when the batch carries them.
+fn check_files(names: &[&str]) -> LintReport {
+    let mut files = Vec::new();
+    let mut expected: Vec<(String, usize, String)> = Vec::new();
+    for name in names {
+        let source = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
+        let logical = source
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@ path:"))
+            .expect("fixture declares `//@ path:` on line 1")
+            .trim()
+            .to_string();
+        for (line, rule) in expected_diagnostics(&source) {
+            expected.push((logical.clone(), line, rule));
+        }
+        files.push((logical, source));
+    }
+    expected.sort();
+    let report = lint_files(&files);
+    let mut got: Vec<(String, usize, String)> = report
         .diagnostics
         .iter()
-        .map(|d| (d.line, d.rule.to_string()))
+        .map(|d| (d.path.clone(), d.line, d.rule.to_string()))
         .collect();
     got.sort();
-    assert_eq!(got, expected_diagnostics(&source), "fixture {name}");
+    assert_eq!(got, expected, "fixtures {names:?}");
     report
+}
+
+/// Lints one fixture and checks its diagnostics against the markers.
+fn check(name: &str) -> LintReport {
+    check_files(&[name])
 }
 
 #[test]
@@ -144,6 +163,41 @@ fn d008_negative() {
     check("d008_negative.rs");
 }
 
+/// Batch nesting: the envelope variant hidden behind a wildcard `object()`
+/// arm is flagged at its declaration line even when every leaf variant is
+/// covered.
+#[test]
+fn d008_batch_nesting() {
+    check("d008_batch_nested.rs");
+}
+
+/// Cross-file D009: the `Batch` variant declared in the message fixture is
+/// missing from the class mapping in the explore fixture, flagged at the
+/// mapping function.
+#[test]
+fn d009_positive() {
+    check_files(&["d009_message.rs", "d009_explore_positive.rs"]);
+}
+
+/// An exhaustive class mapping is clean — and either side alone cannot be
+/// judged, so single-file lints of the pair stay silent too.
+#[test]
+fn d009_negative() {
+    check_files(&["d009_message.rs", "d009_explore_negative.rs"]);
+    check("d009_message.rs");
+    check("d009_explore_negative.rs");
+}
+
+#[test]
+fn d010_positive() {
+    check("d010_positive.rs");
+}
+
+#[test]
+fn d010_negative() {
+    check("d010_negative.rs");
+}
+
 /// Scanner regressions: tokens in comments/strings never fire, and
 /// `#[cfg(any(test, ...))]` exempts its region while `#[cfg(not(test))]`
 /// does not.
@@ -188,6 +242,12 @@ fn all_fixtures_are_covered() {
         "d007_negative.rs",
         "d008_positive.rs",
         "d008_negative.rs",
+        "d008_batch_nested.rs",
+        "d009_message.rs",
+        "d009_explore_positive.rs",
+        "d009_explore_negative.rs",
+        "d010_positive.rs",
+        "d010_negative.rs",
         "cfg_gated.rs",
         "suppression_ok.rs",
         "suppression_bare.rs",

@@ -1,0 +1,23 @@
+//@ path: crates/sim/src/message.rs
+// Batch nesting: the envelope variant is exactly the one a wildcard arm
+// is most tempting for — "it has no single object anyway" — and exactly
+// the one that must stay explicit, because its conservative `None` tag
+// is a documented invariant the checker's independence relation leans
+// on. Every leaf variant is covered; only `Batch` hides behind `_`.
+
+pub enum Payload {
+    ReadReq { op: u32, obj: u32 },
+    Prepare { obj: u32 },
+    Commit { obj: u32 },
+    Batch(Vec<Payload>), //~ D008
+}
+
+impl Payload {
+    pub fn object(&self) -> Option<u32> {
+        match self {
+            Payload::ReadReq { obj, .. } => Some(*obj),
+            Payload::Prepare { obj } | Payload::Commit { obj } => Some(*obj),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//@ path: crates/check/src/explore.rs
+// Every variant of the companion enum (d009_message.rs) is named
+// explicitly — including the `Batch` envelope with its conservative
+// `None` tag — so the cross-file pass stays silent.
+
+pub(crate) fn payload_class(site: u32, payload: &Payload) -> Class {
+    match payload {
+        Payload::ReadReq { obj, .. } => Class::Site(site, Some(obj.0)),
+        Payload::Commit { obj, .. } => Class::Site(site, Some(obj.0)),
+        Payload::Batch(_) => Class::Site(site, None),
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/check/src/explore.rs
+// The `Batch` envelope falls through the wildcard, so the checker would
+// hand it a per-object class (or whatever the fallback picks) instead of
+// the conservative site-local `None` tag — an over-coarsened independence
+// relation. Linted together with d009_message.rs, which declares the
+// variant. The diagnostic anchors at the mapping function.
+
+//~v D009
+pub(crate) fn payload_class(site: u32, payload: &Payload) -> Class {
+    match payload {
+        Payload::ReadReq { obj, .. } => Class::Site(site, Some(obj.0)),
+        Payload::Commit { obj, .. } => Class::Site(site, Some(obj.0)),
+        _ => Class::Site(site, None),
+    }
+}

@@ -1,0 +1,21 @@
+//@ path: crates/sim/src/message.rs
+// Companion file for the d009_explore_* fixtures: a Payload enum with a
+// complete object() accessor, clean on its own. The D009 pass reads the
+// variant list from here and checks it against the class mapping in the
+// explore-side fixture linted in the same batch.
+
+pub enum Payload {
+    ReadReq { op: u32, obj: u32 },
+    Commit { obj: u32 },
+    Batch(Vec<Payload>),
+}
+
+impl Payload {
+    pub fn object(&self) -> Option<u32> {
+        match self {
+            Payload::ReadReq { obj, .. } => Some(*obj),
+            Payload::Commit { obj } => Some(*obj),
+            Payload::Batch(_) => None,
+        }
+    }
+}

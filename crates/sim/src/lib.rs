@@ -106,7 +106,7 @@ pub use metrics::{LatencyHistogram, SimMetrics};
 pub use nemesis::{build_profile, Nemesis, NemesisAction, NemesisKind};
 pub use network::{Network, Partition};
 pub use recovery::RejoinManager;
-pub use scheduler::{Scheduler, SeededScheduler};
+pub use scheduler::{ReplayScheduler, Scheduler, SeededScheduler};
 pub use sim::Simulation;
 pub use site::{CrashMode, Site, SiteHealth};
 pub use storage::{Staged, Storage, Version};

@@ -210,11 +210,23 @@ impl Payload {
         }
     }
 
-    /// The single object this payload touches, or `None` for a
-    /// [`Payload::Batch`] (an envelope may span several objects). The model
-    /// checker's independence relation keys on this: same-site deliveries
-    /// for *different* objects touch disjoint per-object storage and
-    /// commute.
+    /// The single object this payload touches, or `None` when no such
+    /// object exists. The model checker's independence relation keys on
+    /// this: same-site deliveries for *different* objects touch disjoint
+    /// per-object storage and commute.
+    ///
+    /// **Invariant the independence relation assumes:** `None` is the
+    /// *conservative* answer, meaning "may touch any object". A
+    /// [`Payload::Batch`] always returns `None` — even when every inner
+    /// payload names the same object, and even for (never constructed, but
+    /// representable) nested envelopes — because an envelope spans
+    /// whatever its contents span. `arbitree-check` maps a `None` tag to
+    /// "conflicts with every same-site delivery"; returning any single
+    /// object here would wrongly let a multi-object batch commute past a
+    /// same-site delivery for an object it also carries (the exact
+    /// unsoundness the `batch-first-object` relation mutation seeds and
+    /// the audit oracle kills). Anti-entropy payloads span whole key
+    /// ranges and are `None` for the same reason.
     pub fn object(&self) -> Option<ObjectId> {
         match self {
             Payload::ReadReq { obj, .. }
@@ -309,6 +321,38 @@ mod tests {
         ]);
         assert_eq!(batch.op(), OpId(3));
         assert_eq!(Payload::Batch(Vec::new()).op(), OpId(u64::MAX));
+    }
+
+    #[test]
+    fn batch_object_is_conservatively_none() {
+        // A mixed-object envelope has no single object...
+        let mixed = Payload::Batch(vec![
+            Payload::ReadReq {
+                op: OpId(3),
+                obj: ObjectId(0),
+            },
+            Payload::Repair {
+                op: OpId(4),
+                obj: ObjectId(1),
+                value: Bytes::new(),
+                ts: Timestamp::ZERO,
+            },
+        ]);
+        assert_eq!(mixed.object(), None);
+        // ...and even a single-object envelope must answer `None`: the
+        // independence relation reads `None` as "may touch any object",
+        // and picking the (here unique) inner object would make the answer
+        // depend on inspecting arbitrarily deep contents.
+        let single = Payload::Batch(vec![Payload::ReadReq {
+            op: OpId(3),
+            obj: ObjectId(2),
+        }]);
+        assert_eq!(single.object(), None);
+        // Nesting (never built by the engine, but representable) changes
+        // nothing: the conservative answer holds at every depth.
+        let nested = Payload::Batch(vec![mixed, single]);
+        assert_eq!(nested.object(), None);
+        assert_eq!(Payload::Batch(Vec::new()).object(), None);
     }
 
     #[test]

@@ -113,6 +113,13 @@ impl Site {
         self.health = SiteHealth::Serving;
     }
 
+    /// Whether an unfinished amnesia rejoin is outstanding (set by an
+    /// amnesia crash, cleared when the rejoin completes — see the field
+    /// docs). Exposed for canonical fingerprinting.
+    pub fn needs_sync(&self) -> bool {
+        self.needs_sync
+    }
+
     /// Read access to the site's storage (tests, invariants).
     pub fn storage(&self) -> &Storage {
         &self.storage

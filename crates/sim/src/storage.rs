@@ -156,6 +156,23 @@ impl Storage {
     pub fn staged(&self, obj: ObjectId) -> Option<&Staged> {
         self.staged.get(&obj)
     }
+
+    /// Committed entries in sorted object order — an insertion-order-free
+    /// view for canonical fingerprinting (the `DetMap` itself iterates in
+    /// insertion order, which depends on the schedule that built it).
+    pub fn committed_sorted(&self) -> Vec<(ObjectId, &Version)> {
+        let mut entries: Vec<_> = self.committed.iter().map(|(k, v)| (*k, v)).collect();
+        entries.sort_by_key(|(obj, _)| obj.0);
+        entries
+    }
+
+    /// Staged entries in sorted object order (see
+    /// [`Storage::committed_sorted`]).
+    pub fn staged_sorted(&self) -> Vec<(ObjectId, &Staged)> {
+        let mut entries: Vec<_> = self.staged.iter().map(|(k, v)| (*k, v)).collect();
+        entries.sort_by_key(|(obj, _)| obj.0);
+        entries
+    }
 }
 
 #[cfg(test)]
