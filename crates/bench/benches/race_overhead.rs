@@ -1,0 +1,88 @@
+//! Criterion benches for the instrumentation cost of the arbitree-race
+//! traced primitives on the two hottest harness paths: [`parallel_map`]
+//! over a trivial closure (the worst case — per-item work is nearly free,
+//! so the traced mutex claims and channel sends dominate) and a small
+//! [`run_cells`] batch (the realistic case — simulation work dwarfs the
+//! recording).
+//!
+//! Build it twice to fill EXPERIMENTS.md's overhead table:
+//!
+//! * default features — the wrappers are zero-cost passthroughs;
+//! * `--features race-audit` — the `no-session` benches measure the
+//!   enabled-but-idle cost (one atomic check per operation), and the
+//!   additional `recorded` benches wrap each iteration in a live
+//!   [`Session`] and so include event recording *and* the drain.
+
+use arbitree_core::ArbitraryProtocol;
+use arbitree_sim::{parallel_map, run_cells, ExperimentCell, SimConfig, SimDuration};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fast-but-meaningful defaults so the full suite finishes in minutes.
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+const ITEMS: u64 = 256;
+
+fn map_once() -> u64 {
+    parallel_map((0..ITEMS).collect(), |i| i.wrapping_mul(0x9E37_79B9))
+        .into_iter()
+        .fold(0, u64::wrapping_add)
+}
+
+fn cells() -> Vec<ExperimentCell> {
+    (0..2u64)
+        .map(|seed| {
+            ExperimentCell::new(
+                format!("bench-{seed}"),
+                SimConfig {
+                    seed,
+                    duration: SimDuration::from_millis(20),
+                    ..SimConfig::default()
+                },
+                ArbitraryProtocol::parse("1-3-5").expect("valid tree spec"),
+            )
+        })
+        .collect()
+}
+
+fn bench_parallel_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("race_overhead/parallel_map");
+    g.bench_function("no-session", |b| b.iter(|| black_box(map_once())));
+    #[cfg(feature = "race-audit")]
+    g.bench_function("recorded", |b| {
+        b.iter(|| {
+            let session = arbitree_race::Session::start();
+            let out = black_box(map_once());
+            (out, session.finish().events.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_run_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("race_overhead/run_cells");
+    g.bench_function("no-session", |b| b.iter(|| black_box(run_cells(cells()))));
+    #[cfg(feature = "race-audit")]
+    g.bench_function("recorded", |b| {
+        b.iter(|| {
+            let session = arbitree_race::Session::start();
+            let out = black_box(run_cells(cells()));
+            (out, session.finish().events.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_parallel_map, bench_run_cells
+}
+criterion_main!(benches);

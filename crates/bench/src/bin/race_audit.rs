@@ -1,0 +1,310 @@
+//! `race_audit` — CI entry point for the arbitree-race concurrency
+//! auditor (requires `--features race-audit`).
+//!
+//! Two halves, mirroring the detector's acceptance criteria:
+//!
+//! * **Smoke suite** — the real threaded harness paths (striped
+//!   [`LockManager`] under four worker threads, [`parallel_map`], and a
+//!   small chaos [`run_cells`] batch) each run under their own recording
+//!   session and must analyze *clean*: zero data-race, lock-order, or
+//!   misuse findings and zero dropped events.
+//! * **Kill matrix** — every seeded [`RaceMutation`] runs its mutated
+//!   scenario; the analyzer must report at least one finding of the
+//!   mutation's defect class, and the unmutated suite must stay clean.
+//!
+//! Usage: `race_audit [--smoke] [--json <path>]` (default path
+//! `RACE_report.json`; `--smoke` shrinks the chaos batch for CI). Exit
+//! status is nonzero when any smoke scenario reports findings, any
+//! mutant survives, or the unmutated baseline is dirty.
+
+use arbitree_core::ArbitraryProtocol;
+use arbitree_race::{analyze, mutants, RaceMutation, RaceReport, Session};
+use arbitree_sim::{
+    build_profile, parallel_map, run_cells, ExperimentCell, FailureSchedule, LockManager, LockMode,
+    NemesisKind, NetworkConfig, ObjectId, OpId, SimConfig, SimDuration,
+};
+
+/// One smoke scenario's outcome.
+struct Smoke {
+    name: &'static str,
+    report: RaceReport,
+}
+
+impl Smoke {
+    fn clean(&self) -> bool {
+        self.report.clean()
+    }
+}
+
+/// One kill-matrix row.
+struct Kill {
+    mutation: RaceMutation,
+    killed: bool,
+    findings: usize,
+    trace: Vec<String>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map_or("RACE_report.json", String::as_str);
+
+    println!(
+        "race_audit: smoke suite + kill matrix{}",
+        if smoke_mode { " [smoke]" } else { "" }
+    );
+
+    let smokes = vec![
+        striped_lock_manager(),
+        parallel_map_smoke(),
+        chaos_batch(smoke_mode),
+    ];
+    for s in &smokes {
+        println!(
+            "smoke {:<22} {:>6} events  {} threads  {} locks  {} cells  {}",
+            s.name,
+            s.report.events,
+            s.report.threads,
+            s.report.locks,
+            s.report.cells,
+            if s.clean() { "clean" } else { "FINDINGS" }
+        );
+        if !s.clean() {
+            print!("{}", s.report.render_text());
+        }
+    }
+
+    let baseline = analyze(&mutants::run(None));
+    println!(
+        "baseline (all scenarios unmutated): {}",
+        if baseline.clean() { "clean" } else { "DIRTY" }
+    );
+
+    let kills: Vec<Kill> = RaceMutation::ALL
+        .iter()
+        .map(|&mutation| {
+            let report = analyze(&mutants::run(Some(mutation)));
+            let hit = report.findings.iter().find(|f| mutation.kills(f));
+            let kill = Kill {
+                mutation,
+                killed: hit.is_some(),
+                findings: report.findings.len(),
+                trace: hit.map(|f| f.trace.clone()).unwrap_or_default(),
+            };
+            println!(
+                "mutant {:<18} {:<9} ({} finding{}) — {}",
+                mutation.name(),
+                if kill.killed { "killed" } else { "SURVIVED" },
+                kill.findings,
+                if kill.findings == 1 { "" } else { "s" },
+                mutation.describe()
+            );
+            for line in &kill.trace {
+                println!("    {line}");
+            }
+            kill
+        })
+        .collect();
+
+    std::fs::write(
+        json_path,
+        render_json(smoke_mode, &smokes, &baseline, &kills),
+    )
+    .expect("write race report JSON");
+    println!("wrote {json_path}");
+
+    let dirty_smokes = smokes.iter().filter(|s| !s.clean()).count();
+    let survivors = kills.iter().filter(|k| !k.killed).count();
+    if dirty_smokes > 0 || survivors > 0 || !baseline.clean() {
+        println!(
+            "FAIL: {dirty_smokes} dirty smoke scenario(s), {survivors} surviving mutant(s){}",
+            if baseline.clean() {
+                ""
+            } else {
+                ", dirty baseline"
+            }
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {} smoke scenarios clean; {}/{} mutants killed",
+        smokes.len(),
+        kills.len(),
+        kills.len()
+    );
+}
+
+/// Four worker threads hammer disjoint object ranges of an 8-stripe
+/// [`LockManager`]; the striped table's internal locking must leave no
+/// unordered shared accesses behind.
+fn striped_lock_manager() -> Smoke {
+    const THREADS: u32 = 4;
+    const OPS: u32 = 200;
+    let lm = LockManager::striped(8);
+    let session = Session::start();
+    arbitree_race::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let lm = &lm;
+                s.spawn(move |_| {
+                    let base = t * 64;
+                    for i in 0..OPS {
+                        let obj = ObjectId(base + i % 16);
+                        let op = OpId(u64::from(t) * 10_000 + u64::from(i));
+                        let mode = if i % 3 == 0 {
+                            LockMode::Read
+                        } else {
+                            LockMode::Write
+                        };
+                        lm.acquire(op, obj, mode);
+                        lm.holds(op, obj);
+                        lm.release(op, obj);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress thread");
+        }
+    })
+    .expect("stress scope");
+    Smoke {
+        name: "striped-lock-manager",
+        report: analyze(&session.finish()),
+    }
+}
+
+/// The work-stealing map over 128 items: index claims via traced mutexes,
+/// results returned over the traced channel.
+fn parallel_map_smoke() -> Smoke {
+    let session = Session::start();
+    let out = parallel_map((0..128u64).collect(), |i| i.wrapping_mul(0x9E37_79B9));
+    assert_eq!(out.len(), 128);
+    Smoke {
+        name: "parallel-map",
+        report: analyze(&session.finish()),
+    }
+}
+
+/// A small chaos batch through [`run_cells`]: crash/restart schedules on
+/// even seeds, partition cycles on odd seeds.
+fn chaos_batch(smoke_mode: bool) -> Smoke {
+    use arbitree_quorum::SiteId;
+    let cells: Vec<ExperimentCell> = (0..if smoke_mode { 4u64 } else { 8u64 })
+        .map(|seed| {
+            let config = SimConfig {
+                seed,
+                duration: SimDuration::from_millis(if smoke_mode { 60 } else { 150 }),
+                ..SimConfig::default()
+            };
+            let mut cell = ExperimentCell::new(format!("cell-{seed}"), config.clone(), proto());
+            if seed % 2 == 0 {
+                cell = cell.with_failures(FailureSchedule::random(
+                    8,
+                    config.duration,
+                    SimDuration::from_millis(20),
+                    SimDuration::from_millis(5),
+                    seed + 11,
+                ));
+            } else {
+                let levels: Vec<Vec<SiteId>> =
+                    vec![vec![SiteId::new(0)], (1..4).map(SiteId::new).collect()];
+                cell = cell.with_nemesis(build_profile(
+                    NemesisKind::PartitionCycles,
+                    &levels,
+                    NetworkConfig::default(),
+                    config.duration,
+                    seed + 7,
+                ));
+            }
+            cell
+        })
+        .collect();
+    let session = Session::start();
+    let results = run_cells(cells);
+    assert!(!results.is_empty());
+    Smoke {
+        name: "run-cells-chaos",
+        report: analyze(&session.finish()),
+    }
+}
+
+fn proto() -> ArbitraryProtocol {
+    ArbitraryProtocol::parse("1-3-5").expect("valid tree spec")
+}
+
+/// Hand-rolled JSON (the workspace vendors no serde): stable key order,
+/// one object per smoke scenario and kill-matrix row.
+fn render_json(
+    smoke_mode: bool,
+    smokes: &[Smoke],
+    baseline: &RaceReport,
+    kills: &[Kill],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"race_audit\",\n");
+    s.push_str(&format!("  \"smoke_mode\": {smoke_mode},\n"));
+    s.push_str("  \"smoke\": [\n");
+    for (i, sm) in smokes.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"clean\": {}, \"findings\": {}, \"events\": {}, \
+             \"dropped\": {}, \"threads\": {}, \"locks\": {}, \"cells\": {}, \
+             \"hb_suppressed\": {}}}{}\n",
+            sm.name,
+            sm.clean(),
+            sm.report.findings.len(),
+            sm.report.events,
+            sm.report.dropped,
+            sm.report.threads,
+            sm.report.locks,
+            sm.report.cells,
+            sm.report.hb_suppressed,
+            if i + 1 < smokes.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"baseline_clean\": {},\n", baseline.clean()));
+    s.push_str("  \"kill_matrix\": [\n");
+    for (i, k) in kills.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"mutation\": \"{}\", \"killed\": {}, \"findings\": {}, \"trace\": [",
+            k.mutation.name(),
+            k.killed,
+            k.findings
+        ));
+        for (j, line) in k.trace.iter().enumerate() {
+            s.push_str(&format!(
+                "\"{}\"{}",
+                json_escape(line),
+                if j + 1 < k.trace.len() { ", " } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < kills.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"killed\": {},\n  \"total\": {}\n}}\n",
+        kills.iter().filter(|k| k.killed).count(),
+        kills.len()
+    ));
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}

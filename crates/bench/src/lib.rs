@@ -15,6 +15,11 @@
 //!
 //! Run any of them with `cargo run -p arbitree-bench --bin <name> --release`.
 //!
+//! The `race_audit` binary (behind `--features race-audit`) is the CI
+//! entry point for the concurrency auditor: it runs the threaded-harness
+//! smoke suite under recording sessions plus the seeded-mutation kill
+//! matrix, and writes `RACE_report.json`.
+//!
 //! Criterion microbenchmarks live in `benches/`: quorum enumeration and
 //! picking, LP-solver scaling, simulator throughput, and the ablations
 //! DESIGN.md calls out.

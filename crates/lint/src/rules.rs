@@ -68,6 +68,11 @@ pub const RULES: &[Rule] = &[
         summary: "lock acquisition with no prior stripe-order sort",
         hint: "sort the lock plan by object/stripe index before acquiring (`lock_plan.sort_by_key(...)`) — two transactions walking the same stripes in different orders can deadlock under 2PL",
     },
+    Rule {
+        id: "D011",
+        summary: "raw thread/sync primitive outside the traced concurrency seam",
+        hint: "use arbitree_race's TracedMutex / TracedRwLock / traced_channel / scope so the race detector observes the synchronization; only crates/race/src may touch the raw primitives",
+    },
 ];
 
 /// The rule id used for malformed suppression directives (reported by the
@@ -148,6 +153,12 @@ impl Rule {
             // simulator must be preceded by a sort of the lock plan.
             // File-level rule — matched by the ordering pass in `lib.rs`.
             "D010" => path.starts_with("crates/sim/src/"),
+            // The traced concurrency seam: everything threaded must go
+            // through arbitree-race's wrappers so the race detector sees
+            // it. The seam itself is the one place raw primitives may
+            // live. (Test code is exempt via the workspace walk, which
+            // skips tests/ and benches/ directories.)
+            "D011" => !path.starts_with("crates/race/src/"),
             _ => false,
         }
     }
@@ -162,6 +173,20 @@ impl Rule {
             "D005" => has_method_call(code, "unwrap") || has_method_call(code, "expect"),
             "D006" => has_float_equality(code),
             "D007" => has_method_call(code, "schedule") || has_path(code, "Engine", "schedule"),
+            // Bare identifiers, not `std::sync::` paths: grouped imports
+            // (`use std::sync::{Mutex, mpsc};`) and type positions
+            // (`stripes: Vec<Mutex<Table>>`) must fire too. Word
+            // boundaries keep `TracedMutex`/`TracedRwLock` clean, and the
+            // scanner has already stripped comments, strings and test
+            // modules.
+            "D011" => {
+                has_path(code, "thread", "spawn")
+                    || has_ident(code, "Mutex")
+                    || has_ident(code, "RwLock")
+                    || has_ident(code, "Condvar")
+                    || has_ident(code, "mpsc")
+                    || has_ident(code, "crossbeam")
+            }
             _ => false,
         }
     }
@@ -390,6 +415,28 @@ mod tests {
     }
 
     #[test]
+    fn d011_matches_raw_primitives() {
+        assert!(rule("D011").matches("std::thread::spawn(move || work());"));
+        assert!(rule("D011").matches("let m = Mutex::new(0);"));
+        assert!(rule("D011").matches("use std::sync::Mutex;"));
+        assert!(rule("D011").matches("use std::sync::{Mutex, RwLock};"));
+        assert!(rule("D011").matches("let l = RwLock::new(data);"));
+        assert!(rule("D011").matches("let c = Condvar::new();"));
+        assert!(rule("D011").matches("let (tx, rx) = mpsc::channel();"));
+        assert!(rule("D011").matches("let (tx, rx) = mpsc::sync_channel(4);"));
+        assert!(rule("D011").matches("crossbeam::thread::scope(|s| ())"));
+        // The traced wrappers are exactly what the rule pushes towards.
+        assert!(!rule("D011").matches("let m = TracedMutex::new(0);"));
+        assert!(!rule("D011").matches("let l = TracedRwLock::new(0);"));
+        assert!(!rule("D011").matches("let (tx, rx) = traced_channel();"));
+        // Atomics are the sanctioned lock-free escape hatch.
+        assert!(!rule("D011").matches("use std::sync::atomic::AtomicUsize;"));
+        // Unrelated uses of the bare words.
+        assert!(!rule("D011").matches("std::thread::available_parallelism()"));
+        assert!(!rule("D011").matches("use arbitree_sync::RangeHash;"));
+    }
+
+    #[test]
     fn scoping() {
         assert!(rule("D001").in_scope("crates/sim/src/coordinator.rs"));
         assert!(rule("D001").in_scope("crates/quorum/src/traits.rs"));
@@ -419,6 +466,12 @@ mod tests {
         assert!(rule("D010").in_scope("crates/sim/src/coordinator.rs"));
         assert!(rule("D010").in_scope("crates/sim/src/locks.rs"));
         assert!(!rule("D010").in_scope("crates/quorum/src/traits.rs"));
+        assert!(rule("D011").in_scope("crates/sim/src/harness.rs"));
+        assert!(rule("D011").in_scope("crates/sim/src/locks.rs"));
+        assert!(rule("D011").in_scope("crates/bench/src/lib.rs"));
+        assert!(rule("D011").in_scope("crates/check/src/explore.rs"));
+        assert!(!rule("D011").in_scope("crates/race/src/sync.rs"));
+        assert!(!rule("D011").in_scope("crates/race/src/log.rs"));
     }
 
     #[test]

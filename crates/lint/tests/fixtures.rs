@@ -198,6 +198,19 @@ fn d010_negative() {
     check("d010_negative.rs");
 }
 
+#[test]
+fn d011_positive() {
+    check("d011_positive.rs");
+}
+
+/// Traced wrappers, atomics, and test-module usage are clean; one raw
+/// bootstrap `Mutex` survives behind a reasoned suppression.
+#[test]
+fn d011_negative() {
+    let report = check("d011_negative.rs");
+    assert_eq!(report.suppressed, 1);
+}
+
 /// Scanner regressions: tokens in comments/strings never fire, and
 /// `#[cfg(any(test, ...))]` exempts its region while `#[cfg(not(test))]`
 /// does not.
@@ -248,6 +261,8 @@ fn all_fixtures_are_covered() {
         "d009_explore_negative.rs",
         "d010_positive.rs",
         "d010_negative.rs",
+        "d011_positive.rs",
+        "d011_negative.rs",
         "cfg_gated.rs",
         "suppression_ok.rs",
         "suppression_bare.rs",

@@ -1,0 +1,13 @@
+//@ path: crates/sim/src/fixture.rs
+use std::sync::mpsc; //~ D011
+use std::sync::{Mutex, RwLock}; //~ D011
+
+pub fn raw_concurrency() {
+    let m = Mutex::new(0u32); //~ D011
+    let l = RwLock::new(Vec::<u32>::new()); //~ D011
+    let c = std::sync::Condvar::new(); //~ D011
+    let (tx, rx) = mpsc::channel::<u32>(); //~ D011
+    let h = std::thread::spawn(move || tx.send(1)); //~ D011
+    let r = crossbeam::thread::scope(|_| ()); //~ D011
+    drop((m, l, c, rx, h, r));
+}

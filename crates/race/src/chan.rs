@@ -1,0 +1,201 @@
+//! Traced mpsc channel: a drop-in wrapper over `std::sync::mpsc` whose
+//! send/receive pairs become happens-before edges in the analysis.
+//!
+//! With `race-audit` on, every message travels in an envelope carrying a
+//! process-unique id; the send records `Send { chan, msg }` *before* the
+//! underlying send (so the send event always precedes the matching receive
+//! event in log order), and the receive records `Recv { chan, msg }` after
+//! the value arrives. With the feature off the envelope type collapses to
+//! `T` and the wrapper is a zero-cost passthrough.
+
+use std::fmt;
+use std::sync::mpsc;
+
+#[cfg(feature = "race-audit")]
+use crate::event::{ChanId, EventKind};
+#[cfg(feature = "race-audit")]
+use crate::log::{fresh_id, record};
+
+#[cfg(feature = "race-audit")]
+type Envelope<T> = (u64, T);
+#[cfg(not(feature = "race-audit"))]
+type Envelope<T> = T;
+
+/// Create a traced unbounded channel.
+pub fn traced_channel<T>() -> (TracedSender<T>, TracedReceiver<T>) {
+    let (tx, rx) = mpsc::channel::<Envelope<T>>();
+    #[cfg(feature = "race-audit")]
+    let chan = ChanId(fresh_id());
+    (
+        TracedSender {
+            inner: tx,
+            #[cfg(feature = "race-audit")]
+            chan,
+        },
+        TracedReceiver {
+            inner: rx,
+            #[cfg(feature = "race-audit")]
+            chan,
+        },
+    )
+}
+
+/// Sending half of a traced channel. Clonable like `mpsc::Sender`.
+pub struct TracedSender<T> {
+    inner: mpsc::Sender<Envelope<T>>,
+    #[cfg(feature = "race-audit")]
+    chan: ChanId,
+}
+
+impl<T> TracedSender<T> {
+    /// Send a value, recording the happens-before edge's source.
+    pub fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+        #[cfg(feature = "race-audit")]
+        {
+            let msg = fresh_id();
+            record(EventKind::Send {
+                chan: self.chan,
+                msg,
+            });
+            self.inner
+                .send((msg, value))
+                .map_err(|mpsc::SendError((_, v))| mpsc::SendError(v))
+        }
+        #[cfg(not(feature = "race-audit"))]
+        self.inner.send(value)
+    }
+}
+
+impl<T> Clone for TracedSender<T> {
+    fn clone(&self) -> Self {
+        TracedSender {
+            inner: self.inner.clone(),
+            #[cfg(feature = "race-audit")]
+            chan: self.chan,
+        }
+    }
+}
+
+impl<T> fmt::Debug for TracedSender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TracedSender").finish_non_exhaustive()
+    }
+}
+
+/// Receiving half of a traced channel.
+pub struct TracedReceiver<T> {
+    inner: mpsc::Receiver<Envelope<T>>,
+    #[cfg(feature = "race-audit")]
+    chan: ChanId,
+}
+
+impl<T> TracedReceiver<T> {
+    /// Block until a value arrives, recording the happens-before edge's
+    /// sink.
+    pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+        #[cfg(feature = "race-audit")]
+        {
+            let (msg, value) = self.inner.recv()?;
+            record(EventKind::Recv {
+                chan: self.chan,
+                msg,
+            });
+            Ok(value)
+        }
+        #[cfg(not(feature = "race-audit"))]
+        self.inner.recv()
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+        #[cfg(feature = "race-audit")]
+        {
+            let (msg, value) = self.inner.try_recv()?;
+            record(EventKind::Recv {
+                chan: self.chan,
+                msg,
+            });
+            Ok(value)
+        }
+        #[cfg(not(feature = "race-audit"))]
+        self.inner.try_recv()
+    }
+
+    /// Iterate over values until every sender is dropped.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> fmt::Debug for TracedReceiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TracedReceiver").finish_non_exhaustive()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a TracedReceiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Blocking iterator over a [`TracedReceiver`]'s values.
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    rx: &'a TracedReceiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roundtrip_preserves_values_in_order() {
+        let (tx, rx) = traced_channel();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_the_value() {
+        let (tx, rx) = traced_channel();
+        drop(rx);
+        let err = tx.send(41).unwrap_err();
+        assert_eq!(err.0, 41);
+    }
+
+    #[cfg(feature = "race-audit")]
+    #[test]
+    fn send_event_precedes_matching_recv_event() {
+        use crate::event::EventKind;
+        use crate::log::Session;
+
+        let (tx, rx) = traced_channel();
+        let session = Session::start();
+        tx.send("ping").unwrap();
+        assert_eq!(rx.recv().unwrap(), "ping");
+        let log = session.finish();
+        let kinds: Vec<_> = log.events.iter().map(|e| e.kind).collect();
+        match (kinds[0], kinds[1]) {
+            (EventKind::Send { msg: s, .. }, EventKind::Recv { msg: r, .. }) => {
+                assert_eq!(s, r);
+            }
+            other => panic!("unexpected event kinds: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Seeded concurrency bugs for the detector's mutation-kill harness (the
+//! PR-4/PR-8 pattern): each [`RaceMutation`] names one bug class from the
+//! threaded harness's threat model, [`run`] executes a small scenario with
+//! the bug either present or fixed, and the detector must flag every
+//! mutated run ([`RaceMutation::kills`]) while the unmutated suite stays
+//! clean.
+//!
+//! The scenarios are deterministic: none of them depends on the OS
+//! scheduler to expose the bug, because the vector-clock analysis flags
+//! *unordered* accesses regardless of how the run happened to interleave.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::chan::traced_channel;
+use crate::event::SessionLog;
+use crate::log::Session;
+use crate::report::{Finding, FindingKind};
+use crate::scope::scope;
+use crate::shadow::{fresh_lock, raw_acquire, raw_release, ShadowCell};
+use crate::sync::TracedMutex;
+
+/// One seeded concurrency bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceMutation {
+    /// The guard around the shared report vector is dropped: one worker
+    /// writes the shared state without taking the lock.
+    DroppedGuard,
+    /// Stripes are acquired out of sorted order on one path, inverting the
+    /// nesting of another path.
+    UnsortedStripes,
+    /// A result is read by the coordinator before the worker is joined —
+    /// the write reaches the reader with no happens-before edge.
+    MissingJoinEdge,
+    /// The shared value is read before the channel receive that was meant
+    /// to order it after the producer's write.
+    RecvReordered,
+    /// A lock is released twice.
+    DoubleRelease,
+}
+
+impl RaceMutation {
+    /// Every seeded mutation, in kill-matrix order.
+    pub const ALL: [RaceMutation; 5] = [
+        RaceMutation::DroppedGuard,
+        RaceMutation::UnsortedStripes,
+        RaceMutation::MissingJoinEdge,
+        RaceMutation::RecvReordered,
+        RaceMutation::DoubleRelease,
+    ];
+
+    /// Stable kebab-case name (used in reports and CI output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RaceMutation::DroppedGuard => "dropped-guard",
+            RaceMutation::UnsortedStripes => "unsorted-stripes",
+            RaceMutation::MissingJoinEdge => "missing-join-edge",
+            RaceMutation::RecvReordered => "recv-reordered",
+            RaceMutation::DoubleRelease => "double-release",
+        }
+    }
+
+    /// One-line description of the seeded bug.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            RaceMutation::DroppedGuard => {
+                "worker appends to the shared report vector without taking its mutex"
+            }
+            RaceMutation::UnsortedStripes => {
+                "second path acquires stripe 1 before stripe 0, inverting the sort order"
+            }
+            RaceMutation::MissingJoinEdge => {
+                "coordinator reads a worker's result slot before joining the worker"
+            }
+            RaceMutation::RecvReordered => {
+                "consumer reads the produced value before the channel recv that orders it"
+            }
+            RaceMutation::DoubleRelease => "a stripe lock is released twice",
+        }
+    }
+
+    /// Whether `finding` is the class of defect this mutation seeds.
+    pub fn kills(&self, finding: &Finding) -> bool {
+        match self {
+            RaceMutation::DroppedGuard
+            | RaceMutation::MissingJoinEdge
+            | RaceMutation::RecvReordered => {
+                matches!(finding.kind, FindingKind::DataRace { .. })
+            }
+            RaceMutation::UnsortedStripes => {
+                matches!(finding.kind, FindingKind::LockOrderCycle { .. })
+            }
+            RaceMutation::DoubleRelease => {
+                matches!(finding.kind, FindingKind::LockMisuse { .. })
+            }
+        }
+    }
+}
+
+/// Record one session: with `Some(m)`, run `m`'s scenario with the bug
+/// present; with `None`, run every scenario in its correct form (the
+/// clean-run baseline the kill matrix is measured against).
+pub fn run(mutation: Option<RaceMutation>) -> SessionLog {
+    let session = Session::start();
+    match mutation {
+        Some(RaceMutation::DroppedGuard) => dropped_guard(true),
+        Some(RaceMutation::UnsortedStripes) => unsorted_stripes(true),
+        Some(RaceMutation::MissingJoinEdge) => missing_join_edge(true),
+        Some(RaceMutation::RecvReordered) => recv_reordered(true),
+        Some(RaceMutation::DoubleRelease) => double_release(true),
+        None => {
+            dropped_guard(false);
+            unsorted_stripes(false);
+            missing_join_edge(false);
+            recv_reordered(false);
+            double_release(false);
+        }
+    }
+    session.finish()
+}
+
+/// Two workers append to a shared report vector; the mutant skips the lock
+/// on one of them.
+fn dropped_guard(mutated: bool) {
+    let lock = TracedMutex::new(());
+    let report = ShadowCell::new();
+    scope(|s| {
+        let h1 = s.spawn(|_| {
+            let _guard = lock.lock();
+            report.write();
+        });
+        let h2 = s.spawn(|_| {
+            if mutated {
+                report.write();
+            } else {
+                let _guard = lock.lock();
+                report.write();
+            }
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+    })
+    .unwrap();
+}
+
+/// Two sequential paths nest a pair of stripe locks; the mutant inverts
+/// the second path's order. (The paths never overlap in time — the cycle
+/// is in the *order*, which is exactly what makes it a latent deadlock.)
+fn unsorted_stripes(mutated: bool) {
+    let stripe0 = TracedMutex::new(());
+    let stripe1 = TracedMutex::new(());
+    scope(|s| {
+        let first = s.spawn(|_| {
+            let _g0 = stripe0.lock();
+            let _g1 = stripe1.lock();
+        });
+        first.join().unwrap();
+        let second = s.spawn(|_| {
+            if mutated {
+                let _g1 = stripe1.lock();
+                let _g0 = stripe0.lock();
+            } else {
+                let _g0 = stripe0.lock();
+                let _g1 = stripe1.lock();
+            }
+        });
+        second.join().unwrap();
+    })
+    .unwrap();
+}
+
+/// A worker fills a result slot; the mutant reads it after an atomic flag
+/// spin but *before* the join, so no happens-before edge covers the read
+/// (atomics are invisible to the detector by policy).
+fn missing_join_edge(mutated: bool) {
+    let slot = ShadowCell::new();
+    let done = AtomicBool::new(false);
+    scope(|s| {
+        let h = s.spawn(|_| {
+            slot.write();
+            done.store(true, Ordering::Release);
+        });
+        if mutated {
+            while !done.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            slot.read();
+            h.join().unwrap();
+        } else {
+            h.join().unwrap();
+            slot.read();
+        }
+    })
+    .unwrap();
+}
+
+/// A producer writes a value then signals over a traced channel; the
+/// mutant consumes the value before the recv that orders it.
+fn recv_reordered(mutated: bool) {
+    let value = ShadowCell::new();
+    let ready = AtomicBool::new(false);
+    let (tx, rx) = traced_channel::<u64>();
+    scope(|s| {
+        // The sender is moved into the worker; the flag crosses as a
+        // shared borrow (senders are Send but not Sync).
+        let ready = &ready;
+        let h = s.spawn(move |_| {
+            value.write();
+            ready.store(true, Ordering::Release);
+            tx.send(1).unwrap();
+        });
+        if mutated {
+            while !ready.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            value.read();
+            rx.recv().unwrap();
+        } else {
+            rx.recv().unwrap();
+            value.read();
+        }
+        h.join().unwrap();
+    })
+    .unwrap();
+}
+
+/// A raw stripe lock is acquired and released once; the mutant releases it
+/// a second time.
+fn double_release(mutated: bool) {
+    let stripe = fresh_lock();
+    raw_acquire(stripe);
+    raw_release(stripe);
+    if mutated {
+        raw_release(stripe);
+    }
+}

@@ -1,0 +1,199 @@
+//! Findings and reports produced by the [analyzer](crate::analyze).
+
+use std::fmt::Write as _;
+
+use crate::event::{CellId, LockId};
+
+/// What kind of defect a finding describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Two threads accessed `cell` (at least one write) with no common lock
+    /// and no happens-before order between the accesses.
+    DataRace {
+        /// The shadow word raced on.
+        cell: CellId,
+    },
+    /// Locks were nested in incompatible orders on different paths — a
+    /// potential deadlock. The cycle lists the locks in nesting order.
+    LockOrderCycle {
+        /// The locks forming the cycle, each acquired while holding the
+        /// previous one (and the first while holding the last).
+        cycle: Vec<LockId>,
+    },
+    /// A lock protocol violation: releasing a lock the thread does not
+    /// hold, or re-acquiring a lock it already holds.
+    LockMisuse {
+        /// The misused lock.
+        lock: LockId,
+    },
+}
+
+impl FindingKind {
+    /// Short machine-friendly tag, used in JSON output and kill matching.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FindingKind::DataRace { .. } => "data-race",
+            FindingKind::LockOrderCycle { .. } => "lock-order-cycle",
+            FindingKind::LockMisuse { .. } => "lock-misuse",
+        }
+    }
+}
+
+/// One deduplicated finding with a replayable trace.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The defect class and its subject.
+    pub kind: FindingKind,
+    /// One-line human description.
+    pub message: String,
+    /// Replayable excerpt of the event log: the sequence of recorded
+    /// events (with their global sequence numbers) that exhibits the
+    /// defect, filtered to the involved threads and capped in length.
+    pub trace: Vec<String>,
+}
+
+/// The analyzer's verdict over one session log.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Deduplicated findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Total events analyzed.
+    pub events: usize,
+    /// Events dropped by the log (capacity overflow) — nonzero means the
+    /// verdict is incomplete.
+    pub dropped: usize,
+    /// Distinct threads observed.
+    pub threads: usize,
+    /// Distinct locks observed.
+    pub locks: usize,
+    /// Distinct shadow cells observed.
+    pub cells: usize,
+    /// Cells whose candidate lockset emptied but where every cross-thread
+    /// access pair was ordered by happens-before — suppressed as false
+    /// positives rather than reported.
+    pub hb_suppressed: usize,
+}
+
+impl RaceReport {
+    /// True when the session produced no findings and no events were lost.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.dropped == 0
+    }
+
+    /// Render the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "race audit: {} events, {} threads, {} locks, {} cells, {} hb-suppressed, {} dropped",
+            self.events, self.threads, self.locks, self.cells, self.hb_suppressed, self.dropped
+        );
+        if self.findings.is_empty() {
+            out.push_str("no findings\n");
+            return out;
+        }
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = writeln!(out, "[{}] {}: {}", i + 1, f.kind.tag(), f.message);
+            for line in &f.trace {
+                let _ = writeln!(out, "      {line}");
+            }
+        }
+        out
+    }
+
+    /// Render the report as JSON (same hand-rolled style as lint/audit).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"dropped\": {},", self.dropped);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"locks\": {},", self.locks);
+        let _ = writeln!(out, "  \"cells\": {},", self.cells);
+        let _ = writeln!(out, "  \"hb_suppressed\": {},", self.hb_suppressed);
+        let _ = writeln!(out, "  \"clean\": {},", self.clean());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"kind\": \"{}\",", f.kind.tag());
+            let _ = writeln!(out, "      \"message\": \"{}\",", json_escape(&f.message));
+            out.push_str("      \"trace\": [");
+            for (j, line) in f.trace.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", json_escape(line));
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_renders_no_findings() {
+        let report = RaceReport {
+            events: 12,
+            threads: 3,
+            ..RaceReport::default()
+        };
+        assert!(report.clean());
+        assert!(report.render_text().contains("no findings"));
+        assert!(report.render_json().contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn findings_render_with_traces() {
+        let report = RaceReport {
+            findings: vec![Finding {
+                kind: FindingKind::DataRace { cell: CellId(4) },
+                message: "unsynchronized write to C4".into(),
+                trace: vec!["[0001] t0 write C4".into(), "[0002] t1 write C4".into()],
+            }],
+            events: 2,
+            threads: 2,
+            cells: 1,
+            ..RaceReport::default()
+        };
+        assert!(!report.clean());
+        let text = report.render_text();
+        assert!(text.contains("data-race"));
+        assert!(text.contains("[0002] t1 write C4"));
+        let json = report.render_json();
+        assert!(json.contains("\"kind\": \"data-race\""));
+        assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,66 @@
+//! Mutation-kill matrix for the race detector (requires `race-audit`):
+//! every seeded concurrency bug must be flagged with a finding of the
+//! matching class and a non-empty replayable trace, and the unmutated
+//! scenario suite must run clean.
+//!
+//! Sessions are serialized process-wide by the recording gate, so these
+//! tests are safe under the default parallel test runner.
+
+use arbitree_race::{analyze, mutants, RaceMutation};
+
+#[test]
+fn every_seeded_mutation_is_killed_with_a_trace() {
+    for m in RaceMutation::ALL {
+        let log = mutants::run(Some(m));
+        assert_eq!(log.dropped, 0, "{}: log overflowed", m.name());
+        let report = analyze(&log);
+        let killer = report.findings.iter().find(|f| m.kills(f));
+        let killer = killer.unwrap_or_else(|| {
+            panic!(
+                "mutation {} survived; findings: {:?}",
+                m.name(),
+                report.findings
+            )
+        });
+        assert!(
+            !killer.trace.is_empty(),
+            "{}: kill finding has no replayable trace",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn unmutated_scenarios_run_clean() {
+    let log = mutants::run(None);
+    assert_eq!(log.dropped, 0);
+    let report = analyze(&log);
+    assert!(
+        report.clean(),
+        "clean run produced findings: {}",
+        report.render_text()
+    );
+    // The clean suite still exercises every event kind.
+    assert!(report.threads >= 5);
+    assert!(report.locks >= 3);
+    assert!(report.cells >= 3);
+}
+
+#[test]
+fn kill_matrix_is_exclusive_per_class() {
+    // The double-release scenario must not also trip the race or cycle
+    // detectors, and vice versa: each mutation is killed by its own class.
+    let log = mutants::run(Some(RaceMutation::DoubleRelease));
+    let report = analyze(&log);
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| RaceMutation::DoubleRelease.kills(f)));
+
+    let log = mutants::run(Some(RaceMutation::UnsortedStripes));
+    let report = analyze(&log);
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| RaceMutation::UnsortedStripes.kills(f)));
+}

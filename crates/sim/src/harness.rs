@@ -10,11 +10,12 @@ use crate::nemesis::Nemesis;
 use crate::sim::Simulation;
 use crate::txn::SimReport;
 use arbitree_quorum::{AliveSet, ReplicaControl, SiteId};
+use arbitree_race as race;
+use arbitree_race::{traced_channel, TracedMutex, TracedSender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Empirical read/write availability: sample `trials` alive-site vectors
 /// (each site up independently with probability `p`) and count the fraction
@@ -42,7 +43,7 @@ pub fn empirical_availability<P: ReplicaControl + Sync + ?Sized>(
     let per_thread = trials / threads as u32;
     let remainder = trials % threads as u32;
 
-    let totals = crossbeam::thread::scope(|scope| {
+    let totals = race::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let my_trials = per_thread + u32::from((t as u32) < remainder);
@@ -76,8 +77,8 @@ pub fn empirical_availability<P: ReplicaControl + Sync + ?Sized>(
             .map(|h| h.join().expect("trial thread panicked"))
             .fold((0u64, 0u64), |(ar, aw), (r, w)| (ar + r, aw + w))
     })
-    // arbitree-lint: allow(D005) — the crossbeam scope errors only when a child thread panicked
-    .expect("crossbeam scope");
+    // arbitree-lint: allow(D005) — the traced scope errors only when a child thread panicked
+    .expect("trial scope");
 
     (
         totals.0 as f64 / f64::from(trials),
@@ -279,63 +280,78 @@ impl fmt::Debug for ExperimentCell {
 
 /// Applies `f` to every item on a pool of scoped worker threads, returning
 /// results **in input order**. Items are claimed from a shared work index,
-/// so long items do not serialize behind short ones.
+/// so long items do not serialize behind short ones. Workers send results
+/// back over a traced channel keyed by input index, so the output order is
+/// independent of scheduling.
 ///
 /// # Panics
 ///
-/// Propagates a panic from any invocation of `f`.
+/// Propagates a panic from any invocation of `f` with its original
+/// payload: the remaining workers are allowed to finish their claimed
+/// items, then the first panic resumes unwinding on the calling thread.
 pub fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work: Vec<TracedMutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| TracedMutex::new(Some(t)))
+        .collect();
     let next = AtomicUsize::new(0);
     let threads = std::thread::available_parallelism()
         .map_or(1, |t| t.get())
         .min(8)
         .min(n);
-    let run_worker = || loop {
+    let (tx, rx) = traced_channel::<(usize, U)>();
+    let run_worker = |tx: TracedSender<(usize, U)>| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             break;
         }
         let item = work[i]
             .lock()
-            // arbitree-lint: allow(D005) — slot mutexes are poisoned only after another worker panicked; propagate
-            .expect("work slot poisoned")
             .take()
             // arbitree-lint: allow(D005) — the atomic fetch_add hands each index to exactly one worker
             .expect("item claimed once");
         let out = f(item);
-        // arbitree-lint: allow(D005) — poisoning only follows a worker panic; propagate
-        *slots[i].lock().expect("result slot poisoned") = Some(out);
+        if tx.send((i, out)).is_err() {
+            // The receiver is gone: the caller is already unwinding.
+            break;
+        }
     };
     if threads <= 1 {
-        run_worker();
+        run_worker(tx);
     } else {
-        crossbeam::thread::scope(|scope| {
+        let first_panic = race::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| scope.spawn(|_| run_worker()))
+                .map(|_| {
+                    let tx = tx.clone();
+                    scope.spawn(move |_| run_worker(tx))
+                })
                 .collect();
+            drop(tx);
+            let mut first_panic = None;
             for h in handles {
-                // arbitree-lint: allow(D005) — worker panics must propagate to the caller
-                h.join().expect("worker thread panicked");
+                if let Err(payload) = h.join() {
+                    first_panic.get_or_insert(payload);
+                }
             }
-        })
-        // arbitree-lint: allow(D005) — the crossbeam scope errors only when a child thread panicked
-        .expect("crossbeam scope");
+            first_panic
+        });
+        match first_panic {
+            Ok(Some(payload)) | Err(payload) => std::panic::resume_unwind(payload),
+            Ok(None) => {}
+        }
+    }
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx.iter() {
+        slots[i] = Some(out);
     }
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                // arbitree-lint: allow(D005) — poisoning only follows a worker panic; propagate
-                .expect("result slot poisoned")
-                // arbitree-lint: allow(D005) — every index below n was claimed and filled by exactly one worker
-                .expect("every slot filled")
-        })
+        // arbitree-lint: allow(D005) — every index below n was claimed and sent by exactly one worker
+        .map(|s| s.expect("every slot filled"))
         .collect()
 }
 
@@ -548,5 +564,47 @@ mod tests {
         let a = empirical_availability(&p, 0.7, 5_000, 9);
         let b = empirical_availability(&p, 0.7, 5_000, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let out = parallel_map((0..200u64).collect(), |i| i * i);
+        let want: Vec<u64> = (0..200u64).map(|i| i * i).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panic_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..64u32).collect::<Vec<_>>(), |i| {
+                if i == 7 {
+                    panic!("cell 7 exploded");
+                }
+                i * 2
+            })
+        });
+        let payload = result.expect_err("panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("wrong payload type");
+        assert_eq!(msg, "cell 7 exploded");
+    }
+
+    #[test]
+    fn parallel_map_panic_in_single_thread_path_propagates_too() {
+        // One item forces the threads <= 1 fallback.
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(vec![1u32], |_| -> u32 { panic!("lone cell exploded") })
+        });
+        let payload = result.expect_err("panic must reach the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "lone cell exploded");
     }
 }

@@ -4,15 +4,22 @@
 //!
 //! The table is *striped*: objects hash onto per-shard lock tables with the
 //! same [`arbitree_quorum::shard_index`] map the coordinator uses for
-//! protocol routing, so transactions on different shards never contend on
-//! shared lock state. Striping is purely an indexing layout — grant/queue
-//! semantics are those of one global table, and deadlock freedom still
-//! comes from the coordinator acquiring locks in globally ascending object
-//! order (a total order across every stripe).
+//! protocol routing. Each stripe is guarded by its own
+//! [`TracedMutex`], so the manager is shared across real threads (`&self`
+//! methods) and transactions on different shards never contend on the same
+//! stripe lock — under the `race-audit` feature every stripe acquisition
+//! is recorded for the arbitree-race detector. Striping is purely an
+//! indexing layout: grant/queue semantics are those of one global table,
+//! and deadlock freedom still comes from the coordinator acquiring object
+//! locks in globally ascending order (a total order across every stripe).
+//! No operation ever holds two stripe locks at once, except
+//! [`locked_objects`](LockManager::locked_objects) which sweeps stripes in
+//! ascending index order.
 
 use crate::message::{ObjectId, OpId};
 use arbitree_core::DetMap;
 use arbitree_quorum::shard_index;
+use arbitree_race::TracedMutex;
 use std::collections::VecDeque;
 
 /// Lock mode requested by an operation.
@@ -45,10 +52,10 @@ struct LockTable {
     objects: DetMap<ObjectId, LockState>,
 }
 
-/// The lock manager: one [`LockTable`] per stripe.
+/// The lock manager: one mutex-guarded [`LockTable`] per stripe.
 #[derive(Debug)]
 pub struct LockManager {
-    stripes: Vec<LockTable>,
+    stripes: Vec<TracedMutex<LockTable>>,
 }
 
 impl Default for LockManager {
@@ -72,7 +79,9 @@ impl LockManager {
     pub fn striped(stripes: usize) -> Self {
         assert!(stripes > 0, "need at least one stripe");
         LockManager {
-            stripes: (0..stripes).map(|_| LockTable::default()).collect(),
+            stripes: (0..stripes)
+                .map(|_| TracedMutex::new(LockTable::default()))
+                .collect(),
         }
     }
 
@@ -86,23 +95,15 @@ impl LockManager {
         shard_index(u64::from(obj.0), self.stripes.len())
     }
 
-    fn table_mut(&mut self, obj: ObjectId) -> &mut LockTable {
-        let idx = self.stripe_of(obj);
-        &mut self.stripes[idx]
-    }
-
-    fn table(&self, obj: ObjectId) -> &LockTable {
-        &self.stripes[self.stripe_of(obj)]
-    }
-
     /// Requests a lock. Returns `true` if granted immediately; otherwise the
     /// request is queued FIFO and will be granted by a later
     /// [`release`](Self::release).
     ///
     /// A read request is only granted immediately when nothing is queued
     /// ahead of it, so writers are never starved by a stream of readers.
-    pub fn acquire(&mut self, op: OpId, obj: ObjectId, mode: LockMode) -> bool {
-        let state = self.table_mut(obj).objects.entry(obj).or_default();
+    pub fn acquire(&self, op: OpId, obj: ObjectId, mode: LockMode) -> bool {
+        let mut table = self.stripes[self.stripe_of(obj)].lock();
+        let state = table.objects.entry(obj).or_default();
         debug_assert!(
             !state.holders.iter().any(|(o, _)| *o == op),
             "operation already holds this lock"
@@ -119,8 +120,8 @@ impl LockManager {
     /// Releases `op`'s lock (or queued request) on `obj`, returning the
     /// operations whose queued requests are granted as a result, in FIFO
     /// order.
-    pub fn release(&mut self, op: OpId, obj: ObjectId) -> Vec<OpId> {
-        let table = self.table_mut(obj);
+    pub fn release(&self, op: OpId, obj: ObjectId) -> Vec<OpId> {
+        let mut table = self.stripes[self.stripe_of(obj)].lock();
         let Some(state) = table.objects.get_mut(&obj) else {
             return Vec::new();
         };
@@ -148,7 +149,8 @@ impl LockManager {
 
     /// Whether `op` currently holds a lock on `obj`.
     pub fn holds(&self, op: OpId, obj: ObjectId) -> bool {
-        self.table(obj)
+        self.stripes[self.stripe_of(obj)]
+            .lock()
             .objects
             .get(&obj)
             .is_some_and(|s| s.holders.iter().any(|(o, _)| *o == op))
@@ -156,16 +158,18 @@ impl LockManager {
 
     /// Number of operations waiting on `obj`.
     pub fn queue_len(&self, obj: ObjectId) -> usize {
-        self.table(obj)
+        self.stripes[self.stripe_of(obj)]
+            .lock()
             .objects
             .get(&obj)
             .map_or(0, |s| s.queue.len())
     }
 
     /// Total number of objects with live lock state, across all stripes
-    /// (tests, invariants).
+    /// (tests, invariants). Locks stripes one at a time in ascending index
+    /// order.
     pub fn locked_objects(&self) -> usize {
-        self.stripes.iter().map(|t| t.objects.len()).sum()
+        self.stripes.iter().map(|t| t.lock().objects.len()).sum()
     }
 }
 
@@ -177,7 +181,7 @@ mod tests {
 
     #[test]
     fn readers_share_writers_exclude() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         assert!(lm.acquire(OpId(1), OBJ, LockMode::Read));
         assert!(lm.acquire(OpId(2), OBJ, LockMode::Read));
         assert!(!lm.acquire(OpId(3), OBJ, LockMode::Write));
@@ -190,7 +194,7 @@ mod tests {
 
     #[test]
     fn fifo_prevents_reader_starvation() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         assert!(lm.acquire(OpId(1), OBJ, LockMode::Read));
         assert!(!lm.acquire(OpId(2), OBJ, LockMode::Write));
         // A new reader must queue behind the waiting writer.
@@ -203,7 +207,7 @@ mod tests {
 
     #[test]
     fn consecutive_readers_granted_together() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         assert!(lm.acquire(OpId(1), OBJ, LockMode::Write));
         assert!(!lm.acquire(OpId(2), OBJ, LockMode::Read));
         assert!(!lm.acquire(OpId(3), OBJ, LockMode::Read));
@@ -217,7 +221,7 @@ mod tests {
 
     #[test]
     fn release_of_queued_request_cancels_it() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         assert!(lm.acquire(OpId(1), OBJ, LockMode::Write));
         assert!(!lm.acquire(OpId(2), OBJ, LockMode::Write));
         // Op 2 gives up while queued.
@@ -228,14 +232,14 @@ mod tests {
 
     #[test]
     fn objects_are_independent() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         assert!(lm.acquire(OpId(1), ObjectId(0), LockMode::Write));
         assert!(lm.acquire(OpId(2), ObjectId(1), LockMode::Write));
     }
 
     #[test]
     fn table_shrinks_when_idle() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         lm.acquire(OpId(1), OBJ, LockMode::Write);
         lm.release(OpId(1), OBJ);
         assert_eq!(lm.locked_objects(), 0);
@@ -243,7 +247,7 @@ mod tests {
 
     #[test]
     fn striping_routes_objects_consistently() {
-        let mut lm = LockManager::striped(4);
+        let lm = LockManager::striped(4);
         assert_eq!(lm.stripe_count(), 4);
         for o in 0..64u32 {
             let obj = ObjectId(o);
@@ -255,6 +259,32 @@ mod tests {
         for o in 0..64u32 {
             assert!(lm.release(OpId(u64::from(o)), ObjectId(o)).is_empty());
         }
+        assert_eq!(lm.locked_objects(), 0);
+    }
+
+    #[test]
+    fn manager_is_shareable_across_threads() {
+        let lm = LockManager::striped(4);
+        arbitree_race::scope(|s| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|t| {
+                    let lm = &lm;
+                    s.spawn(move |_| {
+                        for o in (t * 16)..(t * 16 + 16) {
+                            let obj = ObjectId(o);
+                            let op = OpId(u64::from(o));
+                            assert!(lm.acquire(op, obj, LockMode::Write));
+                            assert!(lm.holds(op, obj));
+                            assert!(lm.release(op, obj).is_empty());
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
         assert_eq!(lm.locked_objects(), 0);
     }
 

@@ -1,0 +1,129 @@
+//! Detector-enabled stress coverage (requires `--features race-audit`):
+//! the striped lock manager under real threads, the parallel experiment
+//! runner, and a small chaos batch must all record clean — zero race,
+//! misuse, or lock-order findings and no dropped events.
+//!
+//! Sessions are serialized process-wide by the recording gate, so these
+//! tests are safe under the default parallel test runner.
+
+use arbitree_core::ArbitraryProtocol;
+use arbitree_quorum::SiteId;
+use arbitree_race::{analyze, Session};
+use arbitree_sim::{
+    build_profile, parallel_map, run_cells, ExperimentCell, FailureSchedule, LockManager, LockMode,
+    NemesisKind, NetworkConfig, ObjectId, OpId, SimConfig, SimDuration,
+};
+
+fn proto() -> ArbitraryProtocol {
+    ArbitraryProtocol::parse("1-3-5").expect("valid tree spec")
+}
+
+#[test]
+fn striped_lock_manager_records_clean_under_threads() {
+    const THREADS: u32 = 4;
+    const OPS: u32 = 120;
+    let lm = LockManager::striped(8);
+    let session = Session::start();
+    arbitree_race::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let lm = &lm;
+                s.spawn(move |_| {
+                    let base = t * 64;
+                    for i in 0..OPS {
+                        let obj = ObjectId(base + i % 16);
+                        let op = OpId(u64::from(t) * 10_000 + u64::from(i));
+                        let mode = if i % 3 == 0 {
+                            LockMode::Read
+                        } else {
+                            LockMode::Write
+                        };
+                        lm.acquire(op, obj, mode);
+                        lm.holds(op, obj);
+                        lm.release(op, obj);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress thread panicked");
+        }
+    })
+    .expect("stress scope");
+    let report = analyze(&session.finish());
+    assert!(
+        report.clean(),
+        "striped stress produced findings:\n{}",
+        report.render_text()
+    );
+    assert!(report.threads >= THREADS as usize);
+    assert!(report.locks >= 1);
+}
+
+#[test]
+fn parallel_map_records_clean() {
+    let session = Session::start();
+    let out = parallel_map((0..96u64).collect(), |i| i.wrapping_mul(0x9E37_79B9));
+    let report = analyze(&session.finish());
+    assert_eq!(out.len(), 96);
+    assert!(
+        report.clean(),
+        "parallel_map produced findings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn run_cells_with_chaos_records_clean_and_deterministic() {
+    let cells = || {
+        let mut v = Vec::new();
+        for seed in 0..4u64 {
+            let config = SimConfig {
+                seed,
+                duration: SimDuration::from_millis(60),
+                ..SimConfig::default()
+            };
+            let mut cell = ExperimentCell::new(format!("cell-{seed}"), config.clone(), proto());
+            if seed % 2 == 0 {
+                cell = cell.with_failures(FailureSchedule::random(
+                    8,
+                    config.duration,
+                    SimDuration::from_millis(20),
+                    SimDuration::from_millis(5),
+                    seed + 11,
+                ));
+            } else {
+                let levels: Vec<Vec<SiteId>> =
+                    vec![vec![SiteId::new(0)], (1..4).map(SiteId::new).collect()];
+                cell = cell.with_nemesis(build_profile(
+                    NemesisKind::PartitionCycles,
+                    &levels,
+                    NetworkConfig::default(),
+                    config.duration,
+                    seed + 7,
+                ));
+            }
+            v.push(cell);
+        }
+        v
+    };
+
+    let session = Session::start();
+    let audited = run_cells(cells());
+    let report = analyze(&session.finish());
+    assert!(
+        report.clean(),
+        "run_cells produced findings:\n{}",
+        report.render_text()
+    );
+
+    // Recording must not perturb results: a second, untraced run of the
+    // same batch returns identical reports.
+    let untraced = run_cells(cells());
+    assert_eq!(audited.len(), untraced.len());
+    for ((la, ra), (lb, rb)) in audited.iter().zip(&untraced) {
+        assert_eq!(la, lb);
+        assert_eq!(ra.consistent, rb.consistent);
+        assert_eq!(ra.metrics.ops_ok(), rb.metrics.ops_ok());
+    }
+}
