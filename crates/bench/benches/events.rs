@@ -1,0 +1,67 @@
+//! Criterion benches for the event-engine hot path (requires
+//! `--features reference-queue`): the hold model from the `events` bin,
+//! calendar vs. the pre-swap `BTreeQueue` baseline, across the pending-set
+//! sizes the swap targets. `cargo bench -p arbitree-bench --features
+//! reference-queue --bench events`.
+
+use arbitree_bench::events_driver::hold_model;
+use arbitree_sim::{BTreeQueue, EventQueue};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Same knobs as the `events` bin's queue tier, shrunk to criterion scale.
+const HORIZON_MICROS: u64 = 4_096;
+const STEPS: u64 = 50_000;
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+fn bench_hold_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold");
+    for pending in [7usize, 31, 127, 1023] {
+        group.bench_with_input(
+            BenchmarkId::new("calendar", pending),
+            &pending,
+            |b, &pending| {
+                b.iter(|| {
+                    black_box(hold_model::<EventQueue>(
+                        0xE7E2,
+                        pending,
+                        STEPS,
+                        HORIZON_MICROS,
+                        500,
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("btree", pending),
+            &pending,
+            |b, &pending| {
+                b.iter(|| {
+                    black_box(hold_model::<BTreeQueue>(
+                        0xE7E2,
+                        pending,
+                        STEPS,
+                        HORIZON_MICROS,
+                        500,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_hold_model
+}
+criterion_main!(benches);

@@ -17,6 +17,7 @@
 //! status is nonzero when any smoke scenario reports findings, any
 //! mutant survives, or the unmutated baseline is dirty.
 
+use arbitree_bench::report::{json_str, BenchReport, BenchRow};
 use arbitree_core::ArbitraryProtocol;
 use arbitree_race::{analyze, mutants, RaceMutation, RaceReport, Session};
 use arbitree_sim::{
@@ -245,66 +246,48 @@ fn render_json(
     baseline: &RaceReport,
     kills: &[Kill],
 ) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"race_audit\",\n");
-    s.push_str(&format!("  \"smoke_mode\": {smoke_mode},\n"));
-    s.push_str("  \"smoke\": [\n");
-    for (i, sm) in smokes.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"clean\": {}, \"findings\": {}, \"events\": {}, \
-             \"dropped\": {}, \"threads\": {}, \"locks\": {}, \"cells\": {}, \
-             \"hb_suppressed\": {}}}{}\n",
-            sm.name,
-            sm.clean(),
-            sm.report.findings.len(),
-            sm.report.events,
-            sm.report.dropped,
-            sm.report.threads,
-            sm.report.locks,
-            sm.report.cells,
-            sm.report.hb_suppressed,
-            if i + 1 < smokes.len() { "," } else { "" }
-        ));
+    // Shared `arbitree-bench-report/v1` envelope: smoke scenarios are the
+    // rows (audits measure cleanliness, not a rate), the kill matrix rides
+    // along as a summary payload.
+    let mut report = BenchReport::new("race_audit").config("smoke_mode", smoke_mode);
+    for sm in smokes {
+        report = report.row(
+            BenchRow::plain(sm.name)
+                .field("clean", sm.clean())
+                .field("findings", sm.report.findings.len())
+                .field("events", sm.report.events)
+                .field("dropped", sm.report.dropped)
+                .field("threads", sm.report.threads)
+                .field("locks", sm.report.locks)
+                .field("cells", sm.report.cells)
+                .field("hb_suppressed", sm.report.hb_suppressed),
+        );
     }
-    s.push_str("  ],\n");
-    s.push_str(&format!("  \"baseline_clean\": {},\n", baseline.clean()));
-    s.push_str("  \"kill_matrix\": [\n");
+    let mut matrix = String::from("[\n");
     for (i, k) in kills.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"mutation\": \"{}\", \"killed\": {}, \"findings\": {}, \"trace\": [",
-            k.mutation.name(),
+        matrix.push_str(&format!(
+            "    {{\"mutation\": {}, \"killed\": {}, \"findings\": {}, \"trace\": [",
+            json_str(k.mutation.name()),
             k.killed,
             k.findings
         ));
         for (j, line) in k.trace.iter().enumerate() {
-            s.push_str(&format!(
-                "\"{}\"{}",
-                json_escape(line),
+            matrix.push_str(&format!(
+                "{}{}",
+                json_str(line),
                 if j + 1 < k.trace.len() { ", " } else { "" }
             ));
         }
-        s.push_str(&format!(
+        matrix.push_str(&format!(
             "]}}{}\n",
             if i + 1 < kills.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ],\n");
-    s.push_str(&format!(
-        "  \"killed\": {},\n  \"total\": {}\n}}\n",
-        kills.iter().filter(|k| k.killed).count(),
-        kills.len()
-    ));
-    s
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            c => vec![c],
-        })
-        .collect()
+    matrix.push_str("  ]");
+    report
+        .summary("baseline_clean", baseline.clean())
+        .summary("kill_matrix", matrix)
+        .summary("killed", kills.iter().filter(|k| k.killed).count())
+        .summary("total", kills.len())
+        .to_json()
 }

@@ -30,6 +30,7 @@
 
 use arbitree_analysis::report::{fmt_f, render_table};
 use arbitree_bench::arg_value;
+use arbitree_bench::report::{BenchReport, BenchRow};
 use arbitree_sync::{item_hash, respond, HTree, Response, Session};
 
 /// Per-probe window: every pending range goes into flight at once, so one
@@ -232,8 +233,9 @@ fn fit_exponent(outcomes: &[Outcome]) -> f64 {
     num / den
 }
 
-/// Hand-rolled JSON (the workspace vendors no serde): stable key order,
-/// one cell object per divergence size.
+/// Machine-readable report in the shared `arbitree-bench-report/v1`
+/// envelope: one row per divergence size (a cost sweep, so no headline
+/// rate), fit and gate results as summary keys.
 fn render_json(
     smoke: bool,
     n: u64,
@@ -243,31 +245,28 @@ fn render_json(
     improvement: f64,
     outcomes: &[Outcome],
 ) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"repair\",\n");
-    s.push_str(&format!("  \"smoke\": {smoke},\n"));
-    s.push_str(&format!("  \"keys\": {n},\n"));
-    s.push_str(&format!("  \"full_transfer_messages\": {full_transfer},\n"));
-    s.push_str(&format!("  \"rtt_micros\": {RTT_MICROS},\n"));
-    s.push_str(&format!("  \"fit_exponent\": {exponent:.3},\n"));
-    s.push_str(&format!("  \"gate_divergence\": {gate_d},\n"));
-    s.push_str(&format!("  \"gate_improvement\": {improvement:.1},\n"));
-    s.push_str("  \"cells\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"divergence\": {}, \"messages\": {}, \"rounds\": {}, \
-             \"keys_transferred\": {}, \
-             \"improvement_vs_full\": {:.1}, \"est_latency_micros\": {}}}{}\n",
-            o.d,
-            o.messages,
-            o.rounds,
-            o.keys_transferred,
-            full_transfer as f64 / o.messages as f64,
-            o.est_latency_micros(),
-            if i + 1 < outcomes.len() { "," } else { "" }
-        ));
+    let mut report = BenchReport::new("repair")
+        .config("smoke", smoke)
+        .config("keys", n)
+        .config("full_transfer_messages", full_transfer)
+        .config("rtt_micros", RTT_MICROS);
+    for o in outcomes {
+        report = report.row(
+            BenchRow::plain(format!("d={}", o.d))
+                .field("divergence", o.d)
+                .field("messages", o.messages)
+                .field("rounds", o.rounds)
+                .field("keys_transferred", o.keys_transferred)
+                .field(
+                    "improvement_vs_full",
+                    format!("{:.1}", full_transfer as f64 / o.messages as f64),
+                )
+                .field("est_latency_micros", o.est_latency_micros()),
+        );
     }
-    s.push_str("  ]\n}\n");
-    s
+    report
+        .summary("fit_exponent", format!("{exponent:.3}"))
+        .summary("gate_divergence", gate_d)
+        .summary("gate_improvement", format!("{improvement:.1}"))
+        .to_json()
 }

@@ -31,6 +31,7 @@
 
 use arbitree_analysis::report::{fmt_f, render_table};
 use arbitree_bench::arg_value;
+use arbitree_bench::report::{json_str, BenchReport, BenchRow};
 use arbitree_core::ArbitraryProtocol;
 use arbitree_quorum::ReplicaControl;
 use arbitree_sim::{cell_seed, ObjectDistribution, SimConfig, SimDuration, SimReport, Simulation};
@@ -234,8 +235,9 @@ fn main() {
     println!("OK: zero one-copy violations; batching clears its efficiency bar");
 }
 
-/// Hand-rolled JSON (the workspace vendors no serde): stable key order,
-/// one cell object per sweep cell.
+/// Machine-readable report in the shared `arbitree-bench-report/v1`
+/// envelope: one row per sweep cell, headline `ops_per_sec` in simulated
+/// seconds, the batching-efficiency gains as a summary key.
 fn render_json(
     smoke: bool,
     keys: usize,
@@ -246,51 +248,47 @@ fn render_json(
     gains: &[(&str, f64)],
 ) -> String {
     let sim_secs = duration_ms as f64 / 1_000.0;
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"bench\": \"throughput\",\n");
-    s.push_str(&format!("  \"tree\": \"{SPEC}\",\n"));
-    s.push_str(&format!("  \"smoke\": {smoke},\n"));
-    s.push_str(&format!("  \"keys\": {keys},\n"));
-    s.push_str(&format!("  \"clients\": {clients},\n"));
-    s.push_str(&format!("  \"duration_ms\": {duration_ms},\n"));
-    s.push_str("  \"read_fraction\": 0.5,\n");
-    s.push_str("  \"max_txn_ops\": 16,\n");
-    s.push_str("  \"cells\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
+    let mut report = BenchReport::new("throughput")
+        .config("tree", json_str(SPEC))
+        .config("smoke", smoke)
+        .config("keys", keys)
+        .config("clients", clients)
+        .config("duration_ms", duration_ms)
+        .config("read_fraction", 0.5)
+        .config("max_txn_ops", 16);
+    for o in outcomes {
         let m = &o.report.metrics;
-        s.push_str(&format!(
-            "    {{\"shards\": {}, \"distribution\": \"{}\", \"batching\": {}, \
-             \"seed\": {}, \"txns_ok\": {}, \"ops_ok\": {}, \"ops_per_sim_sec\": {:.1}, \
-             \"ops_per_wall_sec\": {:.1}, \"messages_sent\": {}, \"batches_sent\": {}, \
-             \"batched_payloads\": {}, \"ops_per_message\": {:.4}, \"wall_ms\": {:.1}, \
-             \"violations\": {}, \"consistent\": {}}}{}\n",
-            o.shards,
-            o.dist_name,
-            o.batching,
-            o.seed,
-            m.txns_ok,
-            o.ops(),
-            o.ops() as f64 / sim_secs,
-            o.ops() as f64 / (o.wall_ms / 1_000.0).max(1e-9),
-            m.messages_sent,
-            m.batches_sent,
-            m.batched_payloads,
-            o.ops_per_message(),
-            o.wall_ms,
-            o.report.violations,
-            o.report.consistent,
-            if i + 1 < outcomes.len() { "," } else { "" }
-        ));
+        report = report.row(
+            BenchRow::rate(o.label().trim(), o.ops() as f64 / sim_secs)
+                .field("shards", o.shards)
+                .field("distribution", json_str(o.dist_name))
+                .field("batching", o.batching)
+                .field("seed", o.seed)
+                .field("txns_ok", m.txns_ok)
+                .field("ops_ok", o.ops())
+                .field(
+                    "ops_per_wall_sec",
+                    format!("{:.1}", o.ops() as f64 / (o.wall_ms / 1_000.0).max(1e-9)),
+                )
+                .field("messages_sent", m.messages_sent)
+                .field("batches_sent", m.batches_sent)
+                .field("batched_payloads", m.batched_payloads)
+                .field("ops_per_message", format!("{:.4}", o.ops_per_message()))
+                .field("wall_ms", format!("{:.1}", o.wall_ms))
+                .field("violations", o.report.violations)
+                .field("consistent", o.report.consistent),
+        );
     }
-    s.push_str("  ],\n");
-    s.push_str(&format!("  \"efficiency_gain_at_{max_shards}_shards\": {{"));
+    let mut gain_obj = String::from("{");
     for (i, (dist_name, gain)) in gains.iter().enumerate() {
-        s.push_str(&format!(
-            "\"{dist_name}\": {gain:.3}{}",
-            if i + 1 < gains.len() { ", " } else { "" }
+        gain_obj.push_str(&format!(
+            "{}{}: {gain:.3}",
+            if i == 0 { "" } else { ", " },
+            json_str(dist_name)
         ));
     }
-    s.push_str("}\n}\n");
-    s
+    gain_obj.push('}');
+    report
+        .summary(&format!("efficiency_gain_at_{max_shards}_shards"), gain_obj)
+        .to_json()
 }

@@ -73,6 +73,11 @@ pub const RULES: &[Rule] = &[
         summary: "raw thread/sync primitive outside the traced concurrency seam",
         hint: "use arbitree_race's TracedMutex / TracedRwLock / traced_channel / scope so the race detector observes the synchronization; only crates/race/src may touch the raw primitives",
     },
+    Rule {
+        id: "D012",
+        summary: "ad-hoc time-keyed priority structure outside the event engine",
+        hint: "schedule through arbitree_sim::EventQueue — a BinaryHeap/BTreeMap keyed by SimTime or EventKey re-implements the engine's time order without its FIFO tie-break, slab reuse, or replay pinning; crates/sim/src/event.rs is the one sanctioned home",
+    },
 ];
 
 /// The rule id used for malformed suppression directives (reported by the
@@ -159,6 +164,10 @@ impl Rule {
             // live. (Test code is exempt via the workspace walk, which
             // skips tests/ and benches/ directories.)
             "D011" => !path.starts_with("crates/race/src/"),
+            // The event queue is the single sanctioned time-ordered
+            // structure; everywhere else, a container keyed by simulated
+            // time is a shadow queue the replay guarantees don't cover.
+            "D012" => path != "crates/sim/src/event.rs",
             _ => false,
         }
     }
@@ -187,6 +196,7 @@ impl Rule {
                     || has_ident(code, "mpsc")
                     || has_ident(code, "crossbeam")
             }
+            "D012" => has_time_keyed_container(code),
             _ => false,
         }
     }
@@ -271,6 +281,25 @@ pub(crate) fn has_sort_method_call(code: &str) -> bool {
 /// D010 ordering pass keys on.
 pub(crate) fn has_acquire_call(code: &str) -> bool {
     has_method_call(code, "acquire")
+}
+
+/// Matches a `BinaryHeap`/`BTreeMap` whose key mentions simulated time
+/// (`SimTime` or `EventKey`) later on the same line — the signature of a
+/// shadow event queue (`BTreeMap<SimTime, _>`, `BinaryHeap<Reverse<(SimTime,
+/// _)>>`). Declarations split across lines escape the heuristic; in practice
+/// rustfmt keeps the key type on the line that names the container.
+fn has_time_keyed_container(code: &str) -> bool {
+    for container in ["BinaryHeap", "BTreeMap"] {
+        let mut from = 0;
+        while let Some(pos) = find_ident(code, container, from) {
+            let rest = &code[pos + container.len()..];
+            if has_ident(rest, "SimTime") || has_ident(rest, "EventKey") {
+                return true;
+            }
+            from = pos + container.len();
+        }
+    }
+    false
 }
 
 /// Matches `as usize`, `as u32` or `as u64` (token-level).
@@ -437,6 +466,22 @@ mod tests {
     }
 
     #[test]
+    fn d012_matches_time_keyed_containers() {
+        assert!(rule("D012").matches("pending: BTreeMap<SimTime, Vec<Event>>,"));
+        assert!(rule("D012").matches("let q: BTreeMap<EventKey, u32> = BTreeMap::new();"));
+        assert!(rule("D012").matches("heap: BinaryHeap<Reverse<(SimTime, u64)>>,"));
+        assert!(rule("D012").matches("BinaryHeap < ( EventKey , SiteId ) >"));
+        // A container keyed by something other than time is fine.
+        assert!(!rule("D012").matches("by_site: BTreeMap<SiteId, Vec<u64>>,"));
+        assert!(!rule("D012").matches("let order = BinaryHeap::from(depths);"));
+        // Time without a container, or a bare import, is fine.
+        assert!(!rule("D012").matches("let at: SimTime = now + delay;"));
+        assert!(!rule("D012").matches("use std::collections::{BTreeMap, BinaryHeap};"));
+        // The time ident must ride the container, not merely precede it.
+        assert!(!rule("D012").matches("fn drain(at: SimTime, seen: &BTreeMap<u64, u32>) {}"));
+    }
+
+    #[test]
     fn scoping() {
         assert!(rule("D001").in_scope("crates/sim/src/coordinator.rs"));
         assert!(rule("D001").in_scope("crates/quorum/src/traits.rs"));
@@ -472,6 +517,10 @@ mod tests {
         assert!(rule("D011").in_scope("crates/check/src/explore.rs"));
         assert!(!rule("D011").in_scope("crates/race/src/sync.rs"));
         assert!(!rule("D011").in_scope("crates/race/src/log.rs"));
+        assert!(rule("D012").in_scope("crates/sim/src/engine.rs"));
+        assert!(rule("D012").in_scope("crates/check/src/explore.rs"));
+        assert!(rule("D012").in_scope("crates/bench/src/lib.rs"));
+        assert!(!rule("D012").in_scope("crates/sim/src/event.rs"));
     }
 
     #[test]

@@ -211,6 +211,20 @@ fn d011_negative() {
     assert_eq!(report.suppressed, 1);
 }
 
+#[test]
+fn d012_positive() {
+    check("d012_positive.rs");
+}
+
+/// Containers keyed by non-time types, time without a container, and
+/// test-module usage are clean; one deliberate rendering-order view
+/// survives behind a reasoned suppression.
+#[test]
+fn d012_negative() {
+    let report = check("d012_negative.rs");
+    assert_eq!(report.suppressed, 1);
+}
+
 /// Scanner regressions: tokens in comments/strings never fire, and
 /// `#[cfg(any(test, ...))]` exempts its region while `#[cfg(not(test))]`
 /// does not.
@@ -263,6 +277,8 @@ fn all_fixtures_are_covered() {
         "d010_negative.rs",
         "d011_positive.rs",
         "d011_negative.rs",
+        "d012_positive.rs",
+        "d012_negative.rs",
         "cfg_gated.rs",
         "suppression_ok.rs",
         "suppression_bare.rs",

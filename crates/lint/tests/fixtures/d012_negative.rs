@@ -1,0 +1,35 @@
+//@ path: crates/check/src/fixture.rs
+// A container keyed by anything other than simulated time is fine; time
+// alone, or time that merely precedes a container on the line, is fine;
+// prose, strings, and test modules never fire; and a deliberate shadow
+// structure may survive behind a reasoned suppression.
+use arbitree_sim::SimTime;
+use std::collections::{BTreeMap, BinaryHeap};
+
+pub struct Bookkeeping {
+    by_site: BTreeMap<u64, Vec<u64>>,
+    depths: BinaryHeap<u32>,
+    horizon: SimTime,
+}
+
+pub fn last_before(horizon: SimTime, marks: &BTreeMap<u64, u64>) -> Option<u64> {
+    let banner = "BTreeMap<SimTime, _> in a string never fires";
+    drop(banner);
+    marks.range(..horizon.as_micros()).next_back().map(|(_, &v)| v)
+}
+
+pub fn justified() -> usize {
+    // arbitree-lint: allow(D012) — golden-transcript diff view, ordered for rendering rather than scheduling
+    let view: BTreeMap<SimTime, u64> = BTreeMap::new();
+    view.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_queues_in_tests_are_fine() {
+        let _: BTreeMap<SimTime, u64> = BTreeMap::new();
+    }
+}

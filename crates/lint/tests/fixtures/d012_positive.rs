@@ -1,0 +1,13 @@
+//@ path: crates/sim/src/fixture.rs
+use arbitree_sim::{EventKey, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+pub struct ShadowQueue {
+    pending: BTreeMap<SimTime, Vec<u64>>, //~ D012
+    wakeups: BinaryHeap<Reverse<(SimTime, u64)>>, //~ D012
+}
+
+pub fn index_by_key(keys: &[EventKey]) -> BTreeMap<EventKey, usize> { //~ D012
+    keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}

@@ -498,7 +498,7 @@ impl Coordinator {
             s.round_quorum = quorum.clone();
             s.round_responses.clear();
         }
-        engine.send_to_sites(client, &quorum, |_| Payload::ReadReq { op, obj });
+        engine.send_to_sites(client, &quorum, Payload::ReadReq { op, obj });
         self.arm_timeout(engine, op);
     }
 
@@ -536,7 +536,7 @@ impl Coordinator {
             }
         }
         for (obj, q) in quorums {
-            engine.send_to_sites(client, &q, |_| Payload::ReadReq { op, obj });
+            engine.send_to_sites(client, &q, Payload::ReadReq { op, obj });
         }
         self.arm_timeout(engine, op);
     }
@@ -567,12 +567,16 @@ impl Coordinator {
                     let members = QuorumSet::from_sites(stale);
                     engine.metrics.repairs_sent += members.len() as u64;
                     let (ts, value) = best;
-                    engine.send_to_sites(client, &members, |_| Payload::Repair {
-                        op,
-                        obj,
-                        value: value.clone(),
-                        ts,
-                    });
+                    engine.send_to_sites(
+                        client,
+                        &members,
+                        Payload::Repair {
+                            op,
+                            obj,
+                            value: value.clone(),
+                            ts,
+                        },
+                    );
                 }
             }
         }
@@ -635,12 +639,16 @@ impl Coordinator {
                 let members = QuorumSet::from_sites(stale);
                 engine.metrics.repairs_sent += members.len() as u64;
                 let (ts, value) = best.clone();
-                engine.send_to_sites(client, &members, |_| Payload::Repair {
-                    op,
-                    obj,
-                    value: value.clone(),
-                    ts,
-                });
+                engine.send_to_sites(
+                    client,
+                    &members,
+                    Payload::Repair {
+                        op,
+                        obj,
+                        value: value.clone(),
+                        ts,
+                    },
+                );
             }
         }
         let more_rounds = {
@@ -716,12 +724,16 @@ impl Coordinator {
         }
         for (obj, q, value, ts) in sends {
             let v = value;
-            engine.send_to_sites(client, &q, |_| Payload::Prepare {
-                op,
-                obj,
-                value: v.clone(),
-                ts,
-            });
+            engine.send_to_sites(
+                client,
+                &q,
+                Payload::Prepare {
+                    op,
+                    obj,
+                    value: v.clone(),
+                    ts,
+                },
+            );
         }
         self.arm_timeout(engine, op);
     }
@@ -768,12 +780,16 @@ impl Coordinator {
         };
         for (obj, q, value, ts) in sends {
             let v = value;
-            engine.send_to_sites(client, &q, |_| Payload::Commit {
-                op,
-                obj,
-                value: v.clone(),
-                ts,
-            });
+            engine.send_to_sites(
+                client,
+                &q,
+                Payload::Commit {
+                    op,
+                    obj,
+                    value: v.clone(),
+                    ts,
+                },
+            );
         }
         self.arm_timeout(engine, op);
     }
@@ -787,7 +803,7 @@ impl Coordinator {
         if state.phase == Phase::PrepareGather {
             for (&obj, q) in &state.write_quorums {
                 let (client, q) = (state.client, q.clone());
-                engine.send_to_sites(client, &q, |_| Payload::Abort { op, obj });
+                engine.send_to_sites(client, &q, Payload::Abort { op, obj });
             }
         }
         if state.is_migration {
@@ -1245,7 +1261,7 @@ impl Coordinator {
                             let dropped = QuorumSet::from_sites(old_q.iter().filter(|s| {
                                 new_quorums.get(&obj).is_none_or(|nq| !nq.contains(*s))
                             }));
-                            engine.send_to_sites(client, &dropped, |_| Payload::Abort { op, obj });
+                            engine.send_to_sites(client, &dropped, Payload::Abort { op, obj });
                         }
                     }
                 }
@@ -1276,12 +1292,16 @@ impl Coordinator {
                 for (obj, site, value, ts) in pending {
                     let members = QuorumSet::from_sites([site]);
                     let v = value;
-                    engine.send_to_sites(client, &members, |_| Payload::Commit {
-                        op,
-                        obj,
-                        value: v.clone(),
-                        ts,
-                    });
+                    engine.send_to_sites(
+                        client,
+                        &members,
+                        Payload::Commit {
+                            op,
+                            obj,
+                            value: v.clone(),
+                            ts,
+                        },
+                    );
                 }
                 self.arm_timeout(engine, op);
             }

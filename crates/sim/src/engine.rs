@@ -35,8 +35,15 @@ pub struct Engine {
     /// while handling one event and drained by [`Engine::flush_outbox`]
     /// afterwards. Insertion-ordered (deterministic: it follows the
     /// coordinator's own send order); tiny — one event touches a handful
-    /// of destinations.
+    /// of destinations. The outer `Vec` keeps its capacity across events;
+    /// the inner buffers recycle through [`Engine::outbox_pool`].
     outbox: Vec<(ClientId, SiteId, Vec<Payload>)>,
+    /// Retired per-destination buffers awaiting reuse. Single-payload
+    /// destinations hand their (emptied) buffer back at flush time;
+    /// coalesced destinations move theirs into the [`Payload::Batch`]
+    /// envelope instead, so the pool refills organically from the common
+    /// case without ever copying a payload.
+    outbox_pool: Vec<Vec<Payload>>,
     /// How each site last went down ([`CrashMode::Transient`] until a crash
     /// says otherwise) — recovery needs to know what state the site kept.
     crash_modes: Vec<CrashMode>,
@@ -63,6 +70,7 @@ impl Engine {
             end: SimTime::ZERO + config.duration,
             batching: config.batching,
             outbox: Vec::new(),
+            outbox_pool: Vec::new(),
             crash_modes: vec![CrashMode::Transient; n_sites],
             amnesia_scheduled: false,
         }
@@ -196,31 +204,53 @@ impl Engine {
         );
     }
 
-    /// Sends `mk(site)` from `client` to every member of `members`. With
-    /// [`SimConfig::batching`] on, the payloads are buffered per
-    /// destination instead and coalesced into one envelope per site when
-    /// [`Engine::flush_outbox`] runs at the end of the current event.
+    /// Sends `payload` from `client` to every member of `members` — one
+    /// clone per extra destination, the original moving into the last (the
+    /// payload's `Bytes` values make those clones reference-counted buffer
+    /// shares, not copies). With [`SimConfig::batching`] on, the payloads
+    /// are buffered per destination instead and coalesced into one envelope
+    /// per site when [`Engine::flush_outbox`] runs at the end of the
+    /// current event.
     pub(crate) fn send_to_sites(
         &mut self,
         client: ClientId,
         members: &QuorumSet,
-        mk: impl Fn(SiteId) -> Payload,
+        payload: Payload,
     ) {
+        let last = members.len().saturating_sub(1);
+        let mut payload = Some(payload);
         if self.batching {
-            for s in members.iter() {
-                let payload = mk(s);
+            for (i, s) in members.iter().enumerate() {
+                let payload = if i == last {
+                    payload.take()
+                } else {
+                    payload.clone()
+                }
+                // arbitree-lint: allow(D005) — `take()` runs only when i == last, so the Option is still occupied
+                .expect("payload moves out exactly once, on the last member");
                 match self
                     .outbox
                     .iter_mut()
                     .find(|(c, dst, _)| *c == client && *dst == s)
                 {
                     Some((_, _, buffered)) => buffered.push(payload),
-                    None => self.outbox.push((client, s, vec![payload])),
+                    None => {
+                        let mut buf = self.outbox_pool.pop().unwrap_or_default();
+                        buf.push(payload);
+                        self.outbox.push((client, s, buf));
+                    }
                 }
             }
         } else {
-            for s in members.iter() {
-                self.send(Endpoint::Client(client), Endpoint::Site(s), mk(s));
+            for (i, s) in members.iter().enumerate() {
+                let payload = if i == last {
+                    payload.take()
+                } else {
+                    payload.clone()
+                }
+                // arbitree-lint: allow(D005) — `take()` runs only when i == last, so the Option is still occupied
+                .expect("payload moves out exactly once, on the last member");
+                self.send(Endpoint::Client(client), Endpoint::Site(s), payload);
             }
         }
     }
@@ -229,15 +259,23 @@ impl Engine {
     /// payload gets a plain message; two or more are coalesced into a
     /// single [`Payload::Batch`] envelope — one network round-trip (one
     /// latency/drop draw) amortized across every payload inside.
+    ///
+    /// Buffer recycling: the outer `Vec` is taken, drained, and restored so
+    /// its capacity carries across events; a single-payload destination's
+    /// (now empty) inner buffer goes back to [`Engine::outbox_pool`], while
+    /// a coalesced destination's buffer moves into the [`Payload::Batch`]
+    /// envelope itself — no payload is ever copied out.
     pub(crate) fn flush_outbox(&mut self) {
         if self.outbox.is_empty() {
             return;
         }
-        let outbox = std::mem::take(&mut self.outbox);
-        for (client, site, mut payloads) in outbox {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        for (client, site, mut payloads) in outbox.drain(..) {
             let payload = if payloads.len() == 1 {
                 // arbitree-lint: allow(D005) — len() == 1 was just checked
-                payloads.pop().expect("one payload")
+                let p = payloads.pop().expect("one payload");
+                self.outbox_pool.push(payloads);
+                p
             } else {
                 self.metrics.batches_sent += 1;
                 self.metrics.batched_payloads += payloads.len() as u64;
@@ -245,6 +283,7 @@ impl Engine {
             };
             self.send(Endpoint::Client(client), Endpoint::Site(site), payload);
         }
+        self.outbox = outbox;
     }
 
     /// Arms a phase timeout for `op`, tagged with `attempt` so stale

@@ -6,10 +6,11 @@
 //! retry under sustained faults.
 
 use arbitree_core::ArbitraryProtocol;
-use arbitree_quorum::SiteId;
+use arbitree_quorum::{steady_state_uptime, ReplicaControl, SiteId};
 use arbitree_sim::{
-    build_profile, Nemesis, NemesisKind, NetworkConfig, ObjectDistribution, Partition, RetryPolicy,
-    SimConfig, SimDuration, SimReport, SimTime, Simulation, TxnRequest,
+    build_profile, cell_seed, run_chaos_campaign, ChaosCell, ExperimentCell, FailureSchedule,
+    Nemesis, NemesisKind, NetworkConfig, ObjectDistribution, Partition, RetryPolicy, SimConfig,
+    SimDuration, SimReport, SimTime, Simulation, TxnRequest,
 };
 use bytes::Bytes;
 
@@ -382,6 +383,236 @@ fn amnesia_cold_start_under_zipfian_traffic() {
         "no cell ever exercised the Syncing refusal gate"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Replay stability across the event-engine swap
+//
+// The calendar-queue/slab engine must be *semantically invisible*: the same
+// seeds must produce byte-identical executions before and after the swap.
+// These tests pin FNV-1a hashes of full deterministic transcripts — a
+// 24-cell chaos campaign, the throughput sweep's smoke shape, and the
+// repair sweep's smoke shape — captured on the pre-swap `BTreeMap` queue.
+// Any divergence in event order, payload contents, or metric accounting
+// moves the hash.
+
+/// FNV-1a 64 over a transcript string (the workspace vendors no external
+/// hash crates; `DefaultHasher` is not stable across toolchains).
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic columns of one chaos/throughput cell: every integer
+/// metric plus the consistency verdict (wall-clock excluded by
+/// construction — `SimMetrics` carries only simulated quantities).
+fn report_transcript(label: &str, report: &SimReport) -> String {
+    format!(
+        "{label}|{}|violations={}|consistent={}|incomplete={}\n",
+        report.metrics, report.violations, report.consistent, report.ops_incomplete
+    )
+}
+
+/// A 24-cell chaos campaign — 3 seeds × (churn baseline + 7 nemesis
+/// profiles) — mirroring the `chaos` bin's cell construction at a reduced
+/// per-cell duration, hashed into one pinned fingerprint.
+#[test]
+fn chaos_campaign_is_pinned_across_engine_swaps() {
+    const SPEC: &str = "1-3-5";
+    let duration = SimDuration::from_millis(400);
+    let mttf = SimDuration::from_millis(240);
+    let mttr = SimDuration::from_millis(60);
+    let p = steady_state_uptime(mttf.as_micros() as f64, mttr.as_micros() as f64);
+    let probe = ArbitraryProtocol::parse(SPEC).unwrap();
+    let predicted_read = probe.read_availability(p);
+    let predicted_write = probe.write_availability(p);
+    let levels: Vec<Vec<_>> = probe
+        .tree()
+        .physical_levels()
+        .iter()
+        .map(|&k| probe.tree().level_sites(k).to_vec())
+        .collect();
+    let n_sites = probe.tree().replica_count();
+
+    let mut cells = Vec::new();
+    for seed_idx in 0..3u64 {
+        for (profile_idx, profile) in [None]
+            .into_iter()
+            .chain(NemesisKind::ALL.map(Some))
+            .enumerate()
+        {
+            let seed = cell_seed(0xC4A0_5EED, seed_idx * 64 + profile_idx as u64);
+            let config = SimConfig {
+                seed,
+                duration,
+                max_attempts: 3,
+                think_time: SimDuration::from_millis(40),
+                retry: RetryPolicy::Exponential {
+                    cap: SimDuration::from_millis(24),
+                    jitter: 0.25,
+                },
+                ..SimConfig::default()
+            };
+            let churn = FailureSchedule::random(n_sites, duration, mttf, mttr, seed ^ 0xF417);
+            let name = profile.map_or("churn", NemesisKind::name);
+            let mut cell = ExperimentCell::new(
+                format!("{name} s{seed_idx}"),
+                config,
+                ArbitraryProtocol::parse(SPEC).unwrap(),
+            )
+            .with_failures(churn);
+            if let Some(kind) = profile {
+                let nemesis =
+                    build_profile(kind, &levels, cell.config.network, duration, seed ^ 0xBAD);
+                cell = cell.with_nemesis(nemesis);
+            }
+            cells.push(ChaosCell {
+                cell,
+                predicted_read,
+                predicted_write,
+            });
+        }
+    }
+    assert_eq!(cells.len(), 24);
+
+    let outcomes = run_chaos_campaign(cells);
+    let mut transcript = String::new();
+    for o in &outcomes {
+        transcript.push_str(&report_transcript(&o.label, &o.report));
+        assert!(o.report.consistent, "{}: violations", o.label);
+        assert_eq!(o.report.metrics.sync_violations, 0, "{}", o.label);
+    }
+    assert_eq!(
+        fnv1a64(&transcript),
+        PINNED_CHAOS_CAMPAIGN,
+        "24-cell chaos campaign diverged from the pre-swap queue:\n{transcript}"
+    );
+}
+
+/// The throughput sweep's smoke shape — shards × distribution × batching
+/// over a sharded keyspace — run through `Simulation::from_shards` and
+/// hashed. Pins the batching/outbox path (coalesced envelopes, per-
+/// destination buffers) across the engine swap.
+#[test]
+fn throughput_smoke_table_is_pinned_across_engine_swaps() {
+    const SPEC: &str = "1-3-5";
+    let dists: [(&str, ObjectDistribution); 2] = [
+        ("uniform", ObjectDistribution::Uniform),
+        ("zipfian", ObjectDistribution::Zipfian { exponent: 1.0 }),
+    ];
+    let mut cells = Vec::new();
+    let mut idx = 0u64;
+    for shards in [1usize, 4, 16] {
+        for (dist_name, dist) in dists {
+            for batching in [false, true] {
+                let seed = cell_seed(0x7B40_0B47, idx);
+                idx += 1;
+                cells.push((shards, dist_name, batching, seed, dist));
+            }
+        }
+    }
+    let outcomes =
+        arbitree_sim::parallel_map(cells, |(shards, dist_name, batching, seed, dist)| {
+            let config = SimConfig {
+                seed,
+                clients: 8,
+                objects: 65_536,
+                duration: SimDuration::from_millis(30),
+                think_time: SimDuration::from_micros(300),
+                read_fraction: 0.5,
+                max_txn_ops: 16,
+                shards,
+                batching,
+                object_distribution: dist,
+                ..SimConfig::default()
+            };
+            let protocols: Vec<Box<dyn ReplicaControl>> = (0..shards)
+                .map(|_| {
+                    Box::new(ArbitraryProtocol::parse(SPEC).unwrap()) as Box<dyn ReplicaControl>
+                })
+                .collect();
+            let mut sim = Simulation::from_shards(config, protocols);
+            let report = sim.run();
+            (format!("s={shards} {dist_name} batch={batching}"), report)
+        });
+    let mut transcript = String::new();
+    for (label, report) in &outcomes {
+        assert!(report.consistent, "{label}");
+        transcript.push_str(&report_transcript(label, report));
+    }
+    assert_eq!(
+        fnv1a64(&transcript),
+        PINNED_THROUGHPUT_SMOKE,
+        "throughput smoke table diverged from the pre-swap queue:\n{transcript}"
+    );
+}
+
+/// The repair sweep's smoke shape — anti-entropy reconciliation message
+/// counts at divergence d ∈ {2^4 … 2^8} over a 2^14-key strided store.
+/// No simulator events run here; pinning it guards the `RangeFill`
+/// payload path's data (`arbitree-sync` digests) against accidental
+/// coupling to the engine rework.
+#[test]
+fn repair_smoke_table_is_pinned_across_engine_swaps() {
+    use arbitree_sync::{item_hash, respond, HTree, Response, Session};
+    let n: u64 = 1 << 14;
+    let stride = (1u64 << 32) / n;
+    let mut src = HTree::new();
+    for i in 0..n {
+        // arbitree-lint: allow(D004) — i * stride < 2^32 for i < n
+        let key = (i * stride) as u32;
+        src.insert(key, item_hash(key, 1, 0, &key.to_le_bytes()));
+    }
+    let mut transcript = String::new();
+    for e in 4..=8u32 {
+        let d = 1u64 << e;
+        let mut dst = src.clone();
+        let gap = n / d;
+        for j in 0..d {
+            // arbitree-lint: allow(D004) — store keys fit u32 by construction
+            let key = ((j * gap + gap / 2) * stride) as u32;
+            assert!(dst.remove(key));
+        }
+        let mut session = Session::new();
+        let (mut messages, mut rounds, mut filled) = (0u64, 0u64, 0u64);
+        while !session.is_done() {
+            let reqs = session.take_requests(&dst, usize::MAX);
+            assert!(!reqs.is_empty());
+            rounds += 1;
+            for (range, digest) in reqs {
+                messages += 2;
+                let resp = respond(&src, range, digest);
+                if let Response::Fill(keys) = &resp {
+                    for &k in keys {
+                        if dst.item(k) != src.item(k) {
+                            filled += 1;
+                            dst.insert(k, src.item(k).unwrap());
+                        }
+                    }
+                }
+                assert!(session.on_response(&dst, range, &resp));
+            }
+        }
+        assert!(dst == src);
+        transcript.push_str(&format!(
+            "d={d}|msgs={messages}|rounds={rounds}|keys={filled}\n"
+        ));
+    }
+    assert_eq!(
+        fnv1a64(&transcript),
+        PINNED_REPAIR_SMOKE,
+        "repair smoke table diverged:\n{transcript}"
+    );
+}
+
+/// Pre-swap fingerprints, captured on the `BTreeMap`-backed queue before
+/// the calendar-queue engine landed. The engine swap must not move them.
+const PINNED_CHAOS_CAMPAIGN: u64 = 6150756938650259650;
+const PINNED_THROUGHPUT_SMOKE: u64 = 5468455340288058325;
+const PINNED_REPAIR_SMOKE: u64 = 12736085341905263238;
 
 /// Amnesia cold start layered over uncorrelated churn (the chaos-campaign
 /// composition): still consistent, still no service from Syncing sites.

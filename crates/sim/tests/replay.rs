@@ -138,6 +138,113 @@ mod scheduler_seam {
     }
 }
 
+/// The calendar queue must be observationally identical to the reference
+/// `BTreeQueue` it replaced — same `pop` order, same `keys` enumeration,
+/// same `take`-by-arbitrary-key results — over randomized interleavings of
+/// schedules (near, far, and colliding timestamps), pops, and takes. This
+/// is the ordering oracle for the event-engine swap: the interleavings are
+/// chosen to push events through every tier (bucket hit, overflow insert,
+/// window rotation, slab recycling).
+mod queue_equivalence {
+    use super::*;
+    use arbitree_sim::{BTreeQueue, ClientId, Event, EventQueue, SimTime};
+
+    /// One step of the randomized driver.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Schedule a tagged event at a timestamp (µs).
+        Schedule(u64, u32),
+        /// Pop the earliest event from both queues.
+        Pop,
+        /// Take the pending key at index `i % len` of the enumeration.
+        Take(usize),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Weighted mix (the vendored proptest has no `prop_oneof!`):
+        // 3/9 near schedules — inside (and just past) the initial window,
+        // a tight range so same-µs collisions exercise the FIFO seq
+        // tie-break; 2/9 far schedules — deep into the overflow tier, far
+        // enough that draining crosses several window rotations; 2/9 pops;
+        // 2/9 takes of an arbitrary pending key.
+        (
+            0u8..9,
+            0u64..6_000,
+            0u64..4_000_000,
+            any::<u32>(),
+            any::<usize>(),
+        )
+            .prop_map(|(sel, near, far, tag, idx)| match sel {
+                0..=2 => Op::Schedule(near, tag),
+                3..=4 => Op::Schedule(far, tag),
+                5..=6 => Op::Pop,
+                _ => Op::Take(idx),
+            })
+    }
+
+    /// Drains both queues to the end, checking order at every step.
+    fn drain_and_compare(cal: &mut EventQueue, btree: &mut BTreeQueue) {
+        loop {
+            let a = cal.pop();
+            let b = btree.pop();
+            assert_eq!(a, b, "drain order diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn calendar_queue_matches_reference_btree(
+            ops in proptest::collection::vec(op_strategy(), 1..250),
+        ) {
+            let mut cal = EventQueue::new();
+            let mut btree = BTreeQueue::new();
+            for op in &ops {
+                match *op {
+                    Op::Schedule(t, tag) => {
+                        let at = SimTime::from_micros(t);
+                        cal.schedule(at, Event::ClientTick(ClientId(tag)));
+                        btree.schedule(at, Event::ClientTick(ClientId(tag)));
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(cal.pop(), btree.pop());
+                    }
+                    Op::Take(i) => {
+                        let keys: Vec<_> = btree.keys().collect();
+                        if keys.is_empty() {
+                            continue;
+                        }
+                        let key = keys[i % keys.len()];
+                        prop_assert_eq!(cal.take(key), btree.take(key));
+                        // A taken key is gone from both.
+                        prop_assert!(cal.get(key).is_none());
+                        prop_assert!(cal.take(key).is_none());
+                    }
+                }
+                // Full observational equality after every step.
+                prop_assert_eq!(cal.len(), btree.len());
+                prop_assert_eq!(cal.is_empty(), btree.is_empty());
+                prop_assert_eq!(cal.next_key(), btree.next_key());
+                prop_assert_eq!(cal.peek_time(), btree.peek_time());
+                let ck: Vec<_> = cal.keys().collect();
+                let bk: Vec<_> = btree.keys().collect();
+                prop_assert_eq!(&ck, &bk, "keys() enumeration diverged");
+                for k in &ck {
+                    prop_assert_eq!(cal.get(*k), btree.get(*k));
+                }
+                let ci: Vec<_> = cal.iter().collect();
+                let bi: Vec<_> = btree.iter().collect();
+                prop_assert_eq!(ci, bi, "iter() enumeration diverged");
+            }
+            drain_and_compare(&mut cal, &mut btree);
+        }
+    }
+}
+
 #[test]
 fn different_seeds_diverge() {
     let a = transcript(&chaos_run(77));

@@ -1,18 +1,28 @@
 //! Offline stand-in for the `bytes` crate: just [`Bytes`], an immutable,
-//! reference-counted byte buffer with O(1) clone — the only type this
-//! workspace uses.
+//! reference-counted byte buffer with O(1) clone and O(1) subslicing — the
+//! only type this workspace uses.
+//!
+//! A [`Bytes`] is a `(Arc<[u8]>, offset, len)` view: [`Bytes::slice`]
+//! produces a narrower view of the *same* allocation, so a fan-out path can
+//! carve per-destination values out of one arena buffer without copying.
+//! All comparisons, ordering, and hashing are over the viewed *contents*,
+//! never the backing allocation — two views of different buffers with equal
+//! bytes are equal.
 
 #![warn(missing_docs)]
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable slice of bytes.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -23,26 +33,77 @@ impl Bytes {
 
     /// Wraps a static byte slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from_arc(Arc::from(data))
+    }
+
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
         Bytes {
-            data: Arc::from(data),
+            data,
+            offset: 0,
+            len,
         }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// A narrower view of the same backing allocation — no copy, just an
+    /// `Arc` clone plus offset arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds of {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Whether `self` and `other` are views of the same backing allocation
+    /// (regardless of offsets). Diagnostic only — equality is by content.
+    pub fn shares_buffer(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 }
 
@@ -50,25 +111,25 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -96,22 +157,52 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+// Content semantics: a view is its bytes, not its allocation. Hand-rolled
+// because deriving would compare/hash the `Arc` pointer structure and the
+// raw offsets, making equal contents in different buffers unequal.
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.data[..] == *other
+        self.as_slice() == *other
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -140,5 +231,47 @@ mod tests {
     fn from_static_and_debug() {
         let s = Bytes::from_static(b"v");
         assert_eq!(format!("{s:?}"), "b\"v\"");
+    }
+
+    #[test]
+    fn slice_is_a_view_not_a_copy() {
+        let arena = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = arena.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        assert!(mid.shares_buffer(&arena));
+        // Sub-slicing a slice composes offsets.
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert!(inner.shares_buffer(&arena));
+        // Unbounded forms.
+        assert_eq!(&mid.slice(..)[..], &mid[..]);
+        assert_eq!(&mid.slice(2..)[..], &[4, 5]);
+        assert_eq!(&mid.slice(..2)[..], &[2, 3]);
+    }
+
+    #[test]
+    fn equality_hash_and_order_are_content_based() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let whole = Bytes::from(vec![9, 9, 5, 6, 9]);
+        let view = whole.slice(2..4);
+        let copy = Bytes::from(vec![5, 6]);
+        assert_eq!(view, copy);
+        assert!(!view.shares_buffer(&copy));
+        let h = |b: &Bytes| {
+            let mut s = DefaultHasher::new();
+            b.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&view), h(&copy));
+        assert!(view < Bytes::from(vec![5, 7]));
+        assert!(Bytes::from(vec![4, 255]) < view);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..5);
     }
 }
